@@ -1,0 +1,13 @@
+//! # fluxpm-bench — criterion benchmarks
+//!
+//! This crate carries no library code; its benchmark targets are:
+//!
+//! * `paper_artifacts` — one benchmark per paper table/figure, running a
+//!   size-reduced version of the corresponding experiment scenario,
+//! * `ablations` — the design-choice ablations from DESIGN.md (FFT
+//!   kernels, period estimators, ring buffer, event engine, TBON fan-out,
+//!   FPP controller, power resolution).
+//!
+//! Run with `cargo bench -p fluxpm-bench`.
+
+#![warn(missing_docs)]

@@ -1,0 +1,6 @@
+//! Design/parameter ablation. See the module docs of
+//! `fluxpm_experiments::experiments::ablation_fpp`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::ablation_fpp::run());
+}

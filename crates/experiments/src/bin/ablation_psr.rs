@@ -1,0 +1,6 @@
+//! PSR sweep ablation. See the module docs of
+//! `fluxpm_experiments::experiments::ablation_psr`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::ablation_psr::run());
+}

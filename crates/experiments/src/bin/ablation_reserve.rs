@@ -1,0 +1,9 @@
+//! Design/parameter ablation. See the module docs of
+//! `fluxpm_experiments::experiments::ablation_reserve`.
+
+fn main() {
+    print!(
+        "{}",
+        fluxpm_experiments::experiments::ablation_reserve::run()
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig1 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::fig1`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::fig1::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::fig2`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::fig2::run());
+}

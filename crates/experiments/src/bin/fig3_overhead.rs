@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig3 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::fig3`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::fig3::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::fig4`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::fig4::run());
+}

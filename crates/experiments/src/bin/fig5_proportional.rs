@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::fig5`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::fig5::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::fig6`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::fig6::run());
+}

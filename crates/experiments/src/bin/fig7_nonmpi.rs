@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::fig7`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::fig7::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's queue artifact. See the module docs of
+//! `fluxpm_experiments::experiments::queue`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::queue::run());
+}

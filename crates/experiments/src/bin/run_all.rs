@@ -1,0 +1,46 @@
+//! Regenerates every table and figure of the paper in sequence, writing
+//! CSVs into `results/` and printing each report.
+
+use std::time::Instant;
+
+/// A named experiment entry point.
+type Experiment = (&'static str, fn() -> String);
+
+fn main() {
+    let experiments: Vec<Experiment> = vec![
+        ("fig1", fluxpm_experiments::experiments::fig1::run),
+        ("fig2", fluxpm_experiments::experiments::fig2::run),
+        ("table2", fluxpm_experiments::experiments::table2::run),
+        ("fig3", fluxpm_experiments::experiments::fig3::run),
+        ("fig4", fluxpm_experiments::experiments::fig4::run),
+        ("table3", fluxpm_experiments::experiments::table3::run),
+        ("table4", fluxpm_experiments::experiments::table4::run),
+        ("fig5", fluxpm_experiments::experiments::fig5::run),
+        ("fig6", fluxpm_experiments::experiments::fig6::run),
+        ("fig7", fluxpm_experiments::experiments::fig7::run),
+        ("queue", fluxpm_experiments::experiments::queue::run),
+        (
+            "ablation_fpp",
+            fluxpm_experiments::experiments::ablation_fpp::run,
+        ),
+        (
+            "ablation_reserve",
+            fluxpm_experiments::experiments::ablation_reserve::run,
+        ),
+        (
+            "ablation_psr",
+            fluxpm_experiments::experiments::ablation_psr::run,
+        ),
+    ];
+    let total = Instant::now();
+    for (name, run) in experiments {
+        let t = Instant::now();
+        let report = run();
+        println!("{report}");
+        eprintln!("[{name} done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    eprintln!(
+        "all experiments done in {:.1}s",
+        total.elapsed().as_secs_f64()
+    );
+}

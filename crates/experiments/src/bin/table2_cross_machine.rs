@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::table2`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::table2::run());
+}

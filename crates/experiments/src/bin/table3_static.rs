@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::table3`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::table3::run());
+}

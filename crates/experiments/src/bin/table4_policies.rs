@@ -1,0 +1,6 @@
+//! Regenerates the paper's table4 artifact. See the module docs of
+//! `fluxpm_experiments::experiments::table4`.
+
+fn main() {
+    print!("{}", fluxpm_experiments::experiments::table4::run());
+}

@@ -1,0 +1,11 @@
+//! The reproduction gate: asserts every headline paper claim against the
+//! simulation with explicit tolerances; exits nonzero on any failure.
+//! See `fluxpm_experiments::experiments::verify`.
+
+fn main() {
+    let (report, ok) = fluxpm_experiments::experiments::verify::run_gate();
+    print!("{report}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

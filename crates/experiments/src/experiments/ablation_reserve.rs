@@ -1,0 +1,168 @@
+//! Reserve-derivation ablation: *why* is IBM's default node capping so
+//! conservative?
+//!
+//! Table III/IV hinge on one constant: the CPU/memory/uncore budget the
+//! firmware reserves before splitting a node cap across the GPUs. IBM
+//! OPAL reserves ~936 W (worst case); the flux-power-manager reserves the
+//! idle floor (~400 W). This sweep varies the reserve at the paper's
+//! 1200 W/node budget and shows the cliff between "wastes a third of the
+//! budget" and "uses it".
+
+use crate::report::Table;
+use crate::write_artifact;
+use fluxpm_hw::{lassen, MachineKind, Watts};
+use std::fmt::Write as _;
+
+/// Reserves swept (watts). 936 is IBM's (paper Table III); 400 is the
+/// manager's idle-floor derivation.
+pub const RESERVES: [f64; 5] = [936.0, 800.0, 600.0, 400.0, 280.0];
+
+/// The per-GPU cap a 1200 W node budget yields under each reserve.
+pub fn derived_cap(reserve: f64) -> f64 {
+    let arch = lassen();
+    ((1200.0 - reserve) / arch.gpus as f64).clamp(
+        arch.capping.min_gpu_cap.get(),
+        arch.capping.max_gpu_cap.get(),
+    )
+}
+
+/// Run the sweep; returns the printed report.
+pub fn run() -> String {
+    let mut out =
+        String::from("# Ablation — GPU-cap derivation reserve at a 1200 W/node budget\n\n");
+    let mut table = Table::new(&[
+        "reserve (W)",
+        "derived GPU cap (W)",
+        "GEMM time (s)",
+        "max cluster (kW)",
+        "note",
+    ]);
+    let mut csv = String::from("reserve_w,derived_gpu_cap_w,gemm_time_s,max_cluster_kw\n");
+    for &reserve in RESERVES.iter() {
+        // Emulate the derivation by setting explicit uniform GPU caps
+        // (no node cap, so the reserve is the only variable).
+        let cap = derived_cap(reserve);
+        let report = run_with_uniform_gpu_cap(cap);
+        let gemm = report.job("GEMM").expect("gemm ran");
+        let note = if reserve == 936.0 {
+            "IBM OPAL (Table III)"
+        } else if reserve == 400.0 {
+            "flux-power-manager (idle floor)"
+        } else {
+            ""
+        };
+        table.row(vec![
+            format!("{reserve:.0}"),
+            format!("{cap:.0}"),
+            format!("{:.0}", gemm.runtime_s),
+            format!("{:.2}", report.cluster_max_w / 1e3),
+            note.into(),
+        ]);
+        let _ = writeln!(
+            csv,
+            "{reserve},{cap:.1},{:.2},{:.3}",
+            gemm.runtime_s,
+            report.cluster_max_w / 1e3
+        );
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nreading: every watt of reserve is a watt the GPUs never see. IBM's\n\
+         936 W worst-case reserve turns a 9.6 kW budget into a 6 kW cluster and\n\
+         a 2x GEMM slowdown; the idle-floor reserve recovers nearly all of it —\n\
+         the entire gap between rows 2 and 4 of paper Table IV.\n",
+    );
+    let path = write_artifact("ablation_reserve.csv", &csv);
+    let _ = writeln!(out, "CSV: {}", path.display());
+    out
+}
+
+/// Run the Table IV mix with a uniform explicit per-GPU cap.
+fn run_with_uniform_gpu_cap(cap: f64) -> crate::RunReport {
+    use fluxpm_flux::{FluxEngine, JobSpec, World};
+    use fluxpm_sim::Engine;
+    use fluxpm_variorum::NodePowerSample;
+    use fluxpm_workloads::{App, JitterModel};
+    use std::cell::RefCell;
+    use std::ops::ControlFlow;
+    use std::rc::Rc;
+
+    let mut w = World::new(MachineKind::Lassen, 8, 77);
+    w.autostop_after = Some(2);
+    let mut eng: FluxEngine = Engine::new();
+    for n in &mut w.nodes {
+        for g in 0..4 {
+            n.set_gpu_cap(g, Watts(cap)).expect("cap in range");
+        }
+    }
+    w.install_executor(&mut eng);
+
+    let samples: Rc<RefCell<Vec<Vec<NodePowerSample>>>> =
+        Rc::new(RefCell::new(vec![Vec::new(); 8]));
+    let s2 = Rc::clone(&samples);
+    eng.schedule_every(
+        fluxpm_sim::SimTime::from_secs(2),
+        fluxpm_sim::SimDuration::from_secs(2),
+        move |w: &mut World, eng| {
+            if w.halted {
+                return ControlFlow::Break(());
+            }
+            let ts = eng.now().as_micros();
+            let mut buf = s2.borrow_mut();
+            for i in 0..w.nodes.len() {
+                let hostname = w.brokers[i].hostname.clone();
+                let reading = w.nodes[i].read_sensors();
+                buf[i].push(NodePowerSample::from_reading(&hostname, ts, &reading));
+            }
+            ControlFlow::Continue(())
+        },
+    );
+
+    let gemm = App::with_jitter(
+        fluxpm_workloads::gemm(),
+        MachineKind::Lassen,
+        6,
+        1,
+        JitterModel::none(),
+    )
+    .with_work_scale(2.0);
+    let qs = App::with_jitter(
+        fluxpm_workloads::quicksilver(),
+        MachineKind::Lassen,
+        2,
+        2,
+        JitterModel::none(),
+    )
+    .with_work_seconds(348.0);
+    w.submit(&mut eng, JobSpec::new("GEMM", 6), Box::new(gemm));
+    w.submit(&mut eng, JobSpec::new("Quicksilver", 2), Box::new(qs));
+    eng.run(&mut w);
+
+    let node_series = samples.borrow().clone();
+    crate::RunReport::collect(&w, format!("gpucap-{cap:.0}"), 2.0, node_series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivations() {
+        assert_eq!(derived_cap(936.0), 100.0, "IBM at 1200 W");
+        assert_eq!(derived_cap(400.0), 200.0, "manager at 1200 W");
+        assert_eq!(derived_cap(0.0), 300.0, "clamped to vendor max");
+    }
+
+    #[test]
+    fn smaller_reserve_recovers_performance() {
+        let ibm = run_with_uniform_gpu_cap(derived_cap(936.0));
+        let mgr = run_with_uniform_gpu_cap(derived_cap(400.0));
+        let t_ibm = ibm.job("GEMM").unwrap().runtime_s;
+        let t_mgr = mgr.job("GEMM").unwrap().runtime_s;
+        assert!(
+            t_ibm / t_mgr > 1.5,
+            "idle-floor reserve recovers perf: {t_ibm} vs {t_mgr}"
+        );
+        assert!(mgr.cluster_max_w > ibm.cluster_max_w + 1500.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper artifact.
+
+pub mod ablation_fpp;
+pub mod ablation_psr;
+pub mod ablation_reserve;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod queue;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod verify;

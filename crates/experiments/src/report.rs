@@ -1,0 +1,339 @@
+//! Run reports: everything an experiment needs to print a paper table or
+//! figure series.
+
+use fluxpm_flux::{JobState, World};
+use fluxpm_variorum::NodePowerSample;
+use std::fmt::Write as _;
+
+/// Per-job results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Job id within the run.
+    pub id: u64,
+    /// Application name.
+    pub name: String,
+    /// Node count.
+    pub nnodes: u32,
+    /// Indices of the allocated nodes.
+    pub nodes: Vec<usize>,
+    /// Submission time (s).
+    pub submit_s: f64,
+    /// Start time (s).
+    pub start_s: f64,
+    /// End time (s).
+    pub end_s: f64,
+    /// Execution time (s).
+    pub runtime_s: f64,
+    /// Average telemetry-derived node power over the job window (W).
+    pub avg_node_power_w: f64,
+    /// Maximum single-node power sample in the window (W).
+    pub max_node_power_w: f64,
+    /// Average per-node energy over the window (kJ), from telemetry —
+    /// the same estimate the paper's tables report.
+    pub energy_per_node_kj: f64,
+}
+
+/// The full result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario label (policy name etc.).
+    pub label: String,
+    /// Per-job results, in submission order.
+    pub jobs: Vec<JobResult>,
+    /// Queue makespan (s).
+    pub makespan_s: f64,
+    /// Peak cluster power across sample instants (W).
+    pub cluster_max_w: f64,
+    /// Average cluster power over the run (W).
+    pub cluster_avg_w: f64,
+    /// Timeline sampling period (s).
+    pub sample_period_s: f64,
+    /// Per-node sample series (telemetry view: Tioga omits node/memory).
+    pub node_series: Vec<Vec<NodePowerSample>>,
+}
+
+impl RunReport {
+    /// Collect results from a finished world.
+    pub fn collect(
+        world: &World,
+        label: String,
+        sample_period_s: f64,
+        node_series: Vec<Vec<NodePowerSample>>,
+    ) -> RunReport {
+        let mut jobs = Vec::new();
+        for job in world.jobs.all() {
+            debug_assert_eq!(job.state, JobState::Completed);
+            let start_s = job.started_at.map(|t| t.as_secs_f64()).unwrap_or(0.0);
+            let end_s = job.finished_at.map(|t| t.as_secs_f64()).unwrap_or(start_s);
+            let nodes: Vec<usize> = job.nodes.iter().map(|n| n.index()).collect();
+            // Telemetry-derived stats over the job window.
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            let mut max = 0.0f64;
+            for &ni in &nodes {
+                for s in &node_series[ni] {
+                    let t = s.timestamp_us as f64 / 1e6;
+                    if t >= start_s && t <= end_s {
+                        let p = s.node_power_estimate();
+                        sum += p;
+                        count += 1;
+                        max = max.max(p);
+                    }
+                }
+            }
+            let avg = if count == 0 { 0.0 } else { sum / count as f64 };
+            let runtime_s = end_s - start_s;
+            jobs.push(JobResult {
+                id: job.id.0,
+                name: job.spec.name.clone(),
+                nnodes: job.spec.nnodes,
+                nodes,
+                submit_s: job.submitted_at.as_secs_f64(),
+                start_s,
+                end_s,
+                runtime_s,
+                avg_node_power_w: avg,
+                max_node_power_w: max,
+                energy_per_node_kj: avg * runtime_s / 1e3,
+            });
+        }
+
+        // Cluster power per sample instant.
+        let mut per_instant: std::collections::BTreeMap<u64, f64> = Default::default();
+        for series in &node_series {
+            for s in series {
+                *per_instant.entry(s.timestamp_us).or_insert(0.0) += s.node_power_estimate();
+            }
+        }
+        let cluster_max_w = per_instant.values().copied().fold(0.0, f64::max);
+        let cluster_avg_w = if per_instant.is_empty() {
+            0.0
+        } else {
+            per_instant.values().sum::<f64>() / per_instant.len() as f64
+        };
+
+        RunReport {
+            label,
+            jobs,
+            makespan_s: world.jobs.makespan_seconds().unwrap_or(0.0),
+            cluster_max_w,
+            cluster_avg_w,
+            sample_period_s,
+            node_series,
+        }
+    }
+
+    /// The result for the first job with the given app name.
+    pub fn job(&self, name: &str) -> Option<&JobResult> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+
+    /// Per-component averages over one job's window on its nodes:
+    /// `(node, cpu, mem, gpu)` watts. Components the machine cannot
+    /// measure come back as 0 (Tioga's node value is the conservative
+    /// estimate).
+    pub fn component_averages(&self, job: &JobResult) -> (f64, f64, f64, f64) {
+        let mut node = 0.0;
+        let mut cpu = 0.0;
+        let mut mem = 0.0;
+        let mut gpu = 0.0;
+        let mut n = 0usize;
+        for &ni in &job.nodes {
+            for s in &self.node_series[ni] {
+                let t = s.timestamp_us as f64 / 1e6;
+                if t >= job.start_s && t <= job.end_s {
+                    node += s.node_power_estimate();
+                    cpu += s.cpu_total();
+                    mem += s.power_mem_watts.unwrap_or(0.0);
+                    gpu += s.gpu_total();
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let k = n as f64;
+        (node / k, cpu / k, mem / k, gpu / k)
+    }
+
+    /// Render one node's timeline as CSV (`t_s,node_w,cpu_w,mem_w,gpu_w`).
+    pub fn node_timeline_csv(&self, node: usize) -> String {
+        let mut out = String::from("t_s,node_w,cpu_w,mem_w,gpu_w\n");
+        for s in &self.node_series[node] {
+            let _ = writeln!(
+                out,
+                "{:.1},{:.1},{:.1},{:.1},{:.1}",
+                s.timestamp_us as f64 / 1e6,
+                s.node_power_estimate(),
+                s.cpu_total(),
+                s.power_mem_watts.unwrap_or(0.0),
+                s.gpu_total(),
+            );
+        }
+        out
+    }
+
+    /// Render the per-job summary as CSV.
+    pub fn jobs_csv(&self) -> String {
+        let mut out = String::from(
+            "label,job,app,nnodes,submit_s,start_s,end_s,runtime_s,avg_node_w,max_node_w,energy_per_node_kj\n",
+        );
+        for j in &self.jobs {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.1},{:.1},{:.1},{:.2},{:.1},{:.1},{:.2}",
+                self.label,
+                j.id,
+                j.name,
+                j.nnodes,
+                j.submit_s,
+                j.start_s,
+                j.end_s,
+                j.runtime_s,
+                j.avg_node_power_w,
+                j.max_node_power_w,
+                j.energy_per_node_kj,
+            );
+        }
+        out
+    }
+}
+
+/// A minimal fixed-width markdown table builder used by the experiment
+/// printers.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a header row.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as aligned markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let body = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            format!("| {body} |")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let sep = (0..cols)
+            .map(|i| "-".repeat(widths[i]))
+            .collect::<Vec<_>>()
+            .join("-|-");
+        let _ = writeln!(out, "|-{sep}-|");
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["app", "runtime"]);
+        t.row(vec!["GEMM".into(), "548".into()]);
+        t.row(vec!["Quicksilver".into(), "348".into()]);
+        let s = t.render();
+        assert!(s.contains("| app         | runtime |"));
+        assert!(s.lines().count() == 4);
+        let widths: Vec<usize> = s.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "aligned: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_bad_arity() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use crate::scenario::{JobRequest, Scenario};
+    use fluxpm_hw::MachineKind;
+
+    fn tiny_report() -> crate::RunReport {
+        Scenario::new(MachineKind::Lassen, 2)
+            .with_label("report-test")
+            .with_job(JobRequest::new("Laghos", 1).with_work_seconds(20.0))
+            .run()
+    }
+
+    #[test]
+    fn jobs_csv_shape() {
+        let r = tiny_report();
+        let csv = r.jobs_csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("label,job,app,nnodes"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("report-test,0,Laghos,1,"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn node_timeline_csv_shape() {
+        let r = tiny_report();
+        let node = r.jobs[0].nodes[0];
+        let csv = r.node_timeline_csv(node);
+        assert!(csv.starts_with("t_s,node_w,cpu_w,mem_w,gpu_w\n"));
+        // ~10 samples over a 20 s job at 2 s cadence.
+        assert!(csv.lines().count() >= 9, "{}", csv.lines().count());
+        // A busy Laghos sample reads ~490 W.
+        let sample_line = csv.lines().nth(2).unwrap();
+        let node_w: f64 = sample_line.split(',').nth(1).unwrap().parse().unwrap();
+        assert!((node_w - 490.0).abs() < 30.0, "{node_w}");
+    }
+
+    #[test]
+    fn component_averages_sum_to_estimate() {
+        let r = tiny_report();
+        let job = r.jobs[0].clone();
+        let (node, cpu, mem, gpu) = r.component_averages(&job);
+        // Lassen measures node power directly (incl. "other"), so the
+        // direct reading exceeds the cpu+mem+gpu sum by ~40 W.
+        let parts = cpu + mem + gpu;
+        assert!(node > parts, "direct {node} > parts {parts}");
+        assert!((node - parts - 40.0).abs() < 15.0, "other ~40 W");
+    }
+
+    #[test]
+    fn job_lookup_by_name() {
+        let r = tiny_report();
+        assert!(r.job("Laghos").is_some());
+        assert!(r.job("GEMM").is_none());
+    }
+}

@@ -1,0 +1,253 @@
+//! Dominant-period estimation — the `FINDPERIOD` primitive of FPP.
+//!
+//! Two independent estimators:
+//!
+//! * [`estimate_period`] — Hann-windowed periodogram peak with parabolic
+//!   interpolation between bins. This is the production path.
+//! * [`autocorr_period`] — first significant autocorrelation peak. Used as
+//!   a cross-check in tests and exposed for policy experiments.
+//!
+//! Aperiodic (flat or monotone) signals return `None`; FPP interprets that
+//! as "no detectable phase" and leaves the power cap alone.
+
+use crate::periodogram::Periodogram;
+use crate::window::Window;
+
+/// Result of period estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodEstimate {
+    /// Estimated dominant period, seconds.
+    pub period_seconds: f64,
+    /// Estimated dominant frequency, Hz.
+    pub frequency_hz: f64,
+    /// Fraction of non-DC spectral energy in the peak neighbourhood
+    /// (0..=1); higher means a cleaner phase signal.
+    pub confidence: f64,
+}
+
+/// Estimate the dominant period of `samples` captured at `sample_rate_hz`.
+///
+/// Returns `None` when the signal is too short (< 8 samples), has no
+/// variance, or the spectral peak is too weak to be meaningful
+/// (concentration below 5 %).
+pub fn estimate_period(samples: &[f64], sample_rate_hz: f64) -> Option<PeriodEstimate> {
+    if samples.len() < 8 {
+        return None;
+    }
+    let p = Periodogram::compute(samples, sample_rate_hz, Window::Hann)?;
+    let k = p.dominant_bin()?;
+    let confidence = p.peak_concentration(k);
+    if confidence < 0.05 {
+        return None;
+    }
+
+    // Parabolic interpolation over log-power of the three bins around the
+    // peak refines the frequency beyond bin resolution.
+    let refined_k = if k > 1 && k + 1 < p.power.len() {
+        let eps = 1e-30;
+        let l = (p.power[k - 1] + eps).ln();
+        let c = (p.power[k] + eps).ln();
+        let r = (p.power[k + 1] + eps).ln();
+        let denom = l - 2.0 * c + r;
+        if denom.abs() > 1e-12 {
+            let delta = 0.5 * (l - r) / denom;
+            k as f64 + delta.clamp(-0.5, 0.5)
+        } else {
+            k as f64
+        }
+    } else {
+        k as f64
+    };
+
+    let frequency_hz = refined_k * sample_rate_hz / p.n as f64;
+    if frequency_hz <= 0.0 {
+        return None;
+    }
+    Some(PeriodEstimate {
+        period_seconds: 1.0 / frequency_hz,
+        frequency_hz,
+        confidence,
+    })
+}
+
+/// Estimate the dominant period by autocorrelation: the lag of the first
+/// local maximum of the (unbiased, mean-removed) autocorrelation whose
+/// value exceeds `threshold` times the zero-lag energy.
+pub fn autocorr_period(samples: &[f64], sample_rate_hz: f64, threshold: f64) -> Option<f64> {
+    let n = samples.len();
+    if n < 8 || sample_rate_hz <= 0.0 {
+        return None;
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let x: Vec<f64> = samples.iter().map(|&v| v - mean).collect();
+    let energy: f64 = x.iter().map(|v| v * v).sum::<f64>() / n as f64;
+    if energy <= f64::EPSILON {
+        return None;
+    }
+
+    // Unbiased autocorrelation for lags 1 .. n/2.
+    let max_lag = n / 2;
+    let mut ac = Vec::with_capacity(max_lag + 1);
+    ac.push(1.0); // lag 0, normalized
+    for lag in 1..=max_lag {
+        let mut acc = 0.0;
+        for t in 0..n - lag {
+            acc += x[t] * x[t + lag];
+        }
+        ac.push(acc / ((n - lag) as f64 * energy));
+    }
+
+    // First local maximum above threshold, skipping the initial decay.
+    let mut in_dip = false;
+    for lag in 1..max_lag {
+        if !in_dip {
+            if ac[lag] < threshold {
+                in_dip = true;
+            }
+            continue;
+        }
+        if ac[lag] > threshold && ac[lag] >= ac[lag - 1] && ac[lag] >= ac[lag + 1] {
+            return Some(lag as f64 / sample_rate_hz);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_wave(n: usize, rate: f64, period_s: f64, hi: f64, lo: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / rate;
+                if (t / period_s).fract() < 0.5 {
+                    hi
+                } else {
+                    lo
+                }
+            })
+            .collect()
+    }
+
+    fn sine(n: usize, rate: f64, period_s: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                250.0 + 30.0 * (2.0 * std::f64::consts::PI * (i as f64 / rate) / period_s).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sine_period_recovered() {
+        for period in [5.0, 10.0, 15.0] {
+            let x = sine(120, 2.0, period);
+            let est = estimate_period(&x, 2.0).expect("periodic");
+            assert!(
+                (est.period_seconds - period).abs() / period < 0.1,
+                "expected {period}, got {}",
+                est.period_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn square_wave_period_recovered() {
+        // Quicksilver-like: square wave power swings.
+        let x = square_wave(120, 2.0, 12.0, 550.0, 420.0);
+        let est = estimate_period(&x, 2.0).expect("periodic");
+        assert!(
+            (est.period_seconds - 12.0).abs() < 2.0,
+            "got {}",
+            est.period_seconds
+        );
+    }
+
+    #[test]
+    fn short_fpp_window_works() {
+        // FPP's real window: 30 s at 0.5 Hz internal sampling = 15 samples
+        // is too coarse; FPP samples at 1 Hz inside the manager => 30
+        // samples. A 10 s period must be detectable.
+        let x = sine(30, 1.0, 10.0);
+        let est = estimate_period(&x, 1.0).expect("periodic");
+        assert!(
+            (est.period_seconds - 10.0).abs() < 1.5,
+            "got {}",
+            est.period_seconds
+        );
+    }
+
+    #[test]
+    fn flat_signal_returns_none() {
+        let x = vec![300.0; 64];
+        assert!(estimate_period(&x, 2.0).is_none());
+    }
+
+    #[test]
+    fn noisy_flat_signal_low_confidence_or_random() {
+        // White noise: whatever peak exists should have low concentration.
+        let mut state = 0x12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let x: Vec<f64> = (0..128).map(|_| 300.0 + 2.0 * next()).collect();
+        if let Some(est) = estimate_period(&x, 2.0) {
+            assert!(est.confidence < 0.5, "noise should not look confident");
+        }
+    }
+
+    #[test]
+    fn noisy_periodic_signal_still_detected() {
+        let mut state = 0x98765u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let x: Vec<f64> = sine(120, 2.0, 10.0)
+            .into_iter()
+            .map(|v| v + 3.0 * next())
+            .collect();
+        let est = estimate_period(&x, 2.0).expect("period survives noise");
+        assert!(
+            (est.period_seconds - 10.0).abs() < 1.5,
+            "got {}",
+            est.period_seconds
+        );
+    }
+
+    #[test]
+    fn too_short_returns_none() {
+        let x = sine(6, 2.0, 3.0);
+        assert!(estimate_period(&x, 2.0).is_none());
+    }
+
+    #[test]
+    fn autocorr_agrees_with_fft_on_sine() {
+        let x = sine(200, 2.0, 10.0);
+        let fft_est = estimate_period(&x, 2.0).unwrap().period_seconds;
+        let ac_est = autocorr_period(&x, 2.0, 0.3).unwrap();
+        assert!((fft_est - ac_est).abs() < 1.5, "fft={fft_est} ac={ac_est}");
+    }
+
+    #[test]
+    fn autocorr_none_on_flat() {
+        assert!(autocorr_period(&[5.0; 64], 2.0, 0.3).is_none());
+    }
+
+    #[test]
+    fn confidence_orders_clean_vs_noisy() {
+        let clean = sine(120, 2.0, 10.0);
+        let mut state = 0xABCDEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let noisy: Vec<f64> = clean.iter().map(|v| v + 20.0 * next()).collect();
+        let c_clean = estimate_period(&clean, 2.0).unwrap().confidence;
+        let c_noisy = estimate_period(&noisy, 2.0)
+            .map(|e| e.confidence)
+            .unwrap_or(0.0);
+        assert!(c_clean > c_noisy, "clean {c_clean} vs noisy {c_noisy}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the FFT crate.
+
+use fluxpm_fft::fft::{fft, ifft, naive_dft};
+use fluxpm_fft::period::estimate_period;
+use fluxpm_fft::Complex64;
+use proptest::prelude::*;
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec(
+        (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex64::new(re, im)),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ifft(fft(x)) == x for arbitrary lengths and values.
+    #[test]
+    fn round_trip(x in complex_vec(200)) {
+        let back = ifft(&fft(&x));
+        let scale = x.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+        for (a, b) in back.iter().zip(x.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-7 * scale);
+        }
+    }
+
+    /// The fast paths agree with the O(n^2) DFT.
+    #[test]
+    fn matches_naive(x in complex_vec(96)) {
+        let fast = fft(&x);
+        let slow = naive_dft(&x, false);
+        let scale = x.iter().map(|z| z.abs()).sum::<f64>().max(1.0);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-8 * scale, "{a:?} vs {b:?}");
+        }
+    }
+
+    /// Parseval: time-domain energy equals frequency-domain energy / n.
+    #[test]
+    fn parseval(x in complex_vec(150)) {
+        let n = x.len() as f64;
+        let spec = fft(&x);
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((te - fe).abs() <= 1e-7 * te.max(1.0));
+    }
+
+    /// DFT of conj-reversed input equals conj of DFT (symmetry property).
+    #[test]
+    fn conjugation_symmetry(x in complex_vec(64)) {
+        let conj_x: Vec<Complex64> = x.iter().map(|z| z.conj()).collect();
+        let lhs = fft(&conj_x);
+        let rhs_spec = ifft(&x);
+        // fft(conj(x))[k] == conj(ifft(x)[k]) * n
+        let n = x.len() as f64;
+        let scale = x.iter().map(|z| z.abs()).sum::<f64>().max(1.0);
+        for (a, b) in lhs.iter().zip(rhs_spec.iter()) {
+            prop_assert!((*a - b.conj().scale(n)).abs() < 1e-7 * scale);
+        }
+    }
+
+    /// A pure sinusoid with a period between 4 samples and n/3 samples is
+    /// recovered to within 15 %.
+    #[test]
+    fn period_recovery(
+        period_samples in 4.0f64..20.0,
+        n in 64usize..256,
+        amp in 1.0f64..100.0,
+        dc in 0.0f64..1000.0,
+    ) {
+        prop_assume!(period_samples < n as f64 / 3.0);
+        let rate = 2.0; // Hz
+        let xs: Vec<f64> = (0..n)
+            .map(|i| dc + amp * (2.0 * std::f64::consts::PI * i as f64 / period_samples).sin())
+            .collect();
+        let est = estimate_period(&xs, rate);
+        prop_assert!(est.is_some());
+        let got = est.unwrap().period_seconds;
+        let want = period_samples / rate;
+        prop_assert!((got - want).abs() / want < 0.15, "want {want}, got {got}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-node broker: the module registry and message dispatch table.
+
+use crate::module::SharedModule;
+use crate::tbon::Rank;
+use std::collections::HashMap;
+
+/// One `flux-broker` process (one per node).
+pub struct Broker {
+    /// This broker's rank.
+    pub rank: Rank,
+    /// Node hostname (e.g. `"lassen12"`).
+    pub hostname: String,
+    /// Loaded modules by name.
+    modules: HashMap<&'static str, SharedModule>,
+    /// Topic → module dispatch table (exact match).
+    routes: HashMap<String, SharedModule>,
+}
+
+impl Broker {
+    /// Create an empty broker.
+    pub fn new(rank: Rank, hostname: String) -> Broker {
+        Broker {
+            rank,
+            hostname,
+            modules: HashMap::new(),
+            routes: HashMap::new(),
+        }
+    }
+
+    /// Register a module and its topic routes. Returns `false` (and
+    /// changes nothing) if a module with the same name is already loaded.
+    pub fn register(&mut self, module: SharedModule) -> bool {
+        let (name, topics) = {
+            let m = module.borrow();
+            (m.name(), m.topics())
+        };
+        if self.modules.contains_key(name) {
+            return false;
+        }
+        self.modules.insert(name, Rc::clone(&module));
+        for t in topics {
+            self.routes.insert(t, Rc::clone(&module));
+        }
+        true
+    }
+
+    /// Unload a module by name, removing its routes. Returns true if it
+    /// was loaded.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        if self.modules.remove(name).is_none() {
+            return false;
+        }
+        self.routes.retain(|_, m| m.borrow().name() != name);
+        true
+    }
+
+    /// The module serving `topic`, if any.
+    pub fn route(&self, topic: &str) -> Option<SharedModule> {
+        self.routes.get(topic).cloned()
+    }
+
+    /// A loaded module by name.
+    pub fn module(&self, name: &str) -> Option<SharedModule> {
+        self.modules.get(name).cloned()
+    }
+
+    /// Names of loaded modules (sorted, for deterministic iteration).
+    pub fn module_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<_> = self.modules.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+use std::rc::Rc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::module::{Module, ModuleCtx};
+    use std::cell::RefCell;
+
+    struct Dummy {
+        name: &'static str,
+        topics: Vec<String>,
+    }
+
+    impl Module for Dummy {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn topics(&self) -> Vec<String> {
+            self.topics.clone()
+        }
+        fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
+        fn handle(&mut self, _ctx: &mut ModuleCtx<'_>, _msg: &Message) {}
+    }
+
+    fn dummy(name: &'static str, topics: &[&str]) -> SharedModule {
+        Rc::new(RefCell::new(Dummy {
+            name,
+            topics: topics.iter().map(|s| s.to_string()).collect(),
+        }))
+    }
+
+    #[test]
+    fn register_and_route() {
+        let mut b = Broker::new(Rank(0), "lassen0".into());
+        assert!(b.register(dummy("mon", &["mon.get", "mon.put"])));
+        assert!(b.route("mon.get").is_some());
+        assert!(b.route("mon.other").is_none());
+        assert!(b.module("mon").is_some());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut b = Broker::new(Rank(0), "h".into());
+        assert!(b.register(dummy("mon", &["a"])));
+        assert!(!b.register(dummy("mon", &["b"])));
+        assert!(
+            b.route("b").is_none(),
+            "second registration must not take effect"
+        );
+    }
+
+    #[test]
+    fn unregister_removes_routes() {
+        let mut b = Broker::new(Rank(0), "h".into());
+        b.register(dummy("mon", &["a", "b"]));
+        b.register(dummy("mgr", &["c"]));
+        assert!(b.unregister("mon"));
+        assert!(b.route("a").is_none());
+        assert!(b.route("c").is_some());
+        assert!(!b.unregister("mon"), "double unload is a no-op");
+    }
+
+    #[test]
+    fn module_names_sorted() {
+        let mut b = Broker::new(Rank(0), "h".into());
+        b.register(dummy("zeta", &[]));
+        b.register(dummy("alpha", &[]));
+        assert_eq!(b.module_names(), vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Flux messages.
+//!
+//! Flux RFC 3 defines four message types: request, response, event, and
+//! control. The power modules use the first three. Real Flux payloads are
+//! JSON; in the simulation payloads are shared typed values
+//! ([`Payload`] = `Rc<dyn Any>`), which preserves the "modules only
+//! exchange data, never references into each other" discipline while
+//! avoiding a serialization layer the experiments would pay for on every
+//! message.
+
+use crate::tbon::Rank;
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+/// A message payload: an immutable, shared, dynamically typed value.
+pub type Payload = Rc<dyn Any>;
+
+/// Build a payload from a concrete value.
+pub fn payload<T: Any>(value: T) -> Payload {
+    Rc::new(value)
+}
+
+/// Flux message types (RFC 3 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A service request; expects a response matched by `matchtag`.
+    Request,
+    /// The response to a request.
+    Response,
+    /// A published event (no response).
+    Event,
+}
+
+/// A message in flight on the overlay.
+#[derive(Clone)]
+pub struct Message {
+    /// Message type.
+    pub kind: MsgKind,
+    /// Service topic, e.g. `"power-monitor.get-node-data"`.
+    pub topic: String,
+    /// Sending rank.
+    pub from: Rank,
+    /// Destination rank (for events: the subscriber it is delivered to).
+    pub to: Rank,
+    /// Request/response correlation tag.
+    pub matchtag: u64,
+    /// Typed payload.
+    pub payload: Payload,
+    /// For responses: success or error string (Flux errnum analogue).
+    pub error: Option<String>,
+}
+
+impl Message {
+    /// Build a request message.
+    pub fn request(from: Rank, to: Rank, topic: impl Into<String>, p: Payload) -> Message {
+        Message {
+            kind: MsgKind::Request,
+            topic: topic.into(),
+            from,
+            to,
+            matchtag: 0,
+            payload: p,
+            error: None,
+        }
+    }
+
+    /// Build the success response to a request, carrying `p`.
+    pub fn respond_to(req: &Message, p: Payload) -> Message {
+        Message {
+            kind: MsgKind::Response,
+            topic: req.topic.clone(),
+            from: req.to,
+            to: req.from,
+            matchtag: req.matchtag,
+            payload: p,
+            error: None,
+        }
+    }
+
+    /// Build an error response to a request.
+    pub fn respond_error(req: &Message, error: impl Into<String>) -> Message {
+        Message {
+            kind: MsgKind::Response,
+            topic: req.topic.clone(),
+            from: req.to,
+            to: req.from,
+            matchtag: req.matchtag,
+            payload: Rc::new(()),
+            error: Some(error.into()),
+        }
+    }
+
+    /// Build an event message for one subscriber.
+    pub fn event(from: Rank, to: Rank, topic: impl Into<String>, p: Payload) -> Message {
+        Message {
+            kind: MsgKind::Event,
+            topic: topic.into(),
+            from,
+            to,
+            matchtag: 0,
+            payload: p,
+            error: None,
+        }
+    }
+
+    /// Downcast the payload to a concrete type.
+    pub fn payload_as<T: Any>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+
+    /// True for successful responses and all non-responses.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Message")
+            .field("kind", &self.kind)
+            .field("topic", &self.topic)
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("matchtag", &self.matchtag)
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_correlation() {
+        let mut req = Message::request(Rank(3), Rank(0), "svc.op", payload(41u32));
+        req.matchtag = 99;
+        let resp = Message::respond_to(&req, payload("done".to_string()));
+        assert_eq!(resp.kind, MsgKind::Response);
+        assert_eq!(resp.matchtag, 99);
+        assert_eq!(resp.from, Rank(0));
+        assert_eq!(resp.to, Rank(3));
+        assert_eq!(resp.topic, "svc.op");
+        assert!(resp.is_ok());
+        assert_eq!(resp.payload_as::<String>().unwrap(), "done");
+    }
+
+    #[test]
+    fn error_response() {
+        let req = Message::request(Rank(1), Rank(0), "svc.op", payload(()));
+        let resp = Message::respond_error(&req, "no such job");
+        assert!(!resp.is_ok());
+        assert_eq!(resp.error.as_deref(), Some("no such job"));
+    }
+
+    #[test]
+    fn payload_downcast() {
+        let m = Message::request(Rank(0), Rank(1), "t", payload(vec![1.0f64, 2.0]));
+        assert_eq!(m.payload_as::<Vec<f64>>().unwrap(), &vec![1.0, 2.0]);
+        assert!(m.payload_as::<u32>().is_none());
+    }
+
+    #[test]
+    fn event_shape() {
+        let e = Message::event(Rank::ROOT, Rank(4), "job.event.start", payload(7u64));
+        assert_eq!(e.kind, MsgKind::Event);
+        assert_eq!(*e.payload_as::<u64>().unwrap(), 7);
+    }
+
+    #[test]
+    fn debug_omits_payload() {
+        let m = Message::request(Rank(0), Rank(1), "t", payload(3u8));
+        let s = format!("{m:?}");
+        assert!(s.contains("topic"));
+    }
+}

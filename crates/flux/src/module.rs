@@ -1,0 +1,58 @@
+//! Broker modules (Flux RFC 5).
+//!
+//! A module is a dynamically loaded broker plugin with its own thread of
+//! control that interacts with Flux exclusively via messages. In the
+//! simulation a module is a `Rc<RefCell<dyn Module>>`: the broker
+//! dispatches messages into it, and the module uses the [`ModuleCtx`] to
+//! send messages, issue RPCs, and schedule timers (its "thread").
+
+use crate::message::Message;
+use crate::tbon::Rank;
+use crate::world::{FluxEngine, World};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A dynamically loadable broker module.
+pub trait Module: 'static {
+    /// The module's service name, e.g. `"power-monitor"`.
+    fn name(&self) -> &'static str;
+
+    /// Topics this module's handlers serve (exact-match). Registered at
+    /// load time.
+    fn topics(&self) -> Vec<String>;
+
+    /// Called once after the module is registered on a rank. Typical use:
+    /// start periodic work (sampling loops) via `ctx.eng`.
+    fn load(&mut self, ctx: &mut ModuleCtx<'_>);
+
+    /// Handle a message addressed to one of this module's topics.
+    fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message);
+
+    /// Periodic-timer callback, driven by
+    /// [`World::schedule_module_timer`](crate::World::schedule_module_timer).
+    /// `tag` distinguishes multiple timers on one module. Default: no-op.
+    fn timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// Shared handle to a loaded module.
+pub type SharedModule = Rc<RefCell<dyn Module>>;
+
+/// Execution context passed into module callbacks: mutable access to the
+/// instance state and the event engine, plus the rank the module runs on.
+pub struct ModuleCtx<'a> {
+    /// The Flux instance (brokers, jobs, node hardware).
+    pub world: &'a mut World,
+    /// The event engine (for timers and follow-up work).
+    pub eng: &'a mut FluxEngine,
+    /// The rank this callback executes on.
+    pub rank: Rank,
+}
+
+impl ModuleCtx<'_> {
+    /// Convenience: the simulation clock.
+    pub fn now(&self) -> fluxpm_sim::SimTime {
+        self.eng.now()
+    }
+}

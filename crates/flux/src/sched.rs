@@ -1,0 +1,118 @@
+//! First-come-first-served node scheduler.
+//!
+//! The paper's queue experiment (§IV-E) uses Flux's regular scheduling;
+//! for a single-instance cluster that is FCFS without backfill: the head
+//! of the queue starts as soon as enough whole nodes are free.
+
+use fluxpm_hw::NodeId;
+use std::collections::BTreeSet;
+
+/// Tracks free nodes and performs first-fit whole-node allocation.
+#[derive(Debug, Clone)]
+pub struct FcfsScheduler {
+    free: BTreeSet<NodeId>,
+    total: u32,
+}
+
+impl FcfsScheduler {
+    /// A scheduler over `total` nodes, all initially free.
+    pub fn new(total: u32) -> FcfsScheduler {
+        FcfsScheduler {
+            free: (0..total).map(NodeId).collect(),
+            total,
+        }
+    }
+
+    /// Total node count.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of currently free nodes.
+    pub fn free_count(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Try to allocate `n` nodes (lowest ids first). Returns `None` if
+    /// not enough nodes are free; the pool is unchanged in that case.
+    pub fn allocate(&mut self, n: u32) -> Option<Vec<NodeId>> {
+        if (self.free.len() as u32) < n {
+            return None;
+        }
+        let picked: Vec<NodeId> = self.free.iter().copied().take(n as usize).collect();
+        for id in &picked {
+            self.free.remove(id);
+        }
+        Some(picked)
+    }
+
+    /// Return nodes to the pool. Double-free is a logic error upstream
+    /// and panics in debug builds.
+    pub fn release(&mut self, nodes: &[NodeId]) {
+        for &id in nodes {
+            let fresh = self.free.insert(id);
+            debug_assert!(fresh, "node {id:?} released twice");
+        }
+    }
+
+    /// True if a specific node is free.
+    pub fn is_free(&self, node: NodeId) -> bool {
+        self.free.contains(&node)
+    }
+
+    /// Remove one specific node from the pool (used to withhold a failed
+    /// node from scheduling). Returns it if it was free.
+    pub fn allocate_specific(&mut self, node: NodeId) -> Option<NodeId> {
+        self.free.remove(&node).then_some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_lowest_first() {
+        let mut s = FcfsScheduler::new(8);
+        let a = s.allocate(3).unwrap();
+        assert_eq!(a, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(s.free_count(), 5);
+    }
+
+    #[test]
+    fn insufficient_nodes_changes_nothing() {
+        let mut s = FcfsScheduler::new(4);
+        s.allocate(3).unwrap();
+        assert!(s.allocate(2).is_none());
+        assert_eq!(s.free_count(), 1);
+        assert!(s.allocate(1).is_some());
+    }
+
+    #[test]
+    fn release_reuses_nodes() {
+        let mut s = FcfsScheduler::new(4);
+        let a = s.allocate(4).unwrap();
+        s.release(&a[..2]);
+        assert_eq!(s.free_count(), 2);
+        let b = s.allocate(2).unwrap();
+        assert_eq!(b, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn is_free_tracks_state() {
+        let mut s = FcfsScheduler::new(2);
+        assert!(s.is_free(NodeId(1)));
+        s.allocate(2).unwrap();
+        assert!(!s.is_free(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    #[cfg(debug_assertions)]
+    fn double_release_panics_in_debug() {
+        let mut s = FcfsScheduler::new(2);
+        let a = s.allocate(1).unwrap();
+        s.release(&a);
+        s.release(&a);
+    }
+}

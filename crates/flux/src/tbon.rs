@@ -1,0 +1,263 @@
+//! The tree-based overlay network (TBON).
+//!
+//! Flux brokers form a k-ary tree rooted at rank 0; all communication
+//! follows tree edges. The topology object answers parent/children/route
+//! questions and converts a route length into a message latency.
+
+use fluxpm_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A broker rank (one per node; rank 0 is the root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// The TBON root.
+    pub const ROOT: Rank = Rank(0);
+
+    /// Index into per-rank vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+/// The k-ary broker tree.
+///
+/// ```
+/// use fluxpm_flux::{Rank, Tbon};
+///
+/// let t = Tbon::binary(7);
+/// assert_eq!(t.children(Rank(0)), vec![Rank(1), Rank(2)]);
+/// assert_eq!(t.parent(Rank(5)), Some(Rank(2)));
+/// // Leaf-to-leaf routing crosses the common ancestor.
+/// assert_eq!(t.hops(Rank(3), Rank(6)), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tbon {
+    size: u32,
+    fanout: u32,
+    /// One-hop message latency (default 20 µs, a typical intra-cluster
+    /// RPC hop).
+    pub hop_latency: SimDuration,
+}
+
+impl Tbon {
+    /// Default per-hop latency.
+    pub const DEFAULT_HOP_LATENCY_US: u64 = 20;
+
+    /// Build a TBON over `size` brokers with the given fanout (k >= 1).
+    pub fn new(size: u32, fanout: u32) -> Tbon {
+        assert!(size >= 1, "a Flux instance has at least one broker");
+        assert!(fanout >= 1, "fanout must be at least 1");
+        Tbon {
+            size,
+            fanout,
+            hop_latency: SimDuration::from_micros(Self::DEFAULT_HOP_LATENCY_US),
+        }
+    }
+
+    /// Flux's default fanout of 2.
+    pub fn binary(size: u32) -> Tbon {
+        Tbon::new(size, 2)
+    }
+
+    /// Number of brokers.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Tree fanout.
+    pub fn fanout(&self) -> u32 {
+        self.fanout
+    }
+
+    /// All ranks in the instance.
+    pub fn ranks(&self) -> impl Iterator<Item = Rank> {
+        (0..self.size).map(Rank)
+    }
+
+    /// The parent of `rank`, or `None` for the root.
+    pub fn parent(&self, rank: Rank) -> Option<Rank> {
+        if rank.0 == 0 {
+            None
+        } else {
+            Some(Rank((rank.0 - 1) / self.fanout))
+        }
+    }
+
+    /// Children of `rank`, in rank order.
+    pub fn children(&self, rank: Rank) -> Vec<Rank> {
+        let first = rank.0 * self.fanout + 1;
+        (first..first.saturating_add(self.fanout))
+            .take_while(|&c| c < self.size)
+            .map(Rank)
+            .collect()
+    }
+
+    /// Depth of `rank` (root = 0).
+    pub fn depth(&self, rank: Rank) -> u32 {
+        let mut d = 0;
+        let mut r = rank;
+        while let Some(p) = self.parent(r) {
+            r = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// Number of tree edges on the path between two ranks (0 if equal).
+    /// Routing goes up to the common ancestor and back down, exactly as
+    /// Flux routes overlay messages.
+    pub fn hops(&self, from: Rank, to: Rank) -> u32 {
+        let (mut a, mut b) = (from, to);
+        let (mut da, mut db) = (self.depth(a), self.depth(b));
+        let mut hops = 0;
+        while da > db {
+            a = self.parent(a).expect("non-root has parent");
+            da -= 1;
+            hops += 1;
+        }
+        while db > da {
+            b = self.parent(b).expect("non-root has parent");
+            db -= 1;
+            hops += 1;
+        }
+        while a != b {
+            a = self.parent(a).expect("non-root has parent");
+            b = self.parent(b).expect("non-root has parent");
+            hops += 2;
+        }
+        hops
+    }
+
+    /// True iff `a` is `b` or an ancestor of `b` (i.e. `b` is in `a`'s
+    /// subtree). Used by in-tree reductions to prune fan-out.
+    pub fn is_ancestor(&self, a: Rank, b: Rank) -> bool {
+        let mut r = b;
+        loop {
+            if r == a {
+                return true;
+            }
+            match self.parent(r) {
+                Some(p) => r = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Message latency between two ranks.
+    pub fn latency(&self, from: Rank, to: Rank) -> SimDuration {
+        SimDuration::from_micros(self.hop_latency.as_micros() * self.hops(from, to) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_tree_structure() {
+        let t = Tbon::binary(7);
+        assert_eq!(t.parent(Rank(0)), None);
+        assert_eq!(t.parent(Rank(1)), Some(Rank(0)));
+        assert_eq!(t.parent(Rank(2)), Some(Rank(0)));
+        assert_eq!(t.parent(Rank(5)), Some(Rank(2)));
+        assert_eq!(t.children(Rank(0)), vec![Rank(1), Rank(2)]);
+        assert_eq!(t.children(Rank(1)), vec![Rank(3), Rank(4)]);
+        assert_eq!(t.children(Rank(3)), vec![]);
+    }
+
+    #[test]
+    fn partial_last_level() {
+        let t = Tbon::binary(6);
+        assert_eq!(t.children(Rank(2)), vec![Rank(5)]);
+    }
+
+    #[test]
+    fn depths() {
+        let t = Tbon::binary(7);
+        assert_eq!(t.depth(Rank(0)), 0);
+        assert_eq!(t.depth(Rank(2)), 1);
+        assert_eq!(t.depth(Rank(6)), 2);
+    }
+
+    #[test]
+    fn hops_symmetric_and_consistent() {
+        let t = Tbon::binary(15);
+        for a in t.ranks() {
+            for b in t.ranks() {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+                if a == b {
+                    assert_eq!(t.hops(a, b), 0);
+                }
+            }
+        }
+        // Siblings route through their parent.
+        assert_eq!(t.hops(Rank(1), Rank(2)), 2);
+        // Leaf to leaf across the tree: 3->0 is 2 up, 0->6 is 2 down... 3
+        // and 6 share only the root.
+        assert_eq!(t.hops(Rank(3), Rank(6)), 4);
+        assert_eq!(t.hops(Rank(0), Rank(3)), 2);
+    }
+
+    #[test]
+    fn hops_triangle_inequality() {
+        let t = Tbon::new(31, 3);
+        let ranks: Vec<Rank> = t.ranks().collect();
+        for &a in &ranks {
+            for &b in &ranks {
+                for &c in &ranks {
+                    assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let t = Tbon::binary(7);
+        let l = t.latency(Rank(0), Rank(3));
+        assert_eq!(l.as_micros(), 2 * Tbon::DEFAULT_HOP_LATENCY_US);
+        assert_eq!(t.latency(Rank(4), Rank(4)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wide_fanout() {
+        let t = Tbon::new(10, 9);
+        // Rank 0 has children 1..=9; all leaves.
+        assert_eq!(t.children(Rank(0)).len(), 9);
+        assert_eq!(t.depth(Rank(9)), 1);
+        assert_eq!(t.hops(Rank(1), Rank(9)), 2);
+    }
+
+    #[test]
+    fn ancestry() {
+        let t = Tbon::binary(7);
+        assert!(t.is_ancestor(Rank(0), Rank(6)), "root covers all");
+        assert!(t.is_ancestor(Rank(2), Rank(5)));
+        assert!(t.is_ancestor(Rank(2), Rank(6)));
+        assert!(!t.is_ancestor(Rank(1), Rank(5)));
+        assert!(t.is_ancestor(Rank(3), Rank(3)), "self-ancestor");
+        assert!(!t.is_ancestor(Rank(5), Rank(2)), "not symmetric");
+    }
+
+    #[test]
+    fn single_node_instance() {
+        let t = Tbon::binary(1);
+        assert_eq!(t.children(Rank(0)), vec![]);
+        assert_eq!(t.hops(Rank(0), Rank(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one broker")]
+    fn zero_size_rejected() {
+        Tbon::binary(0);
+    }
+}

@@ -1,0 +1,1014 @@
+//! The Flux instance: brokers + node hardware + job state + messaging.
+//!
+//! `World` is the single mutable state threaded through every simulation
+//! event. It owns the TBON, one [`Broker`] and one
+//! [`fluxpm_hw::NodeHardware`] per rank, the job registry and scheduler,
+//! and the plumbing for requests/responses/events between modules.
+//!
+//! The **job executor** is a periodic engine task that integrates node
+//! energy and advances every running [`crate::JobProgram`] by
+//! one time slice. It also drains the per-node *overhead accumulator* —
+//! host CPU time stolen from applications by in-band sensor reads — which
+//! is how `flux-power-monitor`'s overhead becomes measurable application
+//! slowdown (paper Fig. 3).
+
+use crate::broker::Broker;
+use crate::job::{JobId, JobProgram, JobRegistry, JobSpec, JobState, StepCtx, StepOutcome};
+use crate::message::{payload, Message, MsgKind, Payload};
+use crate::module::{ModuleCtx, SharedModule};
+use crate::sched::FcfsScheduler;
+use crate::tbon::{Rank, Tbon};
+use fluxpm_hw::{lassen, tioga, MachineKind, NodeHardware, NodeId, Watts};
+use fluxpm_sim::{Engine, SimDuration, SimTime, Trace, TraceLevel, Xoshiro256pp};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// The engine type every Flux simulation runs on.
+pub type FluxEngine = Engine<World>;
+
+/// Callback invoked when an RPC response arrives.
+type RpcCallback = Box<dyn FnOnce(&mut World, &mut FluxEngine, &Message)>;
+
+/// Topic published when a job is submitted (payload: [`JobId`]).
+pub const EVENT_JOB_SUBMIT: &str = "job.event.submit";
+/// Topic published when a job starts running (payload: [`JobId`]).
+pub const EVENT_JOB_START: &str = "job.event.start";
+/// Topic published when a job completes (payload: [`JobId`]).
+pub const EVENT_JOB_FINISH: &str = "job.event.finish";
+/// Topic published when a job fails or is cancelled (payload: [`JobId`]).
+pub const EVENT_JOB_EXCEPTION: &str = "job.event.exception";
+
+/// One Flux instance over a simulated cluster.
+pub struct World {
+    /// Overlay topology.
+    pub tbon: Tbon,
+    /// Which machine the nodes model.
+    pub machine: MachineKind,
+    /// Node hardware, indexed by rank.
+    pub nodes: Vec<NodeHardware>,
+    /// Brokers, indexed by rank.
+    pub brokers: Vec<Broker>,
+    /// Job table.
+    pub jobs: JobRegistry,
+    /// Node allocator.
+    pub sched: FcfsScheduler,
+    /// Simulation trace.
+    pub trace: Trace,
+    /// Root RNG for world-level stochastic models; children are derived
+    /// deterministically.
+    pub rng: Xoshiro256pp,
+    /// Executor tick length (default 1 s).
+    pub exec_tick: SimDuration,
+    /// Set once the executor decides all work is done; long-running
+    /// module loops (sampling threads) should observe this and stop.
+    pub halted: bool,
+    /// Executor auto-halts once at least this many jobs have been
+    /// submitted and all are complete. `None` disables auto-halt.
+    pub autostop_after: Option<u64>,
+    /// Stolen host-CPU seconds per node since the last executor slice.
+    overhead: Vec<f64>,
+    /// In-flight RPC callbacks by matchtag.
+    pending_rpcs: HashMap<u64, RpcCallback>,
+    next_matchtag: u64,
+    /// End of the last executor slice.
+    last_exec: SimTime,
+    executor_installed: bool,
+}
+
+impl World {
+    /// Build a cluster of `nnodes` nodes of the given machine type with a
+    /// binary TBON. `seed` drives every stochastic model in the world.
+    pub fn new(machine: MachineKind, nnodes: u32, seed: u64) -> World {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let arch = match machine {
+            MachineKind::Lassen => lassen(),
+            MachineKind::Tioga => tioga(),
+        };
+        let nodes: Vec<NodeHardware> = (0..nnodes)
+            .map(|i| NodeHardware::new(NodeId(i), arch.clone(), rng.next_u64()))
+            .collect();
+        let brokers: Vec<Broker> = (0..nnodes)
+            .map(|i| Broker::new(Rank(i), format!("{}{}", machine.name(), i)))
+            .collect();
+        World {
+            tbon: Tbon::binary(nnodes),
+            machine,
+            nodes,
+            brokers,
+            jobs: JobRegistry::new(),
+            sched: FcfsScheduler::new(nnodes),
+            trace: Trace::disabled(),
+            rng,
+            exec_tick: SimDuration::from_secs(1),
+            halted: false,
+            autostop_after: None,
+            overhead: vec![0.0; nnodes as usize],
+            pending_rpcs: HashMap::new(),
+            next_matchtag: 1,
+            last_exec: SimTime::ZERO,
+            executor_installed: false,
+        }
+    }
+
+    /// Number of nodes/brokers.
+    pub fn size(&self) -> u32 {
+        self.tbon.size()
+    }
+
+    /// Hostname of a rank.
+    pub fn hostname(&self, rank: Rank) -> &str {
+        &self.brokers[rank.index()].hostname
+    }
+
+    /// Load a module on one rank: register its routes and invoke `load`.
+    pub fn load_module(&mut self, eng: &mut FluxEngine, rank: Rank, module: SharedModule) -> bool {
+        if !self.brokers[rank.index()].register(std::rc::Rc::clone(&module)) {
+            return false;
+        }
+        let mut ctx = ModuleCtx {
+            world: self,
+            eng,
+            rank,
+        };
+        module.borrow_mut().load(&mut ctx);
+        true
+    }
+
+    /// Load one instance of a module per rank, via a factory.
+    pub fn load_module_on_all(
+        &mut self,
+        eng: &mut FluxEngine,
+        mut factory: impl FnMut(Rank) -> SharedModule,
+    ) {
+        for rank in self.tbon.ranks() {
+            let m = factory(rank);
+            self.load_module(eng, rank, m);
+        }
+    }
+
+    /// Start a periodic timer for a loaded module — the simulation's
+    /// equivalent of a module's own thread of control. The timer looks
+    /// the module up by name on every tick (so unloading the module stops
+    /// it) and stops when the world halts.
+    pub fn schedule_module_timer(
+        &mut self,
+        eng: &mut FluxEngine,
+        rank: Rank,
+        module_name: &'static str,
+        start: SimTime,
+        interval: SimDuration,
+        tag: u64,
+    ) -> fluxpm_sim::EventId {
+        eng.schedule_every(start, interval, move |world: &mut World, eng| {
+            if world.halted {
+                return ControlFlow::Break(());
+            }
+            let Some(module) = world.brokers[rank.index()].module(module_name) else {
+                return ControlFlow::Break(());
+            };
+            let mut ctx = ModuleCtx { world, eng, rank };
+            module.borrow_mut().timer(&mut ctx, tag);
+            ControlFlow::Continue(())
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Messaging
+    // ------------------------------------------------------------------
+
+    /// Send a message over the overlay; it is delivered after the TBON
+    /// route latency.
+    pub fn send(&mut self, eng: &mut FluxEngine, msg: Message) {
+        let delay = self.tbon.latency(msg.from, msg.to);
+        if self.trace.accepts(TraceLevel::Debug) {
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Debug,
+                "tbon",
+                format!(
+                    "{:?} {} -> {} topic {}",
+                    msg.kind, msg.from, msg.to, msg.topic
+                ),
+            );
+        }
+        eng.schedule_in(delay, move |world, eng| deliver(world, eng, msg));
+    }
+
+    /// Issue an RPC: send a request and invoke `callback` when the
+    /// response arrives.
+    pub fn rpc(
+        &mut self,
+        eng: &mut FluxEngine,
+        from: Rank,
+        to: Rank,
+        topic: impl Into<String>,
+        p: Payload,
+        callback: impl FnOnce(&mut World, &mut FluxEngine, &Message) + 'static,
+    ) {
+        let mut msg = Message::request(from, to, topic, p);
+        msg.matchtag = self.next_matchtag;
+        self.next_matchtag += 1;
+        self.pending_rpcs.insert(msg.matchtag, Box::new(callback));
+        self.send(eng, msg);
+    }
+
+    /// Respond to a request with a payload.
+    pub fn respond(&mut self, eng: &mut FluxEngine, req: &Message, p: Payload) {
+        let resp = Message::respond_to(req, p);
+        self.send(eng, resp);
+    }
+
+    /// Respond to a request with an error.
+    pub fn respond_error(&mut self, eng: &mut FluxEngine, req: &Message, error: impl Into<String>) {
+        let resp = Message::respond_error(req, error);
+        self.send(eng, resp);
+    }
+
+    /// Publish an event: delivered to every rank whose broker has a
+    /// handler registered for the topic.
+    pub fn publish(&mut self, eng: &mut FluxEngine, from: Rank, topic: &str, p: Payload) {
+        let subscribers: Vec<Rank> = self
+            .tbon
+            .ranks()
+            .filter(|r| self.brokers[r.index()].route(topic).is_some())
+            .collect();
+        for rank in subscribers {
+            let msg = Message::event(from, rank, topic, std::rc::Rc::clone(&p));
+            self.send(eng, msg);
+        }
+    }
+
+    /// Number of RPCs awaiting responses (diagnostics).
+    pub fn pending_rpc_count(&self) -> usize {
+        self.pending_rpcs.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Overhead accounting
+    // ------------------------------------------------------------------
+
+    /// Charge stolen host-CPU time to a node; the executor converts it
+    /// into application slowdown on the next slice.
+    pub fn charge_overhead(&mut self, node: NodeId, cpu_seconds: f64) {
+        self.overhead[node.index()] += cpu_seconds.max(0.0);
+    }
+
+    /// Currently accumulated (undrained) overhead on a node.
+    pub fn pending_overhead(&self, node: NodeId) -> f64 {
+        self.overhead[node.index()]
+    }
+
+    // ------------------------------------------------------------------
+    // Jobs
+    // ------------------------------------------------------------------
+
+    /// Submit a job; it starts immediately if nodes are free (FCFS).
+    pub fn submit(
+        &mut self,
+        eng: &mut FluxEngine,
+        spec: JobSpec,
+        program: Box<dyn JobProgram>,
+    ) -> JobId {
+        assert!(
+            spec.nnodes >= 1 && spec.nnodes <= self.size(),
+            "job requests {} nodes on a {}-node cluster",
+            spec.nnodes,
+            self.size()
+        );
+        let id = self.jobs.add(spec, program, eng.now());
+        self.trace
+            .emit(eng.now(), TraceLevel::Info, "job", format!("submit {id:?}"));
+        self.publish(eng, Rank::ROOT, EVENT_JOB_SUBMIT, payload(id));
+        self.try_schedule(eng);
+        id
+    }
+
+    /// Start as many pending jobs as fit, in FCFS order (no backfill).
+    fn try_schedule(&mut self, eng: &mut FluxEngine) {
+        while let Some(&head) = self.jobs.pending().first() {
+            let nnodes = self.jobs.get(head).expect("pending job exists").spec.nnodes;
+            let Some(alloc) = self.sched.allocate(nnodes) else {
+                break;
+            };
+            let now = eng.now();
+            {
+                let job = self.jobs.get_mut(head).expect("job exists");
+                job.state = JobState::Running;
+                job.nodes = alloc.clone();
+                job.started_at = Some(now);
+                job.last_step = now;
+            }
+            // Give the program its start callback with a zero-length
+            // slice so it can set initial demand.
+            self.step_job(eng, head, now, 0.0, true);
+            self.trace.emit(
+                now,
+                TraceLevel::Info,
+                "job",
+                format!("start {head:?} on {alloc:?}"),
+            );
+            self.publish(eng, Rank::ROOT, EVENT_JOB_START, payload(head));
+        }
+    }
+
+    /// Mutable references to a set of nodes, in the order given.
+    pub fn nodes_mut(&mut self, ids: &[NodeId]) -> Vec<&mut NodeHardware> {
+        let want: HashMap<usize, usize> = ids
+            .iter()
+            .enumerate()
+            .map(|(pos, n)| (n.index(), pos))
+            .collect();
+        let mut picked: Vec<(usize, &mut NodeHardware)> = self
+            .nodes
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, n)| want.get(&i).map(|&pos| (pos, n)))
+            .collect();
+        picked.sort_by_key(|(pos, _)| *pos);
+        picked.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// Run one program slice. `starting` selects `on_start` vs `step`.
+    /// Returns the outcome for running jobs.
+    fn step_job(
+        &mut self,
+        eng: &mut FluxEngine,
+        id: JobId,
+        now: SimTime,
+        dt: f64,
+        starting: bool,
+    ) -> Option<StepOutcome> {
+        // Take the program out to sidestep the aliasing between the job
+        // table and the node array.
+        let (mut program, node_ids) = {
+            let job = self.jobs.get_mut(id)?;
+            if job.state != JobState::Running {
+                return None;
+            }
+            (job.program.take()?, job.nodes.clone())
+        };
+        let lost: Vec<f64> = node_ids
+            .iter()
+            .map(|n| std::mem::take(&mut self.overhead[n.index()]))
+            .collect();
+        let outcome = {
+            let nodes = self.nodes_mut(&node_ids);
+            let mut ctx = StepCtx {
+                now,
+                dt,
+                nodes,
+                lost_cpu_seconds: lost,
+            };
+            if starting {
+                program.on_start(&mut ctx);
+                StepOutcome::Running
+            } else {
+                program.step(&mut ctx)
+            }
+        };
+        if let Some(job) = self.jobs.get_mut(id) {
+            job.program = Some(program);
+            job.last_step = now;
+        }
+        match &outcome {
+            StepOutcome::Done { leftover_seconds } => {
+                let end = SimTime::from_micros(
+                    now.as_micros()
+                        .saturating_sub((leftover_seconds.max(0.0) * 1e6) as u64),
+                );
+                self.complete_job(eng, id, end);
+            }
+            StepOutcome::Crashed { reason } => {
+                self.trace.emit(
+                    now,
+                    TraceLevel::Warn,
+                    "job",
+                    format!("{id:?} crashed: {reason}"),
+                );
+                self.finish_job(eng, id, now, JobState::Failed);
+            }
+            StepOutcome::Running => {}
+        }
+        Some(outcome)
+    }
+
+    /// Transition a job to Completed, idle its nodes, release them, and
+    /// publish the finish event.
+    fn complete_job(&mut self, eng: &mut FluxEngine, id: JobId, end: SimTime) {
+        self.finish_job(eng, id, end, JobState::Completed);
+    }
+
+    fn finish_job(&mut self, eng: &mut FluxEngine, id: JobId, end: SimTime, state: JobState) {
+        self.finish_job_withholding(eng, id, end, state, None);
+    }
+
+    /// Finish a job, optionally withholding one node (a failed node must
+    /// not return to the scheduler pool).
+    fn finish_job_withholding(
+        &mut self,
+        eng: &mut FluxEngine,
+        id: JobId,
+        end: SimTime,
+        state: JobState,
+        withhold: Option<NodeId>,
+    ) {
+        let node_ids = {
+            let job = self.jobs.get_mut(id).expect("finishing job exists");
+            job.state = state;
+            job.finished_at = Some(end);
+            std::mem::take(&mut job.nodes)
+        };
+        for n in self.nodes_mut(&node_ids) {
+            n.set_idle();
+        }
+        let releasable: Vec<NodeId> = node_ids
+            .iter()
+            .copied()
+            .filter(|n| Some(*n) != withhold)
+            .collect();
+        self.sched.release(&releasable);
+        // Restore the allocation record for reporting.
+        self.jobs.get_mut(id).expect("job exists").nodes = node_ids;
+        let (word, topic) = if state == JobState::Completed {
+            ("finish", EVENT_JOB_FINISH)
+        } else {
+            ("exception", EVENT_JOB_EXCEPTION)
+        };
+        self.trace
+            .emit(eng.now(), TraceLevel::Info, "job", format!("{word} {id:?}"));
+        self.publish(eng, Rank::ROOT, topic, payload(id));
+        self.try_schedule(eng);
+    }
+
+    /// Cancel a job. A pending job is simply marked failed; a running
+    /// job is torn down and its nodes reclaimed. Returns false if the
+    /// job does not exist or has already finished.
+    pub fn cancel_job(&mut self, eng: &mut FluxEngine, id: JobId) -> bool {
+        match self.jobs.get(id).map(|j| j.state) {
+            Some(JobState::Pending) => {
+                let job = self.jobs.get_mut(id).expect("job exists");
+                job.state = JobState::Failed;
+                job.finished_at = Some(eng.now());
+                self.publish(eng, Rank::ROOT, EVENT_JOB_EXCEPTION, payload(id));
+                self.try_schedule(eng);
+                true
+            }
+            Some(JobState::Running) => {
+                self.finish_job(eng, id, eng.now(), JobState::Failed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Simulate a node failure: the broker goes down (its modules become
+    /// unreachable) and any job running on the node fails. The node is
+    /// withheld from the scheduler (it is not returned to the free pool).
+    pub fn fail_node(&mut self, eng: &mut FluxEngine, node: NodeId) {
+        self.trace.emit(
+            eng.now(),
+            TraceLevel::Warn,
+            "node",
+            format!("{node:?} failed"),
+        );
+        // Take the broker's modules offline.
+        let names: Vec<&'static str> = self.brokers[node.index()].module_names();
+        for name in names {
+            self.brokers[node.index()].unregister(name);
+        }
+        self.nodes[node.index()].set_idle();
+        if let Some(job) = self.jobs.job_on_node(node) {
+            // Tear the job down without returning the failed node.
+            self.finish_job_withholding(eng, job, eng.now(), JobState::Failed, Some(node));
+        } else if self.sched.is_free(node) {
+            let _ = self.sched.allocate_specific(node);
+        }
+    }
+
+    /// Install the job executor (idempotent). Must be called once before
+    /// `Engine::run`.
+    pub fn install_executor(&mut self, eng: &mut FluxEngine) {
+        if self.executor_installed {
+            return;
+        }
+        self.executor_installed = true;
+        self.last_exec = eng.now();
+        let tick = self.exec_tick;
+        eng.schedule_every(eng.now() + tick, tick, |world, eng| {
+            world.executor_slice(eng)
+        });
+    }
+
+    /// One executor slice: integrate energy, advance programs, handle
+    /// completions, decide auto-halt.
+    fn executor_slice(&mut self, eng: &mut FluxEngine) -> ControlFlow<()> {
+        let now = eng.now();
+        let dt = (now - self.last_exec).as_secs_f64();
+        self.last_exec = now;
+
+        // Integrate energy for the elapsed slice with the demand that was
+        // in force during it (before programs update demand below).
+        for node in &mut self.nodes {
+            node.tick(dt);
+        }
+
+        // Advance every running job.
+        for id in self.jobs.running() {
+            self.step_job(eng, id, now, dt, false);
+        }
+
+        // Drop overhead charged to idle nodes (nothing to slow down).
+        for (i, oh) in self.overhead.iter_mut().enumerate() {
+            if self.jobs.job_on_node(NodeId(i as u32)).is_none() {
+                *oh = 0.0;
+            }
+        }
+
+        if let Some(n) = self.autostop_after {
+            if self.jobs.all().len() as u64 >= n && self.jobs.all_complete() {
+                self.halted = true;
+                self.trace
+                    .emit(now, TraceLevel::Info, "exec", "halt: all jobs complete");
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Instantaneous total cluster power draw.
+    pub fn cluster_power(&mut self) -> Watts {
+        let mut total = Watts::ZERO;
+        for n in &mut self.nodes {
+            total += n.draw().total();
+        }
+        total
+    }
+}
+
+/// Deliver a message at its destination rank.
+fn deliver(world: &mut World, eng: &mut FluxEngine, msg: Message) {
+    if msg.kind == MsgKind::Response {
+        if let Some(cb) = world.pending_rpcs.remove(&msg.matchtag) {
+            cb(world, eng, &msg);
+            return;
+        }
+        // Orphan response (requester gave up): drop silently, as Flux does
+        // for unmatched matchtags.
+        return;
+    }
+    let Some(module) = world.brokers[msg.to.index()].route(&msg.topic) else {
+        if msg.kind == MsgKind::Request {
+            world.respond_error(eng, &msg, format!("unknown service {}", msg.topic));
+        }
+        return;
+    };
+    let rank = msg.to;
+    let mut ctx = ModuleCtx { world, eng, rank };
+    module.borrow_mut().handle(&mut ctx, &msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::payload;
+    use crate::module::Module;
+    use fluxpm_hw::PowerDemand;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A program that draws fixed power and finishes after `duration`
+    /// seconds of progress.
+    struct FixedApp {
+        duration: f64,
+        progress: f64,
+        gpu_w: f64,
+    }
+
+    impl FixedApp {
+        fn new(duration: f64, gpu_w: f64) -> FixedApp {
+            FixedApp {
+                duration,
+                progress: 0.0,
+                gpu_w,
+            }
+        }
+        fn set_demand(&self, ctx: &mut StepCtx<'_>) {
+            for node in &mut ctx.nodes {
+                let arch = node.arch.clone();
+                node.set_demand(PowerDemand {
+                    cpu: vec![Watts(120.0); arch.sockets],
+                    memory: Watts(70.0),
+                    gpu: vec![Watts(self.gpu_w); arch.gpus],
+                    other: arch.other,
+                });
+            }
+        }
+    }
+
+    impl JobProgram for FixedApp {
+        fn app_name(&self) -> &str {
+            "fixed"
+        }
+        fn on_start(&mut self, ctx: &mut StepCtx<'_>) {
+            self.set_demand(ctx);
+        }
+        fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepOutcome {
+            self.progress += ctx.dt;
+            if self.progress >= self.duration {
+                StepOutcome::Done {
+                    leftover_seconds: self.progress - self.duration,
+                }
+            } else {
+                self.set_demand(ctx);
+                StepOutcome::Running
+            }
+        }
+    }
+
+    fn world(n: u32) -> (World, FluxEngine) {
+        let mut w = World::new(MachineKind::Lassen, n, 7);
+        w.autostop_after = Some(u64::MAX); // default: no autostop
+        (w, Engine::new())
+    }
+
+    #[test]
+    fn submit_runs_and_completes() {
+        let (mut w, mut eng) = world(4);
+        w.autostop_after = Some(1);
+        w.install_executor(&mut eng);
+        let id = w.submit(
+            &mut eng,
+            JobSpec::new("fixed", 2),
+            Box::new(FixedApp::new(10.0, 200.0)),
+        );
+        eng.run(&mut w);
+        let job = w.jobs.get(id).unwrap();
+        assert_eq!(job.state, JobState::Completed);
+        let rt = job.runtime_seconds().unwrap();
+        assert!((rt - 10.0).abs() < 1e-6, "runtime {rt}");
+        assert_eq!(w.sched.free_count(), 4, "nodes released");
+        assert!(w.halted);
+    }
+
+    #[test]
+    fn fcfs_queueing_orders_jobs() {
+        let (mut w, mut eng) = world(4);
+        w.autostop_after = Some(3);
+        w.install_executor(&mut eng);
+        let a = w.submit(
+            &mut eng,
+            JobSpec::new("a", 3),
+            Box::new(FixedApp::new(5.0, 150.0)),
+        );
+        let b = w.submit(
+            &mut eng,
+            JobSpec::new("b", 3),
+            Box::new(FixedApp::new(5.0, 150.0)),
+        );
+        let c = w.submit(
+            &mut eng,
+            JobSpec::new("c", 1),
+            Box::new(FixedApp::new(5.0, 150.0)),
+        );
+        // c fits alongside a, but FCFS without backfill makes it wait
+        // behind b.
+        assert_eq!(w.jobs.get(a).unwrap().state, JobState::Running);
+        assert_eq!(w.jobs.get(b).unwrap().state, JobState::Pending);
+        assert_eq!(w.jobs.get(c).unwrap().state, JobState::Pending);
+        eng.run(&mut w);
+        let sa = w.jobs.get(a).unwrap().started_at.unwrap();
+        let sb = w.jobs.get(b).unwrap().started_at.unwrap();
+        let sc = w.jobs.get(c).unwrap().started_at.unwrap();
+        assert!(sa < sb);
+        // b and c start together once a's 3 nodes free up.
+        assert_eq!(sb, sc);
+        assert!(w.jobs.makespan_seconds().unwrap() >= 10.0);
+    }
+
+    #[test]
+    fn energy_integrates_during_run() {
+        let (mut w, mut eng) = world(2);
+        w.autostop_after = Some(1);
+        w.install_executor(&mut eng);
+        w.submit(
+            &mut eng,
+            JobSpec::new("fixed", 1),
+            Box::new(FixedApp::new(20.0, 250.0)),
+        );
+        eng.run(&mut w);
+        // Node 0 ran a ~1280 W app for 20 s then idled; node 1 idled.
+        let e0 = w.nodes[0].meter.total.get();
+        let e1 = w.nodes[1].meter.total.get();
+        assert!(e0 > e1, "busy node used more energy");
+        assert!(e1 > 0.0, "idle node still draws idle power");
+        let draw0 = 2.0 * 120.0 + 4.0 * 250.0 + 70.0 + 40.0;
+        assert!((e0 - draw0 * 20.0).abs() / (draw0 * 20.0) < 0.05, "e0 {e0}");
+    }
+
+    #[test]
+    fn overhead_slows_nothing_but_is_drained() {
+        let (mut w, mut eng) = world(2);
+        w.autostop_after = Some(1);
+        w.install_executor(&mut eng);
+        w.submit(
+            &mut eng,
+            JobSpec::new("fixed", 1),
+            Box::new(FixedApp::new(3.0, 150.0)),
+        );
+        w.charge_overhead(NodeId(0), 0.5);
+        assert_eq!(w.pending_overhead(NodeId(0)), 0.5);
+        eng.run(&mut w);
+        assert_eq!(w.pending_overhead(NodeId(0)), 0.0, "drained by executor");
+    }
+
+    /// Module that counts events and answers one RPC topic.
+    struct Echo {
+        seen_events: Rc<RefCell<Vec<String>>>,
+    }
+
+    impl Module for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn topics(&self) -> Vec<String> {
+            vec![
+                "echo.ping".into(),
+                EVENT_JOB_START.into(),
+                EVENT_JOB_FINISH.into(),
+            ]
+        }
+        fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
+        fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+            match msg.kind {
+                MsgKind::Request => {
+                    let n = *msg.payload_as::<u32>().unwrap();
+                    ctx.world.respond(ctx.eng, msg, payload(n + 1));
+                }
+                MsgKind::Event => {
+                    self.seen_events.borrow_mut().push(msg.topic.clone());
+                }
+                MsgKind::Response => {}
+            }
+        }
+    }
+
+    #[test]
+    fn rpc_round_trip_with_latency() {
+        let (mut w, mut eng) = world(4);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let m = Rc::new(RefCell::new(Echo {
+            seen_events: Rc::clone(&seen),
+        }));
+        w.load_module(&mut eng, Rank(3), m);
+        let got = Rc::new(RefCell::new(None));
+        let got2 = Rc::clone(&got);
+        w.rpc(
+            &mut eng,
+            Rank::ROOT,
+            Rank(3),
+            "echo.ping",
+            payload(41u32),
+            move |_, eng, resp| {
+                *got2.borrow_mut() = Some((*resp.payload_as::<u32>().unwrap(), eng.now()));
+            },
+        );
+        eng.run(&mut w);
+        let (val, at) = got.borrow().unwrap();
+        assert_eq!(val, 42);
+        // Rank 0 -> 3 is 2 hops each way at 20 µs/hop.
+        assert_eq!(at.as_micros(), 80);
+        assert_eq!(w.pending_rpc_count(), 0);
+    }
+
+    #[test]
+    fn unknown_service_yields_error_response() {
+        let (mut w, mut eng) = world(2);
+        let got = Rc::new(RefCell::new(None));
+        let got2 = Rc::clone(&got);
+        w.rpc(
+            &mut eng,
+            Rank::ROOT,
+            Rank(1),
+            "nope.nothing",
+            payload(()),
+            move |_, _, resp| {
+                *got2.borrow_mut() = Some(resp.error.clone());
+            },
+        );
+        eng.run(&mut w);
+        let err = got.borrow().clone().unwrap().unwrap();
+        assert!(err.contains("unknown service"));
+    }
+
+    #[test]
+    fn events_reach_subscribed_modules() {
+        let (mut w, mut eng) = world(2);
+        w.autostop_after = Some(1);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let m = Rc::new(RefCell::new(Echo {
+            seen_events: Rc::clone(&seen),
+        }));
+        w.load_module(&mut eng, Rank::ROOT, m);
+        w.install_executor(&mut eng);
+        w.submit(
+            &mut eng,
+            JobSpec::new("fixed", 1),
+            Box::new(FixedApp::new(2.0, 150.0)),
+        );
+        eng.run(&mut w);
+        let events = seen.borrow();
+        assert!(events.contains(&EVENT_JOB_START.to_string()));
+        assert!(events.contains(&EVENT_JOB_FINISH.to_string()));
+    }
+
+    #[test]
+    fn duplicate_module_load_rejected() {
+        let (mut w, mut eng) = world(1);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let m1 = Rc::new(RefCell::new(Echo {
+            seen_events: Rc::clone(&seen),
+        }));
+        let m2 = Rc::new(RefCell::new(Echo {
+            seen_events: Rc::clone(&seen),
+        }));
+        assert!(w.load_module(&mut eng, Rank::ROOT, m1));
+        assert!(!w.load_module(&mut eng, Rank::ROOT, m2));
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes on a")]
+    fn oversized_job_rejected() {
+        let (mut w, mut eng) = world(2);
+        w.submit(
+            &mut eng,
+            JobSpec::new("big", 3),
+            Box::new(FixedApp::new(1.0, 150.0)),
+        );
+    }
+
+    #[test]
+    fn job_runs_use_correct_node_count() {
+        let (mut w, mut eng) = world(8);
+        w.autostop_after = Some(2);
+        w.install_executor(&mut eng);
+        let a = w.submit(
+            &mut eng,
+            JobSpec::new("a", 6),
+            Box::new(FixedApp::new(4.0, 150.0)),
+        );
+        let b = w.submit(
+            &mut eng,
+            JobSpec::new("b", 2),
+            Box::new(FixedApp::new(4.0, 150.0)),
+        );
+        assert_eq!(w.jobs.get(a).unwrap().nodes.len(), 6);
+        assert_eq!(w.jobs.get(b).unwrap().nodes.len(), 2);
+        assert_eq!(w.jobs.get(b).unwrap().nodes, vec![NodeId(6), NodeId(7)]);
+        eng.run(&mut w);
+        assert!(w.jobs.all_complete());
+    }
+
+    #[test]
+    fn cluster_power_sums_nodes() {
+        let (mut w, _eng) = world(3);
+        let total = w.cluster_power();
+        assert!(
+            total.approx_eq(Watts(1200.0), 1e-6),
+            "3 idle Lassen nodes at 400 W"
+        );
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::job::{JobProgram, JobSpec, StepCtx, StepOutcome};
+
+    struct Sleep {
+        secs: f64,
+        done: f64,
+    }
+    impl JobProgram for Sleep {
+        fn app_name(&self) -> &str {
+            "sleep"
+        }
+        fn on_start(&mut self, _ctx: &mut StepCtx<'_>) {}
+        fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepOutcome {
+            self.done += ctx.dt;
+            if self.done >= self.secs {
+                StepOutcome::Done {
+                    leftover_seconds: self.done - self.secs,
+                }
+            } else {
+                StepOutcome::Running
+            }
+        }
+    }
+
+    fn world(n: u32) -> (World, FluxEngine) {
+        let mut w = World::new(MachineKind::Lassen, n, 7);
+        w.autostop_after = Some(u64::MAX);
+        (w, Engine::new())
+    }
+
+    #[test]
+    fn cancel_pending_job_unblocks_queue() {
+        let (mut w, mut eng) = world(2);
+        w.autostop_after = Some(3);
+        w.install_executor(&mut eng);
+        let a = w.submit(
+            &mut eng,
+            JobSpec::new("a", 2),
+            Box::new(Sleep {
+                secs: 10.0,
+                done: 0.0,
+            }),
+        );
+        let b = w.submit(
+            &mut eng,
+            JobSpec::new("b", 2),
+            Box::new(Sleep {
+                secs: 5.0,
+                done: 0.0,
+            }),
+        );
+        let c = w.submit(
+            &mut eng,
+            JobSpec::new("c", 1),
+            Box::new(Sleep {
+                secs: 5.0,
+                done: 0.0,
+            }),
+        );
+        // Cancel b while it waits: c should start right after a.
+        assert!(w.cancel_job(&mut eng, b));
+        eng.run(&mut w);
+        assert_eq!(w.jobs.get(a).unwrap().state, JobState::Completed);
+        assert_eq!(w.jobs.get(b).unwrap().state, JobState::Failed);
+        assert_eq!(w.jobs.get(c).unwrap().state, JobState::Completed);
+        let sc = w.jobs.get(c).unwrap().started_at.unwrap();
+        assert!(
+            (sc.as_secs_f64() - 10.0).abs() < 1.5,
+            "c starts after a: {sc}"
+        );
+    }
+
+    #[test]
+    fn cancel_running_job_frees_nodes() {
+        let (mut w, mut eng) = world(2);
+        w.autostop_after = Some(1);
+        w.install_executor(&mut eng);
+        let a = w.submit(
+            &mut eng,
+            JobSpec::new("a", 2),
+            Box::new(Sleep {
+                secs: 1e6,
+                done: 0.0,
+            }),
+        );
+        eng.schedule(SimTime::from_secs(5), move |w: &mut World, eng| {
+            assert!(w.cancel_job(eng, a));
+        });
+        eng.run(&mut w);
+        assert_eq!(w.jobs.get(a).unwrap().state, JobState::Failed);
+        assert_eq!(w.sched.free_count(), 2);
+        assert!(w.halted, "failed jobs count toward completion");
+        // Double-cancel is a no-op.
+        assert!(!w.cancel_job(&mut eng, a));
+    }
+
+    #[test]
+    fn node_failure_kills_job_and_withholds_node() {
+        let (mut w, mut eng) = world(3);
+        w.autostop_after = Some(2);
+        w.install_executor(&mut eng);
+        let a = w.submit(
+            &mut eng,
+            JobSpec::new("a", 2),
+            Box::new(Sleep {
+                secs: 1e6,
+                done: 0.0,
+            }),
+        );
+        // A 2-node job queued behind it.
+        let b = w.submit(
+            &mut eng,
+            JobSpec::new("b", 2),
+            Box::new(Sleep {
+                secs: 5.0,
+                done: 0.0,
+            }),
+        );
+        eng.schedule(SimTime::from_secs(3), |w: &mut World, eng| {
+            w.fail_node(eng, NodeId(0));
+        });
+        eng.run(&mut w);
+        assert_eq!(w.jobs.get(a).unwrap().state, JobState::Failed);
+        assert_eq!(w.jobs.get(b).unwrap().state, JobState::Completed);
+        // The failed node never returns to the pool: b ran on nodes 1-2.
+        assert_eq!(w.jobs.get(b).unwrap().nodes, vec![NodeId(1), NodeId(2)]);
+        assert!(!w.sched.is_free(NodeId(0)));
+        // The downed broker routes nothing.
+        assert!(w.brokers[0].module_names().is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the Flux framework substrate.
+
+use fluxpm_flux::{FcfsScheduler, Rank, Tbon};
+use fluxpm_hw::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Parent/children are mutually consistent for any tree shape.
+    #[test]
+    fn tbon_parent_child_consistency(size in 1u32..200, fanout in 1u32..8) {
+        let t = Tbon::new(size, fanout);
+        for r in t.ranks() {
+            for c in t.children(r) {
+                prop_assert_eq!(t.parent(c), Some(r));
+            }
+            if let Some(p) = t.parent(r) {
+                prop_assert!(t.children(p).contains(&r));
+            } else {
+                prop_assert_eq!(r, Rank::ROOT);
+            }
+        }
+    }
+
+    /// Every non-root rank reaches the root in `depth` hops; hop counts
+    /// are symmetric and zero only on the diagonal.
+    #[test]
+    fn tbon_hops_properties(size in 2u32..100, fanout in 1u32..6, a in 0u32..100, b in 0u32..100) {
+        let t = Tbon::new(size, fanout);
+        let a = Rank(a % size);
+        let b = Rank(b % size);
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        prop_assert_eq!(t.hops(a, a), 0);
+        if a != b {
+            prop_assert!(t.hops(a, b) >= 1);
+        }
+        prop_assert_eq!(t.hops(Rank::ROOT, a), t.depth(a));
+        // Bounded by twice the tree height.
+        let height = t.depth(Rank(size - 1));
+        prop_assert!(t.hops(a, b) <= 2 * height);
+    }
+
+    /// The scheduler never double-allocates and conserves the node pool
+    /// under arbitrary allocate/release interleavings.
+    #[test]
+    fn scheduler_conserves_pool(
+        total in 1u32..64,
+        ops in prop::collection::vec((0u32..65, any::<bool>()), 1..100),
+    ) {
+        let mut s = FcfsScheduler::new(total);
+        let mut live: Vec<Vec<NodeId>> = Vec::new();
+        let mut in_use = 0u32;
+        for (n, release_first) in ops {
+            if release_first && !live.is_empty() {
+                let a = live.remove(0);
+                in_use -= a.len() as u32;
+                s.release(&a);
+            }
+            let want = n % (total + 1);
+            if want == 0 {
+                continue;
+            }
+            match s.allocate(want) {
+                Some(a) => {
+                    prop_assert_eq!(a.len() as u32, want);
+                    // No overlap with any live allocation.
+                    for other in &live {
+                        for id in &a {
+                            prop_assert!(!other.contains(id), "double allocation");
+                        }
+                    }
+                    in_use += want;
+                    live.push(a);
+                }
+                None => {
+                    prop_assert!(s.free_count() < want, "refusal only when short");
+                }
+            }
+            prop_assert_eq!(s.free_count(), total - in_use);
+        }
+    }
+}
+
+mod subinstance_props {
+    use super::*;
+    use fluxpm_flux::{JobProgram, JobSpec, StepCtx, StepOutcome, SubInstance, World};
+    use fluxpm_hw::MachineKind;
+
+    struct Sleep {
+        secs: f64,
+        done: f64,
+    }
+    impl JobProgram for Sleep {
+        fn app_name(&self) -> &str {
+            "sleep"
+        }
+        fn on_start(&mut self, _ctx: &mut StepCtx<'_>) {}
+        fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepOutcome {
+            self.done += ctx.dt;
+            if self.done >= self.secs {
+                StepOutcome::Done {
+                    leftover_seconds: self.done - self.secs,
+                }
+            } else {
+                StepOutcome::Running
+            }
+        }
+    }
+
+    use fluxpm_sim::Engine as SimEngine;
+    type Eng = SimEngine<World>;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// A sub-instance completes any feasible child mix, and its
+        /// runtime is at least the critical path (max child duration)
+        /// and at most the serial sum.
+        #[test]
+        fn subinstance_runtime_bounds(
+            children in prop::collection::vec((1u32..4, 2.0f64..20.0), 1..6),
+        ) {
+            let nnodes = 4u32;
+            let mut inst = SubInstance::new("ui", nnodes);
+            let mut max_child = 0.0f64;
+            let mut sum = 0.0f64;
+            for (i, &(n, secs)) in children.iter().enumerate() {
+                inst = inst.with_child(format!("c{i}"), n, Box::new(Sleep { secs, done: 0.0 }));
+                max_child = max_child.max(secs);
+                sum += secs;
+            }
+            let mut w = World::new(MachineKind::Lassen, nnodes, 1);
+            w.autostop_after = Some(1);
+            let mut eng: Eng = SimEngine::new();
+            w.install_executor(&mut eng);
+            let id = w.submit(&mut eng, JobSpec::new("ui", nnodes), Box::new(inst));
+            eng.run(&mut w);
+            let rt = w.jobs.get(id).unwrap().runtime_seconds().unwrap();
+            prop_assert!(rt >= max_child - 1e-6, "critical path: {rt} vs {max_child}");
+            prop_assert!(rt <= sum + children.len() as f64, "serial bound: {rt} vs {sum}");
+        }
+    }
+}

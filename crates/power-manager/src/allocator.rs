@@ -1,0 +1,205 @@
+//! The proportional sharing policy (paper §III-B1), as pure logic.
+//!
+//! For a cluster with global bound `P_G` and `k` running jobs occupying
+//! `N_k` nodes in total, every node receives the same allocation
+//!
+//! ```text
+//! P_n = min(P_peak, P_G / N_k)
+//! ```
+//!
+//! and job `i` with `N_i` nodes receives `P_i = N_i * P_n`. Admitting a
+//! job first tries to give every node its maximum (`P_avail` permitting);
+//! otherwise all jobs are proportionally re-allocated — which is exactly
+//! the uniform formula above. Finishing jobs return their power, and the
+//! survivors are topped back up ("reclaiming", §IV-D).
+
+use fluxpm_flux::JobId;
+use fluxpm_hw::Watts;
+use std::collections::BTreeMap;
+
+/// Pure allocator state: which jobs hold how many nodes.
+///
+/// ```
+/// use fluxpm_manager::ProportionalAllocator;
+/// use fluxpm_flux::JobId;
+/// use fluxpm_hw::Watts;
+///
+/// // The paper's scenario: 9.6 kW over 8 Lassen nodes (3050 W peak).
+/// let mut alloc = ProportionalAllocator::new(Watts(9600.0), Watts(3050.0));
+/// alloc.admit(JobId(0), 6); // GEMM
+/// let per_node = alloc.admit(JobId(1), 2); // Quicksilver
+/// assert_eq!(per_node, Watts(1200.0));
+///
+/// // Reclaim on completion: GEMM's share rises (paper Fig. 5).
+/// assert_eq!(alloc.release(JobId(1)), Watts(1600.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProportionalAllocator {
+    /// Global power bound `P_G`.
+    global: Watts,
+    /// Per-node nameplate maximum (3050 W on Lassen).
+    node_peak: Watts,
+    /// Running jobs → node counts (BTreeMap for deterministic order).
+    jobs: BTreeMap<JobId, u32>,
+}
+
+impl ProportionalAllocator {
+    /// A fresh allocator.
+    pub fn new(global: Watts, node_peak: Watts) -> ProportionalAllocator {
+        assert!(global.get() > 0.0 && node_peak.get() > 0.0);
+        ProportionalAllocator {
+            global,
+            node_peak,
+            jobs: BTreeMap::new(),
+        }
+    }
+
+    /// The global bound.
+    pub fn global_bound(&self) -> Watts {
+        self.global
+    }
+
+    /// Total nodes currently allocated.
+    pub fn nodes_in_use(&self) -> u32 {
+        self.jobs.values().sum()
+    }
+
+    /// Admit a job. Returns the new per-node allocation (uniform across
+    /// all jobs after this admission).
+    pub fn admit(&mut self, job: JobId, nnodes: u32) -> Watts {
+        assert!(nnodes > 0);
+        let prev = self.jobs.insert(job, nnodes);
+        debug_assert!(prev.is_none(), "job admitted twice");
+        self.per_node_limit()
+    }
+
+    /// Remove a finished job. Returns the new per-node allocation for the
+    /// survivors (they are topped back up toward the peak).
+    pub fn release(&mut self, job: JobId) -> Watts {
+        self.jobs.remove(&job);
+        self.per_node_limit()
+    }
+
+    /// The current uniform per-node limit.
+    pub fn per_node_limit(&self) -> Watts {
+        let n = self.nodes_in_use();
+        if n == 0 {
+            return self.node_peak;
+        }
+        (self.global / n as f64).min(self.node_peak)
+    }
+
+    /// The power limit for one job under the current allocation.
+    pub fn job_limit(&self, job: JobId) -> Option<Watts> {
+        let n = *self.jobs.get(&job)?;
+        Some(self.per_node_limit() * n as f64)
+    }
+
+    /// All current job limits, in job-id order.
+    pub fn all_job_limits(&self) -> Vec<(JobId, Watts)> {
+        let per_node = self.per_node_limit();
+        self.jobs
+            .iter()
+            .map(|(&id, &n)| (id, per_node * n as f64))
+            .collect()
+    }
+
+    /// Invariant: the sum of job limits never exceeds the global bound.
+    pub fn total_allocated(&self) -> Watts {
+        self.all_job_limits().iter().map(|(_, w)| *w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> ProportionalAllocator {
+        // The paper's power-constrained scenario: 9.6 kW over 8 nodes,
+        // Lassen 3050 W nameplate.
+        ProportionalAllocator::new(Watts(9600.0), Watts(3050.0))
+    }
+
+    #[test]
+    fn single_small_job_gets_peak() {
+        let mut a = alloc();
+        let p = a.admit(JobId(0), 3);
+        // 9600 / 3 = 3200 > 3050 peak -> clamp to peak.
+        assert_eq!(p, Watts(3050.0));
+        assert_eq!(a.job_limit(JobId(0)), Some(Watts(9150.0)));
+    }
+
+    #[test]
+    fn paper_scenario_full_cluster() {
+        // GEMM on 6 nodes + Quicksilver on 2: every node gets 1200 W.
+        let mut a = alloc();
+        a.admit(JobId(0), 6);
+        let p = a.admit(JobId(1), 2);
+        assert_eq!(p, Watts(1200.0));
+        assert_eq!(a.job_limit(JobId(0)), Some(Watts(7200.0)));
+        assert_eq!(a.job_limit(JobId(1)), Some(Watts(2400.0)));
+        assert!(a.total_allocated().get() <= 9600.0 + 1e-9);
+    }
+
+    #[test]
+    fn reclaim_on_release() {
+        // Paper Fig. 5: GEMM receives additional power when Quicksilver
+        // finishes.
+        let mut a = alloc();
+        a.admit(JobId(0), 6);
+        a.admit(JobId(1), 2);
+        assert_eq!(a.per_node_limit(), Watts(1200.0));
+        let p = a.release(JobId(1));
+        assert_eq!(p, Watts(1600.0), "9600 / 6 nodes");
+        assert_eq!(a.job_limit(JobId(0)), Some(Watts(9600.0)));
+        assert_eq!(a.job_limit(JobId(1)), None);
+    }
+
+    #[test]
+    fn empty_cluster_offers_peak() {
+        let a = alloc();
+        assert_eq!(a.per_node_limit(), Watts(3050.0));
+        assert_eq!(a.nodes_in_use(), 0);
+        assert_eq!(a.total_allocated(), Watts(0.0));
+    }
+
+    #[test]
+    fn allocation_is_uniform_across_jobs() {
+        let mut a = alloc();
+        a.admit(JobId(0), 1);
+        a.admit(JobId(1), 4);
+        a.admit(JobId(2), 3);
+        let per = a.per_node_limit();
+        for (id, limit) in a.all_job_limits() {
+            let n = match id {
+                JobId(0) => 1.0,
+                JobId(1) => 4.0,
+                _ => 3.0,
+            };
+            assert!(limit.approx_eq(per * n, 1e-9));
+        }
+    }
+
+    #[test]
+    fn bound_never_violated_under_churn() {
+        let mut a = alloc();
+        let mut live: Vec<JobId> = Vec::new();
+        for i in 0..100u64 {
+            if i % 3 == 2 && !live.is_empty() {
+                let gone = live.remove((i as usize) % live.len());
+                a.release(gone);
+            } else {
+                let id = JobId(i);
+                a.admit(id, (i % 4 + 1) as u32);
+                live.push(id);
+            }
+            assert!(
+                a.total_allocated().get() <= a.global_bound().get() + 1e-6,
+                "bound violated at step {i}: {} allocated",
+                a.total_allocated()
+            );
+            let per = a.per_node_limit();
+            assert!(per.get() <= 3050.0 + 1e-9 && per.get() > 0.0);
+        }
+    }
+}

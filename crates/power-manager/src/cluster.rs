@@ -1,0 +1,143 @@
+//! The cluster-level manager (paper §III-B).
+//!
+//! Runs on the root node. State-aware: it subscribes to job lifecycle
+//! events, maintains the proportional allocator over the global power
+//! bound, and pushes updated *job-level power limits* to the job-level
+//! manager whenever the allocation changes (admission or reclaim).
+
+use crate::allocator::ProportionalAllocator;
+use crate::proto::{JobLimitMsg, PolicyKind, TOPIC_JOB_LIMIT};
+use crate::ManagerConfig;
+use fluxpm_flux::world::{EVENT_JOB_EXCEPTION, EVENT_JOB_FINISH, EVENT_JOB_START};
+use fluxpm_flux::{payload, JobId, Message, Module, ModuleCtx, MsgKind, Rank};
+use fluxpm_sim::TraceLevel;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The `flux-power-manager` cluster-level component.
+pub struct ClusterLevelManager {
+    config: ManagerConfig,
+    allocator: Option<ProportionalAllocator>,
+    /// Limit updates pushed (diagnostics).
+    updates_sent: u64,
+}
+
+impl ClusterLevelManager {
+    /// Create an unloaded manager.
+    pub fn new(config: ManagerConfig) -> ClusterLevelManager {
+        ClusterLevelManager {
+            config,
+            allocator: None,
+            updates_sent: 0,
+        }
+    }
+
+    /// Create as a shared module handle.
+    pub fn shared(config: ManagerConfig) -> Rc<RefCell<ClusterLevelManager>> {
+        Rc::new(RefCell::new(ClusterLevelManager::new(config)))
+    }
+
+    /// Limit updates pushed so far.
+    pub fn updates_sent(&self) -> u64 {
+        self.updates_sent
+    }
+
+    /// The current per-node allocation, if constrained.
+    pub fn per_node_limit(&self) -> Option<fluxpm_hw::Watts> {
+        self.allocator.as_ref().map(|a| a.per_node_limit())
+    }
+
+    fn ensure_allocator(&mut self, ctx: &ModuleCtx<'_>) {
+        if self.allocator.is_none() {
+            if let Some(bound) = self.config.global_bound {
+                let peak = ctx.world.nodes[0].arch.capping.max_node_cap;
+                let peak = if peak.get() > 0.0 {
+                    peak
+                } else {
+                    ctx.world.nodes[0].arch.peak_node_power()
+                };
+                self.allocator = Some(ProportionalAllocator::new(bound, peak));
+            }
+        }
+    }
+
+    /// Push the current limit of every allocated job to the job-level
+    /// manager.
+    fn push_all_limits(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let Some(alloc) = &self.allocator else { return };
+        let limits = alloc.all_job_limits();
+        for (job, limit) in limits {
+            let msg = Message::request(
+                Rank::ROOT,
+                Rank::ROOT,
+                TOPIC_JOB_LIMIT,
+                payload(JobLimitMsg { job, limit }),
+            );
+            ctx.world.send(ctx.eng, msg);
+            self.updates_sent += 1;
+        }
+    }
+
+    fn on_job_start(&mut self, ctx: &mut ModuleCtx<'_>, job: JobId) {
+        if self.config.policy == PolicyKind::Unconstrained {
+            return; // nothing to cap; nodes run at nameplate
+        }
+        self.ensure_allocator(ctx);
+        let Some(nnodes) = ctx.world.jobs.get(job).map(|j| j.spec.nnodes) else {
+            return;
+        };
+        if let Some(alloc) = &mut self.allocator {
+            let per_node = alloc.admit(job, nnodes);
+            ctx.world.trace.emit(
+                ctx.eng.now(),
+                TraceLevel::Info,
+                "manager",
+                format!("admit {job:?} ({nnodes} nodes) -> {per_node}/node"),
+            );
+        }
+        self.push_all_limits(ctx);
+    }
+
+    fn on_job_finish(&mut self, ctx: &mut ModuleCtx<'_>, job: JobId) {
+        if let Some(alloc) = &mut self.allocator {
+            let per_node = alloc.release(job);
+            ctx.world.trace.emit(
+                ctx.eng.now(),
+                TraceLevel::Info,
+                "manager",
+                format!("reclaim {job:?} -> {per_node}/node"),
+            );
+            self.push_all_limits(ctx);
+        }
+    }
+}
+
+impl Module for ClusterLevelManager {
+    fn name(&self) -> &'static str {
+        "power-manager-cluster"
+    }
+
+    fn topics(&self) -> Vec<String> {
+        vec![
+            EVENT_JOB_START.to_string(),
+            EVENT_JOB_FINISH.to_string(),
+            EVENT_JOB_EXCEPTION.to_string(),
+        ]
+    }
+
+    fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
+
+    fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        if msg.kind != MsgKind::Event {
+            return;
+        }
+        let Some(&job) = msg.payload_as::<JobId>() else {
+            return;
+        };
+        match msg.topic.as_str() {
+            t if t == EVENT_JOB_START => self.on_job_start(ctx, job),
+            t if t == EVENT_JOB_FINISH || t == EVENT_JOB_EXCEPTION => self.on_job_finish(ctx, job),
+            _ => {}
+        }
+    }
+}

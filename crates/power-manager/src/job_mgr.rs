@@ -1,0 +1,90 @@
+//! The job-level manager (paper §III-B).
+//!
+//! Runs on the root node. Receives each job's power limit from the
+//! cluster-level manager, splits it equally across the job's nodes, and
+//! RPCs every node-level manager. It mirrors the complete state of the
+//! jobs it manages.
+
+use crate::proto::{JobLimitMsg, NodeLimitMsg, TOPIC_JOB_LIMIT, TOPIC_SET_NODE_LIMIT};
+use fluxpm_flux::{payload, JobId, Message, Module, ModuleCtx, MsgKind, Rank};
+use fluxpm_hw::Watts;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The `flux-power-manager` job-level component.
+#[derive(Default)]
+pub struct JobLevelManager {
+    /// Last limit applied per job (the mirrored state).
+    limits: HashMap<JobId, Watts>,
+    /// Node-limit RPCs sent (diagnostics).
+    node_updates: u64,
+}
+
+impl JobLevelManager {
+    /// Create an unloaded manager.
+    pub fn new() -> JobLevelManager {
+        JobLevelManager::default()
+    }
+
+    /// Create as a shared module handle.
+    pub fn shared() -> Rc<RefCell<JobLevelManager>> {
+        Rc::new(RefCell::new(JobLevelManager::new()))
+    }
+
+    /// The last limit recorded for a job.
+    pub fn job_limit(&self, job: JobId) -> Option<Watts> {
+        self.limits.get(&job).copied()
+    }
+
+    /// Node-limit updates sent so far.
+    pub fn node_updates(&self) -> u64 {
+        self.node_updates
+    }
+
+    fn apply(&mut self, ctx: &mut ModuleCtx<'_>, m: &JobLimitMsg) {
+        let Some(job) = ctx.world.jobs.get(m.job) else {
+            return;
+        };
+        let ranks = job.ranks();
+        if ranks.is_empty() {
+            return; // not running (raced with completion)
+        }
+        // Skip no-op updates: reallocation events re-push every job.
+        if self.limits.get(&m.job) == Some(&m.limit) {
+            return;
+        }
+        self.limits.insert(m.job, m.limit);
+        let per_node = m.limit / ranks.len() as f64;
+        for rank in ranks {
+            let msg = Message::request(
+                Rank::ROOT,
+                rank,
+                TOPIC_SET_NODE_LIMIT,
+                payload(NodeLimitMsg { limit: per_node }),
+            );
+            ctx.world.send(ctx.eng, msg);
+            self.node_updates += 1;
+        }
+    }
+}
+
+impl Module for JobLevelManager {
+    fn name(&self) -> &'static str {
+        "power-manager-job"
+    }
+
+    fn topics(&self) -> Vec<String> {
+        vec![TOPIC_JOB_LIMIT.to_string()]
+    }
+
+    fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
+
+    fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        if msg.kind == MsgKind::Request && msg.topic == TOPIC_JOB_LIMIT {
+            if let Some(m) = msg.payload_as::<JobLimitMsg>().copied() {
+                self.apply(ctx, &m);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Manager message payloads and policy identifiers.
+
+use fluxpm_flux::JobId;
+use fluxpm_hw::Watts;
+use serde::{Deserialize, Serialize};
+
+/// Which power management policy the stack runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No cluster constraint: every node may draw its nameplate power.
+    Unconstrained,
+    /// Proportional sharing (paper §III-B1): the global bound is divided
+    /// per node; node managers enforce the per-node limit statically via
+    /// derived GPU caps.
+    Proportional,
+    /// FPP (paper §III-B2): proportional sharing plus the FFT-based
+    /// per-GPU dynamic controller.
+    Fpp,
+}
+
+impl PolicyKind {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Unconstrained => "unconstrained",
+            PolicyKind::Proportional => "proportional",
+            PolicyKind::Fpp => "fpp",
+        }
+    }
+}
+
+/// Which device class the FPP controllers drive. The algorithm is
+/// device-agnostic (paper §III-B2); the paper evaluates GPUs and notes
+/// the socket-level extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FppTarget {
+    /// Per-GPU capping via NVML (the paper's evaluation).
+    Gpu,
+    /// Per-socket CPU capping via RAPL/OCC — for CPU-bound workloads
+    /// (e.g. the Charm++ NQueens).
+    Socket,
+    /// Memory-subsystem capping via DRAM RAPL (one controller per node;
+    /// the paper's "memory-level power capping" extension).
+    Memory,
+}
+
+/// Cluster manager → job manager: a job's total power limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobLimitMsg {
+    /// The job.
+    pub job: JobId,
+    /// Maximum power the whole job may draw.
+    pub limit: Watts,
+}
+
+/// Job manager → node manager: one node's power limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeLimitMsg {
+    /// Maximum power this node may draw.
+    pub limit: Watts,
+}
+
+/// Topic: cluster manager → job manager.
+pub const TOPIC_JOB_LIMIT: &str = "power-manager.job-limit";
+/// Topic: job manager → node manager.
+pub const TOPIC_SET_NODE_LIMIT: &str = "power-manager.set-node-limit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(PolicyKind::Unconstrained.name(), "unconstrained");
+        assert_eq!(PolicyKind::Proportional.name(), "proportional");
+        assert_eq!(PolicyKind::Fpp.name(), "fpp");
+    }
+}

@@ -1,0 +1,314 @@
+//! The external telemetry client.
+//!
+//! The paper's client is a Python script: given a job id it resolves the
+//! job's nodes and window, asks the root agent, and writes a CSV with a
+//! completeness column. Here the client is a pair of functions driven
+//! against the simulation.
+
+use crate::proto::{JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest};
+use crate::root_agent::{TOPIC_GET_JOB_DATA, TOPIC_GET_JOB_STATS};
+use fluxpm_flux::{payload, FluxEngine, JobId, Rank, World};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Request a job's telemetry from the root agent. The reply callback
+/// fires once all node agents have answered; run the engine (or continue
+/// the simulation) to completion to receive it.
+///
+/// Returns a handle that yields the reply once available.
+pub fn fetch_job_data(
+    world: &mut World,
+    eng: &mut FluxEngine,
+    job: JobId,
+) -> Rc<RefCell<Option<Result<JobDataReply, String>>>> {
+    let slot: Rc<RefCell<Option<Result<JobDataReply, String>>>> = Rc::new(RefCell::new(None));
+    let out = Rc::clone(&slot);
+    world.rpc(
+        eng,
+        Rank::ROOT,
+        Rank::ROOT,
+        TOPIC_GET_JOB_DATA,
+        payload(JobDataRequest { job }),
+        move |_, _, resp| {
+            let result = match (&resp.error, resp.payload_as::<JobDataReply>()) {
+                (Some(e), _) => Err(e.clone()),
+                (None, Some(r)) => Ok(r.clone()),
+                (None, None) => Err("malformed job-data reply".to_string()),
+            };
+            *out.borrow_mut() = Some(result);
+        },
+    );
+    slot
+}
+
+/// Request a job's summary statistics — the light-weight query: each
+/// node agent reduces its window locally and only a few numbers cross
+/// the overlay.
+pub fn fetch_job_stats(
+    world: &mut World,
+    eng: &mut FluxEngine,
+    job: JobId,
+) -> Rc<RefCell<Option<Result<JobStatsReply, String>>>> {
+    let slot: Rc<RefCell<Option<Result<JobStatsReply, String>>>> = Rc::new(RefCell::new(None));
+    let out = Rc::clone(&slot);
+    world.rpc(
+        eng,
+        Rank::ROOT,
+        Rank::ROOT,
+        TOPIC_GET_JOB_STATS,
+        payload(JobStatsRequest { job }),
+        move |_, _, resp| {
+            let result = match (&resp.error, resp.payload_as::<JobStatsReply>()) {
+                (Some(e), _) => Err(e.clone()),
+                (None, Some(r)) => Ok(r.clone()),
+                (None, None) => Err("malformed job-stats reply".to_string()),
+            };
+            *out.borrow_mut() = Some(result);
+        },
+    );
+    slot
+}
+
+/// Request a job's summary via the *in-tree reduction*: one request
+/// enters the tree at the root and each broker combines its subtree, so
+/// every tree link carries at most one message pair (the scalable form;
+/// see [`crate::tree_reduce`]).
+pub fn fetch_job_stats_tree(
+    world: &mut World,
+    eng: &mut FluxEngine,
+    job: JobId,
+) -> Rc<RefCell<Option<Result<crate::tree_reduce::SubtreeStats, String>>>> {
+    use crate::tree_reduce::{SubtreeStatsRequest, TOPIC_SUBTREE_STATS};
+    let slot: Rc<RefCell<Option<Result<crate::tree_reduce::SubtreeStats, String>>>> =
+        Rc::new(RefCell::new(None));
+    let Some(record) = world.jobs.get(job) else {
+        *slot.borrow_mut() = Some(Err(format!("no such job {job:?}")));
+        return slot;
+    };
+    let Some(start) = record.started_at else {
+        *slot.borrow_mut() = Some(Err("job has not started".into()));
+        return slot;
+    };
+    let start_us = start.as_micros();
+    let end_us = record
+        .finished_at
+        .map(|t| t.as_micros())
+        .unwrap_or_else(|| eng.now().as_micros());
+    let targets: Vec<u32> = record.nodes.iter().map(|n| n.0).collect();
+    let out = Rc::clone(&slot);
+    world.rpc(
+        eng,
+        Rank::ROOT,
+        Rank::ROOT,
+        TOPIC_SUBTREE_STATS,
+        payload(SubtreeStatsRequest {
+            start_us,
+            end_us,
+            targets,
+        }),
+        move |_, _, resp| {
+            let result = match (
+                &resp.error,
+                resp.payload_as::<crate::tree_reduce::SubtreeStats>(),
+            ) {
+                (Some(e), _) => Err(e.clone()),
+                (None, Some(r)) => Ok(*r),
+                (None, None) => Err("malformed subtree-stats reply".to_string()),
+            };
+            *out.borrow_mut() = Some(result);
+        },
+    );
+    slot
+}
+
+/// Render a job-data reply as the client's CSV (paper §III-A): one row
+/// per sample per node, with a completeness flag.
+pub fn job_data_to_csv(reply: &JobDataReply) -> String {
+    let mut csv = String::new();
+    csv.push_str(
+        "jobid,app,hostname,timestamp_s,node_power_w,cpu_power_w,mem_power_w,gpu_power_w,data\n",
+    );
+    for node in &reply.nodes {
+        let flag = if node.complete { "complete" } else { "partial" };
+        for r in &node.records {
+            let s = &r.sample;
+            let mem = s
+                .power_mem_watts
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_default();
+            let node_w = s
+                .power_node_watts
+                .map(|w| format!("{w:.1}"))
+                .unwrap_or_else(|| format!("{:.1}", s.node_power_estimate()));
+            let _ = writeln!(
+                csv,
+                "{},{},{},{:.1},{},{:.1},{},{:.1},{}",
+                reply.job.0,
+                reply.name,
+                node.hostname,
+                s.timestamp_us as f64 / 1e6,
+                node_w,
+                s.cpu_total(),
+                mem,
+                s.gpu_total(),
+                flag
+            );
+        }
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MonitorConfig;
+    use fluxpm_flux::{JobSpec, JobState};
+    use fluxpm_hw::MachineKind;
+    use fluxpm_sim::Engine;
+
+    // Minimal in-crate program so client tests don't depend on the
+    // workloads crate (which depends on this crate's siblings only).
+    struct Burn {
+        secs: f64,
+        done: f64,
+    }
+    impl fluxpm_flux::JobProgram for Burn {
+        fn app_name(&self) -> &str {
+            "burn"
+        }
+        fn on_start(&mut self, ctx: &mut fluxpm_flux::StepCtx<'_>) {
+            for n in &mut ctx.nodes {
+                let arch = n.arch.clone();
+                n.set_demand(fluxpm_hw::PowerDemand {
+                    cpu: vec![fluxpm_hw::Watts(150.0); arch.sockets],
+                    memory: fluxpm_hw::Watts(80.0),
+                    gpu: vec![fluxpm_hw::Watts(250.0); arch.gpus],
+                    other: arch.other,
+                });
+            }
+        }
+        fn step(&mut self, ctx: &mut fluxpm_flux::StepCtx<'_>) -> fluxpm_flux::StepOutcome {
+            self.done += ctx.dt;
+            if self.done >= self.secs {
+                fluxpm_flux::StepOutcome::Done {
+                    leftover_seconds: self.done - self.secs,
+                }
+            } else {
+                fluxpm_flux::StepOutcome::Running
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_job_telemetry() {
+        let mut w = World::new(MachineKind::Lassen, 4, 11);
+        w.autostop_after = Some(1);
+        let mut eng: FluxEngine = Engine::new();
+        w.install_executor(&mut eng);
+        crate::load(&mut w, &mut eng, MonitorConfig::default());
+        let id = w.submit(
+            &mut eng,
+            JobSpec::new("burn", 2),
+            Box::new(Burn {
+                secs: 20.0,
+                done: 0.0,
+            }),
+        );
+        eng.run(&mut w);
+        assert_eq!(w.jobs.get(id).unwrap().state, JobState::Completed);
+
+        // Client query after completion.
+        let mut eng2: FluxEngine = Engine::new();
+        let slot = fetch_job_data(&mut w, &mut eng2, id);
+        eng2.run(&mut w);
+        let reply = slot.borrow().clone().unwrap().unwrap();
+        assert_eq!(reply.nodes.len(), 2);
+        assert!(reply.all_complete());
+        // Samples every 2 s over ~20 s on each node.
+        assert!(reply.sample_count() >= 16, "{}", reply.sample_count());
+        // Busy Lassen node: 2*150 + 4*250 + 80 + 40 = 1420 W.
+        let avg = reply.average_node_power();
+        assert!((avg - 1420.0).abs() < 50.0, "avg {avg}");
+
+        let csv = job_data_to_csv(&reply);
+        assert!(csv.starts_with("jobid,app,hostname"));
+        assert!(csv.contains("complete"));
+        assert!(csv.contains("lassen0"));
+        assert_eq!(csv.lines().count(), 1 + reply.sample_count());
+    }
+
+    #[test]
+    fn query_for_unknown_job_errors() {
+        let mut w = World::new(MachineKind::Lassen, 2, 11);
+        let mut eng: FluxEngine = Engine::new();
+        crate::load(&mut w, &mut eng, MonitorConfig::default());
+        let slot = fetch_job_data(&mut w, &mut eng, JobId(42));
+        eng.set_horizon(fluxpm_sim::SimTime::from_secs(1));
+        eng.run(&mut w);
+        let result = slot.borrow().clone().unwrap();
+        assert!(result.unwrap_err().contains("no such job"));
+    }
+
+    #[test]
+    fn query_for_pending_job_errors() {
+        let mut w = World::new(MachineKind::Lassen, 2, 11);
+        let mut eng: FluxEngine = Engine::new();
+        crate::load(&mut w, &mut eng, MonitorConfig::default());
+        // Fill the cluster so the next job stays pending.
+        w.install_executor(&mut eng);
+        w.submit(
+            &mut eng,
+            JobSpec::new("burn", 2),
+            Box::new(Burn {
+                secs: 100.0,
+                done: 0.0,
+            }),
+        );
+        let pending = w.submit(
+            &mut eng,
+            JobSpec::new("burn", 1),
+            Box::new(Burn {
+                secs: 1.0,
+                done: 0.0,
+            }),
+        );
+        let slot = fetch_job_data(&mut w, &mut eng, pending);
+        eng.set_horizon(fluxpm_sim::SimTime::from_secs(2));
+        eng.run(&mut w);
+        let result = slot.borrow().clone().unwrap();
+        assert!(result.unwrap_err().contains("not started"));
+    }
+
+    #[test]
+    fn running_job_query_uses_now_as_window_end() {
+        let mut w = World::new(MachineKind::Lassen, 2, 11);
+        w.autostop_after = Some(1);
+        let mut eng: FluxEngine = Engine::new();
+        w.install_executor(&mut eng);
+        crate::load(&mut w, &mut eng, MonitorConfig::default());
+        let id = w.submit(
+            &mut eng,
+            JobSpec::new("burn", 1),
+            Box::new(Burn {
+                secs: 60.0,
+                done: 0.0,
+            }),
+        );
+        // Query mid-run at t = 30 s.
+        let slot = Rc::new(RefCell::new(None));
+        let slot2 = Rc::clone(&slot);
+        eng.schedule(
+            fluxpm_sim::SimTime::from_secs(30),
+            move |w: &mut World, eng| {
+                let inner = fetch_job_data(w, eng, id);
+                *slot2.borrow_mut() = Some(inner);
+            },
+        );
+        eng.run(&mut w);
+        let outer = slot.borrow().clone().unwrap();
+        let reply = outer.borrow().clone().unwrap().unwrap();
+        assert!(reply.end_us <= 31_000_000, "window ends near query time");
+        assert!(reply.sample_count() >= 13, "{}", reply.sample_count());
+    }
+}

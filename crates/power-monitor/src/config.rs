@@ -1,0 +1,79 @@
+//! Monitor configuration.
+
+use fluxpm_sim::SimDuration;
+
+/// User-configurable monitor parameters (paper §III-A: "The size of the
+/// buffer, as well as the sampling rate, are configurable by the user").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Sampling period. Paper default: 2 seconds.
+    pub sample_interval: SimDuration,
+    /// Circular-buffer capacity in records. Paper default: 100,000
+    /// Variorum JSON objects (~43.4 MB).
+    pub buffer_capacity: usize,
+    /// Whether sensor-read CPU cost is charged to the co-located
+    /// application. On (the physical truth) by default; the overhead
+    /// experiment's "monitor unloaded" baseline simply does not load the
+    /// module.
+    pub charge_overhead: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            sample_interval: SimDuration::from_secs(2),
+            buffer_capacity: 100_000,
+            charge_overhead: true,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Override the sampling period.
+    pub fn with_sample_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero());
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Override the buffer capacity (records).
+    pub fn with_buffer_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        self.buffer_capacity = capacity;
+        self
+    }
+
+    /// Sampling rate in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        1.0 / self.sample_interval.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MonitorConfig::default();
+        assert_eq!(c.sample_interval, SimDuration::from_secs(2));
+        assert_eq!(c.buffer_capacity, 100_000);
+        assert!(c.charge_overhead);
+        assert_eq!(c.sample_rate_hz(), 0.5);
+    }
+
+    #[test]
+    fn builders() {
+        let c = MonitorConfig::default()
+            .with_sample_interval(SimDuration::from_millis(500))
+            .with_buffer_capacity(10);
+        assert_eq!(c.sample_rate_hz(), 2.0);
+        assert_eq!(c.buffer_capacity, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_rejected() {
+        MonitorConfig::default().with_sample_interval(SimDuration::ZERO);
+    }
+}

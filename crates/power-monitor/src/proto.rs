@@ -1,0 +1,260 @@
+//! Monitor message payloads.
+
+use bytes::Bytes;
+use fluxpm_flux::JobId;
+use fluxpm_variorum::NodePowerSample;
+use serde::{Deserialize, Serialize};
+
+/// One stored telemetry record: a timestamped Variorum sample plus its
+/// JSON encoding — the node agent stores what the real module stores
+/// ("100,000 instances of the Variorum JSON object ≈ 43.4 MB").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerRecord {
+    /// The Variorum JSON object (typed).
+    pub sample: NodePowerSample,
+    /// The encoded JSON as stored in the ring buffer.
+    #[serde(skip, default)]
+    raw: Bytes,
+}
+
+impl PowerRecord {
+    /// Build a record, encoding the Variorum JSON once.
+    pub fn new(sample: NodePowerSample) -> PowerRecord {
+        let raw = Bytes::from(sample.to_json().into_bytes());
+        PowerRecord { sample, raw }
+    }
+
+    /// Timestamp in microseconds.
+    pub fn timestamp_us(&self) -> u64 {
+        self.sample.timestamp_us
+    }
+
+    /// Size of the stored JSON encoding in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// The stored JSON encoding.
+    pub fn raw_json(&self) -> &[u8] {
+        &self.raw
+    }
+}
+
+/// Root → node-agent request: records within a time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDataRequest {
+    /// Window start (inclusive), microseconds.
+    pub start_us: u64,
+    /// Window end (inclusive), microseconds.
+    pub end_us: u64,
+}
+
+/// Node-agent → root reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDataReply {
+    /// The replying node's hostname.
+    pub hostname: String,
+    /// Records within the window, oldest first.
+    pub records: Vec<PowerRecord>,
+    /// False when the buffer wrapped past the window start (the paper's
+    /// "partial data" flag).
+    pub complete: bool,
+}
+
+/// Node-agent → root reply for a *stats* query: summary statistics
+/// computed locally at the node agent, so only a handful of numbers (not
+/// the raw records) cross the overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// The replying node's hostname.
+    pub hostname: String,
+    /// Samples in the window.
+    pub samples: usize,
+    /// Mean node-power estimate over the window (W).
+    pub mean_w: f64,
+    /// Maximum node-power estimate (W).
+    pub max_w: f64,
+    /// Minimum node-power estimate (W).
+    pub min_w: f64,
+    /// Whether the window was fully retained.
+    pub complete: bool,
+}
+
+/// Client → root request: summary statistics for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobStatsRequest {
+    /// The job to summarize.
+    pub job: JobId,
+}
+
+/// Root → client reply for a stats query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatsReply {
+    /// The job.
+    pub job: JobId,
+    /// Job name.
+    pub name: String,
+    /// Window start, microseconds.
+    pub start_us: u64,
+    /// Window end, microseconds.
+    pub end_us: u64,
+    /// One summary per allocated node.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl JobStatsReply {
+    /// Mean node power across nodes (weighted by sample count).
+    pub fn mean_node_power(&self) -> f64 {
+        let total: f64 = self.nodes.iter().map(|n| n.mean_w * n.samples as f64).sum();
+        let count: usize = self.nodes.iter().map(|n| n.samples).sum();
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Highest single-node sample.
+    pub fn max_node_power(&self) -> f64 {
+        self.nodes.iter().map(|n| n.max_w).fold(0.0, f64::max)
+    }
+
+    /// Approximate per-node energy over the window (kJ).
+    pub fn energy_per_node_kj(&self) -> f64 {
+        let span_s = (self.end_us.saturating_sub(self.start_us)) as f64 / 1e6;
+        self.mean_node_power() * span_s / 1e3
+    }
+}
+
+/// Client → root request: telemetry for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobDataRequest {
+    /// The job to report on.
+    pub job: JobId,
+}
+
+/// Root → client reply: per-node data plus the job's identity window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDataReply {
+    /// The job.
+    pub job: JobId,
+    /// Job name.
+    pub name: String,
+    /// Window start used for the query, microseconds.
+    pub start_us: u64,
+    /// Window end used for the query, microseconds.
+    pub end_us: u64,
+    /// One reply per allocated node, in allocation order.
+    pub nodes: Vec<NodeDataReply>,
+}
+
+impl JobDataReply {
+    /// Average node-power estimate across all nodes and samples.
+    pub fn average_node_power(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for node in &self.nodes {
+            for r in &node.records {
+                sum += r.sample.node_power_estimate();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Highest single-sample node power seen.
+    pub fn max_node_power(&self) -> f64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.records.iter())
+            .map(|r| r.sample.node_power_estimate())
+            .fold(0.0, f64::max)
+    }
+
+    /// Peak *cluster* power: at each sample instant, sum node estimates
+    /// across nodes, then take the max over instants (paper Table III's
+    /// "Maximum Power Usage").
+    pub fn max_cluster_power(&self) -> f64 {
+        use std::collections::BTreeMap;
+        let mut per_instant: BTreeMap<u64, f64> = BTreeMap::new();
+        for node in &self.nodes {
+            for r in &node.records {
+                *per_instant.entry(r.timestamp_us()).or_insert(0.0) +=
+                    r.sample.node_power_estimate();
+            }
+        }
+        per_instant.values().copied().fold(0.0, f64::max)
+    }
+
+    /// True if every node returned a complete window.
+    pub fn all_complete(&self) -> bool {
+        self.nodes.iter().all(|n| n.complete)
+    }
+
+    /// Total sample count across nodes.
+    pub fn sample_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.records.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(ts: u64, node_w: f64) -> PowerRecord {
+        PowerRecord::new(NodePowerSample {
+            hostname: "h".into(),
+            timestamp_us: ts,
+            power_node_watts: Some(node_w),
+            power_cpu_watts: vec![],
+            power_mem_watts: None,
+            power_gpu_watts: vec![],
+        })
+    }
+
+    fn reply(records: Vec<PowerRecord>, complete: bool) -> NodeDataReply {
+        NodeDataReply {
+            hostname: "h".into(),
+            records,
+            complete,
+        }
+    }
+
+    #[test]
+    fn averages_and_max() {
+        let jd = JobDataReply {
+            job: JobId(0),
+            name: "x".into(),
+            start_us: 0,
+            end_us: 10,
+            nodes: vec![
+                reply(vec![record(0, 100.0), record(2, 200.0)], true),
+                reply(vec![record(0, 300.0), record(2, 400.0)], true),
+            ],
+        };
+        assert_eq!(jd.average_node_power(), 250.0);
+        assert_eq!(jd.max_node_power(), 400.0);
+        // Cluster power per instant: t0 = 400, t2 = 600.
+        assert_eq!(jd.max_cluster_power(), 600.0);
+        assert_eq!(jd.sample_count(), 4);
+        assert!(jd.all_complete());
+    }
+
+    #[test]
+    fn partial_detection() {
+        let jd = JobDataReply {
+            job: JobId(1),
+            name: "x".into(),
+            start_us: 0,
+            end_us: 10,
+            nodes: vec![reply(vec![], true), reply(vec![], false)],
+        };
+        assert!(!jd.all_complete());
+        assert_eq!(jd.average_node_power(), 0.0);
+        assert_eq!(jd.max_cluster_power(), 0.0);
+    }
+}

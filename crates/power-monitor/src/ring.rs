@@ -1,0 +1,189 @@
+//! Fixed-capacity circular buffer with overwrite accounting.
+//!
+//! The node agent stores the most recent `capacity` power records; when
+//! the buffer wraps, the oldest records are lost and any later query that
+//! reaches before the retained window is flagged *partial* (the paper's
+//! "complete or partial data set" CSV column).
+
+/// A circular buffer of power records (or anything else).
+///
+/// ```
+/// use fluxpm_monitor::RingBuffer;
+///
+/// let mut buf = RingBuffer::new(3);
+/// for ts in [0u64, 2, 4, 6] {
+///     buf.push(ts);
+/// }
+/// // Oldest record lost; the query layer will flag windows reaching
+/// // before t=2 as "partial".
+/// assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![2, 4, 6]);
+/// assert_eq!(buf.overwritten(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the logical start (oldest element) within `buf`.
+    head: usize,
+    /// Total elements ever pushed (so `overwritten = pushed - len`).
+    pushed: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// An empty buffer holding at most `capacity` elements.
+    pub fn new(capacity: usize) -> RingBuffer<T> {
+        assert!(capacity > 0, "ring buffer needs capacity >= 1");
+        RingBuffer {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Maximum element count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current element count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total elements ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Elements lost to overwriting so far.
+    pub fn overwritten(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// Append an element, overwriting (and returning) the oldest when
+    /// full.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        self.pushed += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(value);
+            None
+        } else {
+            let evicted = std::mem::replace(&mut self.buf[self.head], value);
+            self.head = (self.head + 1) % self.capacity;
+            Some(evicted)
+        }
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (tail, front) = self.buf.split_at(self.head);
+        front.iter().chain(tail.iter())
+    }
+
+    /// The oldest retained element.
+    pub fn oldest(&self) -> Option<&T> {
+        self.iter().next()
+    }
+
+    /// The newest element.
+    pub fn newest(&self) -> Option<&T> {
+        if self.head == 0 {
+            self.buf.last()
+        } else {
+            self.buf.get(self.head - 1)
+        }
+    }
+
+    /// Drop everything (capacity retained).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        // `pushed` keeps counting: overwrite accounting is lifetime-based.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_until_full_then_wrap() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..3 {
+            assert_eq!(r.push(i), None, "no eviction before full");
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(r.overwritten(), 0);
+        assert_eq!(r.push(3), Some(0), "oldest evicted");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(r.overwritten(), 1);
+        r.push(4);
+        r.push(5);
+        r.push(6);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(r.overwritten(), 4);
+        assert_eq!(r.total_pushed(), 7);
+    }
+
+    #[test]
+    fn oldest_and_newest() {
+        let mut r = RingBuffer::new(2);
+        assert!(r.oldest().is_none());
+        assert!(r.newest().is_none());
+        r.push(10);
+        assert_eq!(r.oldest(), Some(&10));
+        assert_eq!(r.newest(), Some(&10));
+        r.push(20);
+        r.push(30);
+        assert_eq!(r.oldest(), Some(&20));
+        assert_eq!(r.newest(), Some(&30));
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_counts() {
+        let mut r = RingBuffer::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 2);
+        assert_eq!(r.total_pushed(), 3);
+        r.push(9);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut r = RingBuffer::new(1);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!['b']);
+        assert_eq!(r.overwritten(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        RingBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn iteration_order_after_many_wraps() {
+        let mut r = RingBuffer::new(5);
+        for i in 0..23 {
+            r.push(i);
+        }
+        assert_eq!(
+            r.iter().copied().collect::<Vec<_>>(),
+            vec![18, 19, 20, 21, 22]
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! The root aggregation agent.
+//!
+//! Runs in the broker at the root of the TBON (rank 0). On a client
+//! request for a job's telemetry it resolves the job's nodes and time
+//! window from the instance's job record, fans a window query out to each
+//! node agent, and replies to the client once every node has answered
+//! (paper §III-A).
+
+use crate::node_agent::{TOPIC_NODE_DATA, TOPIC_NODE_STATS};
+use crate::proto::{
+    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, NodeDataReply, NodeDataRequest,
+    NodeStats,
+};
+use fluxpm_flux::{payload, JobState, Message, Module, ModuleCtx, MsgKind, Rank};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Topic the external client calls for full records.
+pub const TOPIC_GET_JOB_DATA: &str = "power-monitor.get-job-data";
+/// Topic the external client calls for summary statistics.
+pub const TOPIC_GET_JOB_STATS: &str = "power-monitor.get-job-stats";
+
+/// In-flight aggregation for one client request.
+struct Aggregation {
+    request: Message,
+    job: fluxpm_flux::JobId,
+    name: String,
+    start_us: u64,
+    end_us: u64,
+    replies: Vec<Option<NodeDataReply>>,
+    remaining: usize,
+}
+
+/// The `flux-power-monitor` root agent.
+#[derive(Default)]
+pub struct RootAgent {
+    /// Completed aggregations served (diagnostics).
+    served: u64,
+}
+
+impl RootAgent {
+    /// Create an unloaded agent.
+    pub fn new() -> RootAgent {
+        RootAgent::default()
+    }
+
+    /// Create as a shared module handle.
+    pub fn shared() -> Rc<RefCell<RootAgent>> {
+        Rc::new(RefCell::new(RootAgent::new()))
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    fn start_aggregation(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let Some(req) = msg.payload_as::<JobDataRequest>() else {
+            ctx.world
+                .respond_error(ctx.eng, msg, "bad get-job-data payload");
+            return;
+        };
+        let Some(job) = ctx.world.jobs.get(req.job) else {
+            ctx.world
+                .respond_error(ctx.eng, msg, format!("no such job {:?}", req.job));
+            return;
+        };
+        if job.state == JobState::Pending {
+            ctx.world.respond_error(ctx.eng, msg, "job has not started");
+            return;
+        }
+        let start_us = job.started_at.expect("non-pending job started").as_micros();
+        let end_us = job
+            .finished_at
+            .map(|t| t.as_micros())
+            .unwrap_or_else(|| ctx.eng.now().as_micros());
+        let ranks = job.ranks();
+        let n = ranks.len();
+        let agg = Rc::new(RefCell::new(Aggregation {
+            request: msg.clone(),
+            job: job.id,
+            name: job.spec.name.clone(),
+            start_us,
+            end_us,
+            replies: vec![None; n],
+            remaining: n,
+        }));
+        self.served += 1;
+
+        for (i, rank) in ranks.into_iter().enumerate() {
+            let agg = Rc::clone(&agg);
+            ctx.world.rpc(
+                ctx.eng,
+                Rank::ROOT,
+                rank,
+                TOPIC_NODE_DATA,
+                payload(NodeDataRequest { start_us, end_us }),
+                move |world, eng, resp| {
+                    let mut a = agg.borrow_mut();
+                    a.replies[i] = resp.payload_as::<NodeDataReply>().cloned();
+                    a.remaining -= 1;
+                    if a.remaining == 0 {
+                        let reply = JobDataReply {
+                            job: a.job,
+                            name: a.name.clone(),
+                            start_us: a.start_us,
+                            end_us: a.end_us,
+                            nodes: a
+                                .replies
+                                .iter()
+                                .map(|r| {
+                                    r.clone().unwrap_or(NodeDataReply {
+                                        hostname: String::new(),
+                                        records: Vec::new(),
+                                        complete: false,
+                                    })
+                                })
+                                .collect(),
+                        };
+                        world.respond(eng, &a.request, payload(reply));
+                    }
+                },
+            );
+        }
+    }
+}
+
+impl RootAgent {
+    /// Stats-query aggregation: same fan-out shape as the full-record
+    /// path, but each node agent sends back only a summary.
+    fn start_stats_aggregation(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let Some(req) = msg.payload_as::<JobStatsRequest>() else {
+            ctx.world
+                .respond_error(ctx.eng, msg, "bad get-job-stats payload");
+            return;
+        };
+        let Some(job) = ctx.world.jobs.get(req.job) else {
+            ctx.world
+                .respond_error(ctx.eng, msg, format!("no such job {:?}", req.job));
+            return;
+        };
+        if job.state == JobState::Pending {
+            ctx.world.respond_error(ctx.eng, msg, "job has not started");
+            return;
+        }
+        let start_us = job.started_at.expect("non-pending job started").as_micros();
+        let end_us = job
+            .finished_at
+            .map(|t| t.as_micros())
+            .unwrap_or_else(|| ctx.eng.now().as_micros());
+        let ranks = job.ranks();
+        let n = ranks.len();
+        struct StatsAgg {
+            request: Message,
+            job: fluxpm_flux::JobId,
+            name: String,
+            start_us: u64,
+            end_us: u64,
+            replies: Vec<Option<NodeStats>>,
+            remaining: usize,
+        }
+        let agg = Rc::new(RefCell::new(StatsAgg {
+            request: msg.clone(),
+            job: job.id,
+            name: job.spec.name.clone(),
+            start_us,
+            end_us,
+            replies: vec![None; n],
+            remaining: n,
+        }));
+        self.served += 1;
+        for (i, rank) in ranks.into_iter().enumerate() {
+            let agg = Rc::clone(&agg);
+            ctx.world.rpc(
+                ctx.eng,
+                Rank::ROOT,
+                rank,
+                TOPIC_NODE_STATS,
+                payload(NodeDataRequest { start_us, end_us }),
+                move |world, eng, resp| {
+                    let mut a = agg.borrow_mut();
+                    a.replies[i] = resp.payload_as::<NodeStats>().cloned();
+                    a.remaining -= 1;
+                    if a.remaining == 0 {
+                        let reply = JobStatsReply {
+                            job: a.job,
+                            name: a.name.clone(),
+                            start_us: a.start_us,
+                            end_us: a.end_us,
+                            nodes: a
+                                .replies
+                                .iter()
+                                .map(|r| {
+                                    r.clone().unwrap_or(NodeStats {
+                                        hostname: String::new(),
+                                        samples: 0,
+                                        mean_w: 0.0,
+                                        max_w: 0.0,
+                                        min_w: 0.0,
+                                        complete: false,
+                                    })
+                                })
+                                .collect(),
+                        };
+                        world.respond(eng, &a.request, payload(reply));
+                    }
+                },
+            );
+        }
+    }
+}
+
+impl Module for RootAgent {
+    fn name(&self) -> &'static str {
+        "power-monitor-root-agent"
+    }
+
+    fn topics(&self) -> Vec<String> {
+        vec![
+            TOPIC_GET_JOB_DATA.to_string(),
+            TOPIC_GET_JOB_STATS.to_string(),
+        ]
+    }
+
+    fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
+
+    fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        if msg.kind != MsgKind::Request {
+            return;
+        }
+        match msg.topic.as_str() {
+            t if t == TOPIC_GET_JOB_DATA => self.start_aggregation(ctx, msg),
+            t if t == TOPIC_GET_JOB_STATS => self.start_stats_aggregation(ctx, msg),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! In-tree reduction for job statistics.
+//!
+//! The direct stats query ([`crate::root_agent`]) has the root RPC every
+//! node of the job individually: N requests, each crossing up to
+//! 2·height tree links. The TBON exists precisely to avoid that: this
+//! module reduces *inside the tree* — each broker asks only its own
+//! children, combines their subtree summaries with its local one, and
+//! returns a single mergeable record. Per reduction, every tree link
+//! carries at most one request and one response, and the root does O(k)
+//! work instead of O(N).
+//!
+//! This is the scalability story of the paper's architecture ("scalable
+//! production-grade power telemetry") made concrete.
+
+use crate::node_agent::NodeAgent;
+use crate::proto::NodeStats;
+use fluxpm_flux::{payload, Message, ModuleCtx, Rank};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Topic served by every node agent for subtree reduction.
+pub const TOPIC_SUBTREE_STATS: &str = "power-monitor.subtree-stats";
+
+/// Request: reduce stats over `targets ∩ subtree(self)` for a window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtreeStatsRequest {
+    /// Window start (inclusive), microseconds.
+    pub start_us: u64,
+    /// Window end (inclusive), microseconds.
+    pub end_us: u64,
+    /// The job's ranks (only these contribute).
+    pub targets: Vec<u32>,
+}
+
+/// A mergeable stats summary — the monoid carried up the tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubtreeStats {
+    /// Contributing nodes.
+    pub nodes: usize,
+    /// Total samples.
+    pub samples: usize,
+    /// Sum of node-power estimates over all samples (for the mean).
+    pub sum_w: f64,
+    /// Maximum single sample.
+    pub max_w: f64,
+    /// Minimum single sample.
+    pub min_w: f64,
+    /// Whether every contributing node's window was fully retained.
+    pub all_complete: bool,
+}
+
+impl SubtreeStats {
+    /// The empty summary (identity element).
+    pub fn empty() -> SubtreeStats {
+        SubtreeStats {
+            nodes: 0,
+            samples: 0,
+            sum_w: 0.0,
+            max_w: f64::NEG_INFINITY,
+            min_w: f64::INFINITY,
+            all_complete: true,
+        }
+    }
+
+    /// Lift a per-node summary.
+    pub fn from_node(s: &NodeStats) -> SubtreeStats {
+        SubtreeStats {
+            nodes: 1,
+            samples: s.samples,
+            sum_w: s.mean_w * s.samples as f64,
+            max_w: if s.samples == 0 {
+                f64::NEG_INFINITY
+            } else {
+                s.max_w
+            },
+            min_w: if s.samples == 0 {
+                f64::INFINITY
+            } else {
+                s.min_w
+            },
+            all_complete: s.complete,
+        }
+    }
+
+    /// Merge two summaries (associative, commutative, `empty` identity).
+    pub fn merge(self, other: SubtreeStats) -> SubtreeStats {
+        SubtreeStats {
+            nodes: self.nodes + other.nodes,
+            samples: self.samples + other.samples,
+            sum_w: self.sum_w + other.sum_w,
+            max_w: self.max_w.max(other.max_w),
+            min_w: self.min_w.min(other.min_w),
+            all_complete: self.all_complete && other.all_complete,
+        }
+    }
+
+    /// Mean node power over all contributing samples.
+    pub fn mean_w(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_w / self.samples as f64
+        }
+    }
+}
+
+/// Handle a subtree-stats request at one node agent: compute the local
+/// contribution (if this rank is a target), recurse into the children
+/// whose subtrees intersect the targets, merge, respond.
+pub fn handle_subtree_stats(agent: &NodeAgent, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+    let Some(req) = msg.payload_as::<SubtreeStatsRequest>() else {
+        ctx.world
+            .respond_error(ctx.eng, msg, "bad subtree-stats payload");
+        return;
+    };
+    let rank = ctx.rank;
+    let local = if req.targets.contains(&rank.0) {
+        SubtreeStats::from_node(&agent.local_stats(ctx, req.start_us, req.end_us))
+    } else {
+        SubtreeStats::empty()
+    };
+
+    // Children whose subtree contains at least one target.
+    let children: Vec<Rank> = ctx
+        .world
+        .tbon
+        .children(rank)
+        .into_iter()
+        .filter(|c| {
+            req.targets
+                .iter()
+                .any(|&t| ctx.world.tbon.is_ancestor(*c, Rank(t)))
+        })
+        .collect();
+
+    if children.is_empty() {
+        ctx.world.respond(ctx.eng, msg, payload(local));
+        return;
+    }
+
+    // Fan out one hop; merge asynchronously; respond when all children
+    // have reported. A downed child contributes an incomplete empty
+    // summary rather than stalling the reduction.
+    struct Pending {
+        request: Message,
+        acc: SubtreeStats,
+        remaining: usize,
+    }
+    let pending = Rc::new(RefCell::new(Pending {
+        request: msg.clone(),
+        acc: local,
+        remaining: children.len(),
+    }));
+    for child in children {
+        let pending = Rc::clone(&pending);
+        let sub_req = SubtreeStatsRequest {
+            start_us: req.start_us,
+            end_us: req.end_us,
+            targets: req.targets.clone(),
+        };
+        ctx.world.rpc(
+            ctx.eng,
+            rank,
+            child,
+            TOPIC_SUBTREE_STATS,
+            payload(sub_req),
+            move |world, eng, resp| {
+                let mut p = pending.borrow_mut();
+                let contribution =
+                    resp.payload_as::<SubtreeStats>()
+                        .copied()
+                        .unwrap_or_else(|| SubtreeStats {
+                            all_complete: false,
+                            ..SubtreeStats::empty()
+                        });
+                p.acc = p.acc.merge(contribution);
+                p.remaining -= 1;
+                if p.remaining == 0 {
+                    let acc = p.acc;
+                    world.respond(eng, &p.request, payload(acc));
+                }
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(samples: usize, mean: f64, max: f64, min: f64, complete: bool) -> NodeStats {
+        NodeStats {
+            hostname: "h".into(),
+            samples,
+            mean_w: mean,
+            max_w: max,
+            min_w: min,
+            complete,
+        }
+    }
+
+    #[test]
+    fn merge_is_monoid() {
+        let a = SubtreeStats::from_node(&ns(4, 100.0, 120.0, 80.0, true));
+        let b = SubtreeStats::from_node(&ns(2, 200.0, 210.0, 190.0, true));
+        let e = SubtreeStats::empty();
+        // Identity.
+        assert_eq!(a.merge(e), a);
+        assert_eq!(e.merge(a), a);
+        // Commutative.
+        assert_eq!(a.merge(b), b.merge(a));
+        // Values.
+        let m = a.merge(b);
+        assert_eq!(m.nodes, 2);
+        assert_eq!(m.samples, 6);
+        assert!((m.mean_w() - (400.0 + 400.0) / 6.0).abs() < 1e-9);
+        assert_eq!(m.max_w, 210.0);
+        assert_eq!(m.min_w, 80.0);
+        assert!(m.all_complete);
+    }
+
+    #[test]
+    fn merge_tracks_completeness() {
+        let a = SubtreeStats::from_node(&ns(1, 100.0, 100.0, 100.0, true));
+        let b = SubtreeStats::from_node(&ns(1, 100.0, 100.0, 100.0, false));
+        assert!(!a.merge(b).all_complete);
+    }
+
+    #[test]
+    fn empty_node_contributes_nothing() {
+        let z = SubtreeStats::from_node(&ns(0, 0.0, 0.0, 0.0, true));
+        let a = SubtreeStats::from_node(&ns(3, 50.0, 60.0, 40.0, true));
+        let m = z.merge(a);
+        assert_eq!(m.samples, 3);
+        assert_eq!(m.max_w, 60.0);
+        assert_eq!(m.min_w, 40.0);
+        assert_eq!(m.nodes, 2, "node count still counts the empty node");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the monitor's data structures.
+
+use fluxpm_monitor::RingBuffer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The ring buffer never exceeds its capacity, keeps FIFO order, and
+    /// retains exactly the newest elements; overwrite accounting is
+    /// exact.
+    #[test]
+    fn ring_buffer_invariants(
+        capacity in 1usize..64,
+        pushes in prop::collection::vec(any::<u32>(), 0..300),
+    ) {
+        let mut r = RingBuffer::new(capacity);
+        for &x in &pushes {
+            r.push(x);
+            prop_assert!(r.len() <= capacity);
+        }
+        prop_assert_eq!(r.total_pushed(), pushes.len() as u64);
+        let expect_len = pushes.len().min(capacity);
+        prop_assert_eq!(r.len(), expect_len);
+        prop_assert_eq!(r.overwritten(), (pushes.len() - expect_len) as u64);
+
+        // Contents are exactly the last `expect_len` pushes, in order.
+        let got: Vec<u32> = r.iter().copied().collect();
+        let want: Vec<u32> = pushes[pushes.len() - expect_len..].to_vec();
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(r.oldest(), want.first());
+        prop_assert_eq!(r.newest(), want.last());
+    }
+
+    /// A window query over stored records returns exactly the records a
+    /// naive filter would, and completeness is flagged iff no record
+    /// from the window start was lost.
+    #[test]
+    fn window_query_matches_naive_filter(
+        capacity in 4usize..40,
+        count in 1usize..120,
+        start in 0u64..100,
+        width in 1u64..60,
+    ) {
+        // Timestamps 0, 2, 4, ... (2 s cadence like the monitor).
+        let mut r = RingBuffer::new(capacity);
+        for i in 0..count {
+            r.push((i as u64) * 2);
+        }
+        let end = start + width;
+        let got: Vec<u64> = r
+            .iter()
+            .copied()
+            .filter(|t| (start..=end).contains(t))
+            .collect();
+        // Naive: the retained window is the last `min(count, capacity)`
+        // timestamps.
+        let retained: Vec<u64> = (0..count)
+            .map(|i| (i as u64) * 2)
+            .skip(count.saturating_sub(capacity))
+            .collect();
+        let want: Vec<u64> = retained
+            .iter()
+            .copied()
+            .filter(|t| (start..=end).contains(t))
+            .collect();
+        prop_assert_eq!(got, want);
+
+        // Completeness rule (as the node agent computes it). The rule is
+        // sound (complete => nothing in the window was lost) and may be
+        // conservative: a window starting in the gap between the last
+        // overwritten record and the oldest retained one is flagged
+        // partial even though no in-window record was lost.
+        let complete = match r.oldest() {
+            Some(&oldest) => r.overwritten() == 0 || oldest <= start,
+            None => false,
+        };
+        let lost_in_window = (0..count)
+            .map(|i| (i as u64) * 2)
+            .take(count.saturating_sub(capacity))
+            .any(|t| t >= start);
+        if complete {
+            prop_assert!(!lost_in_window, "complete implies no loss in the window");
+        }
+        if r.overwritten() == 0 {
+            prop_assert!(complete, "nothing lost implies complete");
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! The event engine.
+//!
+//! A binary heap keyed by `(SimTime, sequence)` gives total order with FIFO
+//! tie-breaking: two events scheduled for the same instant fire in the
+//! order they were scheduled, which keeps broker message handling
+//! deterministic. Event bodies live in a slab map so events can be
+//! cancelled in O(log n) amortized (lazy deletion at pop time).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::ops::ControlFlow;
+
+/// Opaque handle to a scheduled event; used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A one-shot event body.
+type OnceFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+/// A repeating event body. Return `ControlFlow::Break(())` to stop the
+/// periodic task.
+pub type Periodic<W> = Box<dyn FnMut(&mut W, &mut Engine<W>) -> ControlFlow<()>>;
+
+enum EventBody<W> {
+    Once(OnceFn<W>),
+    Every {
+        interval: SimDuration,
+        f: Periodic<W>,
+    },
+}
+
+/// The discrete-event engine. Generic over the world type `W` that events
+/// mutate.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    bodies: HashMap<u64, EventBody<W>>,
+    /// Total events executed (for diagnostics / ablation benches).
+    executed: u64,
+    /// Hard stop; events scheduled after this instant are dropped at pop.
+    horizon: Option<SimTime>,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Create an empty engine with the clock at zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            bodies: HashMap::new(),
+            executed: 0,
+            horizon: None,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped).
+    pub fn pending(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Set a hard horizon: `run` stops once the next event would fire
+    /// strictly after this instant.
+    pub fn set_horizon(&mut self, t: SimTime) {
+        self.horizon = Some(t);
+    }
+
+    /// Schedule `f` to run at the absolute instant `at`. Scheduling in the
+    /// past is clamped to "now" (fires before any later event).
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let id = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((at, id)));
+        self.bodies.insert(id, EventBody::Once(Box::new(f)));
+        EventId(id)
+    }
+
+    /// Schedule `f` to run after the given delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule(self.now + delay, f)
+    }
+
+    /// Schedule a periodic task: first firing at `start`, then every
+    /// `interval` until the closure returns `ControlFlow::Break` or the
+    /// task is cancelled. A zero interval is rejected (it would livelock).
+    pub fn schedule_every(
+        &mut self,
+        start: SimTime,
+        interval: SimDuration,
+        f: impl FnMut(&mut W, &mut Engine<W>) -> ControlFlow<()> + 'static,
+    ) -> EventId {
+        assert!(!interval.is_zero(), "periodic interval must be > 0");
+        let at = start.max(self.now);
+        let id = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((at, id)));
+        self.bodies.insert(
+            id,
+            EventBody::Every {
+                interval,
+                f: Box::new(f),
+            },
+        );
+        EventId(id)
+    }
+
+    /// Cancel a pending event. Returns true if the event existed and had
+    /// not fired (for periodic tasks: stops all future firings).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.bodies.remove(&id.0).is_some()
+    }
+
+    /// Execute the single next event, if any. Returns the instant it fired.
+    pub fn step(&mut self, world: &mut W) -> Option<SimTime> {
+        loop {
+            let Reverse((at, id)) = self.queue.pop()?;
+            let Some(body) = self.bodies.remove(&id) else {
+                continue; // lazily-deleted (cancelled) entry
+            };
+            if let Some(h) = self.horizon {
+                if at > h {
+                    // Past the horizon: drop this and everything later.
+                    self.queue.clear();
+                    self.bodies.clear();
+                    return None;
+                }
+            }
+            debug_assert!(at >= self.now, "time must be monotone");
+            self.now = at;
+            self.executed += 1;
+            match body {
+                EventBody::Once(f) => f(world, self),
+                EventBody::Every { interval, mut f } => {
+                    if f(world, self).is_continue() {
+                        // Re-arm under the same id so `cancel` keeps working.
+                        self.queue.push(Reverse((at + interval, id)));
+                        self.bodies.insert(id, EventBody::Every { interval, f });
+                    }
+                }
+            }
+            return Some(at);
+        }
+    }
+
+    /// Run until the queue drains (or the horizon is reached).
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while self.step(world).is_some() {}
+        self.now
+    }
+
+    /// Run until the given instant (inclusive); later events stay queued.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) -> SimTime {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse((at, _))) if *at <= until => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        self.now = self
+            .now
+            .max(until.min(self.next_event_time().unwrap_or(until)));
+        self.now
+    }
+
+    /// Instant of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        // The heap may hold cancelled ids; scan past them without popping
+        // would be O(n). Cheap approximation: peek, and if cancelled, pop
+        // lazily.
+        self.queue
+            .iter()
+            .map(|Reverse((t, id))| (*t, *id))
+            .filter(|(_, id)| self.bodies.contains_key(id))
+            .map(|(t, _)| t)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type World = Vec<(u64, &'static str)>;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<World> = Engine::new();
+        eng.schedule(t(3), |w, e| w.push((e.now().as_micros(), "c")));
+        eng.schedule(t(1), |w, e| w.push((e.now().as_micros(), "a")));
+        eng.schedule(t(2), |w, e| w.push((e.now().as_micros(), "b")));
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        let labels: Vec<_> = w.iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let mut eng: Engine<World> = Engine::new();
+        for label in ["first", "second", "third"] {
+            eng.schedule(t(5), move |w, _| w.push((0, label)));
+        }
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        let labels: Vec<_> = w.iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut eng: Engine<World> = Engine::new();
+        eng.schedule(t(10), |w, e| {
+            e.schedule(t(1), |w, e| {
+                assert_eq!(e.now(), t(10));
+                w.push((0, "clamped"));
+            });
+            w.push((0, "outer"));
+        });
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn nested_scheduling_from_events() {
+        let mut eng: Engine<World> = Engine::new();
+        eng.schedule(t(1), |_, e| {
+            e.schedule_in(SimDuration::from_secs(2), |w, e| {
+                assert_eq!(e.now(), t(3));
+                w.push((e.now().as_micros(), "nested"));
+            });
+        });
+        let mut w = Vec::new();
+        let end = eng.run(&mut w);
+        assert_eq!(end, t(3));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut eng: Engine<World> = Engine::new();
+        let id = eng.schedule(t(1), |w, _| w.push((0, "no")));
+        assert!(eng.cancel(id));
+        assert!(!eng.cancel(id), "double-cancel is a no-op");
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn periodic_fires_until_break() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut count = 0;
+        eng.schedule_every(t(0), SimDuration::from_secs(2), move |w, e| {
+            count += 1;
+            w.push(e.now().as_micros());
+            if count == 4 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert_eq!(
+            w,
+            vec![0, 2_000_000, 4_000_000, 6_000_000],
+            "fires at 0,2,4,6s then stops"
+        );
+    }
+
+    #[test]
+    fn periodic_can_be_cancelled_externally() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let id = eng.schedule_every(t(0), SimDuration::from_secs(1), |w, e| {
+            w.push(e.now().as_micros());
+            ControlFlow::Continue(())
+        });
+        eng.schedule(t(3), move |_, e| {
+            e.cancel(id);
+        });
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        // Fires at 0,1,2,3 — the cancel event at t=3 was scheduled after
+        // the periodic task, so the periodic firing at t=3 happens first.
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_queued() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        eng.schedule(t(1), |w, _| w.push(1));
+        eng.schedule(t(5), |w, _| w.push(5));
+        let mut w = Vec::new();
+        eng.run_until(&mut w, t(3));
+        assert_eq!(w, vec![1]);
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut w);
+        assert_eq!(w, vec![1, 5]);
+    }
+
+    #[test]
+    fn horizon_stops_execution() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        eng.set_horizon(t(2));
+        eng.schedule(t(1), |w, _| w.push(1));
+        eng.schedule(t(3), |w, _| w.push(3));
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert_eq!(w, vec![1]);
+    }
+
+    #[test]
+    fn executed_counter() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        for s in 0..10 {
+            eng.schedule(t(s), |_, _| {});
+        }
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert_eq!(eng.executed(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic interval must be > 0")]
+    fn zero_interval_rejected() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        eng.schedule_every(t(0), SimDuration::ZERO, |_, _| ControlFlow::Continue(()));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn next_event_time_skips_cancelled() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let early = eng.schedule(t(1), |_, _| {});
+        eng.schedule(t(5), |_, _| {});
+        assert_eq!(eng.next_event_time(), Some(t(1)));
+        eng.cancel(early);
+        assert_eq!(eng.next_event_time(), Some(t(5)));
+    }
+
+    #[test]
+    fn next_event_time_empty() {
+        let eng: Engine<Vec<u64>> = Engine::new();
+        assert_eq!(eng.next_event_time(), None);
+    }
+
+    #[test]
+    fn periodic_self_cancel_via_break_frees_slot() {
+        let mut eng: Engine<u64> = Engine::new();
+        let id = eng.schedule_every(t(0), SimDuration::from_secs(1), |w, _| {
+            *w += 1;
+            ControlFlow::Break(())
+        });
+        let mut w = 0u64;
+        eng.run(&mut w);
+        assert_eq!(w, 1);
+        assert!(!eng.cancel(id), "task already gone after Break");
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn events_scheduled_during_run_until_respect_cutoff() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        eng.schedule(t(1), |w, e| {
+            w.push(1);
+            e.schedule(t(2), |w, _| w.push(2));
+            e.schedule(t(10), |w, _| w.push(10));
+        });
+        let mut w = Vec::new();
+        eng.run_until(&mut w, t(5));
+        assert_eq!(w, vec![1, 2], "the t=10 event waits");
+        eng.run(&mut w);
+        assert_eq!(w, vec![1, 2, 10]);
+    }
+
+    #[test]
+    fn interleaved_oneshot_and_periodic_order() {
+        let mut eng: Engine<Vec<&'static str>> = Engine::new();
+        eng.schedule_every(t(2), SimDuration::from_secs(2), |w, e| {
+            w.push("periodic");
+            if e.now() >= t(6) {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        eng.schedule(t(3), |w, _| w.push("oneshot"));
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert_eq!(w, vec!["periodic", "oneshot", "periodic", "periodic"]);
+    }
+}

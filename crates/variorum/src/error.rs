@@ -1,0 +1,76 @@
+//! Variorum error type.
+
+use fluxpm_hw::CapError;
+use std::fmt;
+
+/// Errors surfaced by the Variorum API layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariorumError {
+    /// The requested feature does not exist on this architecture
+    /// (e.g. node power sensor on Tioga).
+    FeatureNotSupported,
+    /// The feature exists but is administratively disabled for users
+    /// (capping on the Tioga early-access system).
+    FeatureDisabled,
+    /// A requested power limit is outside the platform's settable range.
+    InvalidPowerLimit,
+    /// The device index does not exist.
+    NoSuchDevice,
+}
+
+impl fmt::Display for VariorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VariorumError::FeatureNotSupported => "feature not supported on this platform",
+            VariorumError::FeatureDisabled => "feature disabled on this platform",
+            VariorumError::InvalidPowerLimit => "invalid power limit",
+            VariorumError::NoSuchDevice => "no such device",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VariorumError {}
+
+impl From<CapError> for VariorumError {
+    fn from(e: CapError) -> Self {
+        match e {
+            CapError::Unsupported => VariorumError::FeatureNotSupported,
+            CapError::Disabled => VariorumError::FeatureDisabled,
+            CapError::OutOfRange => VariorumError::InvalidPowerLimit,
+            CapError::NoSuchDevice => VariorumError::NoSuchDevice,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_error_conversion() {
+        assert_eq!(
+            VariorumError::from(CapError::Unsupported),
+            VariorumError::FeatureNotSupported
+        );
+        assert_eq!(
+            VariorumError::from(CapError::Disabled),
+            VariorumError::FeatureDisabled
+        );
+        assert_eq!(
+            VariorumError::from(CapError::OutOfRange),
+            VariorumError::InvalidPowerLimit
+        );
+        assert_eq!(
+            VariorumError::from(CapError::NoSuchDevice),
+            VariorumError::NoSuchDevice
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert!(VariorumError::FeatureDisabled
+            .to_string()
+            .contains("disabled"));
+    }
+}

@@ -1,0 +1,296 @@
+//! The Variorum node-power JSON object.
+//!
+//! Variorum's `variorum_get_node_power_json` returns a flat JSON object
+//! whose keys depend on what the platform can measure, e.g. on Lassen:
+//!
+//! ```json
+//! {"hostname": "lassen18", "timestamp_us": 12000000,
+//!  "power_node_watts": 981.2,
+//!  "power_cpu_watts_socket_0": 151.0, "power_cpu_watts_socket_1": 149.7,
+//!  "power_mem_watts": 81.3,
+//!  "power_gpu_watts_0": 248.9, ...}
+//! ```
+//!
+//! On Tioga the node and memory keys are absent and GPU keys are per-OAM.
+//! `serde_json` is not in the offline dependency set, so this module
+//! carries a small hand-rolled writer/parser pair for exactly this flat
+//! shape (string values for `hostname`, floats for everything else).
+
+use fluxpm_hw::{SensorReading, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A parsed/constructed node power sample (the paper's telemetry record).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePowerSample {
+    /// Node hostname, e.g. `"lassen12"`.
+    pub hostname: String,
+    /// Sample timestamp, microseconds on the simulation clock.
+    pub timestamp_us: u64,
+    /// Direct node power, when the platform measures it.
+    pub power_node_watts: Option<f64>,
+    /// Per-socket CPU power.
+    pub power_cpu_watts: Vec<f64>,
+    /// Memory power, when measurable.
+    pub power_mem_watts: Option<f64>,
+    /// GPU power, one entry per reading group (GPU or OAM).
+    pub power_gpu_watts: Vec<f64>,
+}
+
+impl NodePowerSample {
+    /// Build a sample from a sensor scan.
+    pub fn from_reading(hostname: &str, timestamp_us: u64, r: &SensorReading) -> NodePowerSample {
+        NodePowerSample {
+            hostname: hostname.to_owned(),
+            timestamp_us,
+            power_node_watts: r.node.map(Watts::get),
+            power_cpu_watts: r.cpu.iter().map(|w| w.get()).collect(),
+            power_mem_watts: r.memory.map(Watts::get),
+            power_gpu_watts: r.gpu.iter().map(|w| w.get()).collect(),
+        }
+    }
+
+    /// The node power a client reports: direct when available, otherwise
+    /// the conservative CPU+GPU sum (the Tioga estimate in the paper).
+    pub fn node_power_estimate(&self) -> f64 {
+        self.power_node_watts.unwrap_or_else(|| {
+            self.power_cpu_watts.iter().sum::<f64>() + self.power_gpu_watts.iter().sum::<f64>()
+        })
+    }
+
+    /// Total GPU power in the sample.
+    pub fn gpu_total(&self) -> f64 {
+        self.power_gpu_watts.iter().sum()
+    }
+
+    /// Total CPU power in the sample.
+    pub fn cpu_total(&self) -> f64 {
+        self.power_cpu_watts.iter().sum()
+    }
+
+    /// Serialize as the flat Variorum JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_str_field(&mut out, "hostname", &self.hostname);
+        push_int_field(&mut out, "timestamp_us", self.timestamp_us);
+        if let Some(w) = self.power_node_watts {
+            push_num_field(&mut out, "power_node_watts", w);
+        }
+        for (i, w) in self.power_cpu_watts.iter().enumerate() {
+            push_num_field(&mut out, &format!("power_cpu_watts_socket_{i}"), *w);
+        }
+        if let Some(w) = self.power_mem_watts {
+            push_num_field(&mut out, "power_mem_watts", w);
+        }
+        for (i, w) in self.power_gpu_watts.iter().enumerate() {
+            push_num_field(&mut out, &format!("power_gpu_watts_{i}"), *w);
+        }
+        // Drop the trailing comma.
+        if out.ends_with(',') {
+            out.pop();
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse the flat Variorum JSON object produced by [`Self::to_json`].
+    ///
+    /// This is a minimal parser for the flat `{"k": v, ...}` shape — not a
+    /// general JSON parser. Unknown keys are ignored so the format can
+    /// grow.
+    pub fn from_json(s: &str) -> Option<NodePowerSample> {
+        let body = s.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut hostname = String::new();
+        let mut timestamp_us = 0u64;
+        let mut node = None;
+        let mut mem = None;
+        let mut cpu: Vec<(usize, f64)> = Vec::new();
+        let mut gpu: Vec<(usize, f64)> = Vec::new();
+
+        for pair in split_top_level(body) {
+            let (k, v) = pair.split_once(':')?;
+            let key = k.trim().trim_matches('"');
+            let val = v.trim();
+            match key {
+                "hostname" => hostname = val.trim_matches('"').to_owned(),
+                "timestamp_us" => {
+                    // Accept both integer (current writer) and float
+                    // (older encodings) forms.
+                    timestamp_us = match val.parse::<u64>() {
+                        Ok(t) => t,
+                        Err(_) => val.parse::<f64>().ok()? as u64,
+                    }
+                }
+                "power_node_watts" => node = Some(val.parse().ok()?),
+                "power_mem_watts" => mem = Some(val.parse().ok()?),
+                _ => {
+                    if let Some(idx) = key.strip_prefix("power_cpu_watts_socket_") {
+                        cpu.push((idx.parse().ok()?, val.parse().ok()?));
+                    } else if let Some(idx) = key.strip_prefix("power_gpu_watts_") {
+                        gpu.push((idx.parse().ok()?, val.parse().ok()?));
+                    }
+                }
+            }
+        }
+        cpu.sort_by_key(|(i, _)| *i);
+        gpu.sort_by_key(|(i, _)| *i);
+        Some(NodePowerSample {
+            hostname,
+            timestamp_us,
+            power_node_watts: node,
+            power_cpu_watts: cpu.into_iter().map(|(_, w)| w).collect(),
+            power_mem_watts: mem,
+            power_gpu_watts: gpu.into_iter().map(|(_, w)| w).collect(),
+        })
+    }
+
+    /// Approximate in-memory size of the JSON encoding, used for the
+    /// monitor's buffer accounting (the paper sizes its ring buffer as
+    /// "100,000 instances of the Variorum JSON object" ≈ 43.4 MB).
+    pub fn json_size_bytes(&self) -> usize {
+        self.to_json().len()
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    out.push_str(val);
+    out.push_str("\",");
+}
+
+fn push_int_field(out: &mut String, key: &str, val: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&val.to_string());
+    out.push(',');
+}
+
+fn push_num_field(out: &mut String, key: &str, val: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    // Fixed precision keeps records compact and diffable.
+    out.push_str(&format!("{val:.3}"));
+    out.push(',');
+}
+
+/// Split `a:1,b:"x,y"` on commas not inside strings.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => depth_quote = !depth_quote,
+            ',' if !depth_quote => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < s.len() {
+        parts.push(&s[start..]);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxpm_hw::{lassen, tioga, NodeHardware, NodeId, PowerDemand, Sensors, Watts};
+
+    fn lassen_sample() -> NodePowerSample {
+        let mut n = NodeHardware::new(NodeId(0), lassen(), 1);
+        n.sensors = Sensors::new(&n.arch, 0).with_noise(0.0);
+        let arch = n.arch.clone();
+        n.set_demand(PowerDemand {
+            cpu: vec![Watts(150.0); 2],
+            memory: Watts(80.0),
+            gpu: vec![Watts(250.0); 4],
+            other: arch.other,
+        });
+        let r = n.read_sensors();
+        NodePowerSample::from_reading("lassen7", 2_000_000, &r)
+    }
+
+    #[test]
+    fn lassen_sample_has_all_keys() {
+        let s = lassen_sample();
+        let json = s.to_json();
+        assert!(json.contains("\"hostname\":\"lassen7\""));
+        assert!(json.contains("power_node_watts"));
+        assert!(json.contains("power_cpu_watts_socket_0"));
+        assert!(json.contains("power_cpu_watts_socket_1"));
+        assert!(json.contains("power_mem_watts"));
+        assert!(json.contains("power_gpu_watts_3"));
+    }
+
+    #[test]
+    fn tioga_sample_omits_node_and_mem() {
+        let mut n = NodeHardware::new(NodeId(0), tioga(), 1);
+        n.sensors = Sensors::new(&n.arch, 0).with_noise(0.0);
+        let r = n.read_sensors();
+        let s = NodePowerSample::from_reading("tioga3", 0, &r);
+        let json = s.to_json();
+        assert!(!json.contains("power_node_watts"));
+        assert!(!json.contains("power_mem_watts"));
+        assert!(json.contains("power_gpu_watts_3"), "4 OAM readings");
+        assert!(!json.contains("power_gpu_watts_4"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = lassen_sample();
+        let parsed = NodePowerSample::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed.hostname, s.hostname);
+        assert_eq!(parsed.timestamp_us, s.timestamp_us);
+        assert_eq!(parsed.power_cpu_watts.len(), 2);
+        assert_eq!(parsed.power_gpu_watts.len(), 4);
+        assert!((parsed.node_power_estimate() - s.node_power_estimate()).abs() < 0.01);
+    }
+
+    #[test]
+    fn estimate_prefers_direct_measurement() {
+        let s = NodePowerSample {
+            hostname: "x".into(),
+            timestamp_us: 0,
+            power_node_watts: Some(1000.0),
+            power_cpu_watts: vec![100.0],
+            power_mem_watts: None,
+            power_gpu_watts: vec![200.0],
+        };
+        assert_eq!(s.node_power_estimate(), 1000.0);
+        let s2 = NodePowerSample {
+            power_node_watts: None,
+            ..s
+        };
+        assert_eq!(s2.node_power_estimate(), 300.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(NodePowerSample::from_json("not json").is_none());
+        assert!(NodePowerSample::from_json("{\"timestamp_us\":abc}").is_none());
+    }
+
+    #[test]
+    fn parse_ignores_unknown_keys() {
+        let json = "{\"hostname\":\"h\",\"timestamp_us\":5,\"future_key\":1.0}";
+        let s = NodePowerSample::from_json(json).unwrap();
+        assert_eq!(s.hostname, "h");
+        assert_eq!(s.timestamp_us, 5);
+    }
+
+    #[test]
+    fn record_size_is_plausible() {
+        // The paper stores 100,000 records in 43.4 MB => ~434 bytes per
+        // record (full JSON with more keys than we carry). Ours should be
+        // the same order of magnitude.
+        let sz = lassen_sample().json_size_bytes();
+        assert!((100..600).contains(&sz), "record size {sz}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the Variorum JSON encoding.
+
+use fluxpm_variorum::NodePowerSample;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn any_sample()(
+        hostname in "[a-z][a-z0-9]{0,15}",
+        timestamp_us in 0u64..u64::MAX / 2,
+        node in prop::option::of(0.0f64..10_000.0),
+        cpu in prop::collection::vec(0.0f64..1_000.0, 0..4),
+        mem in prop::option::of(0.0f64..500.0),
+        gpu in prop::collection::vec(0.0f64..600.0, 0..8),
+    ) -> NodePowerSample {
+        NodePowerSample {
+            hostname,
+            timestamp_us,
+            power_node_watts: node,
+            power_cpu_watts: cpu,
+            power_mem_watts: mem,
+            power_gpu_watts: gpu,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every sample round-trips through the JSON encoding with values
+    /// preserved to the writer's 3-decimal precision.
+    #[test]
+    fn json_round_trip(sample in any_sample()) {
+        let json = sample.to_json();
+        let parsed = NodePowerSample::from_json(&json).expect("parses");
+        prop_assert_eq!(&parsed.hostname, &sample.hostname);
+        prop_assert_eq!(parsed.timestamp_us, sample.timestamp_us);
+        prop_assert_eq!(parsed.power_cpu_watts.len(), sample.power_cpu_watts.len());
+        prop_assert_eq!(parsed.power_gpu_watts.len(), sample.power_gpu_watts.len());
+        let close = |a: f64, b: f64| (a - b).abs() < 0.001;
+        match (parsed.power_node_watts, sample.power_node_watts) {
+            (Some(a), Some(b)) => prop_assert!(close(a, b)),
+            (None, None) => {}
+            other => prop_assert!(false, "node mismatch {other:?}"),
+        }
+        for (a, b) in parsed.power_cpu_watts.iter().zip(sample.power_cpu_watts.iter()) {
+            prop_assert!(close(*a, *b));
+        }
+        for (a, b) in parsed.power_gpu_watts.iter().zip(sample.power_gpu_watts.iter()) {
+            prop_assert!(close(*a, *b));
+        }
+    }
+
+    /// The node estimate is the direct value when present, else the
+    /// CPU+GPU sum — never negative.
+    #[test]
+    fn node_estimate_definition(sample in any_sample()) {
+        let est = sample.node_power_estimate();
+        match sample.power_node_watts {
+            Some(w) => prop_assert_eq!(est, w),
+            None => {
+                let sum = sample.cpu_total() + sample.gpu_total();
+                prop_assert!((est - sum).abs() < 1e-9);
+            }
+        }
+        prop_assert!(est >= 0.0);
+    }
+
+    /// Encoded size is bounded and grows with device count.
+    #[test]
+    fn json_size_bounded(sample in any_sample()) {
+        let sz = sample.json_size_bytes();
+        prop_assert!((30..1024).contains(&sz), "size {sz}");
+    }
+}

@@ -1,0 +1,354 @@
+//! The five paper applications with calibrated constants.
+//!
+//! Calibration sources (all from the paper):
+//!
+//! * Table II — runtimes and average per-node power at 4 and 8 nodes on
+//!   both machines,
+//! * Table III/IV — GEMM/Quicksilver behaviour under node and GPU caps,
+//! * Fig. 1 — demand signal shapes (Quicksilver periodic, LAMMPS flat),
+//! * §IV-A — the Quicksilver HIP anomaly on Tioga (~8× the Lassen
+//!   runtime instead of the expected 2×).
+//!
+//! Each constant's comment names the number it was fitted against. The
+//! reproduction aims at *shape* (who wins, by what factor), not exact
+//! wattage.
+
+use crate::model::{AppModel, MachineProfile, PhasePattern, Scaling};
+
+/// LAMMPS (ML-SNAP, strongly scaled): compute-bound, flat power, high GPU
+/// draw that falls as the fixed problem spreads over more nodes.
+pub fn lammps() -> AppModel {
+    AppModel {
+        name: "LAMMPS",
+        scaling: Scaling::Strong,
+        gpu_frac: 0.85,
+        cpu_frac: 0.10,
+        knee: 0.85,
+        alpha: 0.50,
+        break_ratio: 0.0,
+        alpha_low: 0.50,
+        // Table II: 77.17 s on 4 Lassen nodes.
+        base_work: 77.17,
+        ref_nodes: 4,
+        // Table II: 77.17 -> 46.33 s from 4 -> 8 nodes => exponent 0.736.
+        strong_exp: 0.736,
+        // Table II: avg node power 1283 -> 1155 W from 4 -> 8 nodes; the
+        // decline is mostly GPU (Fig. 2) => per-GPU power ~ (ref/n)^0.19.
+        power_scale_exp: 0.19,
+        weak_growth: 0.0,
+        phase: PhasePattern::Flat,
+        // 2*140 + 4*220 + 90 + 40 = 1290 W/node @ 4 nodes (paper 1283.74).
+        lassen: MachineProfile::flat(140.0, 220.0, 90.0, 1.0, 1.0),
+        // Visible power 230 + 8*165 = 1550 W (paper 1552.40); runtime
+        // 51 s => speed 77.17/51 = 1.513 (paper Table II).
+        tioga: MachineProfile::flat(230.0, 165.0, 60.0, 1.513, 1.0),
+        crashes_on: None,
+    }
+}
+
+/// GEMM (RajaPerf kernel, weakly scaled): the most compute-bound app in
+/// the mix — flat, near-peak GPU draw, and the strongest response to GPU
+/// power caps (Table IV).
+pub fn gemm() -> AppModel {
+    AppModel {
+        name: "GEMM",
+        scaling: Scaling::Weak,
+        gpu_frac: 0.95,
+        cpu_frac: 0.03,
+        // Fitted to Table IV: no measurable slowdown at the 253.5 W
+        // derived cap (564 vs 548 s); gentle response to moderate caps
+        // (FPP's 50 W probe costs <2 %, paper +0.8 % runtime); 2.09x at
+        // the 100 W cap (throttle 0.208 -> speed 0.478, 1145 s).
+        knee: 0.83,
+        alpha: 0.25,
+        break_ratio: 0.40,
+        alpha_low: 0.85,
+        // Table I inputs: ~274 s; the Table IV runs double the iteration
+        // count (548 s), applied via `App::with_work_scale(2.0)`.
+        base_work: 274.0,
+        ref_nodes: 4,
+        strong_exp: 0.0,
+        power_scale_exp: 0.0,
+        weak_growth: 0.01,
+        phase: PhasePattern::Flat,
+        // 2*100 + 4*290 + 80 + 40 = 1480 W/node (paper max 1523 W
+        // unconstrained, 1330 W at the 253.5 W GPU cap => GPU demand
+        // ~290 W with a 0.83 knee).
+        lassen: MachineProfile::flat(100.0, 290.0, 80.0, 1.0, 1.0),
+        tioga: MachineProfile::flat(240.0, 170.0, 60.0, 1.0, 1.0),
+        crashes_on: None,
+    }
+}
+
+/// Quicksilver (Monte Carlo transport proxy, weakly scaled): the one app
+/// with clear periodic phase behaviour (Fig. 1b) — FPP's target case.
+pub fn quicksilver() -> AppModel {
+    AppModel {
+        name: "Quicksilver",
+        scaling: Scaling::Weak,
+        gpu_frac: 0.30,
+        cpu_frac: 0.50,
+        knee: 0.90,
+        alpha: 0.50,
+        break_ratio: 0.0,
+        alpha_low: 0.50,
+        // Table II: 12.78 s at 4 Lassen nodes with the Table I inputs.
+        base_work: 12.78,
+        ref_nodes: 4,
+        strong_exp: 0.0,
+        power_scale_exp: 0.0,
+        // Table II: 12.78 -> 13.63 s from 4 -> 8 nodes (+6.6 %/doubling).
+        weak_growth: 0.066,
+        // Fig. 1b: ~10 s cycles, short high-power bursts.
+        phase: PhasePattern::Square {
+            period_s: 10.0,
+            duty: 0.13,
+        },
+        // High phase 2*140 + 4*140 + 70 + 40 = 910 W (paper max 952 W);
+        // low phase 2*75 + 4*50 + 70 + 40 = 460 W; duty 0.13 => average
+        // ~519 W and per-node energy 519*348 = 180 kJ (paper Table II avg
+        // 547 W; Table IV energy 160-177 kJ).
+        lassen: MachineProfile {
+            cpu_w: 140.0,
+            gpu_w: 140.0,
+            mem_w: 70.0,
+            low_cpu_w: 75.0,
+            low_gpu_w: 50.0,
+            speed: 1.0,
+            work_mult: 1.0,
+        },
+        // §IV-A HIP anomaly: expected ~2x (task doubling) but measured
+        // ~8x (102-106 s vs 12.78 s) => work_mult 8 = 2 (tasks) * 4
+        // (anomalous HIP variant). Visible power high 200 + 8*130 =
+        // 1240 W, low 120 + 8*85 = 800 W => average ~888 W (paper
+        // 915-925 W).
+        tioga: MachineProfile {
+            cpu_w: 200.0,
+            gpu_w: 130.0,
+            mem_w: 60.0,
+            low_cpu_w: 120.0,
+            low_gpu_w: 85.0,
+            speed: 1.0,
+            work_mult: 8.0,
+        },
+        crashes_on: None,
+    }
+}
+
+/// Laghos (high-order Lagrangian hydro, weakly scaled): CPU-heavy with
+/// minor power phases; nearly insensitive to GPU caps.
+pub fn laghos() -> AppModel {
+    AppModel {
+        name: "Laghos",
+        scaling: Scaling::Weak,
+        gpu_frac: 0.10,
+        cpu_frac: 0.80,
+        knee: 0.90,
+        alpha: 0.60,
+        break_ratio: 0.0,
+        alpha_low: 0.60,
+        // Table II: 12.55 s at 4 Lassen nodes.
+        base_work: 12.55,
+        ref_nodes: 4,
+        strong_exp: 0.0,
+        power_scale_exp: 0.0,
+        // Table II: 12.55 -> 12.62 s from 4 -> 8 nodes.
+        weak_growth: 0.006,
+        // §II-D: "some phase behavior, albeit very minor".
+        phase: PhasePattern::Sine {
+            period_s: 8.0,
+            amplitude: 0.12,
+        },
+        // 2*85 + 4*55 + 60 + 40 = 490 W/node (paper 469-473 W).
+        lassen: MachineProfile::flat(85.0, 55.0, 60.0, 1.0, 1.0),
+        // Task doubling => work_mult 2; 26.7 s vs 12.55 s => speed 0.94.
+        // Visible power 170 + 8*45 = 530 W (paper 530-532 W).
+        tioga: MachineProfile {
+            cpu_w: 170.0,
+            gpu_w: 45.0,
+            mem_w: 50.0,
+            low_cpu_w: 170.0,
+            low_gpu_w: 45.0,
+            speed: 0.94,
+            work_mult: 2.0,
+        },
+        crashes_on: None,
+    }
+}
+
+/// NQueens (Charm++, CPU-only, weakly scaled): the non-MPI demonstration
+/// app (paper §IV-F, Fig. 7). GPUs stay at idle.
+pub fn nqueens() -> AppModel {
+    AppModel {
+        name: "NQueens",
+        scaling: Scaling::Weak,
+        gpu_frac: 0.0,
+        cpu_frac: 0.95,
+        knee: 0.90,
+        alpha: 0.70,
+        break_ratio: 0.0,
+        alpha_low: 0.70,
+        // 14 queens, grainsize 1000, +p160: a few-minute CPU run.
+        base_work: 300.0,
+        ref_nodes: 2,
+        strong_exp: 0.0,
+        power_scale_exp: 0.0,
+        weak_growth: 0.0,
+        phase: PhasePattern::Flat,
+        // 2*170 + 4*50 + 50 + 40 = 630 W/node, all CPU-side.
+        lassen: MachineProfile::flat(170.0, 50.0, 50.0, 1.0, 1.0),
+        tioga: MachineProfile::flat(260.0, 45.0, 40.0, 1.0, 1.0),
+        crashes_on: None,
+    }
+}
+
+/// Kripke (deterministic Sn transport proxy): a sixth application the
+/// paper *tried* to run — "Kripke execution failed on the Tioga system"
+/// (§V). On Lassen it behaves like a moderately GPU-bound transport
+/// code; on Tioga it crashes at startup, exercising the exception path.
+pub fn kripke() -> AppModel {
+    AppModel {
+        name: "Kripke",
+        scaling: Scaling::Weak,
+        gpu_frac: 0.55,
+        cpu_frac: 0.35,
+        knee: 0.88,
+        alpha: 0.55,
+        break_ratio: 0.0,
+        alpha_low: 0.55,
+        base_work: 45.0,
+        ref_nodes: 4,
+        strong_exp: 0.0,
+        power_scale_exp: 0.0,
+        weak_growth: 0.02,
+        phase: PhasePattern::Flat,
+        // 2*120 + 4*180 + 85 + 40 = 1085 W/node on Lassen.
+        lassen: MachineProfile::flat(120.0, 180.0, 85.0, 1.0, 1.0),
+        tioga: MachineProfile::flat(210.0, 120.0, 60.0, 1.0, 2.0),
+        crashes_on: Some(fluxpm_hw::MachineKind::Tioga),
+    }
+}
+
+/// All five applications, in the paper's order. (Kripke, which the paper
+/// could not run, is available separately via [`kripke`].)
+pub fn all_apps() -> Vec<AppModel> {
+    vec![lammps(), gemm(), quicksilver(), laghos(), nqueens()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxpm_hw::MachineKind::{Lassen, Tioga};
+
+    /// Average node power for a model on Lassen (duty-weighted).
+    fn avg_lassen_power(m: &AppModel, n: u32) -> f64 {
+        let p = &m.lassen;
+        let gpu = m.gpu_demand_at(Lassen, n);
+        let low_gpu = p.low_gpu_w * (gpu / p.gpu_w);
+        let (hi_frac, lo_frac) = match m.phase {
+            PhasePattern::Square { duty, .. } => (duty, 1.0 - duty),
+            _ => (1.0, 0.0),
+        };
+        let hi = 2.0 * p.cpu_w + 4.0 * gpu + p.mem_w + 40.0;
+        let lo = 2.0 * p.low_cpu_w + 4.0 * low_gpu + p.mem_w + 40.0;
+        hi_frac * hi + lo_frac * lo
+    }
+
+    #[test]
+    fn lammps_power_matches_table2() {
+        let m = lammps();
+        // Paper: 1283.74 W @ 4 nodes, 1155.08 W @ 8 nodes.
+        let p4 = avg_lassen_power(&m, 4);
+        let p8 = avg_lassen_power(&m, 8);
+        assert!((p4 - 1283.74).abs() / 1283.74 < 0.05, "4-node {p4}");
+        assert!((p8 - 1155.08).abs() / 1155.08 < 0.05, "8-node {p8}");
+    }
+
+    #[test]
+    fn lammps_tioga_runtime_matches_table2() {
+        let m = lammps();
+        let rt4 = m.work_for(Tioga, 4) / m.tioga.speed;
+        assert!((rt4 - 51.0).abs() < 2.0, "{rt4}");
+        let rt8 = m.work_for(Tioga, 8) / m.tioga.speed;
+        assert!((rt8 - 29.67).abs() < 2.0, "{rt8}");
+    }
+
+    #[test]
+    fn quicksilver_hip_anomaly() {
+        let m = quicksilver();
+        let rt = m.work_for(Tioga, 4) / m.tioga.speed;
+        assert!((102.0..=107.0).contains(&rt), "paper: 102.03 s, got {rt}");
+    }
+
+    #[test]
+    fn quicksilver_average_power_plausible() {
+        let m = quicksilver();
+        let avg = avg_lassen_power(&m, 4);
+        // Paper: 546.99 W @ 4 nodes.
+        assert!((avg - 547.0).abs() / 547.0 < 0.1, "{avg}");
+    }
+
+    #[test]
+    fn laghos_power_and_runtime() {
+        let m = laghos();
+        let avg = avg_lassen_power(&m, 4);
+        assert!((avg - 472.91).abs() / 472.91 < 0.06, "{avg}");
+        let rt_t = m.work_for(Tioga, 4) / m.tioga.speed;
+        assert!((rt_t - 26.71).abs() < 1.0, "{rt_t}");
+    }
+
+    #[test]
+    fn gemm_is_most_compute_bound() {
+        let apps = all_apps();
+        let gemm_frac = gemm().gpu_frac;
+        for a in &apps {
+            assert!(a.gpu_frac <= gemm_frac, "{} vs GEMM", a.name);
+        }
+    }
+
+    #[test]
+    fn gemm_slowdown_under_ibm_default_cap() {
+        // Table IV: GEMM 548 s unconstrained -> 1145 s at the 100 W GPU
+        // cap (2.09x). Throttle = (100-50)/(290-50) = 0.2083.
+        let m = gemm();
+        let speed = m.app_speed(0.2083, 1.0);
+        let slowdown = 1.0 / speed;
+        assert!((slowdown - 2.09).abs() < 0.15, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn gemm_unaffected_at_derived_1950_cap() {
+        // Table IV: 564 vs 548 s (<3 %) at the 253.5 W cap.
+        // Throttle = (253.5-50)/(290-50) = 0.848 — above the knee.
+        let m = gemm();
+        assert_eq!(m.app_speed(0.848, 1.0), 1.0);
+    }
+
+    #[test]
+    fn quicksilver_barely_affected_by_caps() {
+        // Table IV: 348 -> 359 s (3 %) under the IBM default cap.
+        let m = quicksilver();
+        // High-phase throttle at 100 W cap: (100-50)/(140-50) = 0.556,
+        // but only 13 % of time is high phase; weight accordingly.
+        let high_speed = m.app_speed(0.556, 1.0);
+        let avg_speed = 0.13 * high_speed + 0.87 * 1.0;
+        let slowdown = 1.0 / avg_speed;
+        assert!(slowdown < 1.08, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn nqueens_ignores_gpu_caps() {
+        let m = nqueens();
+        assert_eq!(m.app_speed(0.1, 1.0), 1.0, "CPU-only app");
+        assert!(m.app_speed(1.0, 0.5) < 1.0, "but CPU caps bite");
+    }
+
+    #[test]
+    fn all_apps_have_distinct_names() {
+        let apps = all_apps();
+        let mut names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

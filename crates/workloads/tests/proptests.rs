@@ -1,0 +1,65 @@
+//! Property-based tests for the application models.
+
+use fluxpm_hw::MachineKind;
+use fluxpm_workloads::{all_apps, AppModel};
+use proptest::prelude::*;
+
+fn any_app() -> impl Strategy<Value = AppModel> {
+    (0usize..5).prop_map(|i| all_apps().remove(i))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Component speed is in (0, 1], equals 1 above the knee, and is
+    /// monotone non-decreasing in the throttle ratio.
+    #[test]
+    fn component_speed_properties(app in any_app(), t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let s_lo = app.component_speed(lo);
+        let s_hi = app.component_speed(hi);
+        prop_assert!(s_lo > 0.0 && s_lo <= 1.0);
+        prop_assert!(s_lo <= s_hi + 1e-12, "monotone: {s_lo} vs {s_hi}");
+        prop_assert_eq!(app.component_speed(1.0), 1.0);
+        if lo >= app.knee {
+            prop_assert_eq!(s_lo, 1.0);
+        }
+    }
+
+    /// App speed composition is bounded by the slowest component's
+    /// response and never exceeds 1.
+    #[test]
+    fn app_speed_properties(app in any_app(), gt in 0.05f64..1.0, ct in 0.05f64..1.0) {
+        let s = app.app_speed(gt, ct);
+        prop_assert!(s > 0.0 && s <= 1.0 + 1e-12);
+        // Fully-throttled everything is the floor.
+        prop_assert!(app.app_speed(gt.min(ct), gt.min(ct)) <= s + 1e-9);
+        // Relaxing a throttle never slows the app down.
+        prop_assert!(app.app_speed(1.0, ct) + 1e-12 >= s);
+        prop_assert!(app.app_speed(gt, 1.0) + 1e-12 >= s);
+    }
+
+    /// Work is positive on both machines at any node count, and strong
+    /// scaling strictly decreases work with node count while weak
+    /// scaling never decreases it.
+    #[test]
+    fn work_scaling_properties(app in any_app(), n1 in 1u32..33, n2 in 1u32..33) {
+        prop_assume!(n1 < n2);
+        for machine in [MachineKind::Lassen, MachineKind::Tioga] {
+            let w1 = app.work_for(machine, n1);
+            let w2 = app.work_for(machine, n2);
+            prop_assert!(w1 > 0.0 && w2 > 0.0);
+            match app.scaling {
+                fluxpm_workloads::Scaling::Strong => prop_assert!(w2 < w1),
+                fluxpm_workloads::Scaling::Weak => prop_assert!(w2 >= w1 - 1e-9),
+            }
+        }
+    }
+
+    /// GPU demand is within the device envelope at every node count.
+    #[test]
+    fn gpu_demand_in_envelope(app in any_app(), n in 1u32..33) {
+        let d = app.gpu_demand_at(MachineKind::Lassen, n);
+        prop_assert!(d > 0.0 && d <= 300.0, "demand {d}");
+    }
+}

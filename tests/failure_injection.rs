@@ -1,0 +1,177 @@
+//! Failure-injection integration tests: the production anomalies the
+//! paper reports in §V, reproduced end-to-end.
+
+use fluxpm::flux::{Engine, FluxEngine, JobSpec, World};
+use fluxpm::hw::{MachineKind, NodeHardware, NodeId, Watts};
+use fluxpm::monitor::{fetch_job_data, MonitorConfig};
+use fluxpm::sim::SimDuration;
+use fluxpm::workloads::{laghos, App, JitterModel};
+
+/// §V: "on some nodes at a low node-level power cap (1200 W), NVIDIA GPU
+/// power capping failed intermittently, either picking up the last set
+/// power cap or defaulting to the maximum power cap."
+#[test]
+fn nvml_intermittent_failures_at_low_node_cap() {
+    let arch = fluxpm::hw::lassen();
+    let mut node = NodeHardware::new(NodeId(0), arch, 77).with_nvml_failure_injection(0.3);
+    node.set_node_cap(Watts(1200.0)).unwrap();
+
+    let mut applied = 0;
+    let mut stale = 0;
+    let mut reset = 0;
+    for attempt in 0..200 {
+        let target = if attempt % 2 == 0 { 150.0 } else { 120.0 };
+        match node.set_gpu_cap(attempt % 4, Watts(target)).unwrap() {
+            fluxpm::hw::CapOutcome::Applied(_) => applied += 1,
+            fluxpm::hw::CapOutcome::StalePrevious(_) => stale += 1,
+            fluxpm::hw::CapOutcome::ResetToDefault(w) => {
+                assert_eq!(w, Watts(300.0));
+                reset += 1;
+            }
+        }
+    }
+    assert!(applied > 100, "most sets succeed: {applied}");
+    assert!(
+        stale > 5 && reset > 5,
+        "both failure modes occur: {stale}/{reset}"
+    );
+    assert_eq!(node.nvml.failure_count() as usize, stale + reset);
+
+    // At a high node cap the same node never fails.
+    node.set_node_cap(Watts(1950.0)).unwrap();
+    for _ in 0..50 {
+        assert!(node.set_gpu_cap(0, Watts(200.0)).unwrap().succeeded());
+    }
+}
+
+/// Buffer wrap produces the "partial" completeness flag end-to-end: a job
+/// longer than the buffer window loses its earliest samples.
+#[test]
+fn buffer_wrap_yields_partial_job_data() {
+    let mut world = World::new(MachineKind::Lassen, 2, 21);
+    world.autostop_after = Some(1);
+    let mut eng: FluxEngine = Engine::new();
+    // Tiny buffer: 20 records at 2 s sampling = a 40 s retention window.
+    let cfg = MonitorConfig::default().with_buffer_capacity(20);
+    fluxpm::monitor::load(&mut world, &mut eng, cfg);
+    world.install_executor(&mut eng);
+    // A ~100 s job overflows the window.
+    let app = App::with_jitter(laghos(), MachineKind::Lassen, 1, 1, JitterModel::none())
+        .with_work_seconds(100.0);
+    let id = world.submit(&mut eng, JobSpec::new("Laghos", 1), Box::new(app));
+    eng.run(&mut world);
+
+    let mut eng2: FluxEngine = Engine::new();
+    let slot = fetch_job_data(&mut world, &mut eng2, id);
+    eng2.run(&mut world);
+    let reply = slot.borrow().clone().unwrap().unwrap();
+    assert!(
+        !reply.all_complete(),
+        "wrapped buffer must flag partial data"
+    );
+    assert_eq!(reply.nodes[0].records.len(), 20, "only the retained window");
+    // The CSV carries the partial flag.
+    let csv = fluxpm::monitor::job_data_to_csv(&reply);
+    assert!(csv.contains("partial"));
+}
+
+/// Monitor sampling keeps running (and stays bounded) across many jobs —
+/// the stateless design never accumulates per-job state.
+#[test]
+fn node_agent_state_is_bounded_across_jobs() {
+    let mut world = World::new(MachineKind::Lassen, 2, 33);
+    world.autostop_after = Some(6);
+    let mut eng: FluxEngine = Engine::new();
+    let agent = fluxpm::monitor::NodeAgent::shared(
+        MonitorConfig::default()
+            .with_sample_interval(SimDuration::from_secs(1))
+            .with_buffer_capacity(50),
+    );
+    world.load_module(&mut eng, fluxpm::flux::Rank(0), agent.clone());
+    world.install_executor(&mut eng);
+    for i in 0..6u64 {
+        let app = App::with_jitter(laghos(), MachineKind::Lassen, 2, i, JitterModel::none());
+        world.submit(&mut eng, JobSpec::new("Laghos", 2), Box::new(app));
+    }
+    eng.run(&mut world);
+    let a = agent.borrow();
+    assert!(a.retained() <= 50, "ring buffer bounded: {}", a.retained());
+    assert!(a.samples_taken() > 50, "sampling continued across jobs");
+    assert_eq!(a.samples_taken() - a.retained() as u64, a.overwritten());
+}
+
+/// Tioga gracefully refuses capping while telemetry keeps working — the
+/// early-access posture from §II-A.
+#[test]
+fn tioga_cap_refusal_does_not_break_management() {
+    let mut world = World::new(MachineKind::Tioga, 4, 55);
+    world.autostop_after = Some(1);
+    let mut eng: FluxEngine = Engine::new();
+    fluxpm::manager::load(
+        &mut world,
+        &mut eng,
+        fluxpm::manager::ManagerConfig::proportional(Watts(4000.0)),
+    );
+    fluxpm::monitor::load(&mut world, &mut eng, MonitorConfig::default());
+    world.install_executor(&mut eng);
+    let app = App::with_jitter(laghos(), MachineKind::Tioga, 2, 1, JitterModel::none());
+    let id = world.submit(&mut eng, JobSpec::new("Laghos", 2), Box::new(app));
+    eng.run(&mut world);
+    assert!(world.jobs.get(id).unwrap().runtime_seconds().is_some());
+
+    let mut eng2: FluxEngine = Engine::new();
+    let slot = fetch_job_data(&mut world, &mut eng2, id);
+    eng2.run(&mut world);
+    let reply = slot.borrow().clone().unwrap().unwrap();
+    assert!(
+        reply.sample_count() > 0,
+        "telemetry unaffected by cap refusal"
+    );
+    // No sample carries a direct node reading on Tioga.
+    for node in &reply.nodes {
+        for r in &node.records {
+            assert!(r.sample.power_node_watts.is_none());
+        }
+    }
+}
+
+/// §V: "Kripke execution failed on the Tioga system" — the program
+/// crashes, the job transitions to Failed, and the queue moves on.
+#[test]
+fn kripke_crashes_on_tioga_but_runs_on_lassen() {
+    use fluxpm::flux::JobState;
+    use fluxpm::workloads::kripke;
+
+    // Lassen: runs fine.
+    let mut w = World::new(MachineKind::Lassen, 4, 3);
+    w.autostop_after = Some(1);
+    let mut eng: FluxEngine = Engine::new();
+    w.install_executor(&mut eng);
+    let app = App::with_jitter(kripke(), MachineKind::Lassen, 4, 1, JitterModel::none());
+    let id = w.submit(&mut eng, JobSpec::new("Kripke", 4), Box::new(app));
+    eng.run(&mut w);
+    assert_eq!(w.jobs.get(id).unwrap().state, JobState::Completed);
+    let rt = w.jobs.get(id).unwrap().runtime_seconds().unwrap();
+    assert!((rt - 45.0).abs() < 3.0, "{rt}");
+
+    // Tioga: crashes at the first slice; a queued job still runs after.
+    let mut w = World::new(MachineKind::Tioga, 4, 3);
+    w.trace = fluxpm::sim::Trace::enabled(fluxpm::sim::TraceLevel::Warn);
+    w.autostop_after = Some(2);
+    let mut eng: FluxEngine = Engine::new();
+    w.install_executor(&mut eng);
+    let doomed = App::with_jitter(kripke(), MachineKind::Tioga, 4, 1, JitterModel::none());
+    let a = w.submit(&mut eng, JobSpec::new("Kripke", 4), Box::new(doomed));
+    let follow = App::with_jitter(laghos(), MachineKind::Tioga, 4, 2, JitterModel::none());
+    let b = w.submit(&mut eng, JobSpec::new("Laghos", 4), Box::new(follow));
+    eng.run(&mut w);
+    assert_eq!(w.jobs.get(a).unwrap().state, JobState::Failed);
+    assert_eq!(w.jobs.get(b).unwrap().state, JobState::Completed);
+    assert!(
+        w.trace
+            .for_subsystem("job")
+            .any(|e| e.message.contains("crashed") && e.message.contains("Kripke does not run")),
+        "crash reason traced"
+    );
+    assert_eq!(w.sched.free_count(), 4, "crashed job's nodes reclaimed");
+}
