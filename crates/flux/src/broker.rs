@@ -14,6 +14,9 @@ pub struct Broker {
     modules: HashMap<&'static str, SharedModule>,
     /// Topic → module dispatch table (exact match).
     routes: HashMap<String, SharedModule>,
+    /// Liveness: a downed broker neither originates, receives, nor
+    /// relays overlay traffic ([`crate::World::fail_node`] flips this).
+    up: bool,
 }
 
 impl Broker {
@@ -24,17 +27,29 @@ impl Broker {
             hostname,
             modules: HashMap::new(),
             routes: HashMap::new(),
+            up: true,
         }
     }
 
+    /// Whether this broker is alive on the overlay.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Take the broker down permanently (node failure). Idempotent.
+    pub fn set_down(&mut self) {
+        self.up = false;
+    }
+
     /// Register a module and its topic routes. Returns `false` (and
-    /// changes nothing) if a module with the same name is already loaded.
+    /// changes nothing) if a module with the same name is already loaded
+    /// or the broker is down.
     pub fn register(&mut self, module: SharedModule) -> bool {
         let (name, topics) = {
             let m = module.borrow();
             (m.name(), m.topics())
         };
-        if self.modules.contains_key(name) {
+        if !self.up || self.modules.contains_key(name) {
             return false;
         }
         self.modules.insert(name, Rc::clone(&module));
@@ -133,6 +148,20 @@ mod tests {
         assert!(b.route("a").is_none());
         assert!(b.route("c").is_some());
         assert!(!b.unregister("mon"), "double unload is a no-op");
+    }
+
+    #[test]
+    fn downed_broker_rejects_registration() {
+        let mut b = Broker::new(Rank(0), "h".into());
+        assert!(b.is_up());
+        b.register(dummy("mon", &["a"]));
+        b.set_down();
+        assert!(!b.is_up());
+        assert!(!b.register(dummy("mgr", &["c"])), "no loads while down");
+        // Existing state is still inspectable (for post-mortem checks).
+        assert!(b.module("mon").is_some());
+        b.set_down(); // idempotent
+        assert!(!b.is_up());
     }
 
     #[test]

@@ -38,4 +38,4 @@ pub use module::{Module, ModuleCtx, SharedModule};
 pub use sched::FcfsScheduler;
 pub use subinstance::{InstancePowerPolicy, SubInstance};
 pub use tbon::{Rank, Tbon};
-pub use world::{FluxEngine, World};
+pub use world::{FaultPlan, FluxEngine, RetryPolicy, World};

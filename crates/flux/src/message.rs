@@ -91,6 +91,22 @@ impl Message {
         }
     }
 
+    /// Build the synthesized error response delivered to a requester
+    /// whose RPC deadline expired before any real response arrived. It
+    /// carries no payload and an error string starting with
+    /// [`Message::TIMEOUT_ERROR`], so [`Message::is_timeout`] holds.
+    pub fn timeout_response(req: &Message) -> Message {
+        Message {
+            kind: MsgKind::Response,
+            topic: req.topic.clone(),
+            from: req.to,
+            to: req.from,
+            matchtag: req.matchtag,
+            payload: Rc::new(()),
+            error: Some(format!("{} on {}", Message::TIMEOUT_ERROR, req.topic)),
+        }
+    }
+
     /// Build an event message for one subscriber.
     pub fn event(from: Rank, to: Rank, topic: impl Into<String>, p: Payload) -> Message {
         Message {
@@ -112,6 +128,19 @@ impl Message {
     /// True for successful responses and all non-responses.
     pub fn is_ok(&self) -> bool {
         self.error.is_none()
+    }
+
+    /// Error-string prefix marking a synthesized deadline-expiry
+    /// response (as opposed to an error the service itself returned).
+    pub const TIMEOUT_ERROR: &'static str = "timeout";
+
+    /// True iff this is a synthesized RPC-deadline timeout response.
+    /// Retry helpers only retry these: a real error response means the
+    /// service is reachable and retrying would not change the answer.
+    pub fn is_timeout(&self) -> bool {
+        self.error
+            .as_deref()
+            .is_some_and(|e| e.starts_with(Message::TIMEOUT_ERROR))
     }
 }
 
@@ -159,6 +188,21 @@ mod tests {
         let m = Message::request(Rank(0), Rank(1), "t", payload(vec![1.0f64, 2.0]));
         assert_eq!(m.payload_as::<Vec<f64>>().unwrap(), &vec![1.0, 2.0]);
         assert!(m.payload_as::<u32>().is_none());
+    }
+
+    #[test]
+    fn timeout_response_shape() {
+        let mut req = Message::request(Rank(0), Rank(5), "svc.slow", payload(()));
+        req.matchtag = 7;
+        let t = Message::timeout_response(&req);
+        assert_eq!(t.kind, MsgKind::Response);
+        assert_eq!(t.matchtag, 7);
+        assert_eq!(t.to, Rank(0));
+        assert!(t.is_timeout());
+        assert!(!t.is_ok());
+        // A service-side error is not a timeout.
+        let e = Message::respond_error(&req, "no such job");
+        assert!(!e.is_timeout());
     }
 
     #[test]

@@ -152,6 +152,50 @@ impl Tbon {
         }
     }
 
+    /// The full route between two ranks, inclusive of both endpoints:
+    /// up from `from` to the common ancestor, then down to `to` —
+    /// exactly the brokers a message transits on the overlay. A
+    /// self-route is the single rank.
+    pub fn path(&self, from: Rank, to: Rank) -> Vec<Rank> {
+        // Climb both to the common ancestor, recording each leg.
+        let (mut a, mut b) = (from, to);
+        let (mut da, mut db) = (self.depth(a), self.depth(b));
+        let mut up = vec![a];
+        let mut down = vec![b];
+        while da > db {
+            a = self.parent(a).expect("non-root has parent");
+            da -= 1;
+            up.push(a);
+        }
+        while db > da {
+            b = self.parent(b).expect("non-root has parent");
+            db -= 1;
+            down.push(b);
+        }
+        while a != b {
+            a = self.parent(a).expect("non-root has parent");
+            b = self.parent(b).expect("non-root has parent");
+            up.push(a);
+            down.push(b);
+        }
+        // `up` ends at the common ancestor, which `down` also ends at:
+        // drop the duplicate and append the downward leg reversed.
+        down.pop();
+        up.extend(down.into_iter().rev());
+        up
+    }
+
+    /// Height of the subtree rooted at `rank`: 0 for a leaf, else
+    /// 1 + the tallest child subtree. Used to scale per-child RPC
+    /// deadlines so a parent never times out before its children can.
+    pub fn subtree_height(&self, rank: Rank) -> u32 {
+        self.children(rank)
+            .into_iter()
+            .map(|c| 1 + self.subtree_height(c))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Message latency between two ranks.
     pub fn latency(&self, from: Rank, to: Rank) -> SimDuration {
         SimDuration::from_micros(self.hop_latency.as_micros() * self.hops(from, to) as u64)
@@ -246,6 +290,46 @@ mod tests {
         assert!(!t.is_ancestor(Rank(1), Rank(5)));
         assert!(t.is_ancestor(Rank(3), Rank(3)), "self-ancestor");
         assert!(!t.is_ancestor(Rank(5), Rank(2)), "not symmetric");
+    }
+
+    #[test]
+    fn path_routes_through_common_ancestor() {
+        let t = Tbon::binary(7);
+        assert_eq!(t.path(Rank(3), Rank(3)), vec![Rank(3)], "self-route");
+        assert_eq!(t.path(Rank(0), Rank(3)), vec![Rank(0), Rank(1), Rank(3)]);
+        assert_eq!(t.path(Rank(3), Rank(0)), vec![Rank(3), Rank(1), Rank(0)]);
+        // Leaf to leaf across the tree crosses the root.
+        assert_eq!(
+            t.path(Rank(3), Rank(6)),
+            vec![Rank(3), Rank(1), Rank(0), Rank(2), Rank(6)]
+        );
+        // Siblings meet at their parent.
+        assert_eq!(t.path(Rank(5), Rank(6)), vec![Rank(5), Rank(2), Rank(6)]);
+    }
+
+    #[test]
+    fn path_length_matches_hops() {
+        let t = Tbon::new(31, 3);
+        for a in t.ranks() {
+            for b in t.ranks() {
+                let p = t.path(a, b);
+                assert_eq!(p.len() as u32, t.hops(a, b) + 1, "{a} -> {b}: {p:?}");
+                assert_eq!(p.first(), Some(&a));
+                assert_eq!(p.last(), Some(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_heights() {
+        let t = Tbon::binary(7);
+        assert_eq!(t.subtree_height(Rank(0)), 2);
+        assert_eq!(t.subtree_height(Rank(1)), 1);
+        assert_eq!(t.subtree_height(Rank(3)), 0, "leaf");
+        // Lopsided tree: 6 brokers, rank 2 has a single child.
+        let t = Tbon::binary(6);
+        assert_eq!(t.subtree_height(Rank(2)), 1);
+        assert_eq!(t.subtree_height(Rank(0)), 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::allocator::ProportionalAllocator;
 use crate::proto::{JobLimitMsg, PolicyKind, TOPIC_JOB_LIMIT};
 use crate::ManagerConfig;
 use fluxpm_flux::world::{EVENT_JOB_EXCEPTION, EVENT_JOB_FINISH, EVENT_JOB_START};
-use fluxpm_flux::{payload, JobId, Message, Module, ModuleCtx, MsgKind, Rank};
+use fluxpm_flux::{payload, JobId, Message, Module, ModuleCtx, MsgKind, Rank, RetryPolicy};
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -67,13 +67,26 @@ impl ClusterLevelManager {
         let Some(alloc) = &self.allocator else { return };
         let limits = alloc.all_job_limits();
         for (job, limit) in limits {
-            let msg = Message::request(
+            // Acked + retried so a lost push cannot leave the job-level
+            // manager holding a stale allocation.
+            ctx.world.rpc_with_retry(
+                ctx.eng,
                 Rank::ROOT,
                 Rank::ROOT,
                 TOPIC_JOB_LIMIT,
                 payload(JobLimitMsg { job, limit }),
+                RetryPolicy::default(),
+                move |world, eng, resp| {
+                    if resp.is_timeout() {
+                        world.trace.emit(
+                            eng.now(),
+                            TraceLevel::Warn,
+                            "manager",
+                            format!("job-limit push for {job:?} gave up: {:?}", resp.error),
+                        );
+                    }
+                },
             );
-            ctx.world.send(ctx.eng, msg);
             self.updates_sent += 1;
         }
     }

@@ -53,6 +53,12 @@ pub struct FppConfig {
     /// 50 % overlap) instead of the single-window estimate — more robust
     /// on noisy power traces at slightly coarser resolution.
     pub use_welch: bool,
+    /// Restore the pre-probe cap gradually — one level-scaled step from
+    /// `powercap_levels` per epoch — instead of jumping straight back.
+    /// Off by default: the paper's observed behavior is "instantly gives
+    /// back the power".
+    #[serde(default)]
+    pub staged_give_back: bool,
 }
 
 impl Default for FppConfig {
@@ -68,6 +74,7 @@ impl Default for FppConfig {
             min_gpu_cap: Watts(100.0),
             binding_margin: Watts(5.0),
             use_welch: false,
+            staged_give_back: false,
         }
     }
 }
@@ -132,6 +139,9 @@ pub struct FppController {
     t_prev: Option<f64>,
     /// `F_converge`.
     converged: bool,
+    /// In-flight staged give-back: `(target, per_epoch_step)`. Each
+    /// epoch steps the cap toward `target`, converging on arrival.
+    restoring: Option<(Watts, Watts)>,
     /// Epochs completed.
     epochs: u64,
     /// Power samples for the current epoch (reset each epoch, line 42).
@@ -167,6 +177,7 @@ impl FppController {
             prev_cap: None,
             t_prev: None,
             converged: false,
+            restoring: None,
             epochs: 0,
             buffer: Vec::new(),
         }
@@ -227,6 +238,18 @@ impl FppController {
         let samples = std::mem::take(&mut self.buffer);
         if self.converged {
             return FppDecision::Keep(self.cap);
+        }
+        // Staged give-back in flight: keep climbing toward the pre-probe
+        // cap, one step per epoch, and converge on arrival. The period
+        // estimate is irrelevant while restoring — the decision to give
+        // the power back has already been made.
+        if let Some((target, step)) = self.restoring {
+            self.cap = (self.cap + step).min(target);
+            if self.cap >= target {
+                self.restoring = None;
+                self.converged = true;
+            }
+            return FppDecision::Set(self.cap);
         }
         let rate = 1.0 / self.config.sample_period_s;
         let t_cur = if self.config.use_welch {
@@ -294,8 +317,12 @@ impl FppController {
         decision
     }
 
-    /// Give the power back: restore the pre-probe cap (stepping through
-    /// `powercap_levels` when the gap is small) and converge.
+    /// Give the power back toward the pre-probe cap. The step size is
+    /// scaled by how badly the application was affected (`delta_abs`
+    /// against `change_th` picks one of `powercap_levels`). By default
+    /// the cap jumps straight to the target — the paper's "instantly
+    /// gives back the power" — and converges; with `staged_give_back`
+    /// the cap climbs one step per epoch and converges on arrival.
     fn give_back(&mut self, delta_abs: f64) -> FppDecision {
         let target = self
             .prev_cap
@@ -304,16 +331,14 @@ impl FppController {
         let level = ((delta_abs / self.config.change_th_s) as usize).min(2);
         let step = self.config.powercap_levels[level];
         let stepped = self.cap + step;
-        self.cap = if stepped >= target {
+        if stepped >= target || !self.config.staged_give_back {
+            self.cap = target;
+            self.restoring = None;
             self.converged = true;
-            target
         } else {
-            // Large gap: jump the rest of the way — the paper's
-            // "instantly gives back the power".
-            self.converged = true;
-            target
-        };
-        let _ = stepped;
+            self.cap = stepped;
+            self.restoring = Some((target, step));
+        }
         FppDecision::Set(self.cap)
     }
 }
@@ -509,6 +534,71 @@ mod tests {
         }
         assert!(c.converged(), "noisy periodic signal converges under Welch");
         assert_eq!(c.cap(), Watts(203.5), "probe kept (cap not binding)");
+    }
+
+    #[test]
+    fn staged_give_back_climbs_one_level_per_epoch() {
+        // Same GEMM-like scenario as the instant-restore test, but with
+        // the staged path enabled: the binding fallback fires with
+        // delta = change_th (5 s) -> level 1 -> 15 W steps from 203.5
+        // back up to 253.5, converging on arrival.
+        let cfg = FppConfig {
+            staged_give_back: true,
+            ..FppConfig::default()
+        };
+        let mut c = FppController::new(cfg, Watts(253.5));
+        feed_flat(&mut c, 253.5, 90);
+        assert_eq!(c.on_epoch(), FppDecision::Set(Watts(203.5)), "probe");
+        feed_flat(&mut c, 203.5, 90);
+        assert_eq!(c.on_epoch(), FppDecision::Set(Watts(218.5)), "step 1");
+        assert!(!c.converged(), "still restoring");
+        for expect in [233.5, 248.5] {
+            feed_flat(&mut c, expect - 15.0, 90);
+            assert_eq!(c.on_epoch(), FppDecision::Set(Watts(expect)));
+            assert!(!c.converged());
+        }
+        feed_flat(&mut c, 248.5, 90);
+        // Final step clamps at the pre-probe target.
+        assert_eq!(c.on_epoch(), FppDecision::Set(Watts(253.5)));
+        assert!(c.converged(), "converged on arrival");
+        // Converged: further epochs hold.
+        feed_flat(&mut c, 253.5, 90);
+        assert_eq!(c.on_epoch(), FppDecision::Keep(Watts(253.5)));
+    }
+
+    #[test]
+    fn staged_give_back_jumps_when_one_step_covers_the_gap() {
+        // With a probe smaller than the selected restore level, a single
+        // step already reaches the target: jump and converge immediately
+        // even in staged mode.
+        let cfg = FppConfig {
+            staged_give_back: true,
+            p_reduce: Watts(20.0),
+            ..FppConfig::default()
+        };
+        let mut c = FppController::new(cfg, Watts(300.0));
+        feed_square(&mut c, 10.0, 290.0, 100.0, 90);
+        assert_eq!(c.on_epoch(), FppDecision::Set(Watts(280.0)), "probe");
+        // Period more than doubles (both periods sit on exact FFT bins
+        // of a 90-sample epoch): delta = 12.5 s -> level 2 -> 25 W step,
+        // 280 + 25 >= 300.
+        feed_square(&mut c, 22.5, 280.0, 100.0, 90);
+        assert_eq!(c.on_epoch(), FppDecision::Set(Watts(300.0)));
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn default_give_back_is_instant() {
+        // The default config restores the full pre-probe cap in a single
+        // epoch (the paper's observed behavior).
+        let c = FppConfig::default();
+        assert!(!c.staged_give_back);
+        let mut c = FppController::new(FppConfig::default(), Watts(253.5));
+        feed_flat(&mut c, 253.5, 90);
+        c.on_epoch();
+        feed_flat(&mut c, 203.5, 90);
+        assert_eq!(c.on_epoch(), FppDecision::Set(Watts(253.5)), "one jump");
+        assert!(c.converged());
     }
 
     #[test]

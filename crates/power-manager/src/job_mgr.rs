@@ -6,8 +6,9 @@
 //! jobs it manages.
 
 use crate::proto::{JobLimitMsg, NodeLimitMsg, TOPIC_JOB_LIMIT, TOPIC_SET_NODE_LIMIT};
-use fluxpm_flux::{payload, JobId, Message, Module, ModuleCtx, MsgKind, Rank};
+use fluxpm_flux::{payload, JobId, Message, Module, ModuleCtx, MsgKind, Rank, RetryPolicy};
 use fluxpm_hw::Watts;
+use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -57,13 +58,27 @@ impl JobLevelManager {
         self.limits.insert(m.job, m.limit);
         let per_node = m.limit / ranks.len() as f64;
         for rank in ranks {
-            let msg = Message::request(
+            // Acked + retried: a node manager that misses the push (lost
+            // message, transient partition) gets it again; a dead node
+            // surfaces as a final timeout instead of silent divergence.
+            ctx.world.rpc_with_retry(
+                ctx.eng,
                 Rank::ROOT,
                 rank,
                 TOPIC_SET_NODE_LIMIT,
                 payload(NodeLimitMsg { limit: per_node }),
+                RetryPolicy::default(),
+                move |world, eng, resp| {
+                    if resp.is_timeout() {
+                        world.trace.emit(
+                            eng.now(),
+                            TraceLevel::Warn,
+                            "job-mgr",
+                            format!("node-limit push to {rank} gave up: {:?}", resp.error),
+                        );
+                    }
+                },
             );
-            ctx.world.send(ctx.eng, msg);
             self.node_updates += 1;
         }
     }
@@ -85,6 +100,8 @@ impl Module for JobLevelManager {
             if let Some(m) = msg.payload_as::<JobLimitMsg>().copied() {
                 self.apply(ctx, &m);
             }
+            // Ack so the cluster manager's retry loop can settle.
+            ctx.world.respond(ctx.eng, msg, payload(()));
         }
     }
 }

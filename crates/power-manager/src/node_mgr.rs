@@ -20,7 +20,7 @@
 
 use crate::fpp::{FppConfig, FppController, FppDecision};
 use crate::proto::{FppTarget, NodeLimitMsg, PolicyKind, TOPIC_SET_NODE_LIMIT};
-use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind};
+use fluxpm_flux::{payload, Message, Module, ModuleCtx, MsgKind};
 use fluxpm_hw::{NodeId, Watts};
 use fluxpm_sim::{SimDuration, TraceLevel};
 use std::cell::RefCell;
@@ -406,6 +406,8 @@ impl Module for NodeLevelManager {
             if let Some(m) = msg.payload_as::<NodeLimitMsg>().copied() {
                 self.apply_limit(ctx, m.limit);
             }
+            // Ack so the job-level manager's retry loop can settle.
+            ctx.world.respond(ctx.eng, msg, payload(()));
         }
     }
 

@@ -16,6 +16,10 @@ pub struct MonitorConfig {
     /// experiment's "monitor unloaded" baseline simply does not load the
     /// module.
     pub charge_overhead: bool,
+    /// Base per-RPC response deadline for aggregation fan-outs. The
+    /// in-tree reduction scales this by subtree height so a parent never
+    /// gives up before its children have had the chance to.
+    pub rpc_deadline: SimDuration,
 }
 
 impl Default for MonitorConfig {
@@ -24,6 +28,7 @@ impl Default for MonitorConfig {
             sample_interval: SimDuration::from_secs(2),
             buffer_capacity: 100_000,
             charge_overhead: true,
+            rpc_deadline: SimDuration::from_secs(1),
         }
     }
 }
@@ -40,6 +45,13 @@ impl MonitorConfig {
     pub fn with_buffer_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0);
         self.buffer_capacity = capacity;
+        self
+    }
+
+    /// Override the base aggregation RPC deadline.
+    pub fn with_rpc_deadline(mut self, deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero());
+        self.rpc_deadline = deadline;
         self
     }
 
@@ -66,9 +78,11 @@ mod tests {
     fn builders() {
         let c = MonitorConfig::default()
             .with_sample_interval(SimDuration::from_millis(500))
-            .with_buffer_capacity(10);
+            .with_buffer_capacity(10)
+            .with_rpc_deadline(SimDuration::from_millis(250));
         assert_eq!(c.sample_rate_hz(), 2.0);
         assert_eq!(c.buffer_capacity, 10);
+        assert_eq!(c.rpc_deadline, SimDuration::from_millis(250));
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub fn load(world: &mut World, eng: &mut FluxEngine, config: MonitorConfig) -> b
         let agent = NodeAgent::shared(config.clone());
         ok &= world.load_module(eng, rank, agent);
     }
-    ok &= world.load_module(eng, fluxpm_flux::Rank::ROOT, RootAgent::shared());
+    ok &= world.load_module(
+        eng,
+        fluxpm_flux::Rank::ROOT,
+        RootAgent::shared(config.rpc_deadline),
+    );
     ok
 }

@@ -54,6 +54,11 @@ impl NodeAgent {
         agent
     }
 
+    /// This agent's configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
     /// Number of sensor reads performed so far.
     pub fn samples_taken(&self) -> u64 {
         self.samples_taken

@@ -11,7 +11,8 @@ use crate::proto::{
     JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, NodeDataReply, NodeDataRequest,
     NodeStats,
 };
-use fluxpm_flux::{payload, JobState, Message, Module, ModuleCtx, MsgKind, Rank};
+use fluxpm_flux::{payload, JobState, Message, Module, ModuleCtx, MsgKind, Rank, RetryPolicy};
+use fluxpm_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -32,26 +33,43 @@ struct Aggregation {
 }
 
 /// The `flux-power-monitor` root agent.
-#[derive(Default)]
 pub struct RootAgent {
     /// Completed aggregations served (diagnostics).
     served: u64,
+    /// Per-attempt deadline for node-agent fan-out RPCs; a node that
+    /// never answers (dead, partitioned) contributes an incomplete
+    /// reply instead of stalling the aggregation forever.
+    deadline: SimDuration,
+}
+
+impl Default for RootAgent {
+    fn default() -> Self {
+        RootAgent::new(SimDuration::from_secs(1))
+    }
 }
 
 impl RootAgent {
-    /// Create an unloaded agent.
-    pub fn new() -> RootAgent {
-        RootAgent::default()
+    /// Create an unloaded agent with the given fan-out RPC deadline.
+    pub fn new(deadline: SimDuration) -> RootAgent {
+        RootAgent {
+            served: 0,
+            deadline,
+        }
     }
 
     /// Create as a shared module handle.
-    pub fn shared() -> Rc<RefCell<RootAgent>> {
-        Rc::new(RefCell::new(RootAgent::new()))
+    pub fn shared(deadline: SimDuration) -> Rc<RefCell<RootAgent>> {
+        Rc::new(RefCell::new(RootAgent::new(deadline)))
     }
 
     /// Requests served so far.
     pub fn served(&self) -> u64 {
         self.served
+    }
+
+    /// The retry schedule used for node-agent fan-outs.
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::with_deadline(self.deadline)
     }
 
     fn start_aggregation(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
@@ -87,14 +105,16 @@ impl RootAgent {
         }));
         self.served += 1;
 
+        let policy = self.retry_policy();
         for (i, rank) in ranks.into_iter().enumerate() {
             let agg = Rc::clone(&agg);
-            ctx.world.rpc(
+            ctx.world.rpc_with_retry(
                 ctx.eng,
                 Rank::ROOT,
                 rank,
                 TOPIC_NODE_DATA,
                 payload(NodeDataRequest { start_us, end_us }),
+                policy,
                 move |world, eng, resp| {
                     let mut a = agg.borrow_mut();
                     a.replies[i] = resp.payload_as::<NodeDataReply>().cloned();
@@ -169,14 +189,16 @@ impl RootAgent {
             remaining: n,
         }));
         self.served += 1;
+        let policy = self.retry_policy();
         for (i, rank) in ranks.into_iter().enumerate() {
             let agg = Rc::clone(&agg);
-            ctx.world.rpc(
+            ctx.world.rpc_with_retry(
                 ctx.eng,
                 Rank::ROOT,
                 rank,
                 TOPIC_NODE_STATS,
                 payload(NodeDataRequest { start_us, end_us }),
+                policy,
                 move |world, eng, resp| {
                     let mut a = agg.borrow_mut();
                     a.replies[i] = resp.payload_as::<NodeStats>().cloned();

@@ -151,6 +151,7 @@ pub fn handle_subtree_stats(agent: &NodeAgent, ctx: &mut ModuleCtx<'_>, msg: &Me
         acc: local,
         remaining: children.len(),
     }));
+    let base_deadline = agent.config().rpc_deadline;
     for child in children {
         let pending = Rc::clone(&pending);
         let sub_req = SubtreeStatsRequest {
@@ -158,12 +159,17 @@ pub fn handle_subtree_stats(agent: &NodeAgent, ctx: &mut ModuleCtx<'_>, msg: &Me
             end_us: req.end_us,
             targets: req.targets.clone(),
         };
-        ctx.world.rpc(
+        // Scale the deadline by the child's subtree height so this rank
+        // outlives its child's own per-grandchild deadlines: a leaf gets
+        // the base deadline, its parent 2x, and so on up the tree.
+        let deadline = base_deadline.mul(u64::from(ctx.world.tbon.subtree_height(child)) + 1);
+        ctx.world.rpc_with_deadline(
             ctx.eng,
             rank,
             child,
             TOPIC_SUBTREE_STATS,
             payload(sub_req),
+            deadline,
             move |world, eng, resp| {
                 let mut p = pending.borrow_mut();
                 let contribution =

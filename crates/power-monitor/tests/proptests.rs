@@ -1,7 +1,62 @@
 //! Property-based tests for the monitor's data structures.
 
-use fluxpm_monitor::RingBuffer;
+use fluxpm_monitor::{NodeStats, RingBuffer, SubtreeStats};
 use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// An operation against the ring buffer / model pair.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        9 => any::<u32>().prop_map(Op::Push),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn stats_strategy() -> impl Strategy<Value = SubtreeStats> {
+    (
+        0usize..6,
+        0.0f64..500.0,
+        0.0f64..500.0,
+        0.0f64..500.0,
+        any::<bool>(),
+    )
+        .prop_map(|(samples, mean, a, b, complete)| {
+            SubtreeStats::from_node(&NodeStats {
+                hostname: "h".into(),
+                samples,
+                mean_w: mean,
+                max_w: a.max(b),
+                min_w: a.min(b),
+                complete,
+            })
+        })
+}
+
+/// Approximate equality for merged summaries: the integer/bool/extremum
+/// fields must match exactly; only `sum_w` (a float sum whose grouping
+/// differs between the two merge orders) gets a tolerance — float
+/// addition is not exactly associative.
+fn assert_stats_close(x: SubtreeStats, y: SubtreeStats) -> Result<(), TestCaseError> {
+    prop_assert_eq!(x.nodes, y.nodes);
+    prop_assert_eq!(x.samples, y.samples);
+    prop_assert_eq!(x.max_w, y.max_w);
+    prop_assert_eq!(x.min_w, y.min_w);
+    prop_assert_eq!(x.all_complete, y.all_complete);
+    let scale = x.sum_w.abs().max(y.sum_w.abs()).max(1.0);
+    prop_assert!(
+        (x.sum_w - y.sum_w).abs() <= 1e-9 * scale,
+        "sum_w diverged: {} vs {}",
+        x.sum_w,
+        y.sum_w
+    );
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -85,5 +140,86 @@ proptest! {
         if r.overwritten() == 0 {
             prop_assert!(complete, "nothing lost implies complete");
         }
+    }
+
+    /// The ring buffer behaves exactly like a capacity-bounded `VecDeque`
+    /// under arbitrary interleavings of pushes and clears — contents,
+    /// order, endpoints, and the lifetime push counter all agree.
+    #[test]
+    fn ring_buffer_matches_vecdeque_model(
+        capacity in 1usize..48,
+        ops in prop::collection::vec(op_strategy(), 0..400),
+    ) {
+        let mut r = RingBuffer::new(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut pushed = 0u64;
+        for op in &ops {
+            match op {
+                Op::Push(x) => {
+                    let evicted = if model.len() == capacity {
+                        model.pop_front()
+                    } else {
+                        None
+                    };
+                    model.push_back(*x);
+                    pushed += 1;
+                    prop_assert_eq!(r.push(*x), evicted);
+                }
+                Op::Clear => {
+                    model.clear();
+                    r.clear();
+                }
+            }
+            prop_assert_eq!(r.len(), model.len());
+            prop_assert!(r.len() <= capacity);
+        }
+        let got: Vec<u32> = r.iter().copied().collect();
+        let want: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(r.oldest(), model.front());
+        prop_assert_eq!(r.newest(), model.back());
+        prop_assert_eq!(r.is_empty(), model.is_empty());
+        prop_assert_eq!(r.total_pushed(), pushed);
+        prop_assert_eq!(r.capacity(), capacity);
+    }
+
+    /// `SubtreeStats::merge` is associative and commutative with `empty`
+    /// as identity, over randomized summaries — the property the in-tree
+    /// reduction relies on to merge child responses in arrival order.
+    #[test]
+    fn subtree_stats_merge_is_associative(
+        a in stats_strategy(),
+        b in stats_strategy(),
+        c in stats_strategy(),
+    ) {
+        assert_stats_close(a.merge(b).merge(c), a.merge(b.merge(c)))?;
+        assert_stats_close(a.merge(b), b.merge(a))?;
+        let e = SubtreeStats::empty();
+        prop_assert_eq!(a.merge(e), a);
+        prop_assert_eq!(e.merge(a), a);
+    }
+
+    /// Folding a whole batch in any grouping yields the same summary as
+    /// the canonical left fold — the tree can partition nodes into
+    /// subtrees arbitrarily.
+    #[test]
+    fn subtree_stats_fold_is_grouping_independent(
+        batch in prop::collection::vec(stats_strategy(), 1..12),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let whole = batch
+            .iter()
+            .copied()
+            .fold(SubtreeStats::empty(), SubtreeStats::merge);
+        let mid = split.index(batch.len());
+        let left = batch[..mid]
+            .iter()
+            .copied()
+            .fold(SubtreeStats::empty(), SubtreeStats::merge);
+        let right = batch[mid..]
+            .iter()
+            .copied()
+            .fold(SubtreeStats::empty(), SubtreeStats::merge);
+        assert_stats_close(whole, left.merge(right))?;
     }
 }

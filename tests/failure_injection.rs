@@ -1,11 +1,13 @@
 //! Failure-injection integration tests: the production anomalies the
 //! paper reports in §V, reproduced end-to-end.
 
-use fluxpm::flux::{Engine, FluxEngine, JobSpec, World};
+use fluxpm::flux::{Engine, FluxEngine, JobSpec, JobState, Rank, World};
 use fluxpm::hw::{MachineKind, NodeHardware, NodeId, Watts};
-use fluxpm::monitor::{fetch_job_data, MonitorConfig};
-use fluxpm::sim::SimDuration;
+use fluxpm::monitor::{fetch_job_data, fetch_job_stats, fetch_job_stats_tree, MonitorConfig};
+use fluxpm::sim::{SimDuration, SimTime, Trace, TraceLevel};
 use fluxpm::workloads::{laghos, App, JitterModel};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// §V: "on some nodes at a low node-level power cap (1200 W), NVIDIA GPU
 /// power capping failed intermittently, either picking up the last set
@@ -174,4 +176,149 @@ fn kripke_crashes_on_tioga_but_runs_on_lassen() {
         "crash reason traced"
     );
     assert_eq!(w.sched.free_count(), 4, "crashed job's nodes reclaimed");
+}
+
+/// The tentpole scenario: an *interior* TBON rank dies mid-reduction.
+///
+/// 7-node binary tree (rank 1 parents ranks 3 and 4). A tree-stats query
+/// enters at t = 30 s; rank 1 is failed 50 µs later — after it has fanned
+/// out to its children but before their responses arrive. The overlay is
+/// severed (nothing from or through rank 1 is delivered again), rank 1's
+/// pending RPCs are cancelled, and the root's per-child deadline turns the
+/// silent subtree into an incomplete-but-finished reduction instead of a
+/// stall. Same-seed runs must be byte-identical.
+#[test]
+fn interior_rank_failure_mid_reduction_completes_incomplete() {
+    let fail_at = SimTime::from_micros(30_000_050);
+
+    let run = || {
+        let mut w = World::new(MachineKind::Lassen, 7, 99);
+        w.trace = Trace::enabled(TraceLevel::Debug);
+        w.autostop_after = Some(1);
+        let mut eng: FluxEngine = Engine::new();
+        fluxpm::monitor::load(&mut w, &mut eng, MonitorConfig::default());
+        w.install_executor(&mut eng);
+        let app = App::with_jitter(laghos(), MachineKind::Lassen, 7, 1, JitterModel::none())
+            .with_work_seconds(100.0);
+        let id = w.submit(&mut eng, JobSpec::new("Laghos", 7), Box::new(app));
+
+        // Query mid-run; the reduction is in flight when rank 1 dies.
+        let slot = Rc::new(RefCell::new(None));
+        let slot2 = Rc::clone(&slot);
+        eng.schedule(SimTime::from_secs(30), move |w: &mut World, eng| {
+            let inner = fetch_job_stats_tree(w, eng, id);
+            *slot2.borrow_mut() = Some(inner);
+        });
+        eng.schedule(fail_at, move |w: &mut World, eng| {
+            w.fail_node(eng, NodeId(1));
+        });
+        eng.run(&mut w);
+
+        let outer = slot.borrow().clone().unwrap();
+        let stats = outer.borrow().clone().unwrap().unwrap();
+        let trace: String = w
+            .trace
+            .entries()
+            .iter()
+            .map(|e| format!("{e}\n"))
+            .collect();
+        (w, id, stats, trace)
+    };
+
+    let (w, id, stats, trace) = run();
+
+    // The reduction finished despite the dead interior rank, flagged
+    // incomplete: rank 1's whole subtree (ranks 1, 3, 4) is missing.
+    assert!(!stats.all_complete, "dead subtree must flag incomplete");
+    assert_eq!(stats.nodes, 4, "ranks 0, 2, 5, 6 contribute: {stats:?}");
+    assert!(stats.samples > 0, "surviving subtree carried data");
+
+    // Exactly the root's deadline on rank 1 fired; no matchtag leaked.
+    assert_eq!(w.rpc_timeout_count(), 1, "one per-child deadline fired");
+    assert_eq!(w.pending_rpc_count(), 0, "no leaked matchtags");
+    assert!(!w.broker_up(Rank(1)));
+    assert_eq!(w.jobs.get(id).unwrap().state, JobState::Failed);
+
+    // The overlay is severed: nothing originating at rank 1 is delivered
+    // after the failure instant, and in-flight traffic was dropped.
+    assert!(
+        !w.trace
+            .for_subsystem("tbon")
+            .any(|e| e.at >= fail_at && e.message.starts_with("deliver rank1 ")),
+        "no message delivered from the dead rank after failure"
+    );
+    assert!(
+        w.trace
+            .for_subsystem("tbon")
+            .any(|e| e.at >= fail_at && e.message.starts_with("sever:")),
+        "in-flight traffic to/through the dead rank was dropped"
+    );
+
+    // Determinism: a second identical run replays byte-for-byte.
+    let (w2, _, stats2, trace2) = run();
+    assert_eq!(trace, trace2, "same-seed runs must be byte-identical");
+    assert_eq!(stats, stats2);
+    assert_eq!(w.rpc_timeout_count(), w2.rpc_timeout_count());
+}
+
+/// Chaos test: random per-link message loss and latency jitter under the
+/// monitor's fan-out aggregation. Retries mask the drops, every matchtag
+/// is retired, and the whole run — drops included — replays bit-for-bit
+/// from the seed.
+#[test]
+fn chaos_faults_are_deterministic_and_aggregation_completes() {
+    let run = |seed: u64| {
+        let mut w = World::new(MachineKind::Lassen, 8, seed);
+        w.trace = Trace::enabled(TraceLevel::Warn);
+        w.autostop_after = Some(1);
+        let mut eng: FluxEngine = Engine::new();
+        fluxpm::monitor::load(&mut w, &mut eng, MonitorConfig::default());
+        w.install_executor(&mut eng);
+        w.inject_faults(0.25, SimDuration::from_micros(50));
+        let app = App::with_jitter(laghos(), MachineKind::Lassen, 8, seed, JitterModel::none())
+            .with_work_seconds(60.0);
+        let id = w.submit(&mut eng, JobSpec::new("Laghos", 8), Box::new(app));
+        eng.run(&mut w);
+
+        // Post-run stats aggregation across the lossy overlay.
+        let mut eng2: FluxEngine = Engine::new();
+        let slot = fetch_job_stats(&mut w, &mut eng2, id);
+        eng2.run(&mut w);
+        let reply = slot.borrow().clone();
+        let trace: String = w
+            .trace
+            .entries()
+            .iter()
+            .map(|e| format!("{e}\n"))
+            .collect();
+        (
+            trace,
+            w.fault_drops(),
+            w.rpc_timeout_count(),
+            w.rpc_retry_count(),
+            w.pending_rpc_count(),
+            reply,
+        )
+    };
+
+    let (trace_a, drops_a, timeouts_a, retries_a, pending_a, reply_a) = run(5);
+    let (trace_b, drops_b, timeouts_b, retries_b, pending_b, _) = run(5);
+
+    // The aggregation completed despite the chaos, and nothing leaked.
+    let reply = reply_a.expect("aggregation must complete under faults");
+    let reply = reply.expect("root agent replies (possibly partial)");
+    assert_eq!(reply.nodes.len(), 8, "every target answered or timed out");
+    assert_eq!(pending_a, 0, "all matchtags retired");
+    assert_eq!(pending_b, 0);
+    assert!(drops_a > 0, "the plan actually dropped traffic");
+
+    // Byte-identical replay from the same seed.
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(drops_a, drops_b);
+    assert_eq!(timeouts_a, timeouts_b);
+    assert_eq!(retries_a, retries_b);
+
+    // A different seed shuffles the chaos.
+    let (trace_c, ..) = run(6);
+    assert_ne!(trace_a, trace_c, "different seed, different fault pattern");
 }
