@@ -199,14 +199,9 @@ fn bench_tbon_rpc(c: &mut Criterion) {
                 // exercises the full round-trip path.
                 let mut acks = 0u32;
                 for r in 0..n {
-                    w.rpc(
-                        &mut eng,
-                        Rank::ROOT,
-                        Rank(r),
-                        "bench.nop",
-                        payload(()),
-                        move |_, _, _| {},
-                    );
+                    w.rpc(Rank(r), "bench.nop", payload(()))
+                        .from(Rank::ROOT)
+                        .send(&mut eng, move |_, _, _| {});
                     acks += 1;
                 }
                 eng.run(&mut w);

@@ -15,7 +15,8 @@ pub struct Broker {
     /// Topic → module dispatch table (exact match).
     routes: HashMap<String, SharedModule>,
     /// Liveness: a downed broker neither originates, receives, nor
-    /// relays overlay traffic ([`crate::World::fail_node`] flips this).
+    /// relays overlay traffic. [`crate::World::fail_node`] takes it
+    /// down; [`crate::World::recover_node`] brings it back.
     up: bool,
 }
 
@@ -36,9 +37,17 @@ impl Broker {
         self.up
     }
 
-    /// Take the broker down permanently (node failure). Idempotent.
+    /// Take the broker down (node failure). Idempotent; undone by
+    /// [`Broker::set_up`] when the node rejoins.
     pub fn set_down(&mut self) {
         self.up = false;
+    }
+
+    /// Bring the broker back up (node recovery). Idempotent. Modules
+    /// are *not* restored — the recovered broker starts empty and the
+    /// world reloads them from its module factories.
+    pub fn set_up(&mut self) {
+        self.up = true;
     }
 
     /// Register a module and its topic routes. Returns `false` (and

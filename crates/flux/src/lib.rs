@@ -26,6 +26,7 @@ pub mod broker;
 pub mod job;
 pub mod message;
 pub mod module;
+pub mod proto;
 pub mod sched;
 pub mod subinstance;
 pub mod tbon;
@@ -35,7 +36,8 @@ pub use broker::Broker;
 pub use job::{Job, JobId, JobProgram, JobRegistry, JobSpec, JobState, StepCtx, StepOutcome};
 pub use message::{payload, Message, MsgKind, Payload};
 pub use module::{Module, ModuleCtx, SharedModule};
+pub use proto::{Protocol, ProtocolError};
 pub use sched::FcfsScheduler;
 pub use subinstance::{InstancePowerPolicy, SubInstance};
 pub use tbon::{Rank, Tbon};
-pub use world::{FaultPlan, FluxEngine, RetryPolicy, World};
+pub use world::{FaultPlan, FluxEngine, RetryPolicy, RpcBuilder, TopicStats, World};

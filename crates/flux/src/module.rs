@@ -34,6 +34,24 @@ pub trait Module: 'static {
     fn timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
         let _ = (ctx, tag);
     }
+
+    /// Whether this module is a *root service*: cluster-singleton state
+    /// that must survive root-rank death. When the root broker fails,
+    /// [`World::fail_node`](crate::World::fail_node) migrates every
+    /// root-service module (its `Rc`, state and all) onto the elected
+    /// successor and calls [`Module::on_migrate`] there. Default: false
+    /// (per-rank modules die with their broker).
+    fn root_service(&self) -> bool {
+        false
+    }
+
+    /// Called after a root-service module has been re-registered on the
+    /// failover successor. `ctx.rank` is the new root. Typical use:
+    /// re-issue in-flight pushes under the new topology epoch. Default:
+    /// no-op.
+    fn on_migrate(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let _ = ctx;
+    }
 }
 
 /// Shared handle to a loaded module.

@@ -3,17 +3,30 @@
 //! Flux brokers form a k-ary tree rooted at rank 0; all communication
 //! follows tree edges. The topology object answers parent/children/route
 //! questions and converts a route length into a message latency.
+//!
+//! Since the self-healing overlay work the topology is **mutable and
+//! versioned**: [`Tbon::detach`] removes a failed rank and re-parents its
+//! orphaned children onto the nearest live ancestor, [`Tbon::attach`]
+//! re-admits a recovered rank as a leaf, and [`Tbon::promote_root`]
+//! migrates the root role to a successor when rank 0 dies. Every mutation
+//! bumps the topology [`Tbon::epoch`] and invalidates the internal route
+//! cache, so routes computed after a failure reflect the healed tree
+//! while in-flight messages keep the route they were launched on.
 
 use fluxpm_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
-/// A broker rank (one per node; rank 0 is the root).
+/// A broker rank (one per node; rank 0 is the initial root).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Rank(pub u32);
 
 impl Rank {
-    /// The TBON root.
+    /// The initial TBON root. After a root failover the live root may
+    /// differ — consult [`crate::World::root`] / [`Tbon::root`].
     pub const ROOT: Rank = Rank(0);
 
     /// Index into per-rank vectors.
@@ -28,24 +41,61 @@ impl fmt::Display for Rank {
     }
 }
 
-/// The k-ary broker tree.
+/// The k-ary broker tree (mutable, epoch-versioned).
 ///
 /// ```
 /// use fluxpm_flux::{Rank, Tbon};
 ///
-/// let t = Tbon::binary(7);
+/// let mut t = Tbon::binary(7);
 /// assert_eq!(t.children(Rank(0)), vec![Rank(1), Rank(2)]);
 /// assert_eq!(t.parent(Rank(5)), Some(Rank(2)));
 /// // Leaf-to-leaf routing crosses the common ancestor.
 /// assert_eq!(t.hops(Rank(3), Rank(6)), 4);
+///
+/// // An interior failure heals instead of partitioning: rank 1's
+/// // children re-attach to rank 0 and routes recompute.
+/// let epoch = t.epoch();
+/// assert_eq!(t.detach(Rank(1)), vec![Rank(3), Rank(4)]);
+/// assert_eq!(t.parent(Rank(3)), Some(Rank(0)));
+/// assert_eq!(t.hops(Rank(3), Rank(6)), 3);
+/// assert!(t.epoch() > epoch);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tbon {
     size: u32,
     fanout: u32,
+    /// Parent per rank; `None` for the root and for detached ranks.
+    parents: Vec<Option<Rank>>,
+    /// Children per rank, kept in rank order for determinism.
+    children: Vec<Vec<Rank>>,
+    /// Whether each rank is currently part of the overlay.
+    attached: Vec<bool>,
+    /// The current root (rank 0 until a failover promotes a successor).
+    root: Rank,
+    /// Topology version; bumped by every mutation. Route caches keyed on
+    /// a stale epoch must be discarded.
+    epoch: u64,
     /// One-hop message latency (default 20 µs, a typical intra-cluster
     /// RPC hop).
     pub hop_latency: SimDuration,
+    /// Memoized routes for the *current* epoch; cleared on mutation.
+    #[serde(skip)]
+    cache: RefCell<HashMap<(u32, u32), Rc<[Rank]>>>,
+}
+
+impl PartialEq for Tbon {
+    fn eq(&self, other: &Tbon) -> bool {
+        // The route cache is a pure memo of the rest of the state and is
+        // deliberately excluded from equality.
+        self.size == other.size
+            && self.fanout == other.fanout
+            && self.parents == other.parents
+            && self.children == other.children
+            && self.attached == other.attached
+            && self.root == other.root
+            && self.epoch == other.epoch
+            && self.hop_latency == other.hop_latency
+    }
 }
 
 impl Tbon {
@@ -56,10 +106,28 @@ impl Tbon {
     pub fn new(size: u32, fanout: u32) -> Tbon {
         assert!(size >= 1, "a Flux instance has at least one broker");
         assert!(fanout >= 1, "fanout must be at least 1");
+        let parents: Vec<Option<Rank>> = (0..size)
+            .map(|r| if r == 0 { None } else { Some(Rank((r - 1) / fanout)) })
+            .collect();
+        let children: Vec<Vec<Rank>> = (0..size)
+            .map(|r| {
+                let first = r * fanout + 1;
+                (first..first.saturating_add(fanout))
+                    .take_while(|&c| c < size)
+                    .map(Rank)
+                    .collect()
+            })
+            .collect();
         Tbon {
             size,
             fanout,
+            parents,
+            children,
+            attached: vec![true; size as usize],
+            root: Rank::ROOT,
+            epoch: 0,
             hop_latency: SimDuration::from_micros(Self::DEFAULT_HOP_LATENCY_US),
+            cache: RefCell::new(HashMap::new()),
         }
     }
 
@@ -78,27 +146,41 @@ impl Tbon {
         self.fanout
     }
 
-    /// All ranks in the instance.
+    /// All ranks in the instance (attached or not).
     pub fn ranks(&self) -> impl Iterator<Item = Rank> {
         (0..self.size).map(Rank)
     }
 
-    /// The parent of `rank`, or `None` for the root.
+    /// The current topology version. Bumped by [`Tbon::detach`],
+    /// [`Tbon::attach`] and [`Tbon::promote_root`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current root rank.
+    pub fn root(&self) -> Rank {
+        self.root
+    }
+
+    /// Whether `rank` is currently part of the overlay.
+    pub fn is_attached(&self, rank: Rank) -> bool {
+        self.attached[rank.index()]
+    }
+
+    /// Ranks currently attached to the overlay, in rank order.
+    pub fn attached_ranks(&self) -> Vec<Rank> {
+        self.ranks().filter(|&r| self.is_attached(r)).collect()
+    }
+
+    /// The parent of `rank`, or `None` for the root (and for detached
+    /// ranks, which have no place in the tree).
     pub fn parent(&self, rank: Rank) -> Option<Rank> {
-        if rank.0 == 0 {
-            None
-        } else {
-            Some(Rank((rank.0 - 1) / self.fanout))
-        }
+        self.parents[rank.index()]
     }
 
     /// Children of `rank`, in rank order.
     pub fn children(&self, rank: Rank) -> Vec<Rank> {
-        let first = rank.0 * self.fanout + 1;
-        (first..first.saturating_add(self.fanout))
-            .take_while(|&c| c < self.size)
-            .map(Rank)
-            .collect()
+        self.children[rank.index()].clone()
     }
 
     /// Depth of `rank` (root = 0).
@@ -115,30 +197,17 @@ impl Tbon {
     /// Number of tree edges on the path between two ranks (0 if equal).
     /// Routing goes up to the common ancestor and back down, exactly as
     /// Flux routes overlay messages.
+    ///
+    /// # Panics
+    /// If either endpoint is detached (no route exists); use
+    /// [`Tbon::route`] for a fallible lookup.
     pub fn hops(&self, from: Rank, to: Rank) -> u32 {
-        let (mut a, mut b) = (from, to);
-        let (mut da, mut db) = (self.depth(a), self.depth(b));
-        let mut hops = 0;
-        while da > db {
-            a = self.parent(a).expect("non-root has parent");
-            da -= 1;
-            hops += 1;
-        }
-        while db > da {
-            b = self.parent(b).expect("non-root has parent");
-            db -= 1;
-            hops += 1;
-        }
-        while a != b {
-            a = self.parent(a).expect("non-root has parent");
-            b = self.parent(b).expect("non-root has parent");
-            hops += 2;
-        }
-        hops
+        self.route(from, to).expect("no overlay route").len() as u32 - 1
     }
 
     /// True iff `a` is `b` or an ancestor of `b` (i.e. `b` is in `a`'s
-    /// subtree). Used by in-tree reductions to prune fan-out.
+    /// subtree). Used by in-tree reductions to prune fan-out. Detached
+    /// ranks have no ancestors but themselves.
     pub fn is_ancestor(&self, a: Rank, b: Rank) -> bool {
         let mut r = b;
         loop {
@@ -152,46 +221,66 @@ impl Tbon {
         }
     }
 
-    /// The full route between two ranks, inclusive of both endpoints:
-    /// up from `from` to the common ancestor, then down to `to` —
+    /// The full route between two ranks under the current topology,
+    /// inclusive of both endpoints, or `None` if either endpoint is
+    /// detached. Routes are memoized per epoch.
+    pub fn route(&self, from: Rank, to: Rank) -> Option<Rc<[Rank]>> {
+        if !self.is_attached(from) || !self.is_attached(to) {
+            return None;
+        }
+        if let Some(hit) = self.cache.borrow().get(&(from.0, to.0)) {
+            return Some(Rc::clone(hit));
+        }
+        let route: Rc<[Rank]> = self.route_uncached(from, to)?.into();
+        self.cache
+            .borrow_mut()
+            .insert((from.0, to.0), Rc::clone(&route));
+        Some(route)
+    }
+
+    /// Up from `from` to the lowest common ancestor, then down to `to`.
+    fn route_uncached(&self, from: Rank, to: Rank) -> Option<Vec<Rank>> {
+        let chain = |start: Rank| {
+            let mut c = vec![start];
+            let mut r = start;
+            while let Some(p) = self.parent(r) {
+                c.push(p);
+                r = p;
+            }
+            c
+        };
+        let mut up = chain(from);
+        let mut down = chain(to);
+        if up.last() != down.last() {
+            return None; // different components: no route
+        }
+        // Strip the common suffix; the last shared element is the LCA.
+        while up.len() >= 2 && down.len() >= 2 && up[up.len() - 2] == down[down.len() - 2] {
+            up.pop();
+            down.pop();
+        }
+        down.pop(); // drop the duplicated LCA
+        up.extend(down.into_iter().rev());
+        Some(up)
+    }
+
+    /// The full route between two ranks, inclusive of both endpoints —
     /// exactly the brokers a message transits on the overlay. A
     /// self-route is the single rank.
+    ///
+    /// # Panics
+    /// If either endpoint is detached; use [`Tbon::route`] to probe.
     pub fn path(&self, from: Rank, to: Rank) -> Vec<Rank> {
-        // Climb both to the common ancestor, recording each leg.
-        let (mut a, mut b) = (from, to);
-        let (mut da, mut db) = (self.depth(a), self.depth(b));
-        let mut up = vec![a];
-        let mut down = vec![b];
-        while da > db {
-            a = self.parent(a).expect("non-root has parent");
-            da -= 1;
-            up.push(a);
-        }
-        while db > da {
-            b = self.parent(b).expect("non-root has parent");
-            db -= 1;
-            down.push(b);
-        }
-        while a != b {
-            a = self.parent(a).expect("non-root has parent");
-            b = self.parent(b).expect("non-root has parent");
-            up.push(a);
-            down.push(b);
-        }
-        // `up` ends at the common ancestor, which `down` also ends at:
-        // drop the duplicate and append the downward leg reversed.
-        down.pop();
-        up.extend(down.into_iter().rev());
-        up
+        self.route(from, to).expect("no overlay route").to_vec()
     }
 
     /// Height of the subtree rooted at `rank`: 0 for a leaf, else
     /// 1 + the tallest child subtree. Used to scale per-child RPC
     /// deadlines so a parent never times out before its children can.
     pub fn subtree_height(&self, rank: Rank) -> u32 {
-        self.children(rank)
-            .into_iter()
-            .map(|c| 1 + self.subtree_height(c))
+        self.children[rank.index()]
+            .iter()
+            .map(|&c| 1 + self.subtree_height(c))
             .max()
             .unwrap_or(0)
     }
@@ -199,6 +288,88 @@ impl Tbon {
     /// Message latency between two ranks.
     pub fn latency(&self, from: Rank, to: Rank) -> SimDuration {
         SimDuration::from_micros(self.hop_latency.as_micros() * self.hops(from, to) as u64)
+    }
+
+    /// Bump the topology version and drop every memoized route.
+    fn invalidate(&mut self) {
+        self.epoch += 1;
+        self.cache.borrow_mut().clear();
+    }
+
+    /// Remove a failed rank from the overlay. Its orphaned children
+    /// re-attach to the nearest live ancestor (the failed rank's parent),
+    /// so the tree heals instead of partitioning. Returns the orphans
+    /// that were re-parented. Idempotent: detaching a detached rank is a
+    /// no-op returning no orphans.
+    ///
+    /// # Panics
+    /// If `rank` is the current root — root death is a failover, handled
+    /// by [`Tbon::promote_root`].
+    pub fn detach(&mut self, rank: Rank) -> Vec<Rank> {
+        assert!(
+            rank != self.root,
+            "detaching the root requires promote_root"
+        );
+        if !self.attached[rank.index()] {
+            return Vec::new();
+        }
+        let parent = self.parents[rank.index()].expect("attached non-root has a parent");
+        self.children[parent.index()].retain(|&c| c != rank);
+        self.parents[rank.index()] = None;
+        self.attached[rank.index()] = false;
+        let orphans = std::mem::take(&mut self.children[rank.index()]);
+        for &o in &orphans {
+            self.parents[o.index()] = Some(parent);
+            self.children[parent.index()].push(o);
+        }
+        self.children[parent.index()].sort_unstable();
+        self.invalidate();
+        orphans
+    }
+
+    /// Migrate the root role to `successor` after the current root died:
+    /// the successor is unlinked from its old parent, the dead root is
+    /// detached, and the dead root's remaining children re-attach under
+    /// the successor. Works for any attached successor, direct child of
+    /// the old root or not.
+    pub fn promote_root(&mut self, successor: Rank) {
+        let old = self.root;
+        assert!(successor != old, "successor must differ from the old root");
+        assert!(
+            self.attached[successor.index()],
+            "successor must be attached"
+        );
+        if let Some(sp) = self.parents[successor.index()] {
+            self.children[sp.index()].retain(|&c| c != successor);
+            self.parents[successor.index()] = None;
+        }
+        self.attached[old.index()] = false;
+        self.parents[old.index()] = None;
+        let orphans = std::mem::take(&mut self.children[old.index()]);
+        for o in orphans {
+            if o == successor {
+                continue;
+            }
+            self.parents[o.index()] = Some(successor);
+            self.children[successor.index()].push(o);
+        }
+        self.children[successor.index()].sort_unstable();
+        self.root = successor;
+        self.invalidate();
+    }
+
+    /// Re-admit a recovered rank as a leaf under `parent`.
+    ///
+    /// # Panics
+    /// If `rank` is already attached or `parent` is not.
+    pub fn attach(&mut self, rank: Rank, parent: Rank) {
+        assert!(!self.attached[rank.index()], "rank is already attached");
+        assert!(self.attached[parent.index()], "parent must be attached");
+        self.attached[rank.index()] = true;
+        self.parents[rank.index()] = Some(parent);
+        self.children[parent.index()].push(rank);
+        self.children[parent.index()].sort_unstable();
+        self.invalidate();
     }
 }
 
@@ -343,5 +514,101 @@ mod tests {
     #[should_panic(expected = "at least one broker")]
     fn zero_size_rejected() {
         Tbon::binary(0);
+    }
+
+    #[test]
+    fn detach_reparents_orphans_and_bumps_epoch() {
+        let mut t = Tbon::binary(7);
+        assert_eq!(t.epoch(), 0);
+        let orphans = t.detach(Rank(1));
+        assert_eq!(orphans, vec![Rank(3), Rank(4)]);
+        assert_eq!(t.epoch(), 1);
+        assert!(!t.is_attached(Rank(1)));
+        assert_eq!(t.parent(Rank(1)), None);
+        assert_eq!(t.children(Rank(0)), vec![Rank(2), Rank(3), Rank(4)]);
+        assert_eq!(t.parent(Rank(3)), Some(Rank(0)));
+        assert_eq!(t.parent(Rank(4)), Some(Rank(0)));
+        // Routes heal: 3 -> 6 no longer crosses the dead rank 1.
+        assert_eq!(
+            t.path(Rank(3), Rank(6)),
+            vec![Rank(3), Rank(0), Rank(2), Rank(6)]
+        );
+        // The dead rank is unroutable.
+        assert!(t.route(Rank(0), Rank(1)).is_none());
+        assert!(t.route(Rank(1), Rank(0)).is_none());
+        // Idempotent.
+        assert_eq!(t.detach(Rank(1)), vec![]);
+        assert_eq!(t.epoch(), 1);
+    }
+
+    #[test]
+    fn detach_leaf_has_no_orphans() {
+        let mut t = Tbon::binary(7);
+        assert_eq!(t.detach(Rank(6)), vec![]);
+        assert_eq!(t.children(Rank(2)), vec![Rank(5)]);
+        assert_eq!(t.subtree_height(Rank(2)), 1);
+    }
+
+    #[test]
+    fn promote_root_migrates_children() {
+        let mut t = Tbon::binary(7);
+        t.promote_root(Rank(1));
+        assert_eq!(t.root(), Rank(1));
+        assert!(!t.is_attached(Rank(0)));
+        assert_eq!(t.parent(Rank(1)), None);
+        // Old root's other child re-attaches under the successor.
+        assert_eq!(t.children(Rank(1)), vec![Rank(2), Rank(3), Rank(4)]);
+        assert_eq!(t.parent(Rank(2)), Some(Rank(1)));
+        // Everything still routes to the new root.
+        for r in [2u32, 3, 4, 5, 6] {
+            assert!(t.route(Rank(r), t.root()).is_some(), "rank{r}");
+        }
+        assert_eq!(t.depth(Rank(5)), 2);
+    }
+
+    #[test]
+    fn promote_root_with_non_child_successor() {
+        let mut t = Tbon::binary(7);
+        // Kill ranks 1 and 2 first: 3,4,5,6 all become children of 0.
+        t.detach(Rank(1));
+        t.detach(Rank(2));
+        assert_eq!(t.children(Rank(0)), vec![Rank(3), Rank(4), Rank(5), Rank(6)]);
+        t.promote_root(Rank(3));
+        assert_eq!(t.root(), Rank(3));
+        assert_eq!(t.children(Rank(3)), vec![Rank(4), Rank(5), Rank(6)]);
+        for r in [4u32, 5, 6] {
+            assert!(t.route(Rank(r), Rank(3)).is_some(), "rank{r}");
+        }
+    }
+
+    #[test]
+    fn attach_rejoins_as_leaf() {
+        let mut t = Tbon::binary(7);
+        t.detach(Rank(1));
+        let epoch = t.epoch();
+        t.attach(Rank(1), Rank(0));
+        assert!(t.is_attached(Rank(1)));
+        assert_eq!(t.parent(Rank(1)), Some(Rank(0)));
+        // Rejoins as a *leaf*: its former children stay where they healed.
+        assert_eq!(t.children(Rank(1)), vec![]);
+        assert_eq!(t.children(Rank(0)), vec![Rank(1), Rank(2), Rank(3), Rank(4)]);
+        assert!(t.epoch() > epoch);
+        assert_eq!(t.path(Rank(1), Rank(6)), vec![Rank(1), Rank(0), Rank(2), Rank(6)]);
+    }
+
+    #[test]
+    fn route_cache_is_invalidated_by_mutation() {
+        let mut t = Tbon::binary(7);
+        assert_eq!(t.path(Rank(3), Rank(6)).len(), 5);
+        t.detach(Rank(1));
+        assert_eq!(t.path(Rank(3), Rank(6)).len(), 4, "stale route evicted");
+    }
+
+    #[test]
+    fn equality_ignores_route_cache() {
+        let a = Tbon::binary(7);
+        let b = Tbon::binary(7);
+        let _ = a.route(Rank(3), Rank(6)); // warm a's cache only
+        assert_eq!(a, b);
     }
 }

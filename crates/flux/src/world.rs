@@ -20,7 +20,7 @@ use crate::sched::FcfsScheduler;
 use crate::tbon::{Rank, Tbon};
 use fluxpm_hw::{lassen, tioga, MachineKind, NodeHardware, NodeId, Watts};
 use fluxpm_sim::{Engine, EventId, SimDuration, SimTime, Trace, TraceLevel, Xoshiro256pp};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::ControlFlow;
 use std::rc::Rc;
 
@@ -77,6 +77,116 @@ impl RetryPolicy {
     }
 }
 
+/// Per-topic RPC health counters, exposed through [`World::rpc_stats`]
+/// (the ROADMAP's "retry budget telemetry"). Keyed by topic in a
+/// `BTreeMap` so snapshots iterate deterministically.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TopicStats {
+    /// Deadlines that expired before a response arrived.
+    pub timeouts: u64,
+    /// Attempts re-sent by the retry machinery.
+    pub retries: u64,
+    /// Messages dropped (downed origin, severed route, injected loss).
+    pub drops: u64,
+}
+
+/// A pending RPC under construction: created by [`World::rpc`], armed
+/// with [`RpcBuilder::deadline`] / [`RpcBuilder::retry`] /
+/// [`RpcBuilder::from`], and launched by [`RpcBuilder::send`].
+///
+/// ```no_run
+/// # use fluxpm_flux::{payload, Rank, RetryPolicy, World, FluxEngine};
+/// # use fluxpm_sim::{Engine, SimDuration};
+/// # let mut world = World::new(fluxpm_hw::MachineKind::Lassen, 4, 1);
+/// # let mut eng: FluxEngine = Engine::new();
+/// world
+///     .rpc(Rank(3), "power-monitor.node-data", payload(()))
+///     .deadline(SimDuration::from_secs(1))
+///     .retry(RetryPolicy::default())
+///     .send(&mut eng, |_world, _eng, _resp| {});
+/// ```
+#[must_use = "an RPC does nothing until .send() is called"]
+pub struct RpcBuilder<'w> {
+    world: &'w mut World,
+    from: Rank,
+    to: Rank,
+    topic: String,
+    payload: Payload,
+    deadline: Option<SimDuration>,
+    retry: Option<RetryPolicy>,
+}
+
+impl<'w> RpcBuilder<'w> {
+    /// Override the requesting rank. Defaults to the current root (the
+    /// external-client vantage point); modules issuing RPCs should pass
+    /// their own `ctx.rank`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from(mut self, rank: Rank) -> Self {
+        self.from = rank;
+        self
+    }
+
+    /// Arm a response deadline: if no response arrives in time the
+    /// callback fires with a synthesized timeout error
+    /// ([`Message::is_timeout`]) and any late real response is dropped
+    /// as an orphan. With [`RpcBuilder::retry`] this sets the
+    /// *per-attempt* deadline, overriding the policy's.
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Retry timed-out attempts with exponential backoff per `policy`.
+    /// The callback fires exactly once: with the first real response or
+    /// the final attempt's timeout.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Launch the RPC. Without a deadline or retry policy the callback
+    /// never fires if the responder dies — arm one on any path that must
+    /// survive failures.
+    pub fn send(
+        self,
+        eng: &mut FluxEngine,
+        callback: impl FnOnce(&mut World, &mut FluxEngine, &Message) + 'static,
+    ) {
+        let RpcBuilder {
+            world,
+            from,
+            to,
+            topic,
+            payload,
+            deadline,
+            retry,
+        } = self;
+        if let Some(mut policy) = retry {
+            if let Some(d) = deadline {
+                policy.deadline = d;
+            }
+            assert!(policy.max_attempts >= 1, "at least one attempt");
+            retry_attempt(
+                world,
+                eng,
+                RetryState {
+                    from,
+                    to,
+                    topic,
+                    payload,
+                    policy,
+                    attempt: 1,
+                    callback: Box::new(callback),
+                },
+            );
+        } else if let Some(d) = deadline {
+            world.rpc_deadline_inner(eng, from, to, topic, payload, d, Box::new(callback));
+        } else {
+            world.rpc_plain_inner(eng, from, to, topic, payload, Box::new(callback));
+        }
+    }
+}
+
 /// Deterministic chaos injection over TBON links: per-hop message loss
 /// and latency jitter, drawn from a dedicated RNG stream derived from
 /// the world seed so runs replay byte-identically.
@@ -116,14 +226,14 @@ fn retry_attempt(world: &mut World, eng: &mut FluxEngine, st: RetryState) {
     } = st;
     let topic_next = topic.clone();
     let payload_next = Rc::clone(&payload);
-    world.rpc_with_deadline(
+    world.rpc_deadline_inner(
         eng,
         from,
         to,
         topic,
         payload,
         policy.deadline,
-        move |world, eng, resp| {
+        Box::new(move |world, eng, resp| {
             let retry = resp.is_timeout()
                 && attempt < policy.max_attempts
                 && world.brokers[from.index()].is_up();
@@ -131,6 +241,11 @@ fn retry_attempt(world: &mut World, eng: &mut FluxEngine, st: RetryState) {
                 return callback(world, eng, resp);
             }
             world.rpc_retries += 1;
+            world
+                .topic_stats
+                .entry(topic_next.clone())
+                .or_default()
+                .retries += 1;
             let delay = policy.backoff.mul(policy.backoff_factor.pow(attempt - 1));
             world.trace.emit(
                 eng.now(),
@@ -148,7 +263,7 @@ fn retry_attempt(world: &mut World, eng: &mut FluxEngine, st: RetryState) {
                 callback,
             };
             eng.schedule_in(delay, move |world, eng| retry_attempt(world, eng, next));
-        },
+        }),
     );
 }
 
@@ -201,6 +316,11 @@ pub struct World {
     rpc_timeouts: u64,
     /// RPC attempts re-sent by the retry helper.
     rpc_retries: u64,
+    /// Per-topic timeout/retry/drop counters ([`World::rpc_stats`]).
+    topic_stats: BTreeMap<String, TopicStats>,
+    /// Factories for per-rank modules, replayed by
+    /// [`World::recover_node`] to reload a rejoining broker.
+    module_factories: Vec<Box<dyn Fn(Rank) -> SharedModule>>,
     /// End of the last executor slice.
     last_exec: SimTime,
     executor_installed: bool,
@@ -240,9 +360,28 @@ impl World {
             dropped_messages: 0,
             rpc_timeouts: 0,
             rpc_retries: 0,
+            topic_stats: BTreeMap::new(),
+            module_factories: Vec::new(),
             last_exec: SimTime::ZERO,
             executor_installed: false,
         }
+    }
+
+    /// The current root rank: rank 0 until a root failure promotes the
+    /// lowest surviving rank. Cluster singletons (the monitor root agent,
+    /// the cluster-level manager) live here, and external clients should
+    /// address their queries to it.
+    pub fn root(&self) -> Rank {
+        self.tbon.root()
+    }
+
+    /// Register a factory for a *per-rank* module. When a failed node
+    /// rejoins via [`World::recover_node`], every registered factory is
+    /// invoked to reload the broker's modules (fresh state — the node
+    /// rebooted). Root-service modules migrate at failover instead and
+    /// must not be registered here.
+    pub fn register_module_factory(&mut self, factory: impl Fn(Rank) -> SharedModule + 'static) {
+        self.module_factories.push(Box::new(factory));
     }
 
     /// Number of nodes/brokers.
@@ -312,13 +451,17 @@ impl World {
     // ------------------------------------------------------------------
 
     /// Send a message over the overlay; it is delivered after the TBON
-    /// route latency (plus any injected jitter). Messages from a downed
-    /// rank, or lost to an active [`FaultPlan`], are dropped here;
-    /// messages routed *through* a rank that dies while they are in
-    /// flight are dropped at delivery time instead.
+    /// route latency (plus any injected jitter). The route is resolved
+    /// against the *current* topology epoch and travels with the
+    /// message: messages from a downed rank, to a detached rank, or lost
+    /// to an active [`FaultPlan`] are dropped here; messages routed
+    /// *through* a rank that dies while they are in flight are dropped
+    /// at delivery time instead. Messages sent after the topology heals
+    /// take the re-parented route.
     pub fn send(&mut self, eng: &mut FluxEngine, msg: Message) {
         if !self.brokers[msg.from.index()].is_up() {
             self.dropped_messages += 1;
+            self.note_drop(&msg.topic);
             self.trace.emit(
                 eng.now(),
                 TraceLevel::Warn,
@@ -330,8 +473,29 @@ impl World {
             );
             return;
         }
-        let mut delay = self.tbon.latency(msg.from, msg.to);
-        let hops = self.tbon.hops(msg.from, msg.to);
+        let Some(route) = self.tbon.route(msg.from, msg.to) else {
+            // One endpoint is detached from the overlay: no route exists
+            // under the current epoch.
+            self.dropped_messages += 1;
+            self.note_drop(&msg.topic);
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Warn,
+                "tbon",
+                format!(
+                    "sever: no route {:?} {} -> {} topic {} (epoch {})",
+                    msg.kind,
+                    msg.from,
+                    msg.to,
+                    msg.topic,
+                    self.tbon.epoch()
+                ),
+            );
+            return;
+        };
+        let hops = route.len() as u32 - 1;
+        let mut delay =
+            SimDuration::from_micros(self.tbon.hop_latency.as_micros() * hops as u64);
         let mut lost = false;
         if let Some(fp) = &mut self.faults {
             // Each hop independently loses the message or jitters it;
@@ -347,6 +511,7 @@ impl World {
         }
         if lost {
             self.dropped_messages += 1;
+            self.note_drop(&msg.topic);
             self.trace.emit(
                 eng.now(),
                 TraceLevel::Warn,
@@ -369,21 +534,37 @@ impl World {
                 ),
             );
         }
-        eng.schedule_in(delay, move |world, eng| deliver(world, eng, msg));
+        eng.schedule_in(delay, move |world, eng| deliver(world, eng, msg, &route));
     }
 
-    /// Issue an RPC: send a request and invoke `callback` when the
-    /// response arrives. Without a deadline the callback never fires if
-    /// the responder dies — prefer [`World::rpc_with_deadline`] or
-    /// [`World::rpc_with_retry`] on paths that must survive failures.
-    pub fn rpc(
+    /// Start building an RPC to `to`. The requester defaults to the
+    /// current [`World::root`] (the external-client vantage); modules
+    /// must override it with [`RpcBuilder::from`]`(ctx.rank)`. Arm
+    /// [`RpcBuilder::deadline`] and/or [`RpcBuilder::retry`] on paths
+    /// that must survive failures, then launch with
+    /// [`RpcBuilder::send`].
+    pub fn rpc(&mut self, to: Rank, topic: impl Into<String>, p: Payload) -> RpcBuilder<'_> {
+        let from = self.root();
+        RpcBuilder {
+            world: self,
+            from,
+            to,
+            topic: topic.into(),
+            payload: p,
+            deadline: None,
+            retry: None,
+        }
+    }
+
+    /// Plain RPC: register the matchtag and send the request.
+    fn rpc_plain_inner(
         &mut self,
         eng: &mut FluxEngine,
         from: Rank,
         to: Rank,
-        topic: impl Into<String>,
+        topic: String,
         p: Payload,
-        callback: impl FnOnce(&mut World, &mut FluxEngine, &Message) + 'static,
+        callback: RpcCallback,
     ) {
         let mut msg = Message::request(from, to, topic, p);
         msg.matchtag = self.next_matchtag;
@@ -392,28 +573,28 @@ impl World {
             msg.matchtag,
             PendingRpc {
                 from,
-                callback: Box::new(callback),
+                callback,
                 timeout: None,
             },
         );
         self.send(eng, msg);
     }
 
-    /// Issue an RPC with a response deadline. If no response arrives
-    /// within `deadline`, the matchtag is retired and `callback` is
-    /// invoked with a synthesized timeout error response
-    /// ([`Message::is_timeout`]); a late real response is then dropped
-    /// as an orphan, exactly as Flux drops unmatched matchtags.
+    /// Deadline RPC: if no response arrives within `deadline`, the
+    /// matchtag is retired and the callback is invoked with a
+    /// synthesized timeout error response ([`Message::is_timeout`]); a
+    /// late real response is then dropped as an orphan, exactly as Flux
+    /// drops unmatched matchtags.
     #[allow(clippy::too_many_arguments)]
-    pub fn rpc_with_deadline(
+    fn rpc_deadline_inner(
         &mut self,
         eng: &mut FluxEngine,
         from: Rank,
         to: Rank,
-        topic: impl Into<String>,
+        topic: String,
         p: Payload,
         deadline: SimDuration,
-        callback: impl FnOnce(&mut World, &mut FluxEngine, &Message) + 'static,
+        callback: RpcCallback,
     ) {
         let mut msg = Message::request(from, to, topic, p);
         msg.matchtag = self.next_matchtag;
@@ -425,6 +606,7 @@ impl World {
                 return; // answered in time; lazily-cancelled event
             };
             world.rpc_timeouts += 1;
+            world.topic_stats.entry(req.topic.clone()).or_default().timeouts += 1;
             world.trace.emit(
                 eng.now(),
                 TraceLevel::Warn,
@@ -441,18 +623,38 @@ impl World {
             tag,
             PendingRpc {
                 from,
-                callback: Box::new(callback),
+                callback,
                 timeout: Some(ev),
             },
         );
         self.send(eng, msg);
     }
 
-    /// Issue an RPC with a per-attempt deadline and retry-with-backoff:
-    /// timed-out attempts are re-sent (same topic and payload) up to
-    /// `policy.max_attempts` times while the requester is still up. The
-    /// callback fires exactly once, with the first real response or the
-    /// final attempt's timeout error.
+    /// Deprecated shim over the [`RpcBuilder`] API.
+    #[deprecated(
+        note = "use the builder: world.rpc(to, topic, p).from(from).deadline(d).send(eng, cb)"
+    )]
+    #[allow(clippy::too_many_arguments)]
+    pub fn rpc_with_deadline(
+        &mut self,
+        eng: &mut FluxEngine,
+        from: Rank,
+        to: Rank,
+        topic: impl Into<String>,
+        p: Payload,
+        deadline: SimDuration,
+        callback: impl FnOnce(&mut World, &mut FluxEngine, &Message) + 'static,
+    ) {
+        self.rpc(to, topic, p)
+            .from(from)
+            .deadline(deadline)
+            .send(eng, callback);
+    }
+
+    /// Deprecated shim over the [`RpcBuilder`] API.
+    #[deprecated(
+        note = "use the builder: world.rpc(to, topic, p).from(from).retry(policy).send(eng, cb)"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn rpc_with_retry(
         &mut self,
@@ -464,20 +666,10 @@ impl World {
         policy: RetryPolicy,
         callback: impl FnOnce(&mut World, &mut FluxEngine, &Message) + 'static,
     ) {
-        assert!(policy.max_attempts >= 1, "at least one attempt");
-        retry_attempt(
-            self,
-            eng,
-            RetryState {
-                from,
-                to,
-                topic: topic.into(),
-                payload: p,
-                policy,
-                attempt: 1,
-                callback: Box::new(callback),
-            },
-        );
+        self.rpc(to, topic, p)
+            .from(from)
+            .retry(policy)
+            .send(eng, callback);
     }
 
     /// Respond to a request with a payload.
@@ -541,9 +733,21 @@ impl World {
         self.rpc_timeouts
     }
 
-    /// RPC attempts re-sent by [`World::rpc_with_retry`].
+    /// RPC attempts re-sent by the retry machinery.
     pub fn rpc_retry_count(&self) -> u64 {
         self.rpc_retries
+    }
+
+    /// Snapshot of the per-topic timeout/retry/drop counters, keyed by
+    /// topic in deterministic (sorted) order. Topics appear once they
+    /// record their first incident.
+    pub fn rpc_stats(&self) -> BTreeMap<String, TopicStats> {
+        self.topic_stats.clone()
+    }
+
+    /// Record a drop against a topic's counters.
+    fn note_drop(&mut self, topic: &str) {
+        self.topic_stats.entry(topic.to_string()).or_default().drops += 1;
     }
 
     /// Whether a rank's broker is up.
@@ -586,7 +790,8 @@ impl World {
         let id = self.jobs.add(spec, program, eng.now());
         self.trace
             .emit(eng.now(), TraceLevel::Info, "job", format!("submit {id:?}"));
-        self.publish(eng, Rank::ROOT, EVENT_JOB_SUBMIT, payload(id));
+        let root = self.root();
+        self.publish(eng, root, EVENT_JOB_SUBMIT, payload(id));
         self.try_schedule(eng);
         id
     }
@@ -615,7 +820,8 @@ impl World {
                 "job",
                 format!("start {head:?} on {alloc:?}"),
             );
-            self.publish(eng, Rank::ROOT, EVENT_JOB_START, payload(head));
+            let root = self.root();
+            self.publish(eng, root, EVENT_JOB_START, payload(head));
         }
     }
 
@@ -744,7 +950,8 @@ impl World {
         };
         self.trace
             .emit(eng.now(), TraceLevel::Info, "job", format!("{word} {id:?}"));
-        self.publish(eng, Rank::ROOT, topic, payload(id));
+        let root = self.root();
+        self.publish(eng, root, topic, payload(id));
         self.try_schedule(eng);
     }
 
@@ -757,7 +964,8 @@ impl World {
                 let job = self.jobs.get_mut(id).expect("job exists");
                 job.state = JobState::Failed;
                 job.finished_at = Some(eng.now());
-                self.publish(eng, Rank::ROOT, EVENT_JOB_EXCEPTION, payload(id));
+                let root = self.root();
+                self.publish(eng, root, EVENT_JOB_EXCEPTION, payload(id));
                 self.try_schedule(eng);
                 true
             }
@@ -770,11 +978,21 @@ impl World {
     }
 
     /// Simulate a node failure: the broker goes down — it no longer
-    /// originates, receives, or relays overlay traffic, so an interior
-    /// rank's failure partitions its whole subtree — its in-flight
+    /// originates, receives, or relays overlay traffic — its in-flight
     /// outbound RPCs are cancelled (their callbacks never fire), and any
     /// job running on the node fails. The node is withheld from the
-    /// scheduler (it is not returned to the free pool).
+    /// scheduler (it is not returned to the free pool) until
+    /// [`World::recover_node`] brings it back.
+    ///
+    /// The overlay *heals* instead of partitioning: an interior rank's
+    /// orphaned children re-attach to its parent
+    /// ([`Tbon::detach`](crate::Tbon::detach)), and a dying root hands
+    /// the root role to the lowest surviving rank
+    /// ([`Tbon::promote_root`](crate::Tbon::promote_root)), migrating
+    /// every [root-service](crate::Module::root_service) module — state
+    /// and all — onto the successor. Messages already in flight keep the
+    /// route they were launched on and are dropped if it transits the
+    /// dead rank; messages sent afterwards use the healed topology.
     pub fn fail_node(&mut self, eng: &mut FluxEngine, node: NodeId) {
         self.trace.emit(
             eng.now(),
@@ -783,6 +1001,19 @@ impl World {
             format!("{node:?} failed"),
         );
         let rank = Rank(node.0);
+        let was_root = self.tbon.is_attached(rank) && self.tbon.root() == rank;
+        // Root services survive the root's death: capture them before
+        // the broker's module table is torn down.
+        let mut migrants: Vec<SharedModule> = Vec::new();
+        if was_root {
+            for name in self.brokers[node.index()].module_names() {
+                if let Some(m) = self.brokers[node.index()].module(name) {
+                    if m.borrow().root_service() {
+                        migrants.push(m);
+                    }
+                }
+            }
+        }
         self.brokers[node.index()].set_down();
         // Take the broker's modules offline.
         let names: Vec<&'static str> = self.brokers[node.index()].module_names();
@@ -814,6 +1045,28 @@ impl World {
                 format!("{rank}: cancelled {} pending rpc(s)", dead_tags.len()),
             );
         }
+        // Heal the overlay before tearing the job down, so the job
+        // exception event publishes from a live root.
+        if self.tbon.is_attached(rank) {
+            if was_root {
+                self.fail_root(eng, rank, migrants);
+            } else {
+                let orphans = self.tbon.detach(rank);
+                if !orphans.is_empty() {
+                    let parent = self.tbon.parent(orphans[0]).expect("orphans were re-parented");
+                    self.trace.emit(
+                        eng.now(),
+                        TraceLevel::Info,
+                        "tbon",
+                        format!(
+                            "re-parented {} orphan(s) of {rank} under {parent} (epoch {})",
+                            orphans.len(),
+                            self.tbon.epoch()
+                        ),
+                    );
+                }
+            }
+        }
         self.nodes[node.index()].set_idle();
         if let Some(job) = self.jobs.job_on_node(node) {
             // The job's processes are gone: drop the program so no
@@ -826,6 +1079,122 @@ impl World {
         } else if self.sched.is_free(node) {
             let _ = self.sched.allocate_specific(node);
         }
+    }
+
+    /// Root failover: elect the lowest live rank, promote it in the
+    /// topology, and migrate the root-service modules onto it.
+    fn fail_root(&mut self, eng: &mut FluxEngine, old_root: Rank, migrants: Vec<SharedModule>) {
+        let successor = self
+            .tbon
+            .attached_ranks()
+            .into_iter()
+            .find(|&r| r != old_root && self.brokers[r.index()].is_up());
+        let Some(successor) = successor else {
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Warn,
+                "tbon",
+                format!("{old_root} failed with no live successor; instance is dead"),
+            );
+            return;
+        };
+        self.tbon.promote_root(successor);
+        self.trace.emit(
+            eng.now(),
+            TraceLevel::Warn,
+            "tbon",
+            format!(
+                "root failover: {old_root} -> {successor} (epoch {})",
+                self.tbon.epoch()
+            ),
+        );
+        // Two phases: re-register every migrant first, then run the
+        // migration hooks — a hook may immediately RPC a sibling root
+        // service (e.g. the cluster manager re-pushing limits through
+        // the job manager), which must already be routable.
+        let mut migrated: Vec<SharedModule> = Vec::new();
+        for m in migrants {
+            let name = m.borrow().name();
+            if self.brokers[successor.index()].register(Rc::clone(&m)) {
+                self.trace.emit(
+                    eng.now(),
+                    TraceLevel::Info,
+                    "tbon",
+                    format!("migrated {name} to {successor}"),
+                );
+                migrated.push(m);
+            }
+        }
+        for m in migrated {
+            let mut ctx = ModuleCtx {
+                world: self,
+                eng,
+                rank: successor,
+            };
+            m.borrow_mut().on_migrate(&mut ctx);
+        }
+    }
+
+    /// Bring a failed node back: the broker rejoins the overlay as a
+    /// *leaf* under its nearest live original ancestor (falling back to
+    /// the current root — a recovered ex-root does *not* reclaim the
+    /// root role), the node returns to the scheduler pool, and every
+    /// registered [module factory](World::register_module_factory)
+    /// reloads the broker's per-rank modules with fresh state — the node
+    /// rebooted, so e.g. monitor ring buffers restart empty and report
+    /// partial history for windows spanning the outage. Returns `false`
+    /// (a no-op) if the node is already up.
+    pub fn recover_node(&mut self, eng: &mut FluxEngine, node: NodeId) -> bool {
+        if self.brokers[node.index()].is_up() {
+            return false;
+        }
+        let rank = Rank(node.0);
+        self.brokers[node.index()].set_up();
+        if !self.tbon.is_attached(rank) {
+            // Nearest live ancestor in the original k-ary shape; the
+            // current root catches everything else (including an
+            // ex-root, which has no original ancestors at all).
+            let fanout = self.tbon.fanout();
+            let mut probe = rank;
+            let mut parent = None;
+            while probe != Rank::ROOT {
+                probe = Rank((probe.0 - 1) / fanout);
+                if self.tbon.is_attached(probe) && self.brokers[probe.index()].is_up() {
+                    parent = Some(probe);
+                    break;
+                }
+            }
+            let parent = parent.unwrap_or_else(|| self.tbon.root());
+            self.tbon.attach(rank, parent);
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Info,
+                "tbon",
+                format!(
+                    "{node:?} recovered; {rank} rejoined under {parent} (epoch {})",
+                    self.tbon.epoch()
+                ),
+            );
+        } else {
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Info,
+                "tbon",
+                format!("{node:?} recovered"),
+            );
+        }
+        // Return the node to the free pool (it was withheld at failure)
+        // unless something already holds it.
+        if !self.sched.is_free(node) && self.jobs.job_on_node(node).is_none() {
+            self.sched.release(&[node]);
+        }
+        // Reload per-rank modules with fresh state.
+        let factories = std::mem::take(&mut self.module_factories);
+        for f in &factories {
+            self.load_module(eng, rank, f(rank));
+        }
+        self.module_factories = factories;
+        true
     }
 
     /// Install the job executor (idempotent). Must be called once before
@@ -888,17 +1257,19 @@ impl World {
     }
 }
 
-/// Deliver a message at its destination rank.
-fn deliver(world: &mut World, eng: &mut FluxEngine, msg: Message) {
+/// Deliver a message at its destination rank. `route` is the TBON route
+/// the message was launched on (captured at send time — the overlay may
+/// have healed since, but a packet in flight cannot switch wires).
+fn deliver(world: &mut World, eng: &mut FluxEngine, msg: Message, route: &[Rank]) {
     // A downed rank neither receives nor relays: drop any message whose
-    // TBON route transits a dead broker (including the endpoints).
-    if let Some(dead) = world
-        .tbon
-        .path(msg.from, msg.to)
-        .into_iter()
+    // route transits a dead broker (including the endpoints).
+    if let Some(dead) = route
+        .iter()
+        .copied()
         .find(|r| !world.brokers[r.index()].is_up())
     {
         world.dropped_messages += 1;
+        world.note_drop(&msg.topic);
         world.trace.emit(
             eng.now(),
             TraceLevel::Warn,
@@ -1140,16 +1511,10 @@ mod tests {
         w.load_module(&mut eng, Rank(3), m);
         let got = Rc::new(RefCell::new(None));
         let got2 = Rc::clone(&got);
-        w.rpc(
-            &mut eng,
-            Rank::ROOT,
-            Rank(3),
-            "echo.ping",
-            payload(41u32),
-            move |_, eng, resp| {
+        w.rpc(Rank(3), "echo.ping", payload(41u32))
+            .send(&mut eng, move |_, eng, resp| {
                 *got2.borrow_mut() = Some((*resp.payload_as::<u32>().unwrap(), eng.now()));
-            },
-        );
+            });
         eng.run(&mut w);
         let (val, at) = got.borrow().unwrap();
         assert_eq!(val, 42);
@@ -1163,16 +1528,10 @@ mod tests {
         let (mut w, mut eng) = world(2);
         let got = Rc::new(RefCell::new(None));
         let got2 = Rc::clone(&got);
-        w.rpc(
-            &mut eng,
-            Rank::ROOT,
-            Rank(1),
-            "nope.nothing",
-            payload(()),
-            move |_, _, resp| {
+        w.rpc(Rank(1), "nope.nothing", payload(()))
+            .send(&mut eng, move |_, _, resp| {
                 *got2.borrow_mut() = Some(resp.error.clone());
-            },
-        );
+            });
         eng.run(&mut w);
         let err = got.borrow().clone().unwrap().unwrap();
         assert!(err.contains("unknown service"));
@@ -1427,17 +1786,11 @@ mod failure_tests {
         load_slow_echo(&mut w, &mut eng, Rank(1), SimDuration::from_secs(2));
         let got = std::rc::Rc::new(std::cell::RefCell::new(None));
         let got2 = std::rc::Rc::clone(&got);
-        w.rpc_with_deadline(
-            &mut eng,
-            Rank::ROOT,
-            Rank(1),
-            "slow.ping",
-            payload(()),
-            SimDuration::from_secs(1),
-            move |_, eng, resp| {
+        w.rpc(Rank(1), "slow.ping", payload(()))
+            .deadline(SimDuration::from_secs(1))
+            .send(&mut eng, move |_, eng, resp| {
                 *got2.borrow_mut() = Some((resp.is_timeout(), eng.now()));
-            },
-        );
+            });
         eng.run(&mut w);
         let (timed_out, at) = got.borrow().unwrap();
         assert!(timed_out, "callback saw the synthesized timeout");
@@ -1455,17 +1808,11 @@ mod failure_tests {
         load_slow_echo(&mut w, &mut eng, Rank(1), SimDuration::from_millis(10));
         let got = std::rc::Rc::new(std::cell::RefCell::new(None));
         let got2 = std::rc::Rc::clone(&got);
-        w.rpc_with_deadline(
-            &mut eng,
-            Rank::ROOT,
-            Rank(1),
-            "slow.ping",
-            payload(()),
-            SimDuration::from_secs(1),
-            move |_, _, resp| {
+        w.rpc(Rank(1), "slow.ping", payload(()))
+            .deadline(SimDuration::from_secs(1))
+            .send(&mut eng, move |_, _, resp| {
                 *got2.borrow_mut() = Some(*resp.payload_as::<u32>().unwrap());
-            },
-        );
+            });
         eng.run(&mut w);
         assert_eq!(got.borrow().unwrap(), 99);
         assert_eq!(w.rpc_timeout_count(), 0, "deadline never fired");
@@ -1480,17 +1827,12 @@ mod failure_tests {
         let fired2 = std::rc::Rc::clone(&fired);
         // Rank 1 asks its child rank 3; rank 1 dies before any response
         // (or even its own deadline) can fire.
-        w.rpc_with_deadline(
-            &mut eng,
-            Rank(1),
-            Rank(3),
-            "slow.ping",
-            payload(()),
-            SimDuration::from_secs(10),
-            move |_, _, _| {
+        w.rpc(Rank(3), "slow.ping", payload(()))
+            .from(Rank(1))
+            .deadline(SimDuration::from_secs(10))
+            .send(&mut eng, move |_, _, _| {
                 *fired2.borrow_mut() = true;
-            },
-        );
+            });
         assert_eq!(w.pending_rpc_count(), 1);
         eng.schedule(SimTime::from_millis(1), |w: &mut World, eng| {
             w.fail_node(eng, NodeId(1));
@@ -1513,17 +1855,11 @@ mod failure_tests {
             backoff: SimDuration::from_millis(10),
             backoff_factor: 2,
         };
-        w.rpc_with_retry(
-            &mut eng,
-            Rank::ROOT,
-            Rank(1),
-            "slow.ping",
-            payload(()),
-            policy,
-            move |_, eng, resp| {
+        w.rpc(Rank(1), "slow.ping", payload(()))
+            .retry(policy)
+            .send(&mut eng, move |_, eng, resp| {
                 *got2.borrow_mut() = Some((resp.is_timeout(), eng.now()));
-            },
-        );
+            });
         eng.run(&mut w);
         let (timed_out, at) = got.borrow().unwrap();
         assert!(timed_out, "final attempt surfaced the timeout");
@@ -1546,17 +1882,11 @@ mod failure_tests {
         load_slow_echo(&mut w, &mut eng, Rank(1), SimDuration::from_millis(5));
         let got = std::rc::Rc::new(std::cell::RefCell::new(None));
         let got2 = std::rc::Rc::clone(&got);
-        w.rpc_with_retry(
-            &mut eng,
-            Rank::ROOT,
-            Rank(1),
-            "slow.ping",
-            payload(()),
-            RetryPolicy::default(),
-            move |_, _, resp| {
+        w.rpc(Rank(1), "slow.ping", payload(()))
+            .retry(RetryPolicy::default())
+            .send(&mut eng, move |_, _, resp| {
                 *got2.borrow_mut() = Some(*resp.payload_as::<u32>().unwrap());
-            },
-        );
+            });
         eng.run(&mut w);
         assert_eq!(got.borrow().unwrap(), 99);
         assert_eq!(w.rpc_retry_count(), 0, "no retry needed");
@@ -1572,16 +1902,10 @@ mod failure_tests {
         // is in flight: the request is dropped at delivery time.
         let fired = std::rc::Rc::new(std::cell::RefCell::new(false));
         let fired2 = std::rc::Rc::clone(&fired);
-        w.rpc(
-            &mut eng,
-            Rank::ROOT,
-            Rank(3),
-            "slow.ping",
-            payload(()),
-            move |_, _, _| {
+        w.rpc(Rank(3), "slow.ping", payload(()))
+            .send(&mut eng, move |_, _, _| {
                 *fired2.borrow_mut() = true;
-            },
-        );
+            });
         eng.schedule(SimTime::from_micros(10), |w: &mut World, eng| {
             w.fail_node(eng, NodeId(1));
         });
@@ -1611,15 +1935,9 @@ mod failure_tests {
             load_slow_echo(&mut w, &mut eng, Rank(6), SimDuration::ZERO);
             for _ in 0..20 {
                 for to in [Rank(3), Rank(6)] {
-                    w.rpc_with_deadline(
-                        &mut eng,
-                        Rank::ROOT,
-                        to,
-                        "slow.ping",
-                        payload(()),
-                        SimDuration::from_millis(500),
-                        |_, _, _| {},
-                    );
+                    w.rpc(to, "slow.ping", payload(()))
+                        .deadline(SimDuration::from_millis(500))
+                        .send(&mut eng, |_, _, _| {});
                 }
             }
             eng.run(&mut w);
@@ -1667,5 +1985,147 @@ mod failure_tests {
         // last_step never advances past the failure instant.
         assert!(job.last_step <= SimTime::from_secs(3));
         assert!(w.halted, "failed job still counts toward completion");
+    }
+
+    #[test]
+    fn interior_failure_heals_for_new_traffic() {
+        // Kill rank 1 *before* sending: the topology re-parents rank 3
+        // under the root, so a fresh request takes the healed route and
+        // round-trips in 2 hops instead of being severed.
+        let (mut w, mut eng) = world(7);
+        load_slow_echo(&mut w, &mut eng, Rank(3), SimDuration::ZERO);
+        w.fail_node(&mut eng, NodeId(1));
+        assert_eq!(w.tbon.parent(Rank(3)), Some(Rank(0)));
+        let got = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let got2 = std::rc::Rc::clone(&got);
+        w.rpc(Rank(3), "slow.ping", payload(()))
+            .send(&mut eng, move |_, eng, resp| {
+                *got2.borrow_mut() = Some((*resp.payload_as::<u32>().unwrap(), eng.now()));
+            });
+        eng.run(&mut w);
+        let (val, at) = got.borrow().unwrap();
+        assert_eq!(val, 99);
+        // 0 -> 3 is now a single hop each way at 20 µs/hop.
+        assert_eq!(at.as_micros(), 40);
+        assert_eq!(w.dropped_message_count(), 0, "nothing severed");
+    }
+
+    #[test]
+    fn recover_node_rejoins_reloads_and_answers() {
+        let (mut w, mut eng) = world(4);
+        w.register_module_factory(|_rank| -> SharedModule {
+            std::rc::Rc::new(std::cell::RefCell::new(SlowEcho {
+                delay: SimDuration::ZERO,
+            }))
+        });
+        w.fail_node(&mut eng, NodeId(1));
+        assert!(!w.broker_up(Rank(1)));
+        assert!(!w.tbon.is_attached(Rank(1)));
+        assert!(!w.sched.is_free(NodeId(1)), "failed node withheld");
+        let epoch = w.tbon.epoch();
+
+        assert!(w.recover_node(&mut eng, NodeId(1)));
+        assert!(w.broker_up(Rank(1)));
+        assert!(w.tbon.is_attached(Rank(1)));
+        assert_eq!(w.tbon.parent(Rank(1)), Some(Rank(0)));
+        assert!(w.sched.is_free(NodeId(1)), "node back in the pool");
+        assert!(w.tbon.epoch() > epoch);
+        assert_eq!(w.brokers[1].module_names(), vec!["slow-echo"]);
+        // And the reloaded module answers again.
+        let got = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let got2 = std::rc::Rc::clone(&got);
+        w.rpc(Rank(1), "slow.ping", payload(()))
+            .send(&mut eng, move |_, _, resp| {
+                *got2.borrow_mut() = Some(*resp.payload_as::<u32>().unwrap());
+            });
+        eng.run(&mut w);
+        assert_eq!(got.borrow().unwrap(), 99);
+        // Recovering an up node is a no-op.
+        assert!(!w.recover_node(&mut eng, NodeId(1)));
+    }
+
+    /// A root service with observable state: counts its migrations and
+    /// answers `root.count` with a constant.
+    struct RootCounter {
+        migrations: std::rc::Rc<std::cell::RefCell<u32>>,
+    }
+
+    impl crate::module::Module for RootCounter {
+        fn name(&self) -> &'static str {
+            "root-counter"
+        }
+        fn topics(&self) -> Vec<String> {
+            vec!["root.count".into()]
+        }
+        fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
+        fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+            if msg.kind == MsgKind::Request {
+                ctx.world.respond(ctx.eng, msg, payload(7u32));
+            }
+        }
+        fn root_service(&self) -> bool {
+            true
+        }
+        fn on_migrate(&mut self, _ctx: &mut ModuleCtx<'_>) {
+            *self.migrations.borrow_mut() += 1;
+        }
+    }
+
+    #[test]
+    fn root_failure_promotes_successor_and_migrates_services() {
+        let (mut w, mut eng) = world(7);
+        let migrations = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+        let m = std::rc::Rc::new(std::cell::RefCell::new(RootCounter {
+            migrations: std::rc::Rc::clone(&migrations),
+        }));
+        assert!(w.load_module(&mut eng, Rank::ROOT, m));
+
+        w.fail_node(&mut eng, NodeId(0));
+        assert_eq!(w.root(), Rank(1), "lowest live rank elected");
+        assert_eq!(*migrations.borrow(), 1);
+        assert!(w.brokers[1].module("root-counter").is_some());
+        assert!(w.brokers[0].module_names().is_empty());
+        assert!(w.tbon.route(Rank(1), Rank(0)).is_none(), "old root detached");
+
+        // Clients addressing the *current* root (the builder's default
+        // origin) still reach the migrated service.
+        let got = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let got2 = std::rc::Rc::clone(&got);
+        let root = w.root();
+        w.rpc(root, "root.count", payload(()))
+            .send(&mut eng, move |_, _, resp| {
+                *got2.borrow_mut() = Some(*resp.payload_as::<u32>().unwrap());
+            });
+        eng.run(&mut w);
+        assert_eq!(got.borrow().unwrap(), 7);
+
+        // A recovered ex-root rejoins as a plain leaf; the promoted
+        // root keeps the role and the service.
+        assert!(w.recover_node(&mut eng, NodeId(0)));
+        assert_eq!(w.root(), Rank(1));
+        assert_eq!(w.tbon.parent(Rank(0)), Some(Rank(1)));
+        assert!(w.brokers[0].module("root-counter").is_none());
+    }
+
+    #[test]
+    fn rpc_stats_track_per_topic_counters() {
+        let (mut w, mut eng) = world(2);
+        w.fail_node(&mut eng, NodeId(1));
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            deadline: SimDuration::from_millis(50),
+            backoff: SimDuration::from_millis(10),
+            backoff_factor: 2,
+        };
+        w.rpc(Rank(1), "stats.ping", payload(()))
+            .retry(policy)
+            .send(&mut eng, |_, _, _| {});
+        eng.run(&mut w);
+        let stats = w.rpc_stats();
+        let s = stats.get("stats.ping").expect("topic recorded");
+        assert_eq!(s.timeouts, 2, "both attempts timed out");
+        assert_eq!(s.retries, 1, "one re-send");
+        assert_eq!(s.drops, 2, "both requests had no route");
+        assert_eq!(w.rpc_timeout_count(), 2, "aggregates stay consistent");
     }
 }

@@ -41,6 +41,80 @@ proptest! {
         prop_assert!(t.hops(a, b) <= 2 * height);
     }
 
+    /// Random fail/recover sequences preserve the healing invariants:
+    /// every attached rank routes to the current root, parent/children
+    /// stay mutually consistent, there are no cycles, detached ranks are
+    /// fully unlinked, and the topology epoch only moves forward.
+    #[test]
+    fn tbon_healing_preserves_reachability(
+        size in 2u32..64,
+        fanout in 1u32..5,
+        ops in prop::collection::vec((0u32..64, any::<bool>()), 1..40),
+    ) {
+        let mut t = Tbon::new(size, fanout);
+        let mut last_epoch = t.epoch();
+        for (pick, recover) in ops {
+            let r = Rank(pick % size);
+            if recover {
+                if !t.is_attached(r) {
+                    // recover_node's rule: rejoin as a leaf under the
+                    // nearest live original ancestor, else the root.
+                    let mut probe = r;
+                    let mut parent = None;
+                    while probe != Rank::ROOT {
+                        probe = Rank((probe.0 - 1) / fanout);
+                        if t.is_attached(probe) {
+                            parent = Some(probe);
+                            break;
+                        }
+                    }
+                    t.attach(r, parent.unwrap_or_else(|| t.root()));
+                }
+            } else if t.is_attached(r) && t.attached_ranks().len() > 1 {
+                if t.root() == r {
+                    let succ = t
+                        .attached_ranks()
+                        .into_iter()
+                        .find(|&x| x != r)
+                        .expect("another rank is attached");
+                    t.promote_root(succ);
+                } else {
+                    t.detach(r);
+                }
+            }
+            prop_assert!(t.epoch() >= last_epoch, "epoch is monotonic");
+            last_epoch = t.epoch();
+
+            let root = t.root();
+            prop_assert!(t.is_attached(root), "the root is attached");
+            for a in t.attached_ranks() {
+                // Walks up to the current root without cycling.
+                let mut cur = a;
+                let mut hops = 0u32;
+                while let Some(p) = t.parent(cur) {
+                    prop_assert!(t.is_attached(p), "parent of {} attached", a);
+                    hops += 1;
+                    prop_assert!(hops <= size, "cycle walking up from {}", a);
+                    cur = p;
+                }
+                prop_assert_eq!(cur, root, "{} reaches the current root", a);
+                prop_assert!(t.route(a, root).is_some());
+                // Parent/children stay mutually consistent.
+                for c in t.children(a) {
+                    prop_assert_eq!(t.parent(c), Some(a));
+                }
+                if let Some(p) = t.parent(a) {
+                    prop_assert!(t.children(p).contains(&a));
+                }
+            }
+            for d in t.ranks().filter(|&x| !t.is_attached(x)).collect::<Vec<_>>() {
+                prop_assert_eq!(t.parent(d), None, "detached rank is unlinked");
+                prop_assert!(t.children(d).is_empty(), "detached rank is childless");
+                prop_assert!(t.route(d, root).is_none(), "no route to a dead rank");
+            }
+        }
+    }
+
     /// The scheduler never double-allocates and conserves the node pool
     /// under arbitrary allocate/release interleavings.
     #[test]

@@ -6,10 +6,10 @@
 //! manager whenever the allocation changes (admission or reclaim).
 
 use crate::allocator::ProportionalAllocator;
-use crate::proto::{JobLimitMsg, PolicyKind, TOPIC_JOB_LIMIT};
+use crate::proto::{JobLimitMsg, ManagerRequest, PolicyKind, TOPIC_JOB_LIMIT};
 use crate::ManagerConfig;
 use fluxpm_flux::world::{EVENT_JOB_EXCEPTION, EVENT_JOB_FINISH, EVENT_JOB_START};
-use fluxpm_flux::{payload, JobId, Message, Module, ModuleCtx, MsgKind, Rank, RetryPolicy};
+use fluxpm_flux::{JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy};
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -47,6 +47,15 @@ impl ClusterLevelManager {
         self.allocator.as_ref().map(|a| a.per_node_limit())
     }
 
+    /// The current per-job limits (empty when unconstrained). Survives a
+    /// root failover — the allocator migrates with the module.
+    pub fn job_limits(&self) -> Vec<(JobId, fluxpm_hw::Watts)> {
+        self.allocator
+            .as_ref()
+            .map(|a| a.all_job_limits())
+            .unwrap_or_default()
+    }
+
     fn ensure_allocator(&mut self, ctx: &ModuleCtx<'_>) {
         if self.allocator.is_none() {
             if let Some(bound) = self.config.global_bound {
@@ -66,17 +75,18 @@ impl ClusterLevelManager {
     fn push_all_limits(&mut self, ctx: &mut ModuleCtx<'_>) {
         let Some(alloc) = &self.allocator else { return };
         let limits = alloc.all_job_limits();
+        // The job-level manager is co-resident on this manager's rank
+        // (rank 0 initially; the failover successor after a migration).
+        let here = ctx.rank;
         for (job, limit) in limits {
             // Acked + retried so a lost push cannot leave the job-level
             // manager holding a stale allocation.
-            ctx.world.rpc_with_retry(
-                ctx.eng,
-                Rank::ROOT,
-                Rank::ROOT,
-                TOPIC_JOB_LIMIT,
-                payload(JobLimitMsg { job, limit }),
-                RetryPolicy::default(),
-                move |world, eng, resp| {
+            let req = ManagerRequest::JobLimit(JobLimitMsg { job, limit });
+            ctx.world
+                .rpc(here, TOPIC_JOB_LIMIT, req.encode())
+                .from(here)
+                .retry(RetryPolicy::default())
+                .send(ctx.eng, move |world, eng, resp| {
                     if resp.is_timeout() {
                         world.trace.emit(
                             eng.now(),
@@ -85,8 +95,7 @@ impl ClusterLevelManager {
                             format!("job-limit push for {job:?} gave up: {:?}", resp.error),
                         );
                     }
-                },
-            );
+                });
             self.updates_sent += 1;
         }
     }
@@ -152,5 +161,27 @@ impl Module for ClusterLevelManager {
             t if t == EVENT_JOB_FINISH || t == EVENT_JOB_EXCEPTION => self.on_job_finish(ctx, job),
             _ => {}
         }
+    }
+
+    fn root_service(&self) -> bool {
+        true
+    }
+
+    fn on_migrate(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // The budgets (allocator state) migrated with this module; any
+        // limit push in flight when the old root died did not. Re-push
+        // every allocation under the new topology epoch so the job- and
+        // node-level managers reconverge.
+        ctx.world.trace.emit(
+            ctx.eng.now(),
+            TraceLevel::Info,
+            "manager",
+            format!(
+                "cluster manager migrated to {}; re-pushing {} job limit(s)",
+                ctx.rank,
+                self.job_limits().len()
+            ),
+        );
+        self.push_all_limits(ctx);
     }
 }

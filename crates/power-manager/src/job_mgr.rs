@@ -5,8 +5,10 @@
 //! RPCs every node-level manager. It mirrors the complete state of the
 //! jobs it manages.
 
-use crate::proto::{JobLimitMsg, NodeLimitMsg, TOPIC_JOB_LIMIT, TOPIC_SET_NODE_LIMIT};
-use fluxpm_flux::{payload, JobId, Message, Module, ModuleCtx, MsgKind, Rank, RetryPolicy};
+use crate::proto::{
+    JobLimitMsg, ManagerReply, ManagerRequest, NodeLimitMsg, TOPIC_JOB_LIMIT, TOPIC_SET_NODE_LIMIT,
+};
+use fluxpm_flux::{JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy};
 use fluxpm_hw::Watts;
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
@@ -57,18 +59,17 @@ impl JobLevelManager {
         }
         self.limits.insert(m.job, m.limit);
         let per_node = m.limit / ranks.len() as f64;
+        let here = ctx.rank;
         for rank in ranks {
             // Acked + retried: a node manager that misses the push (lost
             // message, transient partition) gets it again; a dead node
             // surfaces as a final timeout instead of silent divergence.
-            ctx.world.rpc_with_retry(
-                ctx.eng,
-                Rank::ROOT,
-                rank,
-                TOPIC_SET_NODE_LIMIT,
-                payload(NodeLimitMsg { limit: per_node }),
-                RetryPolicy::default(),
-                move |world, eng, resp| {
+            let req = ManagerRequest::SetNodeLimit(NodeLimitMsg { limit: per_node });
+            ctx.world
+                .rpc(rank, TOPIC_SET_NODE_LIMIT, req.encode())
+                .from(here)
+                .retry(RetryPolicy::default())
+                .send(ctx.eng, move |world, eng, resp| {
                     if resp.is_timeout() {
                         world.trace.emit(
                             eng.now(),
@@ -77,8 +78,7 @@ impl JobLevelManager {
                             format!("node-limit push to {rank} gave up: {:?}", resp.error),
                         );
                     }
-                },
-            );
+                });
             self.node_updates += 1;
         }
     }
@@ -97,11 +97,35 @@ impl Module for JobLevelManager {
 
     fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
         if msg.kind == MsgKind::Request && msg.topic == TOPIC_JOB_LIMIT {
-            if let Some(m) = msg.payload_as::<JobLimitMsg>().copied() {
+            if let Ok(ManagerRequest::JobLimit(m)) = ManagerRequest::decode(msg) {
                 self.apply(ctx, &m);
             }
             // Ack so the cluster manager's retry loop can settle.
-            ctx.world.respond(ctx.eng, msg, payload(()));
+            ctx.world
+                .respond(ctx.eng, msg, ManagerReply::JobLimitAck.encode());
         }
+    }
+
+    fn root_service(&self) -> bool {
+        true
+    }
+
+    fn on_migrate(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // The cluster manager re-pushes every allocation after a
+        // failover, but its values are usually unchanged — and the no-op
+        // dedup above would swallow them, leaving node managers that
+        // missed an in-flight push permanently stale. Forget the mirror
+        // so the re-push fans out unconditionally.
+        ctx.world.trace.emit(
+            ctx.eng.now(),
+            TraceLevel::Info,
+            "job-mgr",
+            format!(
+                "job manager migrated to {}; clearing {} mirrored limit(s) for re-push",
+                ctx.rank,
+                self.limits.len()
+            ),
+        );
+        self.limits.clear();
     }
 }

@@ -31,9 +31,9 @@ pub use cluster::ClusterLevelManager;
 pub use fpp::{FppConfig, FppController, FppDecision};
 pub use job_mgr::JobLevelManager;
 pub use node_mgr::NodeLevelManager;
-pub use proto::{FppTarget, JobLimitMsg, NodeLimitMsg, PolicyKind};
+pub use proto::{FppTarget, JobLimitMsg, ManagerReply, ManagerRequest, NodeLimitMsg, PolicyKind};
 
-use fluxpm_flux::{FluxEngine, Rank, World};
+use fluxpm_flux::{FluxEngine, World};
 use fluxpm_hw::Watts;
 
 /// Manager deployment configuration.
@@ -106,7 +106,14 @@ impl ManagerConfig {
 }
 
 /// Load the full manager stack: a [`NodeLevelManager`] on every rank, and
-/// the [`JobLevelManager`] + [`ClusterLevelManager`] on rank 0.
+/// the [`JobLevelManager`] + [`ClusterLevelManager`] on the current root.
+///
+/// Also registers a node-manager *module factory*: when a failed node
+/// rejoins via [`World::recover_node`], the world rebuilds its
+/// node-level manager from this factory (it restarts unconstrained and
+/// reconverges on the next limit push). The job- and cluster-level
+/// managers are root services — on root failure they migrate with their
+/// state (allocator budgets, mirrored limits) to the elected successor.
 pub fn load(world: &mut World, eng: &mut FluxEngine, config: ManagerConfig) -> bool {
     let mut ok = true;
     for rank in world.tbon.ranks().collect::<Vec<_>>() {
@@ -117,7 +124,11 @@ pub fn load(world: &mut World, eng: &mut FluxEngine, config: ManagerConfig) -> b
         );
         ok &= world.load_module(eng, rank, m);
     }
-    ok &= world.load_module(eng, Rank::ROOT, JobLevelManager::shared());
-    ok &= world.load_module(eng, Rank::ROOT, ClusterLevelManager::shared(config));
+    let root = world.root();
+    ok &= world.load_module(eng, root, JobLevelManager::shared());
+    ok &= world.load_module(eng, root, ClusterLevelManager::shared(config.clone()));
+    world.register_module_factory(move |_rank| {
+        NodeLevelManager::shared_with_target(config.policy, config.fpp.clone(), config.fpp_target)
+    });
     ok
 }

@@ -19,8 +19,8 @@
 //! 9.5 kW of a 9.6 kW bound).
 
 use crate::fpp::{FppConfig, FppController, FppDecision};
-use crate::proto::{FppTarget, NodeLimitMsg, PolicyKind, TOPIC_SET_NODE_LIMIT};
-use fluxpm_flux::{payload, Message, Module, ModuleCtx, MsgKind};
+use crate::proto::{FppTarget, ManagerReply, ManagerRequest, PolicyKind, TOPIC_SET_NODE_LIMIT};
+use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind, Protocol};
 use fluxpm_hw::{NodeId, Watts};
 use fluxpm_sim::{SimDuration, TraceLevel};
 use std::cell::RefCell;
@@ -403,11 +403,12 @@ impl Module for NodeLevelManager {
 
     fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
         if msg.kind == MsgKind::Request && msg.topic == TOPIC_SET_NODE_LIMIT {
-            if let Some(m) = msg.payload_as::<NodeLimitMsg>().copied() {
+            if let Ok(ManagerRequest::SetNodeLimit(m)) = ManagerRequest::decode(msg) {
                 self.apply_limit(ctx, m.limit);
             }
             // Ack so the job-level manager's retry loop can settle.
-            ctx.world.respond(ctx.eng, msg, payload(()));
+            ctx.world
+                .respond(ctx.eng, msg, ManagerReply::SetNodeLimitAck.encode());
         }
     }
 

@@ -1,6 +1,11 @@
 //! Manager message payloads and policy identifiers.
+//!
+//! The limit-push traffic travels as the typed [`ManagerRequest`] /
+//! [`ManagerReply`] enums (one [`Protocol`] variant per topic); the
+//! plain structs are their per-variant payloads. Job lifecycle *events*
+//! are published by the flux layer itself and stay raw `JobId` payloads.
 
-use fluxpm_flux::JobId;
+use fluxpm_flux::{JobId, Protocol};
 use fluxpm_hw::Watts;
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +70,43 @@ pub const TOPIC_JOB_LIMIT: &str = "power-manager.job-limit";
 /// Topic: job manager → node manager.
 pub const TOPIC_SET_NODE_LIMIT: &str = "power-manager.set-node-limit";
 
+/// Every request the manager stack sends, one variant per topic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ManagerRequest {
+    /// Cluster manager → job manager ([`TOPIC_JOB_LIMIT`]).
+    JobLimit(JobLimitMsg),
+    /// Job manager → node manager ([`TOPIC_SET_NODE_LIMIT`]).
+    SetNodeLimit(NodeLimitMsg),
+}
+
+impl Protocol for ManagerRequest {
+    fn topic(&self) -> &'static str {
+        match self {
+            ManagerRequest::JobLimit(_) => TOPIC_JOB_LIMIT,
+            ManagerRequest::SetNodeLimit(_) => TOPIC_SET_NODE_LIMIT,
+        }
+    }
+}
+
+/// Every reply the manager stack sends: bare acknowledgements that let
+/// the pusher's retry loop settle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagerReply {
+    /// Ack for a [`ManagerRequest::JobLimit`] push.
+    JobLimitAck,
+    /// Ack for a [`ManagerRequest::SetNodeLimit`] push.
+    SetNodeLimitAck,
+}
+
+impl Protocol for ManagerReply {
+    fn topic(&self) -> &'static str {
+        match self {
+            ManagerReply::JobLimitAck => TOPIC_JOB_LIMIT,
+            ManagerReply::SetNodeLimitAck => TOPIC_SET_NODE_LIMIT,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +116,17 @@ mod tests {
         assert_eq!(PolicyKind::Unconstrained.name(), "unconstrained");
         assert_eq!(PolicyKind::Proportional.name(), "proportional");
         assert_eq!(PolicyKind::Fpp.name(), "fpp");
+    }
+
+    #[test]
+    fn request_round_trip_checks_topic() {
+        use fluxpm_flux::{Message, Rank};
+        let req = ManagerRequest::SetNodeLimit(NodeLimitMsg {
+            limit: Watts(1200.0),
+        });
+        let msg = Message::request(Rank(0), Rank(1), req.topic(), req.encode());
+        assert_eq!(ManagerRequest::decode(&msg), Ok(req));
+        let wrong = Message::request(Rank(0), Rank(1), TOPIC_JOB_LIMIT, req.encode());
+        assert!(ManagerRequest::decode(&wrong).is_err());
     }
 }

@@ -5,16 +5,19 @@
 //! completeness column. Here the client is a pair of functions driven
 //! against the simulation.
 
-use crate::proto::{JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest};
-use crate::root_agent::{TOPIC_GET_JOB_DATA, TOPIC_GET_JOB_STATS};
-use fluxpm_flux::{payload, FluxEngine, JobId, Rank, World};
+use crate::proto::{
+    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply, MonitorRequest,
+};
+use fluxpm_flux::{FluxEngine, JobId, Protocol, World};
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
 /// Request a job's telemetry from the root agent. The reply callback
 /// fires once all node agents have answered; run the engine (or continue
-/// the simulation) to completion to receive it.
+/// the simulation) to completion to receive it. The request is addressed
+/// to the *current* root — after a failover it reaches the promoted
+/// successor.
 ///
 /// Returns a handle that yields the reply once available.
 pub fn fetch_job_data(
@@ -24,21 +27,18 @@ pub fn fetch_job_data(
 ) -> Rc<RefCell<Option<Result<JobDataReply, String>>>> {
     let slot: Rc<RefCell<Option<Result<JobDataReply, String>>>> = Rc::new(RefCell::new(None));
     let out = Rc::clone(&slot);
-    world.rpc(
-        eng,
-        Rank::ROOT,
-        Rank::ROOT,
-        TOPIC_GET_JOB_DATA,
-        payload(JobDataRequest { job }),
-        move |_, _, resp| {
-            let result = match (&resp.error, resp.payload_as::<JobDataReply>()) {
+    let root = world.root();
+    let req = MonitorRequest::JobData(JobDataRequest { job });
+    world
+        .rpc(root, req.topic(), req.encode())
+        .send(eng, move |_, _, resp| {
+            let result = match (&resp.error, MonitorReply::decode(resp)) {
                 (Some(e), _) => Err(e.clone()),
-                (None, Some(r)) => Ok(r.clone()),
-                (None, None) => Err("malformed job-data reply".to_string()),
+                (None, Ok(MonitorReply::JobData(r))) => Ok(r),
+                (None, _) => Err("malformed job-data reply".to_string()),
             };
             *out.borrow_mut() = Some(result);
-        },
-    );
+        });
     slot
 }
 
@@ -52,21 +52,18 @@ pub fn fetch_job_stats(
 ) -> Rc<RefCell<Option<Result<JobStatsReply, String>>>> {
     let slot: Rc<RefCell<Option<Result<JobStatsReply, String>>>> = Rc::new(RefCell::new(None));
     let out = Rc::clone(&slot);
-    world.rpc(
-        eng,
-        Rank::ROOT,
-        Rank::ROOT,
-        TOPIC_GET_JOB_STATS,
-        payload(JobStatsRequest { job }),
-        move |_, _, resp| {
-            let result = match (&resp.error, resp.payload_as::<JobStatsReply>()) {
+    let root = world.root();
+    let req = MonitorRequest::JobStats(JobStatsRequest { job });
+    world
+        .rpc(root, req.topic(), req.encode())
+        .send(eng, move |_, _, resp| {
+            let result = match (&resp.error, MonitorReply::decode(resp)) {
                 (Some(e), _) => Err(e.clone()),
-                (None, Some(r)) => Ok(r.clone()),
-                (None, None) => Err("malformed job-stats reply".to_string()),
+                (None, Ok(MonitorReply::JobStats(r))) => Ok(r),
+                (None, _) => Err("malformed job-stats reply".to_string()),
             };
             *out.borrow_mut() = Some(result);
-        },
-    );
+        });
     slot
 }
 
@@ -97,28 +94,22 @@ pub fn fetch_job_stats_tree(
         .unwrap_or_else(|| eng.now().as_micros());
     let targets: Vec<u32> = record.nodes.iter().map(|n| n.0).collect();
     let out = Rc::clone(&slot);
-    world.rpc(
-        eng,
-        Rank::ROOT,
-        Rank::ROOT,
-        TOPIC_SUBTREE_STATS,
-        payload(SubtreeStatsRequest {
-            start_us,
-            end_us,
-            targets,
-        }),
-        move |_, _, resp| {
-            let result = match (
-                &resp.error,
-                resp.payload_as::<crate::tree_reduce::SubtreeStats>(),
-            ) {
+    let root = world.root();
+    let req = MonitorRequest::SubtreeStats(SubtreeStatsRequest {
+        start_us,
+        end_us,
+        targets,
+    });
+    world
+        .rpc(root, TOPIC_SUBTREE_STATS, req.encode())
+        .send(eng, move |_, _, resp| {
+            let result = match (&resp.error, MonitorReply::decode(resp)) {
                 (Some(e), _) => Err(e.clone()),
-                (None, Some(r)) => Ok(*r),
-                (None, None) => Err("malformed subtree-stats reply".to_string()),
+                (None, Ok(MonitorReply::SubtreeStats(r))) => Ok(r),
+                (None, _) => Err("malformed subtree-stats reply".to_string()),
             };
             *out.borrow_mut() = Some(result);
-        },
-    );
+        });
     slot
 }
 
@@ -155,6 +146,20 @@ pub fn job_data_to_csv(reply: &JobDataReply) -> String {
                 flag
             );
         }
+    }
+    csv
+}
+
+/// Render the overlay's per-topic RPC health counters as CSV — one row
+/// per topic that saw a timeout, retry, or drop (see
+/// [`fluxpm_flux::World::rpc_stats`]). Operators ship this next to the
+/// telemetry CSV to tell "the data is partial because the buffer
+/// wrapped" apart from "the data is partial because the overlay lost
+/// messages".
+pub fn rpc_stats_to_csv(world: &World) -> String {
+    let mut csv = String::from("topic,timeouts,retries,drops\n");
+    for (topic, s) in world.rpc_stats() {
+        let _ = writeln!(csv, "{topic},{},{},{}", s.timeouts, s.retries, s.drops);
     }
     csv
 }
@@ -236,6 +241,10 @@ mod tests {
         assert!(csv.contains("complete"));
         assert!(csv.contains("lassen0"));
         assert_eq!(csv.lines().count(), 1 + reply.sample_count());
+
+        // A healthy run has no per-topic RPC incidents to report.
+        let stats_csv = rpc_stats_to_csv(&w);
+        assert_eq!(stats_csv, "topic,timeouts,retries,drops\n");
     }
 
     #[test]

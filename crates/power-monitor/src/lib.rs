@@ -28,12 +28,14 @@ pub mod ring;
 pub mod root_agent;
 pub mod tree_reduce;
 
-pub use client::{fetch_job_data, fetch_job_stats, fetch_job_stats_tree, job_data_to_csv};
+pub use client::{
+    fetch_job_data, fetch_job_stats, fetch_job_stats_tree, job_data_to_csv, rpc_stats_to_csv,
+};
 pub use config::MonitorConfig;
 pub use node_agent::NodeAgent;
 pub use proto::{
-    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, NodeDataReply, NodeDataRequest,
-    NodeStats, PowerRecord,
+    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply, MonitorRequest,
+    NodeDataReply, NodeDataRequest, NodeStats, PowerRecord,
 };
 pub use ring::RingBuffer;
 pub use root_agent::RootAgent;
@@ -42,18 +44,24 @@ pub use tree_reduce::{SubtreeStats, SubtreeStatsRequest};
 use fluxpm_flux::{FluxEngine, World};
 
 /// Load the full monitor stack: a [`NodeAgent`] on every rank and the
-/// [`RootAgent`] on rank 0. Returns `false` if any module was already
-/// loaded.
+/// [`RootAgent`] on the current root. Returns `false` if any module was
+/// already loaded.
+///
+/// Also registers a node-agent *module factory* with the world: when a
+/// failed node rejoins via [`World::recover_node`], the world builds a
+/// fresh agent for the recovered rank from this factory. The fresh
+/// agent resumes sampling from recovery time and flags windows reaching
+/// into the outage gap as partial. The root agent is a root service —
+/// on root failure it migrates (with its state) to the elected
+/// successor instead of being rebuilt.
 pub fn load(world: &mut World, eng: &mut FluxEngine, config: MonitorConfig) -> bool {
     let mut ok = true;
     for rank in world.tbon.ranks().collect::<Vec<_>>() {
         let agent = NodeAgent::shared(config.clone());
         ok &= world.load_module(eng, rank, agent);
     }
-    ok &= world.load_module(
-        eng,
-        fluxpm_flux::Rank::ROOT,
-        RootAgent::shared(config.rpc_deadline),
-    );
+    let root = world.root();
+    ok &= world.load_module(eng, root, RootAgent::shared(config.rpc_deadline));
+    world.register_module_factory(move |_rank| NodeAgent::shared(config.clone()));
     ok
 }

@@ -6,9 +6,9 @@
 //! tracking, no subscriptions, just a timer and a ring buffer.
 
 use crate::config::MonitorConfig;
-use crate::proto::{NodeDataReply, NodeDataRequest, NodeStats, PowerRecord};
+use crate::proto::{MonitorReply, MonitorRequest, NodeDataReply, NodeDataRequest, NodeStats, PowerRecord};
 use crate::ring::RingBuffer;
-use fluxpm_flux::{payload, Message, Module, ModuleCtx, MsgKind, SharedModule};
+use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind, Protocol, SharedModule};
 use fluxpm_hw::NodeId;
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
@@ -29,6 +29,11 @@ pub struct NodeAgent {
     /// Bytes of encoded JSON currently retained (the paper sizes the
     /// default buffer at ~43.4 MB for 100k records).
     buffer_bytes: usize,
+    /// When this agent started sampling (set at load time). A freshly
+    /// reloaded agent on a recovered node starts *here*, not at t=0, so
+    /// windows reaching before it are flagged partial — this is how the
+    /// ring buffer "resynchronizes from the gap" after an outage.
+    since_us: Option<u64>,
 }
 
 impl NodeAgent {
@@ -40,6 +45,7 @@ impl NodeAgent {
             buffer,
             samples_taken: 0,
             buffer_bytes: 0,
+            since_us: None,
         }
     }
 
@@ -77,6 +83,25 @@ impl NodeAgent {
     /// Bytes of encoded Variorum JSON currently retained.
     pub fn buffer_bytes(&self) -> usize {
         self.buffer_bytes
+    }
+
+    /// When this agent started sampling (microseconds), if loaded.
+    pub fn since_us(&self) -> Option<u64> {
+        self.since_us
+    }
+
+    /// Whether the retained history fully covers a window starting at
+    /// `start_us`: the agent must have been sampling by then, nothing
+    /// may have been lost (wrap or outage gap), or — if loss happened —
+    /// the oldest retained record must still predate the window.
+    pub(crate) fn window_complete(&self, start_us: u64) -> bool {
+        if self.since_us.unwrap_or(0) > start_us {
+            return false;
+        }
+        match self.buffer.oldest() {
+            Some(oldest) => self.buffer.overwritten() == 0 || oldest.timestamp_us() <= start_us,
+            None => false,
+        }
     }
 
     /// Take one sample (called from the timer).
@@ -117,10 +142,7 @@ impl NodeAgent {
             max = max.max(p);
             min = min.min(p);
         }
-        let complete = match self.buffer.oldest() {
-            Some(oldest) => self.buffer.overwritten() == 0 || oldest.timestamp_us() <= start_us,
-            None => false,
-        };
+        let complete = self.window_complete(start_us);
         NodeStats {
             hostname: ctx.world.hostname(ctx.rank).to_owned(),
             samples,
@@ -136,41 +158,29 @@ impl NodeAgent {
     }
 
     /// Answer a window stats query.
-    fn answer_stats(&self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        let Some(req) = msg.payload_as::<NodeDataRequest>() else {
-            ctx.world
-                .respond_error(ctx.eng, msg, "bad node-stats request payload");
-            return;
-        };
+    fn answer_stats(&self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: NodeDataRequest) {
         let stats = self.local_stats(ctx, req.start_us, req.end_us);
-        ctx.world.respond(ctx.eng, msg, payload(stats));
+        ctx.world
+            .respond(ctx.eng, msg, MonitorReply::NodeStats(stats).encode());
     }
 
-    fn answer(&self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        let Some(req) = msg.payload_as::<NodeDataRequest>() else {
-            ctx.world
-                .respond_error(ctx.eng, msg, "bad node-data request payload");
-            return;
-        };
+    fn answer(&self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: NodeDataRequest) {
         let records: Vec<PowerRecord> = self
             .buffer
             .iter()
             .filter(|r| (req.start_us..=req.end_us).contains(&r.timestamp_us()))
             .cloned()
             .collect();
-        // Partial iff data from the window start has been overwritten:
-        // the oldest retained record is newer than the window start and
-        // overwriting has actually happened.
-        let complete = match self.buffer.oldest() {
-            Some(oldest) => self.buffer.overwritten() == 0 || oldest.timestamp_us() <= req.start_us,
-            None => false,
-        };
+        // Partial iff data from the window start was lost: overwritten
+        // by wrap, or never sampled (the agent loaded after the window
+        // start — e.g. on a recovered node).
         let reply = NodeDataReply {
             hostname: ctx.world.hostname(ctx.rank).to_owned(),
             records,
-            complete,
+            complete: self.window_complete(req.start_us),
         };
-        ctx.world.respond(ctx.eng, msg, payload(reply));
+        ctx.world
+            .respond(ctx.eng, msg, MonitorReply::NodeData(reply).encode());
     }
 }
 
@@ -193,8 +203,20 @@ impl Module for NodeAgent {
         // registry on every tick, so unloading stops the loop.
         let rank = ctx.rank;
         let interval = self.config.sample_interval;
-        let start = ctx.now() + interval;
+        let now = ctx.now();
+        let start = now + interval;
         let name = self.name();
+        if self.since_us.is_none() {
+            let now_us = now.as_micros();
+            self.since_us = Some(now_us);
+            // Loaded mid-flight (node recovery): the samples that would
+            // have been taken before now are gone for good — count them
+            // as lost so completeness accounting sees the gap.
+            let interval_us = interval.as_micros();
+            if now_us > 0 && interval_us > 0 {
+                self.buffer.note_loss(now_us / interval_us);
+            }
+        }
         ctx.world
             .schedule_module_timer(ctx.eng, rank, name, start, interval, 0);
         ctx.world.trace.emit(
@@ -209,13 +231,14 @@ impl Module for NodeAgent {
         if msg.kind != MsgKind::Request {
             return;
         }
-        match msg.topic.as_str() {
-            t if t == TOPIC_NODE_DATA => self.answer(ctx, msg),
-            t if t == TOPIC_NODE_STATS => self.answer_stats(ctx, msg),
-            t if t == crate::tree_reduce::TOPIC_SUBTREE_STATS => {
-                crate::tree_reduce::handle_subtree_stats(self, ctx, msg)
+        match MonitorRequest::decode(msg) {
+            Ok(MonitorRequest::NodeData(req)) => self.answer(ctx, msg, req),
+            Ok(MonitorRequest::NodeStats(req)) => self.answer_stats(ctx, msg, req),
+            Ok(MonitorRequest::SubtreeStats(req)) => {
+                crate::tree_reduce::handle_subtree_stats(self, ctx, msg, req)
             }
-            _ => {}
+            Ok(_) => {} // root-agent topics; not served here
+            Err(e) => ctx.world.respond_error(ctx.eng, msg, e.reason),
         }
     }
 
@@ -233,6 +256,28 @@ mod tests {
 
     fn world() -> (World, FluxEngine) {
         (World::new(MachineKind::Lassen, 2, 3), Engine::new())
+    }
+
+    /// Issue a typed node-data query and run the engine to completion.
+    fn query_window(
+        w: &mut World,
+        eng: &mut FluxEngine,
+        to: Rank,
+        start_us: u64,
+        end_us: u64,
+    ) -> NodeDataReply {
+        let got = Rc::new(RefCell::new(None));
+        let got2 = Rc::clone(&got);
+        let req = MonitorRequest::NodeData(NodeDataRequest { start_us, end_us });
+        w.rpc(to, req.topic(), req.encode()).send(eng, move |_, _, resp| {
+            let Ok(MonitorReply::NodeData(r)) = MonitorReply::decode(resp) else {
+                panic!("unexpected reply {resp:?}");
+            };
+            *got2.borrow_mut() = Some(r);
+        });
+        eng.run(w);
+        let reply = got.borrow().clone().unwrap();
+        reply
     }
 
     #[test]
@@ -293,45 +338,13 @@ mod tests {
 
         // Query a window starting before the retained region.
         let mut eng2: FluxEngine = Engine::new();
-        let got = Rc::new(RefCell::new(None));
-        let got2 = Rc::clone(&got);
-        w.rpc(
-            &mut eng2,
-            Rank::ROOT,
-            Rank(1),
-            TOPIC_NODE_DATA,
-            payload(NodeDataRequest {
-                start_us: 1_000_000,
-                end_us: 12_000_000,
-            }),
-            move |_, _, resp| {
-                *got2.borrow_mut() = Some(resp.payload_as::<NodeDataReply>().unwrap().clone());
-            },
-        );
-        eng2.run(&mut w);
-        let reply = got.borrow().clone().unwrap();
+        let reply = query_window(&mut w, &mut eng2, Rank(1), 1_000_000, 12_000_000);
         assert!(!reply.complete, "window reaches overwritten data");
         assert_eq!(reply.records.len(), 5);
 
         // A window entirely inside the retained region is complete.
-        let got = Rc::new(RefCell::new(None));
-        let got2 = Rc::clone(&got);
         let mut eng3: FluxEngine = Engine::new();
-        w.rpc(
-            &mut eng3,
-            Rank::ROOT,
-            Rank(1),
-            TOPIC_NODE_DATA,
-            payload(NodeDataRequest {
-                start_us: 8_000_000,
-                end_us: 12_000_000,
-            }),
-            move |_, _, resp| {
-                *got2.borrow_mut() = Some(resp.payload_as::<NodeDataReply>().unwrap().clone());
-            },
-        );
-        eng3.run(&mut w);
-        let reply = got.borrow().clone().unwrap();
+        let reply = query_window(&mut w, &mut eng3, Rank(1), 8_000_000, 12_000_000);
         assert!(reply.complete);
         assert_eq!(reply.records.len(), 5, "samples at 8..12 s");
     }
@@ -345,24 +358,8 @@ mod tests {
         eng.set_horizon(SimTime::from_secs(10));
         eng.run(&mut w);
 
-        let got = Rc::new(RefCell::new(None));
-        let got2 = Rc::clone(&got);
         let mut eng2: FluxEngine = Engine::new();
-        w.rpc(
-            &mut eng2,
-            Rank::ROOT,
-            Rank(0),
-            TOPIC_NODE_DATA,
-            payload(NodeDataRequest {
-                start_us: 3_000_000,
-                end_us: 5_000_000,
-            }),
-            move |_, _, resp| {
-                *got2.borrow_mut() = Some(resp.payload_as::<NodeDataReply>().unwrap().clone());
-            },
-        );
-        eng2.run(&mut w);
-        let reply = got.borrow().clone().unwrap();
+        let reply = query_window(&mut w, &mut eng2, Rank(0), 3_000_000, 5_000_000);
         assert_eq!(reply.records.len(), 3, "samples at 3,4,5 s");
         assert!(reply.complete);
         assert_eq!(reply.hostname, "lassen0");
@@ -395,18 +392,49 @@ mod tests {
         let got = Rc::new(RefCell::new(None));
         let got2 = Rc::clone(&got);
         w.rpc(
-            &mut eng,
-            Rank::ROOT,
             Rank(0),
             TOPIC_NODE_DATA,
-            payload("wrong type".to_string()),
-            move |_, _, resp| {
-                *got2.borrow_mut() = Some(resp.error.clone());
-            },
-        );
+            fluxpm_flux::payload("wrong type".to_string()),
+        )
+        .send(&mut eng, move |_, _, resp| {
+            *got2.borrow_mut() = Some(resp.error.clone());
+        });
         eng.set_horizon(SimTime::from_secs(1));
         eng.run(&mut w);
         assert!(got.borrow().clone().unwrap().is_some());
+    }
+
+    #[test]
+    fn late_load_marks_earlier_windows_partial() {
+        // An agent loaded at t=30 s (a recovered node) must flag windows
+        // reaching before its start as partial, even though its buffer
+        // never wrapped.
+        let (mut w, mut eng) = world();
+        let agent = NodeAgent::shared(
+            MonitorConfig::default().with_sample_interval(SimDuration::from_secs(2)),
+        );
+        let a2 = Rc::clone(&agent);
+        eng.schedule(SimTime::from_secs(30), move |w: &mut World, eng| {
+            w.load_module(eng, Rank(1), a2);
+        });
+        eng.set_horizon(SimTime::from_secs(41));
+        eng.run(&mut w);
+        assert_eq!(agent.borrow().since_us(), Some(30_000_000));
+        assert!(
+            agent.borrow().overwritten() >= 15,
+            "the 15 missed samples count as lost"
+        );
+
+        // A window spanning the gap is partial...
+        let mut eng2: FluxEngine = Engine::new();
+        let reply = query_window(&mut w, &mut eng2, Rank(1), 10_000_000, 40_000_000);
+        assert!(!reply.complete);
+        assert!(!reply.records.is_empty());
+        // ...but a window after the first post-load sample is complete.
+        let mut eng3: FluxEngine = Engine::new();
+        let reply = query_window(&mut w, &mut eng3, Rank(1), 32_000_000, 40_000_000);
+        assert!(reply.complete);
+        assert_eq!(reply.records.len(), 5, "samples at 32..40 s");
     }
 }
 

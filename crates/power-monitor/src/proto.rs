@@ -1,7 +1,13 @@
 //! Monitor message payloads.
+//!
+//! The plain structs below are the per-query payloads; the
+//! [`MonitorRequest`] / [`MonitorReply`] enums wrap them into the
+//! monitor's typed wire protocol (one [`Protocol`] variant per overlay
+//! topic). All monitor traffic travels as these two enums — handlers
+//! decode them instead of downcasting raw payloads.
 
 use bytes::Bytes;
-use fluxpm_flux::JobId;
+use fluxpm_flux::{JobId, Protocol};
 use fluxpm_variorum::NodePowerSample;
 use serde::{Deserialize, Serialize};
 
@@ -201,6 +207,72 @@ impl JobDataReply {
     }
 }
 
+/// Every request the monitor stack serves, one variant per topic.
+///
+/// * `NodeData` / `NodeStats` — root agent → node agent window queries
+///   (both carry a [`NodeDataRequest`] window; the topic selects raw
+///   records vs. local summary).
+/// * `SubtreeStats` — the in-tree reduction request, relayed hop by hop.
+/// * `JobData` / `JobStats` — external client → root agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorRequest {
+    /// Raw records in a window ([`crate::node_agent::TOPIC_NODE_DATA`]).
+    NodeData(NodeDataRequest),
+    /// Local summary for a window
+    /// ([`crate::node_agent::TOPIC_NODE_STATS`]).
+    NodeStats(NodeDataRequest),
+    /// In-tree reduction
+    /// ([`crate::tree_reduce::TOPIC_SUBTREE_STATS`]).
+    SubtreeStats(crate::tree_reduce::SubtreeStatsRequest),
+    /// Client query for a job's full records
+    /// ([`crate::root_agent::TOPIC_GET_JOB_DATA`]).
+    JobData(JobDataRequest),
+    /// Client query for a job's summary
+    /// ([`crate::root_agent::TOPIC_GET_JOB_STATS`]).
+    JobStats(JobStatsRequest),
+}
+
+impl Protocol for MonitorRequest {
+    fn topic(&self) -> &'static str {
+        match self {
+            MonitorRequest::NodeData(_) => crate::node_agent::TOPIC_NODE_DATA,
+            MonitorRequest::NodeStats(_) => crate::node_agent::TOPIC_NODE_STATS,
+            MonitorRequest::SubtreeStats(_) => crate::tree_reduce::TOPIC_SUBTREE_STATS,
+            MonitorRequest::JobData(_) => crate::root_agent::TOPIC_GET_JOB_DATA,
+            MonitorRequest::JobStats(_) => crate::root_agent::TOPIC_GET_JOB_STATS,
+        }
+    }
+}
+
+/// Every reply the monitor stack sends. Replies travel on the request's
+/// topic (the overlay keeps it on [`fluxpm_flux::Message::respond_to`]),
+/// so each variant maps to the same topic as its request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorReply {
+    /// Raw records in a window.
+    NodeData(NodeDataReply),
+    /// Local summary for a window.
+    NodeStats(NodeStats),
+    /// Merged subtree summary.
+    SubtreeStats(crate::tree_reduce::SubtreeStats),
+    /// Full records for a job.
+    JobData(JobDataReply),
+    /// Per-node summaries for a job.
+    JobStats(JobStatsReply),
+}
+
+impl Protocol for MonitorReply {
+    fn topic(&self) -> &'static str {
+        match self {
+            MonitorReply::NodeData(_) => crate::node_agent::TOPIC_NODE_DATA,
+            MonitorReply::NodeStats(_) => crate::node_agent::TOPIC_NODE_STATS,
+            MonitorReply::SubtreeStats(_) => crate::tree_reduce::TOPIC_SUBTREE_STATS,
+            MonitorReply::JobData(_) => crate::root_agent::TOPIC_GET_JOB_DATA,
+            MonitorReply::JobStats(_) => crate::root_agent::TOPIC_GET_JOB_STATS,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +314,36 @@ mod tests {
         assert_eq!(jd.max_cluster_power(), 600.0);
         assert_eq!(jd.sample_count(), 4);
         assert!(jd.all_complete());
+    }
+
+    #[test]
+    fn request_topics_are_distinct_and_checked() {
+        use fluxpm_flux::{Message, Rank};
+        let req = MonitorRequest::NodeData(NodeDataRequest {
+            start_us: 0,
+            end_us: 1,
+        });
+        let msg = Message::request(Rank(0), Rank(1), req.topic(), req.clone().encode());
+        assert_eq!(MonitorRequest::decode(&msg), Ok(req.clone()));
+        // The same enum sent on a sibling topic is rejected.
+        let wrong = Message::request(
+            Rank(0),
+            Rank(1),
+            crate::node_agent::TOPIC_NODE_STATS,
+            req.encode(),
+        );
+        let err = MonitorRequest::decode(&wrong).unwrap_err();
+        assert!(err.reason.contains("carries"), "{err}");
+        // Reply variants mirror the request topics.
+        let reply = MonitorReply::NodeStats(NodeStats {
+            hostname: "h".into(),
+            samples: 0,
+            mean_w: 0.0,
+            max_w: 0.0,
+            min_w: 0.0,
+            complete: true,
+        });
+        assert_eq!(reply.topic(), crate::node_agent::TOPIC_NODE_STATS);
     }
 
     #[test]

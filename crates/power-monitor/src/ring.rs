@@ -25,8 +25,13 @@ pub struct RingBuffer<T> {
     capacity: usize,
     /// Index of the logical start (oldest element) within `buf`.
     head: usize,
-    /// Total elements ever pushed (so `overwritten = pushed - len`).
+    /// Total elements ever pushed.
     pushed: u64,
+    /// Elements that were never captured at all (e.g. samples missed
+    /// while the host node was down). They count toward
+    /// [`RingBuffer::overwritten`] so the partial-data accounting treats
+    /// an outage gap like a wrap.
+    lost: u64,
 }
 
 impl<T> RingBuffer<T> {
@@ -38,6 +43,7 @@ impl<T> RingBuffer<T> {
             capacity,
             head: 0,
             pushed: 0,
+            lost: 0,
         }
     }
 
@@ -61,9 +67,18 @@ impl<T> RingBuffer<T> {
         self.pushed
     }
 
-    /// Elements lost to overwriting so far.
+    /// Elements lost so far: overwritten by wrap, plus any recorded via
+    /// [`RingBuffer::note_loss`] (never captured at all).
     pub fn overwritten(&self) -> u64 {
-        self.pushed - self.buf.len() as u64
+        self.pushed - self.buf.len() as u64 + self.lost
+    }
+
+    /// Record `n` elements that were never captured (an outage gap in an
+    /// otherwise continuous history). The buffer contents are untouched;
+    /// only the loss accounting moves, so later completeness checks flag
+    /// windows that reach into the gap as partial.
+    pub fn note_loss(&mut self, n: u64) {
+        self.lost += n;
     }
 
     /// Append an element, overwriting (and returning) the oldest when
@@ -173,6 +188,20 @@ mod tests {
     #[should_panic(expected = "capacity >= 1")]
     fn zero_capacity_rejected() {
         RingBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn noted_loss_counts_as_overwritten() {
+        let mut r = RingBuffer::new(3);
+        r.push(1);
+        assert_eq!(r.overwritten(), 0);
+        r.note_loss(4);
+        assert_eq!(r.overwritten(), 4, "gap counts even without a wrap");
+        assert_eq!(r.len(), 1, "contents untouched");
+        r.push(2);
+        r.push(3);
+        r.push(4);
+        assert_eq!(r.overwritten(), 5, "wrap and gap accumulate");
     }
 
     #[test]

@@ -1,18 +1,22 @@
 //! The root aggregation agent.
 //!
-//! Runs in the broker at the root of the TBON (rank 0). On a client
-//! request for a job's telemetry it resolves the job's nodes and time
-//! window from the instance's job record, fans a window query out to each
-//! node agent, and replies to the client once every node has answered
-//! (paper §III-A).
+//! Runs in the broker at the root of the TBON. On a client request for a
+//! job's telemetry it resolves the job's nodes and time window from the
+//! instance's job record, fans a window query out to each node agent,
+//! and replies to the client once every node has answered (paper §III-A).
+//!
+//! The root agent is a *root service*: when the root rank dies, the
+//! world migrates it (state and all) onto the elected successor, where
+//! [`Module::on_migrate`] re-issues every in-flight aggregation under
+//! the new topology epoch.
 
 use crate::node_agent::{TOPIC_NODE_DATA, TOPIC_NODE_STATS};
 use crate::proto::{
-    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, NodeDataReply, NodeDataRequest,
-    NodeStats,
+    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply, MonitorRequest,
+    NodeDataReply, NodeDataRequest, NodeStats,
 };
-use fluxpm_flux::{payload, JobState, Message, Module, ModuleCtx, MsgKind, Rank, RetryPolicy};
-use fluxpm_sim::SimDuration;
+use fluxpm_flux::{JobState, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy};
+use fluxpm_sim::{SimDuration, TraceLevel};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -40,6 +44,10 @@ pub struct RootAgent {
     /// never answers (dead, partitioned) contributes an incomplete
     /// reply instead of stalling the aggregation forever.
     deadline: SimDuration,
+    /// Client requests whose fan-out has not completed yet. Kept so a
+    /// root failover can re-issue them on the successor (the old root's
+    /// pending fan-out callbacks die with its broker).
+    inflight: Rc<RefCell<Vec<Message>>>,
 }
 
 impl Default for RootAgent {
@@ -54,6 +62,7 @@ impl RootAgent {
         RootAgent {
             served: 0,
             deadline,
+            inflight: Rc::new(RefCell::new(Vec::new())),
         }
     }
 
@@ -67,59 +76,87 @@ impl RootAgent {
         self.served
     }
 
+    /// Client requests currently being aggregated.
+    pub fn inflight(&self) -> usize {
+        self.inflight.borrow().len()
+    }
+
     /// The retry schedule used for node-agent fan-outs.
     fn retry_policy(&self) -> RetryPolicy {
         RetryPolicy::with_deadline(self.deadline)
     }
 
-    fn start_aggregation(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        let Some(req) = msg.payload_as::<JobDataRequest>() else {
+    /// Resolve the job behind a client request, or answer with an error.
+    /// Returns the window and the job's ranks.
+    fn resolve_job(
+        ctx: &mut ModuleCtx<'_>,
+        msg: &Message,
+        job: fluxpm_flux::JobId,
+    ) -> Option<(fluxpm_flux::JobId, String, u64, u64, Vec<fluxpm_flux::Rank>)> {
+        let Some(record) = ctx.world.jobs.get(job) else {
             ctx.world
-                .respond_error(ctx.eng, msg, "bad get-job-data payload");
-            return;
+                .respond_error(ctx.eng, msg, format!("no such job {job:?}"));
+            return None;
         };
-        let Some(job) = ctx.world.jobs.get(req.job) else {
-            ctx.world
-                .respond_error(ctx.eng, msg, format!("no such job {:?}", req.job));
-            return;
-        };
-        if job.state == JobState::Pending {
+        if record.state == JobState::Pending {
             ctx.world.respond_error(ctx.eng, msg, "job has not started");
-            return;
+            return None;
         }
-        let start_us = job.started_at.expect("non-pending job started").as_micros();
-        let end_us = job
+        let start_us = record
+            .started_at
+            .expect("non-pending job started")
+            .as_micros();
+        let end_us = record
             .finished_at
             .map(|t| t.as_micros())
             .unwrap_or_else(|| ctx.eng.now().as_micros());
-        let ranks = job.ranks();
+        Some((
+            record.id,
+            record.spec.name.clone(),
+            start_us,
+            end_us,
+            record.ranks(),
+        ))
+    }
+
+    fn start_aggregation(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: JobDataRequest) {
+        let Some((job, name, start_us, end_us, ranks)) = Self::resolve_job(ctx, msg, req.job)
+        else {
+            return;
+        };
         let n = ranks.len();
         let agg = Rc::new(RefCell::new(Aggregation {
             request: msg.clone(),
-            job: job.id,
-            name: job.spec.name.clone(),
+            job,
+            name,
             start_us,
             end_us,
             replies: vec![None; n],
             remaining: n,
         }));
         self.served += 1;
+        self.inflight.borrow_mut().push(msg.clone());
 
         let policy = self.retry_policy();
+        let self_rank = ctx.rank;
         for (i, rank) in ranks.into_iter().enumerate() {
             let agg = Rc::clone(&agg);
-            ctx.world.rpc_with_retry(
-                ctx.eng,
-                Rank::ROOT,
-                rank,
-                TOPIC_NODE_DATA,
-                payload(NodeDataRequest { start_us, end_us }),
-                policy,
-                move |world, eng, resp| {
+            let inflight = Rc::clone(&self.inflight);
+            let req = MonitorRequest::NodeData(NodeDataRequest { start_us, end_us });
+            ctx.world
+                .rpc(rank, TOPIC_NODE_DATA, req.encode())
+                .from(self_rank)
+                .retry(policy)
+                .send(ctx.eng, move |world, eng, resp| {
                     let mut a = agg.borrow_mut();
-                    a.replies[i] = resp.payload_as::<NodeDataReply>().cloned();
+                    a.replies[i] = match MonitorReply::decode(resp) {
+                        Ok(MonitorReply::NodeData(r)) => Some(r),
+                        _ => None,
+                    };
                     a.remaining -= 1;
                     if a.remaining == 0 {
+                        let tag = a.request.matchtag;
+                        inflight.borrow_mut().retain(|m| m.matchtag != tag);
                         let reply = JobDataReply {
                             job: a.job,
                             name: a.name.clone(),
@@ -137,38 +174,24 @@ impl RootAgent {
                                 })
                                 .collect(),
                         };
-                        world.respond(eng, &a.request, payload(reply));
+                        world.respond(eng, &a.request, MonitorReply::JobData(reply).encode());
                     }
-                },
-            );
+                });
         }
     }
-}
 
-impl RootAgent {
     /// Stats-query aggregation: same fan-out shape as the full-record
     /// path, but each node agent sends back only a summary.
-    fn start_stats_aggregation(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        let Some(req) = msg.payload_as::<JobStatsRequest>() else {
-            ctx.world
-                .respond_error(ctx.eng, msg, "bad get-job-stats payload");
+    fn start_stats_aggregation(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        msg: &Message,
+        req: JobStatsRequest,
+    ) {
+        let Some((job, name, start_us, end_us, ranks)) = Self::resolve_job(ctx, msg, req.job)
+        else {
             return;
         };
-        let Some(job) = ctx.world.jobs.get(req.job) else {
-            ctx.world
-                .respond_error(ctx.eng, msg, format!("no such job {:?}", req.job));
-            return;
-        };
-        if job.state == JobState::Pending {
-            ctx.world.respond_error(ctx.eng, msg, "job has not started");
-            return;
-        }
-        let start_us = job.started_at.expect("non-pending job started").as_micros();
-        let end_us = job
-            .finished_at
-            .map(|t| t.as_micros())
-            .unwrap_or_else(|| ctx.eng.now().as_micros());
-        let ranks = job.ranks();
         let n = ranks.len();
         struct StatsAgg {
             request: Message,
@@ -181,29 +204,35 @@ impl RootAgent {
         }
         let agg = Rc::new(RefCell::new(StatsAgg {
             request: msg.clone(),
-            job: job.id,
-            name: job.spec.name.clone(),
+            job,
+            name,
             start_us,
             end_us,
             replies: vec![None; n],
             remaining: n,
         }));
         self.served += 1;
+        self.inflight.borrow_mut().push(msg.clone());
         let policy = self.retry_policy();
+        let self_rank = ctx.rank;
         for (i, rank) in ranks.into_iter().enumerate() {
             let agg = Rc::clone(&agg);
-            ctx.world.rpc_with_retry(
-                ctx.eng,
-                Rank::ROOT,
-                rank,
-                TOPIC_NODE_STATS,
-                payload(NodeDataRequest { start_us, end_us }),
-                policy,
-                move |world, eng, resp| {
+            let inflight = Rc::clone(&self.inflight);
+            let req = MonitorRequest::NodeStats(NodeDataRequest { start_us, end_us });
+            ctx.world
+                .rpc(rank, TOPIC_NODE_STATS, req.encode())
+                .from(self_rank)
+                .retry(policy)
+                .send(ctx.eng, move |world, eng, resp| {
                     let mut a = agg.borrow_mut();
-                    a.replies[i] = resp.payload_as::<NodeStats>().cloned();
+                    a.replies[i] = match MonitorReply::decode(resp) {
+                        Ok(MonitorReply::NodeStats(s)) => Some(s),
+                        _ => None,
+                    };
                     a.remaining -= 1;
                     if a.remaining == 0 {
+                        let tag = a.request.matchtag;
+                        inflight.borrow_mut().retain(|m| m.matchtag != tag);
                         let reply = JobStatsReply {
                             job: a.job,
                             name: a.name.clone(),
@@ -224,10 +253,9 @@ impl RootAgent {
                                 })
                                 .collect(),
                         };
-                        world.respond(eng, &a.request, payload(reply));
+                        world.respond(eng, &a.request, MonitorReply::JobStats(reply).encode());
                     }
-                },
-            );
+                });
         }
     }
 }
@@ -250,10 +278,39 @@ impl Module for RootAgent {
         if msg.kind != MsgKind::Request {
             return;
         }
-        match msg.topic.as_str() {
-            t if t == TOPIC_GET_JOB_DATA => self.start_aggregation(ctx, msg),
-            t if t == TOPIC_GET_JOB_STATS => self.start_stats_aggregation(ctx, msg),
-            _ => {}
+        match MonitorRequest::decode(msg) {
+            Ok(MonitorRequest::JobData(req)) => self.start_aggregation(ctx, msg, req),
+            Ok(MonitorRequest::JobStats(req)) => self.start_stats_aggregation(ctx, msg, req),
+            Ok(_) => {} // node-agent topics; not served here
+            Err(e) => ctx.world.respond_error(ctx.eng, msg, e.reason),
+        }
+    }
+
+    fn root_service(&self) -> bool {
+        true
+    }
+
+    fn on_migrate(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // The old root's fan-out callbacks were cancelled with its
+        // broker. Re-issue every unfinished client aggregation from the
+        // new root: re-address the stored request to this rank (replies
+        // must originate from a live broker) and restart the fan-out.
+        let stalled: Vec<Message> = self.inflight.borrow_mut().drain(..).collect();
+        if !stalled.is_empty() {
+            ctx.world.trace.emit(
+                ctx.eng.now(),
+                TraceLevel::Info,
+                "monitor",
+                format!(
+                    "root-agent migrated to {}; re-issuing {} in-flight aggregation(s)",
+                    ctx.rank,
+                    stalled.len()
+                ),
+            );
+        }
+        for mut msg in stalled {
+            msg.to = ctx.rank;
+            self.handle(ctx, &msg);
         }
     }
 }

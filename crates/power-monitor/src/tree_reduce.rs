@@ -13,8 +13,9 @@
 //! production-grade power telemetry") made concrete.
 
 use crate::node_agent::NodeAgent;
-use crate::proto::NodeStats;
-use fluxpm_flux::{payload, Message, ModuleCtx, Rank};
+use crate::proto::{MonitorReply, MonitorRequest, NodeStats};
+use fluxpm_flux::{FluxEngine, Message, ModuleCtx, Protocol, Rank, World};
+use fluxpm_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -104,89 +105,168 @@ impl SubtreeStats {
     }
 }
 
+/// In-flight reduction state at one rank: the client/parent request,
+/// the running merge, and how many child replies are still outstanding.
+struct Pending {
+    request: Message,
+    start_us: u64,
+    end_us: u64,
+    base_deadline: SimDuration,
+    acc: SubtreeStats,
+    remaining: usize,
+}
+
+/// The current children of `rank` that cover at least one target, each
+/// paired with the targets inside its subtree (computed against the
+/// *current* topology epoch, so a healed tree re-routes naturally).
+fn children_covering(world: &World, rank: Rank, targets: &[u32]) -> Vec<(Rank, Vec<u32>)> {
+    world
+        .tbon
+        .children(rank)
+        .into_iter()
+        .filter_map(|c| {
+            let covered: Vec<u32> = targets
+                .iter()
+                .copied()
+                .filter(|&t| world.tbon.is_ancestor(c, Rank(t)))
+                .collect();
+            if covered.is_empty() {
+                None
+            } else {
+                Some((c, covered))
+            }
+        })
+        .collect()
+}
+
+/// Issue one child sub-request for a reduction. Free function (not a
+/// method) so the timeout callback can re-fan from plain `&mut World` /
+/// `&mut FluxEngine` when the topology has healed underneath it.
+fn issue_child(
+    world: &mut World,
+    eng: &mut FluxEngine,
+    self_rank: Rank,
+    child: Rank,
+    covered: Vec<u32>,
+    pending: &Rc<RefCell<Pending>>,
+) {
+    // Scale the deadline by the child's subtree height so this rank
+    // outlives its child's own per-grandchild deadlines: a leaf gets
+    // the base deadline, its parent 2x, and so on up the tree.
+    let (deadline, sub_req) = {
+        let mut p = pending.borrow_mut();
+        p.remaining += 1;
+        let deadline = p
+            .base_deadline
+            .mul(u64::from(world.tbon.subtree_height(child)) + 1);
+        let sub_req = SubtreeStatsRequest {
+            start_us: p.start_us,
+            end_us: p.end_us,
+            targets: covered.clone(),
+        };
+        (deadline, sub_req)
+    };
+    let pending = Rc::clone(pending);
+    world
+        .rpc(
+            child,
+            TOPIC_SUBTREE_STATS,
+            MonitorRequest::SubtreeStats(sub_req).encode(),
+        )
+        .from(self_rank)
+        .deadline(deadline)
+        .send(eng, move |world, eng, resp| {
+            let contribution = match MonitorReply::decode(resp) {
+                Ok(MonitorReply::SubtreeStats(s)) => Some(s),
+                _ => None,
+            };
+            {
+                let mut p = pending.borrow_mut();
+                match contribution {
+                    Some(s) => p.acc = p.acc.merge(s),
+                    // Timeout (or garbled reply): whatever this child
+                    // held is gone — the merge is incomplete.
+                    None => {
+                        p.acc = p.acc.merge(SubtreeStats {
+                            all_complete: false,
+                            ..SubtreeStats::empty()
+                        })
+                    }
+                }
+            }
+            // If the child was detached (it died and the overlay healed)
+            // its orphans are our own children now: re-fan to whichever
+            // current children cover the still-attached targets, so the
+            // reduction completes with only the dead rank missing.
+            if contribution.is_none() && !world.tbon.is_attached(child) {
+                let survivors: Vec<u32> = covered
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != child.0 && world.tbon.is_attached(Rank(t)))
+                    .collect();
+                for (c2, cov2) in children_covering(world, self_rank, &survivors) {
+                    issue_child(world, eng, self_rank, c2, cov2, &pending);
+                }
+            }
+            let mut p = pending.borrow_mut();
+            p.remaining -= 1;
+            if p.remaining == 0 {
+                let acc = p.acc;
+                world.respond(eng, &p.request, MonitorReply::SubtreeStats(acc).encode());
+            }
+        });
+}
+
 /// Handle a subtree-stats request at one node agent: compute the local
 /// contribution (if this rank is a target), recurse into the children
-/// whose subtrees intersect the targets, merge, respond.
-pub fn handle_subtree_stats(agent: &NodeAgent, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-    let Some(req) = msg.payload_as::<SubtreeStatsRequest>() else {
-        ctx.world
-            .respond_error(ctx.eng, msg, "bad subtree-stats payload");
-        return;
-    };
+/// whose subtrees intersect the targets, merge, respond. A child that
+/// dies mid-reduction is routed around once the topology heals (the
+/// deadline handler re-fans to the re-parented children); only its own
+/// samples stay missing.
+pub fn handle_subtree_stats(
+    agent: &NodeAgent,
+    ctx: &mut ModuleCtx<'_>,
+    msg: &Message,
+    req: SubtreeStatsRequest,
+) {
     let rank = ctx.rank;
-    let local = if req.targets.contains(&rank.0) {
+    let mut local = if req.targets.contains(&rank.0) {
         SubtreeStats::from_node(&agent.local_stats(ctx, req.start_us, req.end_us))
     } else {
         SubtreeStats::empty()
     };
 
-    // Children whose subtree contains at least one target.
-    let children: Vec<Rank> = ctx
-        .world
-        .tbon
-        .children(rank)
-        .into_iter()
-        .filter(|c| {
-            req.targets
-                .iter()
-                .any(|&t| ctx.world.tbon.is_ancestor(*c, Rank(t)))
-        })
-        .collect();
-
+    let children = children_covering(ctx.world, rank, &req.targets);
+    // A target no current child reaches (a rank already detached when the
+    // query was issued) must flag the reduction incomplete — its data is
+    // missing, not silently dropped.
+    for &t in &req.targets {
+        if t != rank.0 && !children.iter().any(|(_, cov)| cov.contains(&t)) {
+            local = local.merge(SubtreeStats {
+                all_complete: false,
+                ..SubtreeStats::empty()
+            });
+        }
+    }
     if children.is_empty() {
-        ctx.world.respond(ctx.eng, msg, payload(local));
+        ctx.world
+            .respond(ctx.eng, msg, MonitorReply::SubtreeStats(local).encode());
         return;
     }
 
     // Fan out one hop; merge asynchronously; respond when all children
     // have reported. A downed child contributes an incomplete empty
     // summary rather than stalling the reduction.
-    struct Pending {
-        request: Message,
-        acc: SubtreeStats,
-        remaining: usize,
-    }
     let pending = Rc::new(RefCell::new(Pending {
         request: msg.clone(),
+        start_us: req.start_us,
+        end_us: req.end_us,
+        base_deadline: agent.config().rpc_deadline,
         acc: local,
-        remaining: children.len(),
+        remaining: 0,
     }));
-    let base_deadline = agent.config().rpc_deadline;
-    for child in children {
-        let pending = Rc::clone(&pending);
-        let sub_req = SubtreeStatsRequest {
-            start_us: req.start_us,
-            end_us: req.end_us,
-            targets: req.targets.clone(),
-        };
-        // Scale the deadline by the child's subtree height so this rank
-        // outlives its child's own per-grandchild deadlines: a leaf gets
-        // the base deadline, its parent 2x, and so on up the tree.
-        let deadline = base_deadline.mul(u64::from(ctx.world.tbon.subtree_height(child)) + 1);
-        ctx.world.rpc_with_deadline(
-            ctx.eng,
-            rank,
-            child,
-            TOPIC_SUBTREE_STATS,
-            payload(sub_req),
-            deadline,
-            move |world, eng, resp| {
-                let mut p = pending.borrow_mut();
-                let contribution =
-                    resp.payload_as::<SubtreeStats>()
-                        .copied()
-                        .unwrap_or_else(|| SubtreeStats {
-                            all_complete: false,
-                            ..SubtreeStats::empty()
-                        });
-                p.acc = p.acc.merge(contribution);
-                p.remaining -= 1;
-                if p.remaining == 0 {
-                    let acc = p.acc;
-                    world.respond(eng, &p.request, payload(acc));
-                }
-            },
-        );
+    for (child, covered) in children {
+        issue_child(ctx.world, ctx.eng, rank, child, covered, &pending);
     }
 }
 

@@ -184,9 +184,11 @@ fn kripke_crashes_on_tioga_but_runs_on_lassen() {
 /// enters at t = 30 s; rank 1 is failed 50 µs later — after it has fanned
 /// out to its children but before their responses arrive. The overlay is
 /// severed (nothing from or through rank 1 is delivered again), rank 1's
-/// pending RPCs are cancelled, and the root's per-child deadline turns the
-/// silent subtree into an incomplete-but-finished reduction instead of a
-/// stall. Same-seed runs must be byte-identical.
+/// pending RPCs are cancelled, and its orphans (ranks 3 and 4) re-parent
+/// under the root. When the root's per-child deadline on rank 1 fires, the
+/// reduction *re-fans* to the re-parented survivors: the reply carries
+/// every live rank's data and only the dead rank is missing. Same-seed
+/// runs must be byte-identical.
 #[test]
 fn interior_rank_failure_mid_reduction_completes_incomplete() {
     let fail_at = SimTime::from_micros(30_000_050);
@@ -228,10 +230,19 @@ fn interior_rank_failure_mid_reduction_completes_incomplete() {
     let (w, id, stats, trace) = run();
 
     // The reduction finished despite the dead interior rank, flagged
-    // incomplete: rank 1's whole subtree (ranks 1, 3, 4) is missing.
-    assert!(!stats.all_complete, "dead subtree must flag incomplete");
-    assert_eq!(stats.nodes, 4, "ranks 0, 2, 5, 6 contribute: {stats:?}");
+    // incomplete — but only rank 1 itself is missing: its orphans were
+    // re-parented under the root and the deadline handler re-fanned the
+    // query out to them.
+    assert!(!stats.all_complete, "dead rank must flag incomplete");
+    assert_eq!(
+        stats.nodes, 6,
+        "every live rank contributes after the re-fan: {stats:?}"
+    );
     assert!(stats.samples > 0, "surviving subtree carried data");
+    assert!(
+        trace.contains("re-parented 2 orphan(s) of rank1 under rank0"),
+        "orphans re-attached to the nearest live ancestor"
+    );
 
     // Exactly the root's deadline on rank 1 fired; no matchtag leaked.
     assert_eq!(w.rpc_timeout_count(), 1, "one per-child deadline fired");
