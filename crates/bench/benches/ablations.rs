@@ -6,6 +6,7 @@
 //! * event-engine throughput (one-shot and periodic),
 //! * TBON RPC fan-out across tree sizes,
 //! * FPP controller epoch step,
+//! * FPP give-back: instant vs staged restore on the job queue,
 //! * power-resolution hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -278,6 +279,43 @@ fn bench_stats_aggregation(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_staged_give_back(c: &mut Criterion) {
+    use fluxpm_experiments::experiments::queue::{epochs_to_restore, queue_jobs};
+    use fluxpm_experiments::{JobRequest, PowerSetup, Scenario};
+    use fluxpm_hw::MachineKind;
+    use fluxpm_manager::ManagerConfig;
+
+    // The §IV-E queue under FPP with each restore path (quarter-size
+    // works keep iterations short, as in the paper-artifacts bench).
+    fn run_queue(staged: bool) -> f64 {
+        let mut config = ManagerConfig::fpp(Watts(16.0 * 1200.0));
+        config.fpp.staged_give_back = staged;
+        let mut s = Scenario::new(MachineKind::Lassen, 16).with_power(PowerSetup::Managed {
+            static_node_cap: Some(1950.0),
+            config,
+        });
+        for j in queue_jobs() {
+            let w = j.work_seconds.unwrap_or(200.0) / 4.0;
+            s = s.with_job(JobRequest::new(j.app, j.nnodes).with_work_seconds(w));
+        }
+        s.run().makespan_s
+    }
+
+    let mut g = c.benchmark_group("fpp_give_back");
+    g.sample_size(10);
+    g.bench_function("instant_restore_queue", |b| {
+        b.iter(|| black_box(run_queue(false)))
+    });
+    g.bench_function("staged_restore_queue", |b| {
+        b.iter(|| black_box(run_queue(true)))
+    });
+    // The controller-level restore cycle on its own.
+    g.bench_function("staged_restore_cycle", |b| {
+        b.iter(|| black_box(epochs_to_restore(true)))
+    });
+    g.finish();
+}
+
 fn bench_power_resolution(c: &mut Criterion) {
     let arch = lassen();
     let demand = PowerDemand {
@@ -307,6 +345,7 @@ criterion_group!(
     bench_event_engine,
     bench_tbon_rpc,
     bench_fpp_controller,
+    bench_staged_give_back,
     bench_power_resolution,
     bench_subinstance,
     bench_stats_aggregation,

@@ -51,6 +51,49 @@ pub fn avg_job_energy_per_node(r: &RunReport) -> f64 {
     r.jobs.iter().map(|j| j.energy_per_node_kj).sum::<f64>() / r.jobs.len() as f64
 }
 
+/// The give-back ablation pair: the §IV-E queue under FPP with instant
+/// restore (the paper's observed behavior) and with `staged_give_back`
+/// (one `powercap_levels` step per epoch). Instant first.
+pub fn give_back_reports() -> Vec<RunReport> {
+    let mut staged = ManagerConfig::fpp(Watts(GLOBAL_BOUND_W));
+    staged.fpp.staged_give_back = true;
+    run_many(vec![
+        scenario(ManagerConfig::fpp(Watts(GLOBAL_BOUND_W)), "fpp-instant"),
+        scenario(staged, "fpp-staged"),
+    ])
+}
+
+/// Controller epochs needed to hand back a full 50 W probe once the
+/// binding fallback fires (level 1 → 15 W steps when staged). Instant
+/// restore takes a single epoch; staged climbs 203.5 → 218.5 → 233.5 →
+/// 248.5 → 253.5 W, i.e. four 90 s epochs of time-to-restore.
+pub fn epochs_to_restore(staged: bool) -> u32 {
+    use fluxpm_manager::{FppConfig, FppController};
+    let cfg = FppConfig {
+        staged_give_back: staged,
+        ..FppConfig::default()
+    };
+    let pre_probe = 253.5;
+    let mut c = FppController::new(cfg, Watts(pre_probe));
+    // One quiet epoch at the full cap, then the probe drops 50 W.
+    for _ in 0..90 {
+        c.store_power_sample(Watts(pre_probe));
+    }
+    c.on_epoch();
+    // Flat draw pinned at the reduced cap keeps the binding fallback
+    // firing until the cap is fully restored.
+    let mut epochs = 0;
+    while c.cap().get() < pre_probe - 1e-9 && epochs < 20 {
+        let draw = c.cap().get();
+        for _ in 0..90 {
+            c.store_power_sample(Watts(draw));
+        }
+        c.on_epoch();
+        epochs += 1;
+    }
+    epochs
+}
+
 /// Run the experiment; returns the printed report.
 pub fn run() -> String {
     let mut out = String::from("# §IV-E — job queue impact (16-node Lassen, 10 jobs)\n\n");
@@ -89,8 +132,39 @@ pub fn run() -> String {
         "FPP improves avg per-job energy-per-node by {delta:.2} % (paper: 1.26 %)"
     );
 
+    // Ablation: how the FPP controller hands probed power back.
+    let gb = give_back_reports();
+    let _ = writeln!(out, "\n## give-back ablation (FPP restore path)\n");
+    let mut t2 = Table::new(&[
+        "restore",
+        "makespan (s)",
+        "avg job energy/node (kJ)",
+        "epochs to restore 50 W",
+    ]);
+    for (r, epochs) in [
+        (&gb[0], epochs_to_restore(false)),
+        (&gb[1], epochs_to_restore(true)),
+    ] {
+        t2.row(vec![
+            r.label.clone(),
+            format!("{:.0}", r.makespan_s),
+            format!("{:.1}", avg_job_energy_per_node(r)),
+            format!("{epochs}"),
+        ]);
+    }
+    out.push_str(&t2.render());
+    let _ = writeln!(
+        out,
+        "\ntime-to-restore: instant = 1 epoch (90 s), staged = {} epochs ({} s)",
+        epochs_to_restore(true),
+        epochs_to_restore(true) * 90
+    );
+
     let mut csv = prop.jobs_csv();
     csv.push_str(&fpp.jobs_csv());
+    for r in &gb {
+        csv.push_str(&r.jobs_csv());
+    }
     let path = write_artifact("queue_experiment.csv", &csv);
     let _ = writeln!(out, "CSV: {}", path.display());
     out
@@ -125,5 +199,22 @@ mod tests {
         let delta = (avg_job_energy_per_node(prop) - avg_job_energy_per_node(fpp))
             / avg_job_energy_per_node(prop);
         assert!((-0.001..0.06).contains(&delta), "FPP energy delta {delta}");
+    }
+
+    #[test]
+    fn staged_give_back_holds_queue_shape() {
+        // The restore path is the only difference: staged give-back must
+        // not blow up the queue, and its time-to-restore is 4 epochs
+        // (15 W level-1 steps over a 50 W probe) vs 1 for instant.
+        let gb = give_back_reports();
+        assert_eq!(gb[0].jobs.len(), 10);
+        assert_eq!(gb[1].jobs.len(), 10);
+        let ratio = gb[1].makespan_s / gb[0].makespan_s;
+        assert!(
+            (0.95..1.10).contains(&ratio),
+            "staged restore changed the makespan too much: {ratio}"
+        );
+        assert_eq!(epochs_to_restore(false), 1, "paper: instant give-back");
+        assert_eq!(epochs_to_restore(true), 4, "50 W / 15 W steps, clamped");
     }
 }

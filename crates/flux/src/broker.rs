@@ -18,6 +18,12 @@ pub struct Broker {
     /// relays overlay traffic. [`crate::World::fail_node`] takes it
     /// down; [`crate::World::recover_node`] brings it back.
     up: bool,
+    /// Bumped on every down→up transition. Periodic module timers
+    /// capture it at schedule time and stop when it moves, so a timer
+    /// scheduled before an outage can never adopt the same-named module
+    /// reloaded after recovery (which schedules its own timer) — fast
+    /// fail/recover churn would otherwise stack timers.
+    incarnation: u64,
 }
 
 impl Broker {
@@ -29,6 +35,7 @@ impl Broker {
             modules: HashMap::new(),
             routes: HashMap::new(),
             up: true,
+            incarnation: 0,
         }
     }
 
@@ -37,17 +44,29 @@ impl Broker {
         self.up
     }
 
+    /// This broker's life number: 0 at boot, +1 per recovery. Module
+    /// timers use it to detect that the module they were driving died
+    /// (even if a same-named replacement has been reloaded since).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
     /// Take the broker down (node failure). Idempotent; undone by
     /// [`Broker::set_up`] when the node rejoins.
     pub fn set_down(&mut self) {
         self.up = false;
     }
 
-    /// Bring the broker back up (node recovery). Idempotent. Modules
-    /// are *not* restored — the recovered broker starts empty and the
-    /// world reloads them from its module factories.
+    /// Bring the broker back up (node recovery), starting a new
+    /// [incarnation](Broker::incarnation). Idempotent (a no-op while
+    /// already up). Modules are *not* restored — the recovered broker
+    /// starts empty and the world reloads them from its module
+    /// factories.
     pub fn set_up(&mut self) {
-        self.up = true;
+        if !self.up {
+            self.up = true;
+            self.incarnation += 1;
+        }
     }
 
     /// Register a module and its topic routes. Returns `false` (and
@@ -171,6 +190,24 @@ mod tests {
         assert!(b.module("mon").is_some());
         b.set_down(); // idempotent
         assert!(!b.is_up());
+    }
+
+    #[test]
+    fn incarnation_counts_recoveries_only() {
+        let mut b = Broker::new(Rank(0), "h".into());
+        assert_eq!(b.incarnation(), 0);
+        b.set_up(); // already up: no new life
+        assert_eq!(b.incarnation(), 0);
+        b.set_down();
+        b.set_down(); // idempotent
+        assert_eq!(b.incarnation(), 0, "going down is not a new life");
+        b.set_up();
+        assert_eq!(b.incarnation(), 1);
+        b.set_up(); // idempotent
+        assert_eq!(b.incarnation(), 1);
+        b.set_down();
+        b.set_up();
+        assert_eq!(b.incarnation(), 2);
     }
 
     #[test]

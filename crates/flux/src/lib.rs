@@ -40,4 +40,6 @@ pub use proto::{Protocol, ProtocolError};
 pub use sched::FcfsScheduler;
 pub use subinstance::{InstancePowerPolicy, SubInstance};
 pub use tbon::{Rank, Tbon};
-pub use world::{FaultPlan, FluxEngine, RetryPolicy, RpcBuilder, TopicStats, World};
+pub use world::{
+    FaultPlan, FluxEngine, GilbertElliott, LinkProfile, RetryPolicy, RpcBuilder, TopicStats, World,
+};

@@ -371,6 +371,82 @@ impl Tbon {
         self.children[parent.index()].sort_unstable();
         self.invalidate();
     }
+
+    /// Depth of the deepest attached rank (root = 0).
+    pub fn max_depth(&self) -> u32 {
+        self.attached_ranks()
+            .into_iter()
+            .map(|r| self.depth(r))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Depth of a *freshly built* k-ary tree over `live` ranks — the
+    /// bound the post-churn [`Tbon::rebalance`] restores. (The deepest
+    /// rank in `Tbon::new(live, fanout)` is the last one.)
+    pub fn ideal_depth(live: u32, fanout: u32) -> u32 {
+        assert!(fanout >= 1);
+        let mut d = 0;
+        let mut r = live.saturating_sub(1);
+        while r > 0 {
+            r = (r - 1) / fanout;
+            d += 1;
+        }
+        d
+    }
+
+    /// Whether the current shape respects the bounded-depth invariant:
+    /// no attached rank deeper than the fresh k-ary depth for the same
+    /// live-rank count. Long fail/recover churn (recovered ranks rejoin
+    /// as leaves) violates this; [`Tbon::rebalance`] restores it.
+    pub fn is_balanced(&self) -> bool {
+        let live = self.attached_ranks().len() as u32;
+        self.max_depth() <= Self::ideal_depth(live, self.fanout)
+    }
+
+    /// Restore k-ary shape over the currently attached ranks after
+    /// churn. Deterministic: the current root stays root and the
+    /// remaining attached ranks are laid out in ascending rank order,
+    /// `order[i]` parenting under `order[(i-1)/fanout]` — exactly the
+    /// fresh-tree shape, so afterwards `max_depth() ==
+    /// ideal_depth(live, fanout)`. Bumps the epoch (dropping the route
+    /// cache) only if the shape actually changed; returns whether it
+    /// did. In-flight messages keep their launch-time routes, which
+    /// still transit only live ranks, so nothing already sent is lost.
+    pub fn rebalance(&mut self) -> bool {
+        let order: Vec<Rank> = std::iter::once(self.root)
+            .chain(
+                self.attached_ranks()
+                    .into_iter()
+                    .filter(|&r| r != self.root),
+            )
+            .collect();
+        let mut new_parents = self.parents.clone();
+        for (i, &r) in order.iter().enumerate() {
+            new_parents[r.index()] = if i == 0 {
+                None
+            } else {
+                Some(order[(i - 1) / self.fanout as usize])
+            };
+        }
+        if new_parents == self.parents {
+            return false;
+        }
+        self.parents = new_parents;
+        for c in &mut self.children {
+            c.clear();
+        }
+        for &r in &order {
+            if let Some(p) = self.parents[r.index()] {
+                self.children[p.index()].push(r);
+            }
+        }
+        for c in &mut self.children {
+            c.sort_unstable();
+        }
+        self.invalidate();
+        true
+    }
 }
 
 #[cfg(test)]
@@ -610,5 +686,71 @@ mod tests {
         let b = Tbon::binary(7);
         let _ = a.route(Rank(3), Rank(6)); // warm a's cache only
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ideal_depth_matches_fresh_tree() {
+        for fanout in 1..=4u32 {
+            for size in 1..=20u32 {
+                let t = Tbon::new(size, fanout);
+                assert_eq!(
+                    Tbon::ideal_depth(size, fanout),
+                    t.max_depth(),
+                    "size {size} fanout {fanout}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_restores_fresh_shape_after_churn() {
+        // 50 fail/recover cycles on interior ranks: every recovery
+        // rejoins as a leaf, flattening the tree under the root.
+        let mut t = Tbon::binary(15);
+        for cycle in 0..50u32 {
+            let victim = Rank(1 + (cycle % 7));
+            if victim == t.root() || !t.is_attached(victim) {
+                continue;
+            }
+            t.detach(victim);
+            t.attach(victim, t.root());
+        }
+        assert!(!t.is_balanced(), "churn flattens the tree");
+        let epoch = t.epoch();
+        assert!(t.rebalance());
+        assert!(t.epoch() > epoch, "re-balance is epoch-bumped");
+        assert!(t.is_balanced());
+        // Within 1 of (here: equal to) the fresh k-ary depth.
+        assert_eq!(t.max_depth(), Tbon::ideal_depth(15, 2));
+        // All 15 ranks still reachable and acyclic (depth terminates).
+        for r in t.ranks() {
+            assert!(t.route(r, t.root()).is_some(), "{r}");
+            assert!(t.depth(r) <= t.max_depth());
+        }
+        // Idempotent: a balanced tree is untouched (no epoch churn).
+        let epoch = t.epoch();
+        assert!(!t.rebalance());
+        assert_eq!(t.epoch(), epoch);
+    }
+
+    #[test]
+    fn rebalance_over_partial_membership_keeps_root() {
+        let mut t = Tbon::binary(9);
+        t.detach(Rank(3));
+        t.detach(Rank(5));
+        t.promote_root(Rank(1));
+        t.rebalance();
+        assert_eq!(t.root(), Rank(1), "re-balance never moves the root");
+        let live = t.attached_ranks();
+        assert_eq!(live.len(), 6);
+        for &r in &live {
+            assert!(t.route(r, t.root()).is_some());
+        }
+        assert!(!t.is_attached(Rank(3)));
+        assert!(!t.is_attached(Rank(5)));
+        assert!(t.is_balanced());
+        // Detached ranks stay fully detached: no parent, no children.
+        assert_eq!(t.parent(Rank(3)), None);
+        assert_eq!(t.children(Rank(3)), vec![]);
     }
 }

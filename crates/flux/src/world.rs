@@ -41,7 +41,7 @@ struct PendingRpc {
     timeout: Option<EventId>,
 }
 
-/// Retry schedule for [`World::rpc_with_retry`]: each attempt gets a
+/// Retry schedule for [`RpcBuilder::retry`]: each attempt gets a
 /// deadline, and failed attempts are re-sent with exponential backoff.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -187,17 +187,173 @@ impl<'w> RpcBuilder<'w> {
     }
 }
 
+/// Loss/jitter shaping for one (undirected) TBON link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Probability a message is lost crossing the link (ignored while a
+    /// [`GilbertElliott`] burst model governs the link — the per-state
+    /// drop probabilities take over).
+    pub drop_prob: f64,
+    /// Maximum extra latency added per crossing (uniform in `[0, max]` µs).
+    pub jitter_max_us: u64,
+    /// Optional two-state burst-loss channel producing *correlated*
+    /// loss: once a link enters the bad state, consecutive messages are
+    /// dropped together until it recovers.
+    pub burst: Option<GilbertElliott>,
+}
+
+impl LinkProfile {
+    /// Uniform (memoryless) loss + jitter — the pre-storm global model.
+    pub fn uniform(drop_prob: f64, jitter_max: SimDuration) -> LinkProfile {
+        LinkProfile {
+            drop_prob,
+            jitter_max_us: jitter_max.as_micros(),
+            burst: None,
+        }
+    }
+
+    /// A perfectly clean link.
+    pub fn lossless() -> LinkProfile {
+        LinkProfile {
+            drop_prob: 0.0,
+            jitter_max_us: 0,
+            burst: None,
+        }
+    }
+
+    /// Govern this link with a [`GilbertElliott`] burst channel.
+    pub fn with_burst(mut self, burst: GilbertElliott) -> LinkProfile {
+        self.burst = Some(burst);
+        self
+    }
+}
+
+/// A seeded Gilbert–Elliott burst-loss channel: a two-state Markov
+/// chain (good/bad) stepped once per message crossing the link, with a
+/// per-state drop probability. With `p_good_to_bad` small and
+/// `p_bad_to_good` moderate the long-run loss rate can match a uniform
+/// channel while the losses arrive in *bursts* — the correlated-failure
+/// pattern real links flap with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-crossing probability of entering the bad state.
+    pub p_good_to_bad: f64,
+    /// Per-crossing probability of leaving the bad state.
+    pub p_bad_to_good: f64,
+    /// Drop probability while good (usually ~0).
+    pub good_drop_prob: f64,
+    /// Drop probability while bad (usually ~1).
+    pub bad_drop_prob: f64,
+}
+
+impl GilbertElliott {
+    /// The long-run stationary loss rate of this channel.
+    pub fn stationary_loss(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            return self.good_drop_prob;
+        }
+        let p_bad = self.p_good_to_bad / denom;
+        p_bad * self.bad_drop_prob + (1.0 - p_bad) * self.good_drop_prob
+    }
+}
+
 /// Deterministic chaos injection over TBON links: per-hop message loss
 /// and latency jitter, drawn from a dedicated RNG stream derived from
-/// the world seed so runs replay byte-identically.
+/// the world seed so runs replay byte-identically. One default
+/// [`LinkProfile`] governs every link, with optional per-link
+/// overrides and [`GilbertElliott`] burst channels (whose good/bad
+/// state evolves per message crossing, per link).
+///
+/// Build with [`FaultPlan::uniform`] + builder methods, then arm via
+/// [`World::install_fault_plan`] (which seeds the RNG from the world
+/// seed). [`World::inject_faults`] remains the one-call uniform path.
 #[derive(Debug)]
 pub struct FaultPlan {
-    /// Probability a message is lost on each hop it crosses.
-    pub drop_prob: f64,
-    /// Maximum extra latency added per hop (uniform in `[0, max]` µs).
-    pub jitter_max_us: u64,
+    /// Profile applied to links without a per-link override.
+    pub default_link: LinkProfile,
+    /// Per-link overrides, keyed by the normalized (lo, hi) rank pair.
+    per_link: HashMap<(u32, u32), LinkProfile>,
+    /// Current burst-channel state per link (`true` = bad). Lazily
+    /// created; only read per-link, never iterated, so the `HashMap`
+    /// cannot perturb determinism.
+    burst_bad: HashMap<(u32, u32), bool>,
     rng: Xoshiro256pp,
     dropped: u64,
+}
+
+impl FaultPlan {
+    /// A plan applying one uniform profile to every link. The RNG is
+    /// re-seeded from the world seed when the plan is installed.
+    pub fn uniform(drop_prob: f64, jitter_max: SimDuration) -> FaultPlan {
+        FaultPlan {
+            default_link: LinkProfile::uniform(drop_prob, jitter_max),
+            per_link: HashMap::new(),
+            burst_bad: HashMap::new(),
+            rng: Xoshiro256pp::seed_from_u64(0),
+            dropped: 0,
+        }
+    }
+
+    /// Override the profile of the link between `a` and `b` (undirected).
+    pub fn with_link(mut self, a: Rank, b: Rank, profile: LinkProfile) -> FaultPlan {
+        self.per_link.insert(Self::link_key(a, b), profile);
+        self
+    }
+
+    /// Put every link (without a per-link override) on a burst channel.
+    pub fn with_burst(mut self, burst: GilbertElliott) -> FaultPlan {
+        self.default_link.burst = Some(burst);
+        self
+    }
+
+    /// The profile governing the link between `a` and `b`.
+    pub fn link_profile(&self, a: Rank, b: Rank) -> LinkProfile {
+        self.per_link
+            .get(&Self::link_key(a, b))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Messages this plan has dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn link_key(a: Rank, b: Rank) -> (u32, u32) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// One message crossing the `a`–`b` link: evolve the link's burst
+    /// state (if any), decide loss, and draw the jitter. Returns
+    /// `(lost, jitter_us)`. RNG consumption is strictly per-crossing in
+    /// route order, so same-seed runs replay byte-identically.
+    fn traverse(&mut self, a: Rank, b: Rank) -> (bool, u64) {
+        let profile = self.link_profile(a, b);
+        let drop_prob = match profile.burst {
+            None => profile.drop_prob,
+            Some(ge) => {
+                let bad = self.burst_bad.entry(Self::link_key(a, b)).or_insert(false);
+                if *bad {
+                    if self.rng.chance(ge.p_bad_to_good) {
+                        *bad = false;
+                    }
+                } else if self.rng.chance(ge.p_good_to_bad) {
+                    *bad = true;
+                }
+                if *bad {
+                    ge.bad_drop_prob
+                } else {
+                    ge.good_drop_prob
+                }
+            }
+        };
+        if self.rng.chance(drop_prob) {
+            self.dropped += 1;
+            return (true, 0);
+        }
+        (false, self.rng.below(profile.jitter_max_us + 1))
+    }
 }
 
 /// State carried across the attempts of one retried RPC.
@@ -424,6 +580,15 @@ impl World {
     /// equivalent of a module's own thread of control. The timer looks
     /// the module up by name on every tick (so unloading the module stops
     /// it) and stops when the world halts.
+    ///
+    /// The timer is pinned to the broker's current
+    /// [incarnation](crate::Broker::incarnation): if the node fails and
+    /// recovers between two ticks, the name lookup would otherwise find
+    /// the factory-reloaded module — which schedules its *own* timer at
+    /// load — and every fast fail/recover cycle would stack another
+    /// timer onto the same module, multiplying its cadence and
+    /// corrupting gap accounting. A stale-incarnation tick breaks
+    /// instead.
     pub fn schedule_module_timer(
         &mut self,
         eng: &mut FluxEngine,
@@ -433,8 +598,12 @@ impl World {
         interval: SimDuration,
         tag: u64,
     ) -> fluxpm_sim::EventId {
+        let incarnation = self.brokers[rank.index()].incarnation();
         eng.schedule_every(start, interval, move |world: &mut World, eng| {
             if world.halted {
+                return ControlFlow::Break(());
+            }
+            if world.brokers[rank.index()].incarnation() != incarnation {
                 return ControlFlow::Break(());
             }
             let Some(module) = world.brokers[rank.index()].module(module_name) else {
@@ -498,15 +667,16 @@ impl World {
             SimDuration::from_micros(self.tbon.hop_latency.as_micros() * hops as u64);
         let mut lost = false;
         if let Some(fp) = &mut self.faults {
-            // Each hop independently loses the message or jitters it;
-            // self-sends (0 hops) cross no link and are unaffected.
-            for _ in 0..hops {
-                if fp.rng.chance(fp.drop_prob) {
-                    fp.dropped += 1;
+            // Each hop loses the message or jitters it per its link's
+            // profile; self-sends (0 hops) cross no link and are
+            // unaffected.
+            for hop in route.windows(2) {
+                let (hop_lost, jitter_us) = fp.traverse(hop[0], hop[1]);
+                if hop_lost {
                     lost = true;
                     break;
                 }
-                delay = delay + SimDuration::from_micros(fp.rng.below(fp.jitter_max_us + 1));
+                delay = delay + SimDuration::from_micros(jitter_us);
             }
         }
         if lost {
@@ -630,48 +800,6 @@ impl World {
         self.send(eng, msg);
     }
 
-    /// Deprecated shim over the [`RpcBuilder`] API.
-    #[deprecated(
-        note = "use the builder: world.rpc(to, topic, p).from(from).deadline(d).send(eng, cb)"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn rpc_with_deadline(
-        &mut self,
-        eng: &mut FluxEngine,
-        from: Rank,
-        to: Rank,
-        topic: impl Into<String>,
-        p: Payload,
-        deadline: SimDuration,
-        callback: impl FnOnce(&mut World, &mut FluxEngine, &Message) + 'static,
-    ) {
-        self.rpc(to, topic, p)
-            .from(from)
-            .deadline(deadline)
-            .send(eng, callback);
-    }
-
-    /// Deprecated shim over the [`RpcBuilder`] API.
-    #[deprecated(
-        note = "use the builder: world.rpc(to, topic, p).from(from).retry(policy).send(eng, cb)"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn rpc_with_retry(
-        &mut self,
-        eng: &mut FluxEngine,
-        from: Rank,
-        to: Rank,
-        topic: impl Into<String>,
-        p: Payload,
-        policy: RetryPolicy,
-        callback: impl FnOnce(&mut World, &mut FluxEngine, &Message) + 'static,
-    ) {
-        self.rpc(to, topic, p)
-            .from(from)
-            .retry(policy)
-            .send(eng, callback);
-    }
-
     /// Respond to a request with a payload.
     pub fn respond(&mut self, eng: &mut FluxEngine, req: &Message, p: Payload) {
         let resp = Message::respond_to(req, p);
@@ -707,15 +835,17 @@ impl World {
     /// crossing a TBON link is lost with probability `drop_prob` per hop
     /// and delayed by a uniform jitter of up to `jitter_max` per hop.
     /// The fault RNG is derived from the world seed, so identical runs
-    /// stay byte-identical.
+    /// stay byte-identical. For per-link profiles or burst loss, build a
+    /// [`FaultPlan`] and call [`World::install_fault_plan`].
     pub fn inject_faults(&mut self, drop_prob: f64, jitter_max: SimDuration) {
-        let rng = self.rng.child(0xFA_017);
-        self.faults = Some(FaultPlan {
-            drop_prob,
-            jitter_max_us: jitter_max.as_micros(),
-            rng,
-            dropped: 0,
-        });
+        self.install_fault_plan(FaultPlan::uniform(drop_prob, jitter_max));
+    }
+
+    /// Arm a [`FaultPlan`], re-seeding its RNG from the world seed so
+    /// the chaos replays byte-identically for the same world seed.
+    pub fn install_fault_plan(&mut self, mut plan: FaultPlan) {
+        plan.rng = self.rng.child(0xFA_017);
+        self.faults = Some(plan);
     }
 
     /// Messages lost to the active [`FaultPlan`] so far.
@@ -913,18 +1043,19 @@ impl World {
     }
 
     fn finish_job(&mut self, eng: &mut FluxEngine, id: JobId, end: SimTime, state: JobState) {
-        self.finish_job_withholding(eng, id, end, state, None);
+        self.finish_job_withholding(eng, id, end, state, &[]);
     }
 
-    /// Finish a job, optionally withholding one node (a failed node must
-    /// not return to the scheduler pool).
+    /// Finish a job, withholding a set of nodes (failed nodes must not
+    /// return to the scheduler pool — a batch failure may take several
+    /// of a job's nodes at once).
     fn finish_job_withholding(
         &mut self,
         eng: &mut FluxEngine,
         id: JobId,
         end: SimTime,
         state: JobState,
-        withhold: Option<NodeId>,
+        withhold: &[NodeId],
     ) {
         let node_ids = {
             let job = self.jobs.get_mut(id).expect("finishing job exists");
@@ -938,7 +1069,7 @@ impl World {
         let releasable: Vec<NodeId> = node_ids
             .iter()
             .copied()
-            .filter(|n| Some(*n) != withhold)
+            .filter(|n| !withhold.contains(n))
             .collect();
         self.sched.release(&releasable);
         // Restore the allocation record for reporting.
@@ -994,63 +1125,95 @@ impl World {
     /// route they were launched on and are dropped if it transits the
     /// dead rank; messages sent afterwards use the healed topology.
     pub fn fail_node(&mut self, eng: &mut FluxEngine, node: NodeId) {
-        self.trace.emit(
-            eng.now(),
-            TraceLevel::Warn,
-            "node",
-            format!("{node:?} failed"),
-        );
-        let rank = Rank(node.0);
-        let was_root = self.tbon.is_attached(rank) && self.tbon.root() == rank;
+        self.fail_nodes(eng, &[node]);
+    }
+
+    /// Fail several nodes as one *overlapping* event — the storm case
+    /// where multiple interior deaths land in the same tick, possibly
+    /// including the node currently adopting another's orphans or the
+    /// root itself mid-failover. Every member is taken down *before*
+    /// any healing, so orphan re-parenting and the root election can
+    /// never land on a rank that is dying in the same batch. Already
+    /// -down members are skipped (failing a failed node is a no-op), so
+    /// the batch converges to one consistent epoch regardless of
+    /// ordering or overlap with an in-progress recovery.
+    pub fn fail_nodes(&mut self, eng: &mut FluxEngine, nodes: &[NodeId]) {
+        let mut batch: Vec<NodeId> = nodes.to_vec();
+        batch.sort_unstable_by_key(|n| n.0);
+        batch.dedup();
+        batch.retain(|n| self.brokers[n.index()].is_up());
+        if batch.is_empty() {
+            return;
+        }
+        let root = self.tbon.root();
+        let root_dying = batch.iter().any(|&n| n.0 == root.0) && self.tbon.is_attached(root);
         // Root services survive the root's death: capture them before
         // the broker's module table is torn down.
         let mut migrants: Vec<SharedModule> = Vec::new();
-        if was_root {
-            for name in self.brokers[node.index()].module_names() {
-                if let Some(m) = self.brokers[node.index()].module(name) {
+        if root_dying {
+            for name in self.brokers[root.index()].module_names() {
+                if let Some(m) = self.brokers[root.index()].module(name) {
                     if m.borrow().root_service() {
                         migrants.push(m);
                     }
                 }
             }
         }
-        self.brokers[node.index()].set_down();
-        // Take the broker's modules offline.
-        let names: Vec<&'static str> = self.brokers[node.index()].module_names();
-        for name in names {
-            self.brokers[node.index()].unregister(name);
-        }
-        // Cancel the dead rank's pending outbound RPCs so reductions it
-        // was driving cannot complete from the grave. Tags are sorted
-        // for deterministic processing (the map iterates in hash order).
-        let mut dead_tags: Vec<u64> = self
-            .pending_rpcs
-            .iter()
-            .filter(|(_, p)| p.from == rank)
-            .map(|(&tag, _)| tag)
-            .collect();
-        dead_tags.sort_unstable();
-        for tag in &dead_tags {
-            if let Some(pending) = self.pending_rpcs.remove(tag) {
-                if let Some(ev) = pending.timeout {
-                    eng.cancel(ev);
-                }
-            }
-        }
-        if !dead_tags.is_empty() {
+        // Phase 1: every member goes down and loses its modules first.
+        for &node in &batch {
             self.trace.emit(
                 eng.now(),
-                TraceLevel::Info,
+                TraceLevel::Warn,
                 "node",
-                format!("{rank}: cancelled {} pending rpc(s)", dead_tags.len()),
+                format!("{node:?} failed"),
             );
+            self.brokers[node.index()].set_down();
+            let names: Vec<&'static str> = self.brokers[node.index()].module_names();
+            for name in names {
+                self.brokers[node.index()].unregister(name);
+            }
         }
-        // Heal the overlay before tearing the job down, so the job
-        // exception event publishes from a live root.
-        if self.tbon.is_attached(rank) {
-            if was_root {
-                self.fail_root(eng, rank, migrants);
-            } else {
+        // Cancel the dead ranks' pending outbound RPCs so reductions
+        // they were driving cannot complete from the grave. Tags are
+        // sorted for deterministic processing (the map iterates in hash
+        // order).
+        for &node in &batch {
+            let rank = Rank(node.0);
+            let mut dead_tags: Vec<u64> = self
+                .pending_rpcs
+                .iter()
+                .filter(|(_, p)| p.from == rank)
+                .map(|(&tag, _)| tag)
+                .collect();
+            dead_tags.sort_unstable();
+            for tag in &dead_tags {
+                if let Some(pending) = self.pending_rpcs.remove(tag) {
+                    if let Some(ev) = pending.timeout {
+                        eng.cancel(ev);
+                    }
+                }
+            }
+            if !dead_tags.is_empty() {
+                self.trace.emit(
+                    eng.now(),
+                    TraceLevel::Info,
+                    "node",
+                    format!("{rank}: cancelled {} pending rpc(s)", dead_tags.len()),
+                );
+            }
+        }
+        // Phase 2: heal the overlay before tearing jobs down, so job
+        // exception events publish from a live root. Non-root members
+        // detach in rank order; orphans adopted by a member later in
+        // the batch simply move up again when that member detaches.
+        // The root failover runs last, when the election can only see
+        // brokers that survive the whole batch.
+        for &node in &batch {
+            let rank = Rank(node.0);
+            if rank == self.tbon.root() {
+                continue;
+            }
+            if self.tbon.is_attached(rank) {
                 let orphans = self.tbon.detach(rank);
                 if !orphans.is_empty() {
                     let parent = self.tbon.parent(orphans[0]).expect("orphans were re-parented");
@@ -1067,17 +1230,35 @@ impl World {
                 }
             }
         }
-        self.nodes[node.index()].set_idle();
-        if let Some(job) = self.jobs.job_on_node(node) {
+        if root_dying {
+            self.fail_root(eng, root, migrants);
+        }
+        // Phase 3: scheduler/job teardown. Withhold every idle member
+        // *before* any job finishes — finishing a job runs the
+        // scheduler, which must not place new work on a node dying in
+        // this same batch.
+        for &node in &batch {
+            self.nodes[node.index()].set_idle();
+            if self.jobs.job_on_node(node).is_none() && self.sched.is_free(node) {
+                let _ = self.sched.allocate_specific(node);
+            }
+        }
+        let mut failed_jobs: Vec<JobId> = Vec::new();
+        for &node in &batch {
+            if let Some(job) = self.jobs.job_on_node(node) {
+                if !failed_jobs.contains(&job) {
+                    failed_jobs.push(job);
+                }
+            }
+        }
+        for job in failed_jobs {
             // The job's processes are gone: drop the program so no
             // stale executor slice can ever step the job again.
             if let Some(j) = self.jobs.get_mut(job) {
                 j.program = None;
             }
-            // Tear the job down without returning the failed node.
-            self.finish_job_withholding(eng, job, eng.now(), JobState::Failed, Some(node));
-        } else if self.sched.is_free(node) {
-            let _ = self.sched.allocate_specific(node);
+            // Tear the job down without returning any failed node.
+            self.finish_job_withholding(eng, job, eng.now(), JobState::Failed, &batch);
         }
     }
 
@@ -1150,7 +1331,26 @@ impl World {
         }
         let rank = Rank(node.0);
         self.brokers[node.index()].set_up();
-        if !self.tbon.is_attached(rank) {
+        let cur_root = self.tbon.root();
+        if !self.tbon.is_attached(rank) && !self.brokers[cur_root.index()].is_up() {
+            // The instance died entirely (the root failed with no live
+            // successor, so it kept the root role while down). The
+            // first rank to recover resurrects the instance as its new
+            // root. The old root-service state died with the instance;
+            // per-rank module factories reload below, and root services
+            // must be re-established by their owners.
+            self.tbon.attach(rank, cur_root);
+            self.tbon.promote_root(rank);
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Warn,
+                "tbon",
+                format!(
+                    "{node:?} recovered; instance resurrected with {rank} as root (epoch {})",
+                    self.tbon.epoch()
+                ),
+            );
+        } else if !self.tbon.is_attached(rank) {
             // Nearest live ancestor in the original k-ary shape; the
             // current root catches everything else (including an
             // ex-root, which has no original ancestors at all).
@@ -1195,6 +1395,49 @@ impl World {
         }
         self.module_factories = factories;
         true
+    }
+
+    /// One post-churn re-balance pass: if fail/recover churn has pushed
+    /// some attached rank deeper than the fresh k-ary depth for the
+    /// current live-rank count, restore k-ary shape over the live ranks
+    /// ([`Tbon::rebalance`]; epoch-bumped, so route caches drop and new
+    /// sends route against the re-balanced tree). Returns whether the
+    /// topology changed. A balanced tree is left untouched — no epoch
+    /// churn, no trace.
+    pub fn rebalance_tbon(&mut self, eng: &mut FluxEngine) -> bool {
+        if self.tbon.is_balanced() {
+            return false;
+        }
+        let before = self.tbon.max_depth();
+        let changed = self.tbon.rebalance();
+        if changed {
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Info,
+                "tbon",
+                format!(
+                    "re-balanced: depth {before} -> {} over {} live rank(s) (epoch {})",
+                    self.tbon.max_depth(),
+                    self.tbon.attached_ranks().len(),
+                    self.tbon.epoch()
+                ),
+            );
+        }
+        changed
+    }
+
+    /// Install a periodic post-churn re-balance pass (stops when the
+    /// world halts). Each tick runs [`World::rebalance_tbon`], so a
+    /// long fail/recover churn cannot permanently flatten the TBON into
+    /// a leaf-heavy tree.
+    pub fn schedule_rebalance(&mut self, eng: &mut FluxEngine, interval: SimDuration) {
+        eng.schedule_every(eng.now() + interval, interval, move |world: &mut World, eng| {
+            if world.halted {
+                return ControlFlow::Break(());
+            }
+            world.rebalance_tbon(eng);
+            ControlFlow::Continue(())
+        });
     }
 
     /// Install the job executor (idempotent). Must be called once before
@@ -1919,7 +2162,7 @@ mod failure_tests {
             .count();
         assert_eq!(severed, 1);
         // The orphaned matchtag leaks without a deadline — exactly why
-        // fan-out paths use rpc_with_deadline.
+        // fan-out paths attach `.deadline(..)` to their RPCs.
         assert_eq!(w.pending_rpc_count(), 1);
     }
 
@@ -2127,5 +2370,247 @@ mod failure_tests {
         assert_eq!(s.retries, 1, "one re-send");
         assert_eq!(s.drops, 2, "both requests had no route");
         assert_eq!(w.rpc_timeout_count(), 2, "aggregates stay consistent");
+    }
+
+    /// Every attached rank must reach the root through attached, live
+    /// parents within `size` hops (reachable + acyclic).
+    fn assert_converged(w: &World) {
+        let root = w.tbon.root();
+        assert!(w.tbon.is_attached(root), "root attached");
+        assert!(w.broker_up(root), "root alive");
+        let size = w.tbon.ranks().count();
+        for r in w.tbon.attached_ranks() {
+            assert!(w.broker_up(r), "{r} attached but down");
+            assert!(w.tbon.route(r, root).is_some(), "{r} unroutable");
+            let mut probe = r;
+            let mut hops = 0;
+            while probe != root {
+                probe = w.tbon.parent(probe).expect("attached rank has a parent");
+                assert!(w.tbon.is_attached(probe), "parent of {r} detached");
+                hops += 1;
+                assert!(hops <= size, "cycle walking up from {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_interior_failures_converge_in_one_batch() {
+        // Ranks 1 and 3 die in the same tick. 3 is 1's child: detaching
+        // 1 re-parents 3 under the root *while 3 is itself dying* — the
+        // adopting-node-death overlap. The batch must still converge.
+        let (mut w, mut eng) = world(15);
+        w.fail_nodes(&mut eng, &[NodeId(1), NodeId(3)]);
+        assert!(!w.tbon.is_attached(Rank(1)));
+        assert!(!w.tbon.is_attached(Rank(3)));
+        // 1's surviving orphan and 3's orphans all land under the root.
+        assert_eq!(w.tbon.parent(Rank(4)), Some(Rank(0)));
+        assert_eq!(w.tbon.parent(Rank(7)), Some(Rank(0)));
+        assert_eq!(w.tbon.parent(Rank(8)), Some(Rank(0)));
+        assert_converged(&w);
+        assert_eq!(w.tbon.attached_ranks().len(), 13);
+        // Re-running the same batch is a no-op (all members down).
+        let epoch = w.tbon.epoch();
+        w.fail_nodes(&mut eng, &[NodeId(1), NodeId(3)]);
+        assert_eq!(w.tbon.epoch(), epoch, "failing failed nodes is a no-op");
+    }
+
+    #[test]
+    fn batch_with_dying_root_elects_a_surviving_rank() {
+        // Root and its would-be successor die together: the election
+        // must skip every batch member and land on rank 2.
+        let (mut w, mut eng) = world(7);
+        let migrations = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+        let m = std::rc::Rc::new(std::cell::RefCell::new(RootCounter {
+            migrations: std::rc::Rc::clone(&migrations),
+        }));
+        assert!(w.load_module(&mut eng, Rank::ROOT, m));
+        w.fail_nodes(&mut eng, &[NodeId(0), NodeId(1)]);
+        assert_eq!(w.root(), Rank(2), "election skips dying batch members");
+        assert_eq!(*migrations.borrow(), 1);
+        assert!(w.brokers[2].module("root-counter").is_some());
+        assert_converged(&w);
+        assert_eq!(w.tbon.attached_ranks().len(), 5);
+    }
+
+    #[test]
+    fn failure_during_active_recovery_converges() {
+        // Rank 1 recovers (freshly re-attached as a leaf) and the root
+        // dies in the same tick: the election sees the recovered rank
+        // and promotes it.
+        let (mut w, mut eng) = world(7);
+        w.fail_node(&mut eng, NodeId(1));
+        assert!(w.recover_node(&mut eng, NodeId(1)));
+        w.fail_nodes(&mut eng, &[NodeId(0)]);
+        assert_eq!(w.root(), Rank(1), "mid-recovery rank is electable");
+        assert!(!w.tbon.is_attached(Rank(0)));
+        assert_converged(&w);
+    }
+
+    #[test]
+    fn batch_failure_resolves_or_cancels_every_matchtag() {
+        let (mut w, mut eng) = world(7);
+        load_slow_echo(&mut w, &mut eng, Rank(3), SimDuration::from_secs(2));
+        // An RPC *from* rank 1 (which dies) — cancelled with it — and a
+        // deadline RPC from the root to dying rank 3 — surfaces as a
+        // timeout.
+        w.rpc(Rank(3), "slow.ping", payload(()))
+            .from(Rank(1))
+            .send(&mut eng, |_, _, _| panic!("cancelled rpc must not fire"));
+        w.rpc(Rank(3), "slow.ping", payload(()))
+            .deadline(SimDuration::from_secs(1))
+            .send(&mut eng, |_, _, _| {});
+        eng.schedule(SimTime::from_micros(100), |w: &mut World, eng| {
+            w.fail_nodes(eng, &[NodeId(1), NodeId(3)]);
+        });
+        eng.run(&mut w);
+        assert_eq!(w.pending_rpc_count(), 0, "no leaked matchtags");
+        assert_eq!(w.rpc_timeout_count(), 1, "root's deadline RPC timed out");
+    }
+
+    #[test]
+    fn dead_instance_resurrects_with_first_recovered_rank_as_root() {
+        let (mut w, mut eng) = world(3);
+        w.trace = fluxpm_sim::Trace::enabled(TraceLevel::Debug);
+        w.fail_nodes(&mut eng, &[NodeId(0), NodeId(1), NodeId(2)]);
+        let all: String = w
+            .trace
+            .entries()
+            .iter()
+            .map(|e| format!("{e}\n"))
+            .collect();
+        assert!(
+            all.contains("failed with no live successor"),
+            "instance death traced"
+        );
+        // First recovery resurrects the instance with that rank as root.
+        assert!(w.recover_node(&mut eng, NodeId(2)));
+        assert_eq!(w.root(), Rank(2));
+        assert!(!w.tbon.is_attached(Rank(0)), "dead ex-root displaced");
+        let all: String = w
+            .trace
+            .entries()
+            .iter()
+            .map(|e| format!("{e}\n"))
+            .collect();
+        assert!(all.contains("instance resurrected with rank2 as root"));
+        // Later recoveries rejoin under the resurrected root.
+        assert!(w.recover_node(&mut eng, NodeId(1)));
+        assert_eq!(w.tbon.parent(Rank(1)), Some(Rank(2)));
+        assert!(w.recover_node(&mut eng, NodeId(0)));
+        assert_eq!(w.root(), Rank(2), "ex-root rejoins as a leaf");
+        assert_converged(&w);
+    }
+
+    #[test]
+    fn world_rebalance_restores_depth_and_bumps_epoch_once() {
+        // Kill everything except the 0-1-3-7 spine of a 15-rank binary
+        // tree: 4 live ranks, but rank 7 still sits at depth 3 where a
+        // fresh 4-rank tree is depth 2 — the bounded-depth invariant is
+        // violated until a re-balance pass runs.
+        let (mut w, mut eng) = world(15);
+        let dead: Vec<NodeId> = [2u32, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14]
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        w.fail_nodes(&mut eng, &dead);
+        assert_eq!(w.tbon.attached_ranks().len(), 4);
+        assert_eq!(w.tbon.max_depth(), 3, "spine survives at full depth");
+        assert!(!w.tbon.is_balanced());
+
+        let epoch = w.tbon.epoch();
+        assert!(w.rebalance_tbon(&mut eng));
+        assert_eq!(w.tbon.epoch(), epoch + 1, "re-balance bumps the epoch");
+        assert_eq!(w.tbon.max_depth(), Tbon::ideal_depth(4, 2));
+        assert!(w.tbon.is_balanced());
+        assert_converged(&w);
+        // Steady state: a second pass must not churn the epoch.
+        assert!(!w.rebalance_tbon(&mut eng), "balanced tree untouched");
+        assert_eq!(w.tbon.epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn per_link_profile_overrides_the_default() {
+        let (mut w, mut eng) = world(3);
+        // Only the 0-1 link is lossy (always drops); 0-2 is clean.
+        w.install_fault_plan(
+            FaultPlan::uniform(0.0, SimDuration::ZERO).with_link(
+                Rank(0),
+                Rank(1),
+                LinkProfile::uniform(1.0, SimDuration::ZERO),
+            ),
+        );
+        load_slow_echo(&mut w, &mut eng, Rank(1), SimDuration::ZERO);
+        load_slow_echo(&mut w, &mut eng, Rank(2), SimDuration::ZERO);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+        let got2 = std::rc::Rc::clone(&got);
+        w.rpc(Rank(1), "slow.ping", payload(()))
+            .deadline(SimDuration::from_secs(1))
+            .send(&mut eng, |_, _, resp| {
+                assert!(resp.is_timeout(), "lossy link must eat the request");
+            });
+        w.rpc(Rank(2), "slow.ping", payload(()))
+            .deadline(SimDuration::from_secs(1))
+            .send(&mut eng, move |_, _, resp| {
+                *got2.borrow_mut() = *resp.payload_as::<u32>().unwrap();
+            });
+        eng.run(&mut w);
+        assert_eq!(*got.borrow(), 99, "clean link delivers");
+        assert_eq!(w.fault_drops(), 1, "exactly the 0-1 request lost");
+    }
+
+    #[test]
+    fn burst_loss_is_correlated_and_deterministic() {
+        // Drive N crossings of one link through (a) a uniform channel
+        // and (b) a Gilbert–Elliott channel with the same long-run loss
+        // rate. The burst channel must produce much longer consecutive
+        // -drop runs at a comparable total loss.
+        let ge = GilbertElliott {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.25,
+            good_drop_prob: 0.0,
+            bad_drop_prob: 1.0,
+        };
+        let rate = ge.stationary_loss();
+        assert!((rate - 0.02 / 0.27).abs() < 1e-12);
+
+        let run = |burst: bool, seed: u64| -> Vec<bool> {
+            let mut plan = if burst {
+                FaultPlan::uniform(0.0, SimDuration::ZERO).with_burst(ge)
+            } else {
+                FaultPlan::uniform(rate, SimDuration::ZERO)
+            };
+            plan.rng = Xoshiro256pp::seed_from_u64(seed);
+            (0..4000).map(|_| plan.traverse(Rank(0), Rank(1)).0).collect()
+        };
+        let longest = |drops: &[bool]| {
+            let (mut best, mut cur) = (0usize, 0usize);
+            for &d in drops {
+                cur = if d { cur + 1 } else { 0 };
+                best = best.max(cur);
+            }
+            best
+        };
+
+        let uni = run(false, 42);
+        let ge_drops = run(true, 42);
+        assert_eq!(uni, run(false, 42), "uniform channel replays");
+        assert_eq!(ge_drops, run(true, 42), "burst channel replays");
+        assert_ne!(ge_drops, run(true, 43), "different seed, different chaos");
+
+        let (uni_total, ge_total) = (
+            uni.iter().filter(|&&d| d).count(),
+            ge_drops.iter().filter(|&&d| d).count(),
+        );
+        assert!(uni_total > 100, "uniform lost {uni_total}");
+        assert!(ge_total > 100, "burst lost {ge_total}");
+        let (uni_run, ge_run) = (longest(&uni), longest(&ge_drops));
+        // Expected longest runs: ~3-4 for the memoryless channel, ~16
+        // for the burst channel (geometric bad-state dwell of mean 4
+        // over ~80 episodes). Assert with wide margins.
+        assert!(uni_run <= 5, "uniform longest run {uni_run}");
+        assert!(
+            ge_run >= 6 && ge_run > uni_run,
+            "burst runs ({ge_run}) must dwarf uniform runs ({uni_run})"
+        );
     }
 }

@@ -41,21 +41,24 @@ proptest! {
         prop_assert!(t.hops(a, b) <= 2 * height);
     }
 
-    /// Random fail/recover sequences preserve the healing invariants:
-    /// every attached rank routes to the current root, parent/children
-    /// stay mutually consistent, there are no cycles, detached ranks are
-    /// fully unlinked, and the topology epoch only moves forward.
+    /// Random fail/recover/re-balance sequences — interleaved in the
+    /// same op stream, the way a storm interleaves them — preserve the
+    /// healing invariants: every attached rank routes to the current
+    /// root, parent/children stay mutually consistent, there are no
+    /// cycles, detached ranks are fully unlinked, every cached route is
+    /// coherent with the current membership (no hop through a detached
+    /// rank), and the topology epoch only moves forward.
     #[test]
     fn tbon_healing_preserves_reachability(
         size in 2u32..64,
         fanout in 1u32..5,
-        ops in prop::collection::vec((0u32..64, any::<bool>()), 1..40),
+        ops in prop::collection::vec((0u32..64, 0u32..8), 1..60),
     ) {
         let mut t = Tbon::new(size, fanout);
         let mut last_epoch = t.epoch();
-        for (pick, recover) in ops {
+        for (pick, kind) in ops {
             let r = Rank(pick % size);
-            if recover {
+            if kind < 3 {
                 if !t.is_attached(r) {
                     // recover_node's rule: rejoin as a leaf under the
                     // nearest live original ancestor, else the root.
@@ -70,17 +73,30 @@ proptest! {
                     }
                     t.attach(r, parent.unwrap_or_else(|| t.root()));
                 }
-            } else if t.is_attached(r) && t.attached_ranks().len() > 1 {
-                if t.root() == r {
-                    let succ = t
-                        .attached_ranks()
-                        .into_iter()
-                        .find(|&x| x != r)
-                        .expect("another rank is attached");
-                    t.promote_root(succ);
-                } else {
-                    t.detach(r);
+            } else if kind < 6 {
+                if t.is_attached(r) && t.attached_ranks().len() > 1 {
+                    if t.root() == r {
+                        let succ = t
+                            .attached_ranks()
+                            .into_iter()
+                            .find(|&x| x != r)
+                            .expect("another rank is attached");
+                        t.promote_root(succ);
+                    } else {
+                        t.detach(r);
+                    }
                 }
+            } else {
+                // Post-churn re-balance pass (World::rebalance_tbon's
+                // rule: leave a balanced tree untouched). An unbalanced
+                // tree must change; the result is always within the
+                // fresh k-ary depth for the live count.
+                if !t.is_balanced() {
+                    prop_assert!(t.rebalance(), "unbalanced tree must change");
+                }
+                prop_assert!(t.is_balanced(), "re-balance restores k-ary shape");
+                let live = t.attached_ranks().len() as u32;
+                prop_assert!(t.max_depth() <= Tbon::ideal_depth(live, fanout));
             }
             prop_assert!(t.epoch() >= last_epoch, "epoch is monotonic");
             last_epoch = t.epoch();
@@ -98,7 +114,18 @@ proptest! {
                     cur = p;
                 }
                 prop_assert_eq!(cur, root, "{} reaches the current root", a);
-                prop_assert!(t.route(a, root).is_some());
+                // Route-cache coherence: the cached route (in both
+                // directions) only crosses currently attached ranks.
+                let up = t.route(a, root);
+                prop_assert!(up.is_some());
+                for &hop in up.unwrap().iter() {
+                    prop_assert!(t.is_attached(hop), "route hop {} attached", hop);
+                }
+                if let Some(down) = t.route(root, a) {
+                    for &hop in down.iter() {
+                        prop_assert!(t.is_attached(hop), "route hop {} attached", hop);
+                    }
+                }
                 // Parent/children stay mutually consistent.
                 for c in t.children(a) {
                     prop_assert_eq!(t.parent(c), Some(a));

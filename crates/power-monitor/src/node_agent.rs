@@ -34,6 +34,13 @@ pub struct NodeAgent {
     /// windows reaching before it are flagged partial — this is how the
     /// ring buffer "resynchronizes from the gap" after an outage.
     since_us: Option<u64>,
+    /// Outage gaps `[start, end)` in microseconds, recorded when this
+    /// *same* agent instance is re-loaded after its node recovered.
+    /// Without them, a second fail/recover cycle on a shared handle
+    /// would leave `since_us` at the original load time and an unwrapped
+    /// buffer with `overwritten() == 0` — fabricating completeness over
+    /// a window that spans the outage.
+    gaps: Vec<(u64, u64)>,
 }
 
 impl NodeAgent {
@@ -46,6 +53,7 @@ impl NodeAgent {
             samples_taken: 0,
             buffer_bytes: 0,
             since_us: None,
+            gaps: Vec::new(),
         }
     }
 
@@ -90,12 +98,23 @@ impl NodeAgent {
         self.since_us
     }
 
+    /// Outage gaps `[start_us, end_us)` accumulated over this agent's
+    /// fail/recover cycles (empty until the instance is re-loaded).
+    pub fn gaps(&self) -> &[(u64, u64)] {
+        &self.gaps
+    }
+
     /// Whether the retained history fully covers a window starting at
     /// `start_us`: the agent must have been sampling by then, nothing
     /// may have been lost (wrap or outage gap), or — if loss happened —
     /// the oldest retained record must still predate the window.
     pub(crate) fn window_complete(&self, start_us: u64) -> bool {
         if self.since_us.unwrap_or(0) > start_us {
+            return false;
+        }
+        // Any outage gap ending after the window start means missing
+        // samples inside the window.
+        if self.gaps.iter().any(|&(_, end)| end > start_us) {
             return false;
         }
         match self.buffer.oldest() {
@@ -215,6 +234,28 @@ impl Module for NodeAgent {
             let interval_us = interval.as_micros();
             if now_us > 0 && interval_us > 0 {
                 self.buffer.note_loss(now_us / interval_us);
+            }
+        } else {
+            // The *same* instance re-loaded after an outage (a shared
+            // handle surviving fail/recover): everything since the last
+            // retained sample is a fresh gap. Record its span for
+            // window checks and fold the missed samples into the loss
+            // count — `expected - already accounted` self-corrects over
+            // repeated cycles instead of double-counting.
+            let now_us = now.as_micros();
+            let gap_start = self
+                .buffer
+                .newest()
+                .map(|r| r.timestamp_us())
+                .unwrap_or_else(|| self.since_us.unwrap_or(0));
+            if now_us > gap_start {
+                self.gaps.push((gap_start, now_us));
+                let interval_us = interval.as_micros();
+                if interval_us > 0 {
+                    let expected = now_us / interval_us;
+                    let accounted = self.buffer.total_pushed() + self.buffer.noted_lost();
+                    self.buffer.note_loss(expected.saturating_sub(accounted));
+                }
             }
         }
         ctx.world
@@ -435,6 +476,83 @@ mod tests {
         let reply = query_window(&mut w, &mut eng3, Rank(1), 32_000_000, 40_000_000);
         assert!(reply.complete);
         assert_eq!(reply.records.len(), 5, "samples at 32..40 s");
+    }
+
+    /// A shared agent handle that survives *two* fail/recover cycles
+    /// must flag windows spanning either outage as partial. Before gap
+    /// accounting, re-loading the same instance left `since_us` at the
+    /// original load time and the unwrapped buffer at `overwritten() ==
+    /// 0`, so both gaps were reported as complete data.
+    #[test]
+    fn repeated_outages_accumulate_gap_spans() {
+        let (mut w, mut eng) = world();
+        let agent = NodeAgent::shared(
+            MonitorConfig::default().with_sample_interval(SimDuration::from_secs(1)),
+        );
+        w.load_module(&mut eng, Rank(1), agent.clone());
+        let a2 = Rc::clone(&agent);
+        w.register_module_factory(move |_rank| -> SharedModule { a2.clone() });
+
+        for (fail_ms, recover_ms) in [(10_500, 15_500), (20_500, 25_500)] {
+            eng.schedule(SimTime::from_millis(fail_ms), |w: &mut World, eng| {
+                w.fail_node(eng, fluxpm_hw::NodeId(1));
+            });
+            eng.schedule(SimTime::from_millis(recover_ms), |w: &mut World, eng| {
+                w.recover_node(eng, fluxpm_hw::NodeId(1));
+            });
+        }
+        eng.set_horizon(SimTime::from_secs(30));
+        eng.run(&mut w);
+
+        {
+            let a = agent.borrow();
+            assert_eq!(a.gaps().len(), 2, "one span per outage");
+            assert_eq!(a.gaps()[0], (10_000_000, 15_500_000));
+            assert_eq!(a.gaps()[1], (19_500_000, 25_500_000));
+            assert!(a.overwritten() > 0, "missed samples count as lost");
+        }
+
+        // A window inside the *second* gap is partial — the regression:
+        // the first-load path never runs twice, so only explicit gap
+        // spans can catch this.
+        let mut eng2: FluxEngine = Engine::new();
+        let reply = query_window(&mut w, &mut eng2, Rank(1), 18_000_000, 29_000_000);
+        assert!(!reply.complete, "window spans the second outage");
+        // A window entirely after the last recovery is complete again.
+        let mut eng3: FluxEngine = Engine::new();
+        let reply = query_window(&mut w, &mut eng3, Rank(1), 26_500_000, 29_000_000);
+        assert!(reply.complete, "post-recovery window is fully retained");
+        assert!(!reply.records.is_empty());
+    }
+
+    /// Fail + recover at the same instant must not leave the old module
+    /// timer driving the reloaded agent alongside its own timer. The
+    /// broker-incarnation guard stops the pre-outage timer even though a
+    /// same-named module is registered again when it next fires.
+    #[test]
+    fn rapid_fail_recover_does_not_stack_timers() {
+        let (mut w, mut eng) = world();
+        let agent = NodeAgent::shared(
+            MonitorConfig::default().with_sample_interval(SimDuration::from_secs(1)),
+        );
+        w.load_module(&mut eng, Rank(1), agent.clone());
+        let a2 = Rc::clone(&agent);
+        w.register_module_factory(move |_rank| -> SharedModule { a2.clone() });
+
+        eng.schedule(SimTime::from_millis(5_200), |w: &mut World, eng| {
+            w.fail_node(eng, fluxpm_hw::NodeId(1));
+            w.recover_node(eng, fluxpm_hw::NodeId(1));
+        });
+        eng.set_horizon(SimTime::from_secs(12));
+        eng.run(&mut w);
+
+        // 5 samples at 1..=5 s plus 6 at 6.2..=11.2 s. A stacked timer
+        // would add 6 more at 6..=11 s.
+        assert_eq!(
+            agent.borrow().samples_taken(),
+            11,
+            "exactly one timer cadence after the churn"
+        );
     }
 }
 

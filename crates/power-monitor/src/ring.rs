@@ -81,6 +81,14 @@ impl<T> RingBuffer<T> {
         self.lost += n;
     }
 
+    /// Elements recorded via [`RingBuffer::note_loss`] alone (excluding
+    /// wrap evictions). Lets the caller compute how many elements an
+    /// expected cadence has already accounted for (`total_pushed() +
+    /// noted_lost()`) when noting a *new* gap.
+    pub fn noted_lost(&self) -> u64 {
+        self.lost
+    }
+
     /// Append an element, overwriting (and returning) the oldest when
     /// full.
     pub fn push(&mut self, value: T) -> Option<T> {
@@ -202,6 +210,10 @@ mod tests {
         r.push(3);
         r.push(4);
         assert_eq!(r.overwritten(), 5, "wrap and gap accumulate");
+        assert_eq!(r.noted_lost(), 4, "wrap evictions are not noted loss");
+        r.note_loss(2);
+        assert_eq!(r.noted_lost(), 6, "repeated gaps accumulate");
+        assert_eq!(r.overwritten(), 7);
     }
 
     #[test]

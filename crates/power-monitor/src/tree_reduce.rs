@@ -114,6 +114,11 @@ struct Pending {
     base_deadline: SimDuration,
     acc: SubtreeStats,
     remaining: usize,
+    /// Topology epochs this reduction has already re-fanned in. A storm
+    /// can detach several children of the same reduction; re-fanning
+    /// once per epoch routes around all of them, while re-fanning once
+    /// per *timeout* would double-query the surviving children.
+    refanned_epochs: std::collections::HashSet<u64>,
 }
 
 /// The current children of `rank` that cover at least one target, each
@@ -197,15 +202,25 @@ fn issue_child(
             // If the child was detached (it died and the overlay healed)
             // its orphans are our own children now: re-fan to whichever
             // current children cover the still-attached targets, so the
-            // reduction completes with only the dead rank missing.
+            // reduction completes with only the dead rank missing. At
+            // most once per topology epoch — a storm killing several
+            // children of this reduction in the same epoch heals them
+            // all under one re-fan, and re-fanning again would
+            // double-query the survivors.
             if contribution.is_none() && !world.tbon.is_attached(child) {
-                let survivors: Vec<u32> = covered
-                    .iter()
-                    .copied()
-                    .filter(|&t| t != child.0 && world.tbon.is_attached(Rank(t)))
-                    .collect();
-                for (c2, cov2) in children_covering(world, self_rank, &survivors) {
-                    issue_child(world, eng, self_rank, c2, cov2, &pending);
+                let refan = pending
+                    .borrow_mut()
+                    .refanned_epochs
+                    .insert(world.tbon.epoch());
+                if refan {
+                    let survivors: Vec<u32> = covered
+                        .iter()
+                        .copied()
+                        .filter(|&t| t != child.0 && world.tbon.is_attached(Rank(t)))
+                        .collect();
+                    for (c2, cov2) in children_covering(world, self_rank, &survivors) {
+                        issue_child(world, eng, self_rank, c2, cov2, &pending);
+                    }
                 }
             }
             let mut p = pending.borrow_mut();
@@ -264,6 +279,7 @@ pub fn handle_subtree_stats(
         base_deadline: agent.config().rpc_deadline,
         acc: local,
         remaining: 0,
+        refanned_epochs: std::collections::HashSet::new(),
     }));
     for (child, covered) in children {
         issue_child(ctx.world, ctx.eng, rank, child, covered, &pending);
