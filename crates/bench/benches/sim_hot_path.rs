@@ -1,0 +1,78 @@
+//! Simulator hot-path benchmarks:
+//!
+//! * `engine_churn` — mixed schedule/cancel/periodic throughput on the
+//!   optimized slab engine vs the in-tree reference engine (same seed,
+//!   same program, measured live),
+//! * `sliced_drain` — the experiment-driver pattern of polling
+//!   `next_event_time` before every step (O(1) on the slab engine,
+//!   O(pending) on the reference engine),
+//! * `delivery` — one root → leaf echo RPC round trip per iteration at
+//!   two tree depths (per-hop cost = round trip / (2 × hops)),
+//! * `soak_128_rank` — the full 128-rank monitor + manager chaos storm
+//!   from `fluxpm_experiments::chaos`.
+//!
+//! The committed `BENCH_sim.json` trajectory is produced by the
+//! `bench_sim` binary, not by this target; this target is what CI's
+//! bench smoke job runs in `--quick` mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluxpm_bench::workload::{
+    churn_baseline, churn_new, sliced_drain_baseline, sliced_drain_new, DeliveryRig,
+};
+use fluxpm_experiments::chaos::{storm, StormConfig};
+use std::hint::black_box;
+
+fn bench_engine_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_churn");
+    for &n in &[2_000usize, 20_000] {
+        g.bench_with_input(BenchmarkId::new("slab", n), &n, |b, &n| {
+            b.iter(|| black_box(churn_new(n, 42)))
+        });
+        g.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, &n| {
+            b.iter(|| black_box(churn_baseline(n, 42)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sliced_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sliced_drain");
+    let (n, slices) = (5_000usize, 50u64);
+    g.bench_function("slab", |b| {
+        b.iter(|| black_box(sliced_drain_new(n, slices, 42)))
+    });
+    g.bench_function("baseline", |b| {
+        b.iter(|| black_box(sliced_drain_baseline(n, slices, 42)))
+    });
+    g.finish();
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delivery");
+    for &nnodes in &[8u32, 128] {
+        let mut rig = DeliveryRig::new(nnodes);
+        let hops = rig.hops();
+        g.bench_with_input(
+            BenchmarkId::new("echo_roundtrip", format!("{hops}hops")),
+            &hops,
+            |b, _| b.iter(|| rig.roundtrip()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_soak_128_rank(c: &mut Criterion) {
+    let cfg = StormConfig::new(128, 7);
+    c.bench_function("soak_128_rank/standard", |b| {
+        b.iter(|| black_box(storm(&cfg)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine_churn,
+    bench_sliced_drain,
+    bench_delivery,
+    bench_soak_128_rank
+);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! Deterministic workloads shared by the `sim_hot_path` bench target
+//! and the `bench_sim` baseline generator.
+//!
+//! The engine churn runs the *same* seeded program through the
+//! optimized slab engine ([`fluxpm_sim::Engine`]) and the in-tree
+//! reference engine ([`fluxpm_sim::BaselineEngine`]), so speedups are
+//! measured live against the pre-optimization implementation rather
+//! than trusted from a number recorded once.
+
+use fluxpm_flux::{payload, Message, Module, ModuleCtx, MsgKind, Rank, Topic, World};
+use fluxpm_hw::MachineKind;
+use fluxpm_sim::{Engine, SimDuration, SimTime, Xoshiro256pp};
+use std::cell::RefCell;
+use std::ops::ControlFlow;
+use std::rc::Rc;
+
+/// Expand one engine-churn interpreter. The two engines expose
+/// structurally identical APIs but their closure parameters are typed
+/// per-engine, so a macro keeps the workloads textually identical (the
+/// same trick as the `engine_equivalence` cross-check suite).
+macro_rules! churn_impl {
+    ($(#[$doc:meta])* $name:ident, $engine:ty) => {
+        $(#[$doc])*
+        ///
+        /// Returns the number of events executed (identical across both
+        /// engines for the same `(n, seed)` — asserted by
+        /// `churn_workloads_agree`).
+        pub fn $name(n: usize, seed: u64) -> u64 {
+            let mut eng: $engine = <$engine>::new();
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let mut ids = Vec::with_capacity(n);
+            for i in 0..n {
+                let at = SimTime::from_micros(rng.below(10_000_000));
+                if i % 7 == 6 {
+                    // Periodic task: four firings, then stop.
+                    let interval = SimDuration::from_micros(1 + rng.below(500_000));
+                    let mut left = 4u32;
+                    ids.push(eng.schedule_every(at, interval, move |w: &mut u64, _e| {
+                        *w += 1;
+                        left -= 1;
+                        if left == 0 {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    }));
+                } else {
+                    // One-shot; half of them schedule a nested follow-up
+                    // (in-execution scheduling, the module-timer pattern).
+                    let nested = i % 2 == 0;
+                    ids.push(eng.schedule(at, move |w: &mut u64, e| {
+                        *w += 1;
+                        if nested {
+                            e.schedule_in(SimDuration::from_micros(1000), |w: &mut u64, _e| {
+                                *w += 1;
+                            });
+                        }
+                    }));
+                }
+                // Every third op cancels a random earlier event — the
+                // cancel storm is where lazy deletion hurts the
+                // reference engine and eager removal pays off.
+                if i % 3 == 0 {
+                    let victim = ids[rng.below(ids.len() as u64) as usize];
+                    eng.cancel(victim);
+                }
+            }
+            let mut world = 0u64;
+            eng.run(&mut world);
+            eng.executed()
+        }
+    };
+}
+
+churn_impl!(
+    /// Mixed schedule/cancel/periodic churn on the optimized slab engine.
+    churn_new,
+    Engine<u64>
+);
+churn_impl!(
+    /// The identical churn on the reference (map + lazy-deletion) engine.
+    churn_baseline,
+    fluxpm_sim::BaselineEngine<u64>
+);
+
+/// Expand one sliced-drain interpreter: the experiment-driver pattern
+/// of polling [`next_event_time`](Engine::next_event_time) to advance
+/// tick by tick. `next_event_time` is O(1) on the slab engine and an
+/// O(pending) scan on the reference engine — this workload prices that
+/// difference under a realistic cancel load.
+macro_rules! sliced_drain_impl {
+    ($(#[$doc:meta])* $name:ident, $engine:ty) => {
+        $(#[$doc])*
+        ///
+        /// Schedules `n` one-shots over 10 simulated seconds, cancels a
+        /// third of them, then drains in `slices` cutoff steps, polling
+        /// `next_event_time` before every event. Returns events executed.
+        pub fn $name(n: usize, slices: u64, seed: u64) -> u64 {
+            let mut eng: $engine = <$engine>::new();
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let mut ids = Vec::with_capacity(n);
+            for i in 0..n {
+                let at = SimTime::from_micros(rng.below(10_000_000));
+                ids.push(eng.schedule(at, |w: &mut u64, _e| *w += 1));
+                if i % 3 == 0 {
+                    let victim = ids[rng.below(ids.len() as u64) as usize];
+                    eng.cancel(victim);
+                }
+            }
+            let mut world = 0u64;
+            for s in 1..=slices {
+                let cut = SimTime::from_micros(s * 10_000_000 / slices);
+                while eng.next_event_time().is_some_and(|t| t <= cut) {
+                    eng.step(&mut world);
+                }
+            }
+            eng.executed()
+        }
+    };
+}
+
+sliced_drain_impl!(
+    /// Sliced drain on the optimized slab engine (O(1) `next_event_time`).
+    sliced_drain_new,
+    Engine<u64>
+);
+sliced_drain_impl!(
+    /// Sliced drain on the reference engine (O(pending) `next_event_time`).
+    sliced_drain_baseline,
+    fluxpm_sim::BaselineEngine<u64>
+);
+
+/// A module that answers `bench.echo` requests with their own payload —
+/// the minimal responder for measuring raw overlay delivery cost.
+struct BenchEcho;
+
+impl Module for BenchEcho {
+    fn name(&self) -> &'static str {
+        "bench-echo"
+    }
+    fn topics(&self) -> Vec<Topic> {
+        vec!["bench.echo".into()]
+    }
+    fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
+    fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        if msg.kind == MsgKind::Request {
+            ctx.world.respond(ctx.eng, msg, Rc::clone(&msg.payload));
+        }
+    }
+}
+
+/// A world + engine pair wired for delivery benchmarks: `nnodes` Lassen
+/// nodes in a binary TBON with a `BenchEcho` responder on the last
+/// (deepest) rank.
+pub struct DeliveryRig {
+    /// The Flux instance.
+    pub world: World,
+    /// Its engine.
+    pub eng: Engine<World>,
+    /// The echo responder's rank (the deepest rank of the tree).
+    pub target: Rank,
+}
+
+impl DeliveryRig {
+    /// Build the rig.
+    pub fn new(nnodes: u32) -> DeliveryRig {
+        let mut world = World::new(MachineKind::Lassen, nnodes, 1);
+        let mut eng: Engine<World> = Engine::new();
+        let target = Rank(nnodes - 1);
+        assert!(world.load_module(&mut eng, target, Rc::new(RefCell::new(BenchEcho))));
+        DeliveryRig { world, eng, target }
+    }
+
+    /// Hop count of the root → target route.
+    pub fn hops(&self) -> u32 {
+        let route = self
+            .world
+            .tbon
+            .route(Rank(0), self.target)
+            .expect("routable");
+        route.len() as u32 - 1
+    }
+
+    /// Issue one root → target echo RPC and drain the engine; panics if
+    /// the response does not arrive (nothing in this rig drops traffic).
+    pub fn roundtrip(&mut self) {
+        let done = Rc::new(RefCell::new(false));
+        let done2 = Rc::clone(&done);
+        self.world
+            .rpc(self.target, "bench.echo", payload(7u64))
+            .send(&mut self.eng, move |_w, _e, resp| {
+                assert!(resp.is_ok());
+                *done2.borrow_mut() = true;
+            });
+        self.eng.run(&mut self.world);
+        assert!(*done.borrow(), "echo response lost");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_workloads_agree() {
+        for seed in [3, 17, 99] {
+            assert_eq!(churn_new(400, seed), churn_baseline(400, seed));
+        }
+    }
+
+    #[test]
+    fn sliced_drain_workloads_agree() {
+        for seed in [5, 23] {
+            assert_eq!(
+                sliced_drain_new(400, 20, seed),
+                sliced_drain_baseline(400, 20, seed)
+            );
+        }
+    }
+
+    #[test]
+    fn delivery_rig_round_trips() {
+        let mut rig = DeliveryRig::new(8);
+        assert_eq!(rig.hops(), 3, "rank 7 sits three hops deep");
+        rig.roundtrip();
+        rig.roundtrip();
+        assert_eq!(rig.world.pending_rpc_count(), 0);
+    }
+}

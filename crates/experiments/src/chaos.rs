@@ -1,0 +1,456 @@
+//! Nodes-parameterized chaos storm harness.
+//!
+//! [`storm`] drives an `n`-node instance through the same scripted
+//! failure storm the chaos-soak suite uses at 16 nodes — an interior
+//! batch kill, a node re-failing 50 µs into its own recovery, the root
+//! dying mid-storm, Gilbert–Elliott burst loss on every link, seeded
+//! random fail/recover ticks — with every knob (batch size, random-kill
+//! width, live floor, global power bound) scaled from the node count.
+//! Both the 128-rank soak tests and the `bench_sim` hot-path benchmark
+//! drive this one code path, so what CI soaks is exactly what the
+//! benchmark times.
+//!
+//! The returned [`StormOutcome`] folds the full trace into an FNV-1a
+//! hash instead of keeping the text: at 128 ranks the debug trace runs
+//! to millions of lines, and a hash comparison is just as strict for
+//! the replay-equality gate.
+
+use fluxpm_flux::{
+    FaultPlan, FluxEngine, GilbertElliott, JobSpec, JobState, LinkProfile, Rank, SharedModule,
+    World,
+};
+use fluxpm_hw::{MachineKind, NodeId, Watts};
+use fluxpm_monitor::{fetch_job_stats_tree, MonitorConfig};
+use fluxpm_sim::{Engine, SimDuration, SimTime, Trace, TraceLevel, Xoshiro256pp};
+use fluxpm_workloads::{laghos, App, JitterModel};
+use std::cell::{Cell, RefCell};
+use std::ops::ControlFlow;
+use std::rc::Rc;
+
+/// Shape of one chaos storm. Every structural knob derives from
+/// `nodes`, so the same script exercises a 16-rank and a 1024-rank
+/// instance with proportionally sized failure batches.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Instance size in brokers/nodes. Must be at least 16: the
+    /// scripted prefix assumes the interior ranks it kills exist.
+    pub nodes: u32,
+    /// Seed for the world RNG and the random storm ticks.
+    pub seed: u64,
+    /// Random fail/recover ticks, one every 5 s starting at t=40 s.
+    /// The storm-end recovery runs 10 s after the last tick.
+    pub random_ticks: u64,
+    /// Trace verbosity. `Debug` records every hop (byte-identical
+    /// replay at full strictness); `Info` keeps only state transitions
+    /// and is the default at scale.
+    pub trace_level: TraceLevel,
+}
+
+impl StormConfig {
+    /// Standard storm: 10 random ticks (storm over by `t = 95 s`,
+    /// self-halts once the post-storm probe job completes, ~135 s of
+    /// simulated time).
+    pub fn new(nodes: u32, seed: u64) -> Self {
+        Self {
+            nodes,
+            seed,
+            random_ticks: 10,
+            trace_level: TraceLevel::Info,
+        }
+    }
+
+    /// Long-horizon soak: an extended random storm (ten minutes of
+    /// simulated churn) for the `#[ignore]`d nightly test.
+    pub fn long(nodes: u32, seed: u64) -> Self {
+        Self {
+            random_ticks: 120,
+            ..Self::new(nodes, seed)
+        }
+    }
+}
+
+/// Everything a storm produces that a same-seed replay must reproduce
+/// exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormOutcome {
+    /// FNV-1a hash over every formatted trace line.
+    pub trace_hash: u64,
+    /// Number of trace entries behind the hash.
+    pub trace_lines: usize,
+    /// Messages dropped by the fault plan (cumulative across the run).
+    pub drops: u64,
+    /// RPCs that hit their deadline.
+    pub timeouts: u64,
+    /// RPC retries issued.
+    pub retries: u64,
+    /// Final topology epoch.
+    pub epoch: u64,
+    /// Per-second invariant sweeps that ran.
+    pub invariant_checks: u64,
+    /// Jobs that reached `Completed` / `Failed`.
+    pub completed: usize,
+    /// Jobs that reached `Failed`.
+    pub failed: usize,
+    /// Simulated instant the run halted at, in microseconds.
+    pub halted_at_us: u64,
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Run one full storm and return its deterministic outcome.
+///
+/// Panics if any storm invariant breaks: the topology epoch going
+/// backwards, an attached rank that is dead or unroutable, a cycle in
+/// the parent chain, the post-storm probe job not completing, or the
+/// overlay failing to heal back to fresh k-ary shape.
+pub fn storm(cfg: &StormConfig) -> StormOutcome {
+    assert!(cfg.nodes >= 16, "the storm script needs at least 16 ranks");
+    let nodes = cfg.nodes;
+    let seed = cfg.seed;
+    let global_bound_w = f64::from(nodes) * 1500.0;
+    // Scaled storm shape. At 16 nodes these reduce to the chaos-soak
+    // constants: batch = 2, extra = 4 (the mid-storm overlap kill),
+    // live floor = 6, random kills 1 + below(2).
+    let batch = (nodes / 8).max(2);
+    let extra = batch + 2;
+    let min_live = (nodes as usize) * 3 / 8;
+    let kill_width = 1 + u64::from(nodes / 16);
+    let wide = nodes / 2;
+
+    let mut w = World::new(MachineKind::Lassen, nodes, seed);
+    w.trace = Trace::enabled(cfg.trace_level);
+    // 10 jobs total: A, B, 7 queue fillers, and the post-storm probe.
+    w.autostop_after = Some(10);
+    let mut eng: FluxEngine = Engine::new();
+    let last_tick_s = 40 + 5 * cfg.random_ticks.saturating_sub(1);
+    eng.set_horizon(SimTime::from_secs(last_tick_s + 300));
+
+    // Manager + monitor stack, with a module factory so recovered
+    // brokers come back with a live node-level manager.
+    let mgr_cfg = fluxpm_manager::ManagerConfig::proportional(Watts(global_bound_w));
+    let cluster = fluxpm_manager::ClusterLevelManager::shared(mgr_cfg.clone());
+    for rank in w.tbon.ranks().collect::<Vec<_>>() {
+        let m = fluxpm_manager::NodeLevelManager::shared_with_target(
+            mgr_cfg.policy,
+            mgr_cfg.fpp.clone(),
+            mgr_cfg.fpp_target,
+        );
+        w.load_module(&mut eng, rank, m);
+    }
+    w.load_module(&mut eng, Rank(0), fluxpm_manager::JobLevelManager::shared());
+    w.load_module(&mut eng, Rank(0), cluster.clone());
+    {
+        let mgr_cfg = mgr_cfg.clone();
+        w.register_module_factory(move |_rank| -> SharedModule {
+            fluxpm_manager::NodeLevelManager::shared_with_target(
+                mgr_cfg.policy,
+                mgr_cfg.fpp.clone(),
+                mgr_cfg.fpp_target,
+            )
+        });
+    }
+    fluxpm_monitor::load(&mut w, &mut eng, MonitorConfig::default());
+    w.install_executor(&mut eng);
+
+    // Per-link burst faults: lightly lossy default links plus a worse
+    // profile on the root's first link; bursts spike loss to 50 %.
+    let ge = GilbertElliott {
+        p_good_to_bad: 0.01,
+        p_bad_to_good: 0.2,
+        good_drop_prob: 0.02,
+        bad_drop_prob: 0.5,
+    };
+    let ge_root = GilbertElliott {
+        good_drop_prob: 0.08,
+        ..ge
+    };
+    w.install_fault_plan(
+        FaultPlan::uniform(0.02, SimDuration::from_micros(20))
+            .with_burst(ge)
+            .with_link(
+                Rank(0),
+                Rank(1),
+                LinkProfile::uniform(0.08, SimDuration::from_micros(40)).with_burst(ge_root),
+            ),
+    );
+    w.schedule_rebalance(&mut eng, SimDuration::from_secs(7));
+
+    // Job A pins the bottom half of the machine and dies with the batch
+    // kill; B rides out the storm on the top half if the random ticks
+    // spare it.
+    let app_a = App::with_jitter(laghos(), MachineKind::Lassen, wide, 1, JitterModel::none())
+        .with_work_seconds(300.0);
+    let a = w.submit(&mut eng, JobSpec::new("Laghos", wide), Box::new(app_a));
+    let app_b = App::with_jitter(laghos(), MachineKind::Lassen, 4, 2, JitterModel::none())
+        .with_work_seconds(60.0);
+    let _b = w.submit(&mut eng, JobSpec::new("Laghos", 4), Box::new(app_b));
+    for k in 0..7u64 {
+        eng.schedule(SimTime::from_secs(6 + 12 * k), move |w: &mut World, eng| {
+            let app = App::with_jitter(
+                laghos(),
+                MachineKind::Lassen,
+                2,
+                100 + k,
+                JitterModel::none(),
+            )
+            .with_work_seconds(8.0);
+            w.submit(eng, JobSpec::new("Laghos", 2), Box::new(app));
+        });
+    }
+
+    // Per-second invariants: epoch monotone, root attached and alive,
+    // every attached rank alive, routable, and on an acyclic parent
+    // chain.
+    let last_epoch = Rc::new(Cell::new(0u64));
+    let checks = Rc::new(Cell::new(0u64));
+    {
+        let last_epoch = Rc::clone(&last_epoch);
+        let checks = Rc::clone(&checks);
+        eng.schedule_every(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            move |w: &mut World, eng| {
+                if w.halted {
+                    return ControlFlow::Break(());
+                }
+                let now = eng.now();
+                let e = w.tbon.epoch();
+                assert!(
+                    e >= last_epoch.get(),
+                    "epoch went backwards at {now}: {} -> {e}",
+                    last_epoch.get()
+                );
+                last_epoch.set(e);
+                let root = w.tbon.root();
+                assert!(w.tbon.is_attached(root), "root detached at {now}");
+                assert!(w.broker_up(root), "root down at {now}");
+                let size = w.size();
+                for r in w.tbon.attached_ranks() {
+                    assert!(w.broker_up(r), "{r} attached but down at {now}");
+                    assert!(w.tbon.route(r, root).is_some(), "{r} unroutable at {now}");
+                    let mut probe = r;
+                    let mut hops = 0;
+                    while probe != root {
+                        probe = w
+                            .tbon
+                            .parent(probe)
+                            .unwrap_or_else(|| panic!("{probe} has no parent at {now}"));
+                        assert!(w.tbon.is_attached(probe), "parent chain of {r} detached");
+                        hops += 1;
+                        assert!(hops <= size, "cycle walking up from {r} at {now}");
+                    }
+                }
+                checks.set(checks.get() + 1);
+                ControlFlow::Continue(())
+            },
+        );
+    }
+
+    // --- Scripted storm prefix -------------------------------------
+    // t=15: a whole batch of interior ranks dies at once.
+    eng.schedule(SimTime::from_secs(15), move |w: &mut World, eng| {
+        let victims: Vec<NodeId> = (1..=batch).map(NodeId).collect();
+        w.fail_nodes(eng, &victims);
+    });
+    // t=20: degraded query against job A while the batch is down — the
+    // reduction must finish without fabricating completeness.
+    let degraded = Rc::new(RefCell::new(None));
+    {
+        let degraded = Rc::clone(&degraded);
+        eng.schedule(SimTime::from_secs(20), move |w: &mut World, eng| {
+            *degraded.borrow_mut() = Some(fetch_job_stats_tree(w, eng, a));
+        });
+    }
+    // t=25: recovery of rank 1 overlaps a fresh failure, and rank 1 is
+    // killed again 50 µs into its own recovery while its freshly
+    // reloaded modules are still arming timers.
+    eng.schedule(SimTime::from_secs(25), move |w: &mut World, eng| {
+        assert!(w.recover_node(eng, NodeId(1)));
+        w.fail_nodes(eng, &[NodeId(extra)]);
+    });
+    eng.schedule(
+        SimTime::from_micros(25_000_050),
+        move |w: &mut World, eng| {
+            w.fail_nodes(eng, &[NodeId(1)]);
+        },
+    );
+    eng.schedule(SimTime::from_secs(30), move |w: &mut World, eng| {
+        for i in 2..=batch {
+            assert!(w.recover_node(eng, NodeId(i)));
+        }
+        assert!(w.recover_node(eng, NodeId(extra)));
+    });
+    eng.schedule(SimTime::from_secs(32), move |w: &mut World, eng| {
+        assert!(w.recover_node(eng, NodeId(1)));
+    });
+    // t=35: the root dies mid-storm; a successor must be elected and
+    // the root services must migrate with it.
+    eng.schedule(SimTime::from_secs(35), move |w: &mut World, eng| {
+        let root = w.root();
+        w.fail_nodes(eng, &[NodeId(root.0)]);
+    });
+
+    // --- Seeded random storm ticks ---------------------------------
+    for k in 0..cfg.random_ticks {
+        let at = SimTime::from_secs(40 + 5 * k);
+        eng.schedule(at, move |w: &mut World, eng| {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xC0FFEE ^ (k << 32));
+            // Recover first so a just-recovered node can be re-killed
+            // in the same tick.
+            for i in 0..w.size() {
+                if !w.broker_up(Rank(i)) && rng.chance(0.45) {
+                    w.recover_node(eng, NodeId(i));
+                }
+            }
+            let mut up: Vec<u32> = (0..w.size()).filter(|&i| w.broker_up(Rank(i))).collect();
+            let spare = up.len().saturating_sub(min_live);
+            let kill = spare.min(1 + rng.below(kill_width) as usize);
+            let mut victims = Vec::new();
+            for _ in 0..kill {
+                let idx = rng.below(up.len() as u64) as usize;
+                victims.push(NodeId(up.remove(idx)));
+            }
+            if !victims.is_empty() {
+                w.fail_nodes(eng, &victims);
+            }
+        });
+    }
+
+    // --- Storm over: recover everything and let the system settle ---
+    let settle_s = 40 + 5 * cfg.random_ticks.saturating_sub(1) + 15;
+    eng.schedule(SimTime::from_secs(settle_s), move |w: &mut World, eng| {
+        for i in 0..w.size() {
+            if !w.broker_up(Rank(i)) {
+                w.recover_node(eng, NodeId(i));
+            }
+        }
+    });
+    eng.schedule(
+        SimTime::from_secs(settle_s + 3),
+        move |w: &mut World, _eng| {
+            w.install_fault_plan(FaultPlan::uniform(0.0, SimDuration::ZERO));
+        },
+    );
+    // Post-storm probe job over the healed overlay.
+    let f_slot = Rc::new(RefCell::new(None));
+    {
+        let f_slot = Rc::clone(&f_slot);
+        eng.schedule(
+            SimTime::from_secs(settle_s + 5),
+            move |w: &mut World, eng| {
+                let app =
+                    App::with_jitter(laghos(), MachineKind::Lassen, 6, 9, JitterModel::none())
+                        .with_work_seconds(30.0);
+                let id = w.submit(eng, JobSpec::new("Laghos", 6), Box::new(app));
+                *f_slot.borrow_mut() = Some(id);
+            },
+        );
+    }
+    // Budgets re-converged: every surviving limit belongs to a live
+    // job and the global bound holds.
+    {
+        let f_slot = Rc::clone(&f_slot);
+        let cluster = Rc::clone(&cluster);
+        eng.schedule(
+            SimTime::from_secs(settle_s + 15),
+            move |w: &mut World, _eng| {
+                let limits = cluster.borrow().job_limits();
+                let f = f_slot.borrow().expect("probe job was submitted");
+                assert!(
+                    limits.iter().any(|&(id, _)| id == f),
+                    "probe job must be budgeted after the storm: {limits:?}"
+                );
+                let mut sum = 0.0;
+                for &(id, watts) in &limits {
+                    assert!(watts.get() > 0.0, "zero budget for {id:?}");
+                    let state = w.jobs.get(id).unwrap().state;
+                    assert!(
+                        matches!(state, JobState::Running | JobState::Completed),
+                        "budget held by a {state:?} job {id:?}"
+                    );
+                    sum += watts.get();
+                }
+                assert!(sum <= global_bound_w + 1e-6, "over the global bound: {sum}");
+            },
+        );
+    }
+
+    eng.run(&mut w);
+
+    // --- Post-run convergence --------------------------------------
+    assert!(w.halted, "every job must reach a terminal state");
+    assert_eq!(w.pending_rpc_count(), 0, "leaked matchtags after the storm");
+    let f = f_slot.borrow().expect("probe job was submitted");
+    assert_eq!(w.jobs.get(f).unwrap().state, JobState::Completed);
+    assert_eq!(w.jobs.get(a).unwrap().state, JobState::Failed);
+
+    let live = w.tbon.attached_ranks().len() as u32;
+    assert_eq!(live, nodes, "all ranks re-attached after the storm");
+    assert!(w.tbon.is_balanced(), "overlay healed to fresh k-ary shape");
+
+    let stats = degraded
+        .borrow()
+        .clone()
+        .expect("degraded query issued")
+        .borrow()
+        .clone()
+        .expect("mid-storm reduction completed")
+        .expect("reduction replied");
+    assert!(
+        !stats.all_complete,
+        "dead ranks must not fabricate a complete window"
+    );
+    assert!(stats.samples > 0, "surviving ranks carried data");
+    assert!(
+        w.fault_drops() > 0,
+        "the burst plan actually dropped traffic"
+    );
+
+    let mut trace_hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut line = String::new();
+    for e in w.trace.entries() {
+        use std::fmt::Write as _;
+        line.clear();
+        let _ = write!(line, "{e}");
+        fnv1a(&mut trace_hash, line.as_bytes());
+        fnv1a(&mut trace_hash, b"\n");
+    }
+    let (completed, failed) = w.jobs.all().iter().fold((0, 0), |(c, f), j| match j.state {
+        JobState::Completed => (c + 1, f),
+        JobState::Failed => (c, f + 1),
+        _ => (c, f),
+    });
+
+    StormOutcome {
+        trace_hash,
+        trace_lines: w.trace.entries().len(),
+        drops: w.fault_drops(),
+        timeouts: w.rpc_timeout_count(),
+        retries: w.rpc_retry_count(),
+        epoch: w.tbon.epoch(),
+        invariant_checks: checks.get(),
+        completed,
+        failed,
+        halted_at_us: eng.now().as_micros(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 16-node storm converges and replays identically — the same
+    /// guarantee the chaos-soak suite checks, through this harness.
+    #[test]
+    fn storm_16_replays_identically() {
+        let cfg = StormConfig::new(16, 11);
+        let first = storm(&cfg);
+        assert!(first.invariant_checks >= 90);
+        assert_eq!(first, storm(&cfg));
+    }
+}

@@ -22,6 +22,7 @@
 //! Run everything: `cargo run -p fluxpm-experiments --bin run_all`.
 
 #![warn(missing_docs)]
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod scenario;

@@ -2,6 +2,7 @@
 
 use crate::module::SharedModule;
 use crate::tbon::Rank;
+use crate::topic::Topic;
 use std::collections::HashMap;
 
 /// One `flux-broker` process (one per node).
@@ -12,8 +13,9 @@ pub struct Broker {
     pub hostname: String,
     /// Loaded modules by name.
     modules: HashMap<&'static str, SharedModule>,
-    /// Topic → module dispatch table (exact match).
-    routes: HashMap<String, SharedModule>,
+    /// Topic → module dispatch table (exact match; keys are interned,
+    /// lookups by `&str` borrow without allocating).
+    routes: HashMap<Topic, SharedModule>,
     /// Liveness: a downed broker neither originates, receives, nor
     /// relays overlay traffic. [`crate::World::fail_node`] takes it
     /// down; [`crate::World::recover_node`] brings it back.
@@ -126,14 +128,14 @@ mod tests {
 
     struct Dummy {
         name: &'static str,
-        topics: Vec<String>,
+        topics: Vec<Topic>,
     }
 
     impl Module for Dummy {
         fn name(&self) -> &'static str {
             self.name
         }
-        fn topics(&self) -> Vec<String> {
+        fn topics(&self) -> Vec<Topic> {
             self.topics.clone()
         }
         fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
@@ -143,7 +145,7 @@ mod tests {
     fn dummy(name: &'static str, topics: &[&str]) -> SharedModule {
         Rc::new(RefCell::new(Dummy {
             name,
-            topics: topics.iter().map(|s| s.to_string()).collect(),
+            topics: topics.iter().map(|s| Topic::intern(s)).collect(),
         }))
     }
 

@@ -141,6 +141,12 @@ impl Job {
 #[derive(Default)]
 pub struct JobRegistry {
     jobs: Vec<Job>,
+    /// Node → running-job reverse index, rebuilt lazily by
+    /// [`JobRegistry::job_on_node`]. Any mutable access clears it (the
+    /// caller may change a state or placement), so per-node managers —
+    /// which query every rank every tick — pay one O(jobs) rebuild per
+    /// mutation instead of a full job-table scan per query.
+    occupancy: std::cell::RefCell<Option<Vec<Option<JobId>>>>,
 }
 
 impl JobRegistry {
@@ -151,6 +157,7 @@ impl JobRegistry {
 
     /// Register a new pending job and return its id.
     pub fn add(&mut self, spec: JobSpec, program: Box<dyn JobProgram>, now: SimTime) -> JobId {
+        *self.occupancy.get_mut() = None;
         let id = JobId(self.jobs.len() as u64);
         self.jobs.push(Job {
             id,
@@ -173,6 +180,7 @@ impl JobRegistry {
 
     /// Look up a job mutably.
     pub fn get_mut(&mut self, id: JobId) -> Option<&mut Job> {
+        *self.occupancy.get_mut() = None;
         self.jobs.get_mut(id.index())
     }
 
@@ -207,12 +215,35 @@ impl JobRegistry {
             .all(|j| matches!(j.state, JobState::Completed | JobState::Failed))
     }
 
-    /// The running job occupying `node`, if any.
+    /// The running job occupying `node`, if any. Served from the lazy
+    /// occupancy index; semantics match a scan in job-id order (the
+    /// lowest-id running job wins a — scheduler-prevented — conflict).
     pub fn job_on_node(&self, node: NodeId) -> Option<JobId> {
-        self.jobs
-            .iter()
-            .find(|j| j.state == JobState::Running && j.nodes.contains(&node))
-            .map(|j| j.id)
+        let mut occ = self.occupancy.borrow_mut();
+        let index = occ.get_or_insert_with(|| {
+            let width = self
+                .jobs
+                .iter()
+                .filter(|j| j.state == JobState::Running)
+                .flat_map(|j| j.nodes.iter())
+                .map(|n| n.0 as usize + 1)
+                .max()
+                .unwrap_or(0);
+            let mut index = vec![None; width];
+            for j in &self.jobs {
+                if j.state != JobState::Running {
+                    continue;
+                }
+                for n in &j.nodes {
+                    let slot = &mut index[n.0 as usize];
+                    if slot.is_none() {
+                        *slot = Some(j.id);
+                    }
+                }
+            }
+            index
+        });
+        index.get(node.0 as usize).copied().flatten()
     }
 
     /// Makespan: last completion minus first submission (paper §IV-E).

@@ -30,16 +30,18 @@ pub mod proto;
 pub mod sched;
 pub mod subinstance;
 pub mod tbon;
+pub mod topic;
 pub mod world;
 
 pub use broker::Broker;
 pub use job::{Job, JobId, JobProgram, JobRegistry, JobSpec, JobState, StepCtx, StepOutcome};
-pub use message::{payload, Message, MsgKind, Payload};
+pub use message::{payload, unit_payload, Message, MsgKind, Payload};
 pub use module::{Module, ModuleCtx, SharedModule};
 pub use proto::{Protocol, ProtocolError};
 pub use sched::FcfsScheduler;
 pub use subinstance::{InstancePowerPolicy, SubInstance};
 pub use tbon::{Rank, Tbon};
+pub use topic::Topic;
 pub use world::{
     FaultPlan, FluxEngine, GilbertElliott, LinkProfile, RetryPolicy, RpcBuilder, TopicStats, World,
 };

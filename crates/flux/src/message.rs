@@ -9,6 +9,7 @@
 //! message.
 
 use crate::tbon::Rank;
+use crate::topic::Topic;
 use std::any::Any;
 use std::fmt;
 use std::rc::Rc;
@@ -19,6 +20,19 @@ pub type Payload = Rc<dyn Any>;
 /// Build a payload from a concrete value.
 pub fn payload<T: Any>(value: T) -> Payload {
     Rc::new(value)
+}
+
+thread_local! {
+    /// The shared empty payload. Error and timeout responses carry no
+    /// data, and they are minted on every deadline expiry and every
+    /// routing failure — one `Rc<()>` for all of them instead of a
+    /// fresh allocation per response.
+    static UNIT_PAYLOAD: Payload = Rc::new(());
+}
+
+/// The shared `()` payload (one allocation per thread, refcounted).
+pub fn unit_payload() -> Payload {
+    UNIT_PAYLOAD.with(Rc::clone)
 }
 
 /// Flux message types (RFC 3 subset).
@@ -37,8 +51,9 @@ pub enum MsgKind {
 pub struct Message {
     /// Message type.
     pub kind: MsgKind,
-    /// Service topic, e.g. `"power-monitor.get-node-data"`.
-    pub topic: String,
+    /// Service topic, e.g. `"power-monitor.get-node-data"` (interned;
+    /// cloning a message does not copy the string).
+    pub topic: Topic,
     /// Sending rank.
     pub from: Rank,
     /// Destination rank (for events: the subscriber it is delivered to).
@@ -53,7 +68,7 @@ pub struct Message {
 
 impl Message {
     /// Build a request message.
-    pub fn request(from: Rank, to: Rank, topic: impl Into<String>, p: Payload) -> Message {
+    pub fn request(from: Rank, to: Rank, topic: impl Into<Topic>, p: Payload) -> Message {
         Message {
             kind: MsgKind::Request,
             topic: topic.into(),
@@ -86,7 +101,7 @@ impl Message {
             from: req.to,
             to: req.from,
             matchtag: req.matchtag,
-            payload: Rc::new(()),
+            payload: unit_payload(),
             error: Some(error.into()),
         }
     }
@@ -102,13 +117,13 @@ impl Message {
             from: req.to,
             to: req.from,
             matchtag: req.matchtag,
-            payload: Rc::new(()),
+            payload: unit_payload(),
             error: Some(format!("{} on {}", Message::TIMEOUT_ERROR, req.topic)),
         }
     }
 
     /// Build an event message for one subscriber.
-    pub fn event(from: Rank, to: Rank, topic: impl Into<String>, p: Payload) -> Message {
+    pub fn event(from: Rank, to: Rank, topic: impl Into<Topic>, p: Payload) -> Message {
         Message {
             kind: MsgKind::Event,
             topic: topic.into(),
@@ -210,6 +225,16 @@ mod tests {
         let e = Message::event(Rank::ROOT, Rank(4), "job.event.start", payload(7u64));
         assert_eq!(e.kind, MsgKind::Event);
         assert_eq!(*e.payload_as::<u64>().unwrap(), 7);
+    }
+
+    #[test]
+    fn error_and_timeout_responses_share_one_unit_payload() {
+        let req = Message::request(Rank(0), Rank(1), "svc.op", payload(()));
+        let a = Message::respond_error(&req, "boom");
+        let b = Message::timeout_response(&req);
+        let c = Message::timeout_response(&req);
+        assert!(Rc::ptr_eq(&a.payload, &b.payload));
+        assert!(Rc::ptr_eq(&b.payload, &c.payload));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::message::Message;
 use crate::tbon::Rank;
+use crate::topic::Topic;
 use crate::world::{FluxEngine, World};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -19,7 +20,7 @@ pub trait Module: 'static {
 
     /// Topics this module's handlers serve (exact-match). Registered at
     /// load time.
-    fn topics(&self) -> Vec<String>;
+    fn topics(&self) -> Vec<Topic>;
 
     /// Called once after the module is registered on a rank. Typical use:
     /// start periodic work (sampling loops) via `ctx.eng`.

@@ -1,6 +1,6 @@
 //! Typed wire protocols over the overlay.
 //!
-//! Raw [`Payload`](crate::Payload) values are `Rc<dyn Any>`: flexible,
+//! Raw [`Payload`] values are `Rc<dyn Any>`: flexible,
 //! but every handler must guess the concrete type behind each topic
 //! string. A [`Protocol`] binds a *typed* request/response enum to its
 //! topic names: senders call [`Protocol::encode`] (the enum itself is
@@ -11,13 +11,14 @@
 //! payload path.
 
 use crate::message::{payload, Message, Payload};
+use crate::topic::Topic;
 use std::fmt;
 
 /// Why a message failed to decode into a protocol type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
     /// The topic the undecodable message was addressed to.
-    pub topic: String,
+    pub topic: Topic,
     /// Human-readable reason, suitable for
     /// [`World::respond_error`](crate::World::respond_error).
     pub reason: String,

@@ -80,8 +80,11 @@ pub struct Tbon {
     pub hop_latency: SimDuration,
     /// Memoized routes for the *current* epoch; cleared on mutation.
     #[serde(skip)]
-    cache: RefCell<HashMap<(u32, u32), Rc<[Rank]>>>,
+    cache: RouteCache,
 }
+
+/// Memoized `(from, to) -> route` table for the current epoch.
+type RouteCache = RefCell<HashMap<(u32, u32), Rc<[Rank]>>>;
 
 impl PartialEq for Tbon {
     fn eq(&self, other: &Tbon) -> bool {
@@ -107,7 +110,13 @@ impl Tbon {
         assert!(size >= 1, "a Flux instance has at least one broker");
         assert!(fanout >= 1, "fanout must be at least 1");
         let parents: Vec<Option<Rank>> = (0..size)
-            .map(|r| if r == 0 { None } else { Some(Rank((r - 1) / fanout)) })
+            .map(|r| {
+                if r == 0 {
+                    None
+                } else {
+                    Some(Rank((r - 1) / fanout))
+                }
+            })
             .collect();
         let children: Vec<Vec<Rank>> = (0..size)
             .map(|r| {
@@ -395,13 +404,20 @@ impl Tbon {
         d
     }
 
-    /// Whether the current shape respects the bounded-depth invariant:
-    /// no attached rank deeper than the fresh k-ary depth for the same
-    /// live-rank count. Long fail/recover churn (recovered ranks rejoin
-    /// as leaves) violates this; [`Tbon::rebalance`] restores it.
+    /// Whether the current shape respects the fresh k-ary bounds: no
+    /// attached rank deeper than the fresh tree over the same live-rank
+    /// count, and no rank parenting more than `fanout` children. Long
+    /// fail/recover churn violates one side or the other — recovered
+    /// ranks rejoining as leaves stretch the depth, while orphans
+    /// re-parented to the nearest live ancestor overload its fanout —
+    /// and [`Tbon::rebalance`] restores both.
     pub fn is_balanced(&self) -> bool {
         let live = self.attached_ranks().len() as u32;
         self.max_depth() <= Self::ideal_depth(live, self.fanout)
+            && self
+                .attached_ranks()
+                .into_iter()
+                .all(|r| self.children[r.index()].len() <= self.fanout as usize)
     }
 
     /// Restore k-ary shape over the currently attached ranks after
@@ -648,7 +664,10 @@ mod tests {
         // Kill ranks 1 and 2 first: 3,4,5,6 all become children of 0.
         t.detach(Rank(1));
         t.detach(Rank(2));
-        assert_eq!(t.children(Rank(0)), vec![Rank(3), Rank(4), Rank(5), Rank(6)]);
+        assert_eq!(
+            t.children(Rank(0)),
+            vec![Rank(3), Rank(4), Rank(5), Rank(6)]
+        );
         t.promote_root(Rank(3));
         assert_eq!(t.root(), Rank(3));
         assert_eq!(t.children(Rank(3)), vec![Rank(4), Rank(5), Rank(6)]);
@@ -667,9 +686,15 @@ mod tests {
         assert_eq!(t.parent(Rank(1)), Some(Rank(0)));
         // Rejoins as a *leaf*: its former children stay where they healed.
         assert_eq!(t.children(Rank(1)), vec![]);
-        assert_eq!(t.children(Rank(0)), vec![Rank(1), Rank(2), Rank(3), Rank(4)]);
+        assert_eq!(
+            t.children(Rank(0)),
+            vec![Rank(1), Rank(2), Rank(3), Rank(4)]
+        );
         assert!(t.epoch() > epoch);
-        assert_eq!(t.path(Rank(1), Rank(6)), vec![Rank(1), Rank(0), Rank(2), Rank(6)]);
+        assert_eq!(
+            t.path(Rank(1), Rank(6)),
+            vec![Rank(1), Rank(0), Rank(2), Rank(6)]
+        );
     }
 
     #[test]

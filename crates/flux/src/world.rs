@@ -18,6 +18,7 @@ use crate::message::{payload, Message, MsgKind, Payload};
 use crate::module::{ModuleCtx, SharedModule};
 use crate::sched::FcfsScheduler;
 use crate::tbon::{Rank, Tbon};
+use crate::topic::Topic;
 use fluxpm_hw::{lassen, tioga, MachineKind, NodeHardware, NodeId, Watts};
 use fluxpm_sim::{Engine, EventId, SimDuration, SimTime, Trace, TraceLevel, Xoshiro256pp};
 use std::collections::{BTreeMap, HashMap};
@@ -110,7 +111,7 @@ pub struct RpcBuilder<'w> {
     world: &'w mut World,
     from: Rank,
     to: Rank,
-    topic: String,
+    topic: Topic,
     payload: Payload,
     deadline: Option<SimDuration>,
     retry: Option<RetryPolicy>,
@@ -360,7 +361,7 @@ impl FaultPlan {
 struct RetryState {
     from: Rank,
     to: Rank,
-    topic: String,
+    topic: Topic,
     payload: Payload,
     policy: RetryPolicy,
     attempt: u32,
@@ -407,7 +408,9 @@ fn retry_attempt(world: &mut World, eng: &mut FluxEngine, st: RetryState) {
                 eng.now(),
                 TraceLevel::Warn,
                 "rpc",
-                format!("retrying {topic_next} {from} -> {to} in {delay} (attempt {attempt} timed out)"),
+                format!(
+                    "retrying {topic_next} {from} -> {to} in {delay} (attempt {attempt} timed out)"
+                ),
             );
             let next = RetryState {
                 from,
@@ -473,7 +476,7 @@ pub struct World {
     /// RPC attempts re-sent by the retry helper.
     rpc_retries: u64,
     /// Per-topic timeout/retry/drop counters ([`World::rpc_stats`]).
-    topic_stats: BTreeMap<String, TopicStats>,
+    topic_stats: BTreeMap<Topic, TopicStats>,
     /// Factories for per-rank modules, replayed by
     /// [`World::recover_node`] to reload a rejoining broker.
     module_factories: Vec<Box<dyn Fn(Rank) -> SharedModule>>,
@@ -627,7 +630,13 @@ impl World {
     /// *through* a rank that dies while they are in flight are dropped
     /// at delivery time instead. Messages sent after the topology heals
     /// take the re-parented route.
-    pub fn send(&mut self, eng: &mut FluxEngine, msg: Message) {
+    ///
+    /// Accepts either an owned [`Message`] or an `Rc<Message>`: the
+    /// in-flight copy is carried (and later delivered) behind the `Rc`,
+    /// so a caller that needs to keep the request around — e.g. for a
+    /// deadline timer — shares the allocation instead of deep-cloning.
+    pub fn send(&mut self, eng: &mut FluxEngine, msg: impl Into<Rc<Message>>) {
+        let msg: Rc<Message> = msg.into();
         if !self.brokers[msg.from.index()].is_up() {
             self.dropped_messages += 1;
             self.note_drop(&msg.topic);
@@ -663,8 +672,7 @@ impl World {
             return;
         };
         let hops = route.len() as u32 - 1;
-        let mut delay =
-            SimDuration::from_micros(self.tbon.hop_latency.as_micros() * hops as u64);
+        let mut delay = SimDuration::from_micros(self.tbon.hop_latency.as_micros() * hops as u64);
         let mut lost = false;
         if let Some(fp) = &mut self.faults {
             // Each hop loses the message or jitters it per its link's
@@ -713,7 +721,7 @@ impl World {
     /// [`RpcBuilder::deadline`] and/or [`RpcBuilder::retry`] on paths
     /// that must survive failures, then launch with
     /// [`RpcBuilder::send`].
-    pub fn rpc(&mut self, to: Rank, topic: impl Into<String>, p: Payload) -> RpcBuilder<'_> {
+    pub fn rpc(&mut self, to: Rank, topic: impl Into<Topic>, p: Payload) -> RpcBuilder<'_> {
         let from = self.root();
         RpcBuilder {
             world: self,
@@ -732,7 +740,7 @@ impl World {
         eng: &mut FluxEngine,
         from: Rank,
         to: Rank,
-        topic: String,
+        topic: Topic,
         p: Payload,
         callback: RpcCallback,
     ) {
@@ -761,7 +769,7 @@ impl World {
         eng: &mut FluxEngine,
         from: Rank,
         to: Rank,
-        topic: String,
+        topic: Topic,
         p: Payload,
         deadline: SimDuration,
         callback: RpcCallback,
@@ -770,13 +778,21 @@ impl World {
         msg.matchtag = self.next_matchtag;
         self.next_matchtag += 1;
         let tag = msg.matchtag;
-        let req = msg.clone();
+        // One allocation serves both the in-flight request and the
+        // deadline timer's copy (for synthesizing the timeout
+        // response) — no deep clone per deadline-armed RPC.
+        let msg = Rc::new(msg);
+        let req = Rc::clone(&msg);
         let ev = eng.schedule_in(deadline, move |world: &mut World, eng| {
             let Some(pending) = world.pending_rpcs.remove(&tag) else {
                 return; // answered in time; lazily-cancelled event
             };
             world.rpc_timeouts += 1;
-            world.topic_stats.entry(req.topic.clone()).or_default().timeouts += 1;
+            world
+                .topic_stats
+                .entry(req.topic.clone())
+                .or_default()
+                .timeouts += 1;
             world.trace.emit(
                 eng.now(),
                 TraceLevel::Warn,
@@ -813,15 +829,23 @@ impl World {
     }
 
     /// Publish an event: delivered to every rank whose broker has a
-    /// handler registered for the topic.
-    pub fn publish(&mut self, eng: &mut FluxEngine, from: Rank, topic: &str, p: Payload) {
+    /// handler registered for the topic. The topic is interned once;
+    /// each subscriber's copy shares it (and the payload).
+    pub fn publish(
+        &mut self,
+        eng: &mut FluxEngine,
+        from: Rank,
+        topic: impl Into<Topic>,
+        p: Payload,
+    ) {
+        let topic = topic.into();
         let subscribers: Vec<Rank> = self
             .tbon
             .ranks()
-            .filter(|r| self.brokers[r.index()].route(topic).is_some())
+            .filter(|r| self.brokers[r.index()].route(&topic).is_some())
             .collect();
         for rank in subscribers {
-            let msg = Message::event(from, rank, topic, std::rc::Rc::clone(&p));
+            let msg = Message::event(from, rank, topic.clone(), std::rc::Rc::clone(&p));
             self.send(eng, msg);
         }
     }
@@ -845,10 +869,15 @@ impl World {
     /// the chaos replays byte-identically for the same world seed.
     pub fn install_fault_plan(&mut self, mut plan: FaultPlan) {
         plan.rng = self.rng.child(0xFA_017);
+        // The loss tally is cumulative across plan swaps: lifting chaos
+        // at the end of a storm (by installing a lossless plan) must not
+        // erase the storm's count.
+        plan.dropped += self.faults.as_ref().map_or(0, |f| f.dropped);
         self.faults = Some(plan);
     }
 
-    /// Messages lost to the active [`FaultPlan`] so far.
+    /// Messages lost to installed [`FaultPlan`]s so far (cumulative
+    /// across plan swaps).
     pub fn fault_drops(&self) -> u64 {
         self.faults.as_ref().map_or(0, |f| f.dropped)
     }
@@ -871,13 +900,13 @@ impl World {
     /// Snapshot of the per-topic timeout/retry/drop counters, keyed by
     /// topic in deterministic (sorted) order. Topics appear once they
     /// record their first incident.
-    pub fn rpc_stats(&self) -> BTreeMap<String, TopicStats> {
+    pub fn rpc_stats(&self) -> BTreeMap<Topic, TopicStats> {
         self.topic_stats.clone()
     }
 
     /// Record a drop against a topic's counters.
-    fn note_drop(&mut self, topic: &str) {
-        self.topic_stats.entry(topic.to_string()).or_default().drops += 1;
+    fn note_drop(&mut self, topic: &Topic) {
+        self.topic_stats.entry(topic.clone()).or_default().drops += 1;
     }
 
     /// Whether a rank's broker is up.
@@ -1216,7 +1245,10 @@ impl World {
             if self.tbon.is_attached(rank) {
                 let orphans = self.tbon.detach(rank);
                 if !orphans.is_empty() {
-                    let parent = self.tbon.parent(orphans[0]).expect("orphans were re-parented");
+                    let parent = self
+                        .tbon
+                        .parent(orphans[0])
+                        .expect("orphans were re-parented");
                     self.trace.emit(
                         eng.now(),
                         TraceLevel::Info,
@@ -1431,13 +1463,17 @@ impl World {
     /// long fail/recover churn cannot permanently flatten the TBON into
     /// a leaf-heavy tree.
     pub fn schedule_rebalance(&mut self, eng: &mut FluxEngine, interval: SimDuration) {
-        eng.schedule_every(eng.now() + interval, interval, move |world: &mut World, eng| {
-            if world.halted {
-                return ControlFlow::Break(());
-            }
-            world.rebalance_tbon(eng);
-            ControlFlow::Continue(())
-        });
+        eng.schedule_every(
+            eng.now() + interval,
+            interval,
+            move |world: &mut World, eng| {
+                if world.halted {
+                    return ControlFlow::Break(());
+                }
+                world.rebalance_tbon(eng);
+                ControlFlow::Continue(())
+            },
+        );
     }
 
     /// Install the job executor (idempotent). Must be called once before
@@ -1502,8 +1538,10 @@ impl World {
 
 /// Deliver a message at its destination rank. `route` is the TBON route
 /// the message was launched on (captured at send time — the overlay may
-/// have healed since, but a packet in flight cannot switch wires).
-fn deliver(world: &mut World, eng: &mut FluxEngine, msg: Message, route: &[Rank]) {
+/// have healed since, but a packet in flight cannot switch wires). The
+/// message arrives behind the `Rc` it was sent with: forwarding never
+/// copies the body.
+fn deliver(world: &mut World, eng: &mut FluxEngine, msg: Rc<Message>, route: &[Rank]) {
     // A downed rank neither receives nor relays: drop any message whose
     // route transits a dead broker (including the endpoints).
     if let Some(dead) = route
@@ -1722,7 +1760,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "echo"
         }
-        fn topics(&self) -> Vec<String> {
+        fn topics(&self) -> Vec<Topic> {
             vec![
                 "echo.ping".into(),
                 EVENT_JOB_START.into(),
@@ -1737,7 +1775,7 @@ mod tests {
                     ctx.world.respond(ctx.eng, msg, payload(n + 1));
                 }
                 MsgKind::Event => {
-                    self.seen_events.borrow_mut().push(msg.topic.clone());
+                    self.seen_events.borrow_mut().push(msg.topic.to_string());
                 }
                 MsgKind::Response => {}
             }
@@ -2002,7 +2040,7 @@ mod failure_tests {
         fn name(&self) -> &'static str {
             "slow-echo"
         }
-        fn topics(&self) -> Vec<String> {
+        fn topics(&self) -> Vec<Topic> {
             vec!["slow.ping".into()]
         }
         fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
@@ -2042,7 +2080,10 @@ mod failure_tests {
         assert_eq!(w.pending_rpc_count(), 0, "matchtag retired");
         // The real response arrived ~1 s later and was orphan-dropped
         // without re-invoking anything.
-        assert!(eng.now() >= SimTime::from_secs(2), "late response delivered");
+        assert!(
+            eng.now() >= SimTime::from_secs(2),
+            "late response delivered"
+        );
     }
 
     #[test]
@@ -2098,11 +2139,12 @@ mod failure_tests {
             backoff: SimDuration::from_millis(10),
             backoff_factor: 2,
         };
-        w.rpc(Rank(1), "slow.ping", payload(()))
-            .retry(policy)
-            .send(&mut eng, move |_, eng, resp| {
+        w.rpc(Rank(1), "slow.ping", payload(())).retry(policy).send(
+            &mut eng,
+            move |_, eng, resp| {
                 *got2.borrow_mut() = Some((resp.is_timeout(), eng.now()));
-            });
+            },
+        );
         eng.run(&mut w);
         let (timed_out, at) = got.borrow().unwrap();
         assert!(timed_out, "final attempt surfaced the timeout");
@@ -2185,7 +2227,12 @@ mod failure_tests {
             }
             eng.run(&mut w);
             let trace: Vec<String> = w.trace.entries().iter().map(|e| e.to_string()).collect();
-            (trace, w.fault_drops(), w.rpc_timeout_count(), w.pending_rpc_count())
+            (
+                trace,
+                w.fault_drops(),
+                w.rpc_timeout_count(),
+                w.pending_rpc_count(),
+            )
         };
         let (t1, drops1, timeouts1, pending1) = run(42);
         let (t2, drops2, timeouts2, pending2) = run(42);
@@ -2297,7 +2344,7 @@ mod failure_tests {
         fn name(&self) -> &'static str {
             "root-counter"
         }
-        fn topics(&self) -> Vec<String> {
+        fn topics(&self) -> Vec<Topic> {
             vec!["root.count".into()]
         }
         fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
@@ -2328,7 +2375,10 @@ mod failure_tests {
         assert_eq!(*migrations.borrow(), 1);
         assert!(w.brokers[1].module("root-counter").is_some());
         assert!(w.brokers[0].module_names().is_empty());
-        assert!(w.tbon.route(Rank(1), Rank(0)).is_none(), "old root detached");
+        assert!(
+            w.tbon.route(Rank(1), Rank(0)).is_none(),
+            "old root detached"
+        );
 
         // Clients addressing the *current* root (the builder's default
         // origin) still reach the migrated service.
@@ -2472,12 +2522,7 @@ mod failure_tests {
         let (mut w, mut eng) = world(3);
         w.trace = fluxpm_sim::Trace::enabled(TraceLevel::Debug);
         w.fail_nodes(&mut eng, &[NodeId(0), NodeId(1), NodeId(2)]);
-        let all: String = w
-            .trace
-            .entries()
-            .iter()
-            .map(|e| format!("{e}\n"))
-            .collect();
+        let all: String = w.trace.entries().iter().map(|e| format!("{e}\n")).collect();
         assert!(
             all.contains("failed with no live successor"),
             "instance death traced"
@@ -2486,12 +2531,7 @@ mod failure_tests {
         assert!(w.recover_node(&mut eng, NodeId(2)));
         assert_eq!(w.root(), Rank(2));
         assert!(!w.tbon.is_attached(Rank(0)), "dead ex-root displaced");
-        let all: String = w
-            .trace
-            .entries()
-            .iter()
-            .map(|e| format!("{e}\n"))
-            .collect();
+        let all: String = w.trace.entries().iter().map(|e| format!("{e}\n")).collect();
         assert!(all.contains("instance resurrected with rank2 as root"));
         // Later recoveries rejoin under the resurrected root.
         assert!(w.recover_node(&mut eng, NodeId(1)));
@@ -2532,13 +2572,11 @@ mod failure_tests {
     fn per_link_profile_overrides_the_default() {
         let (mut w, mut eng) = world(3);
         // Only the 0-1 link is lossy (always drops); 0-2 is clean.
-        w.install_fault_plan(
-            FaultPlan::uniform(0.0, SimDuration::ZERO).with_link(
-                Rank(0),
-                Rank(1),
-                LinkProfile::uniform(1.0, SimDuration::ZERO),
-            ),
-        );
+        w.install_fault_plan(FaultPlan::uniform(0.0, SimDuration::ZERO).with_link(
+            Rank(0),
+            Rank(1),
+            LinkProfile::uniform(1.0, SimDuration::ZERO),
+        ));
         load_slow_echo(&mut w, &mut eng, Rank(1), SimDuration::ZERO);
         load_slow_echo(&mut w, &mut eng, Rank(2), SimDuration::ZERO);
         let got = std::rc::Rc::new(std::cell::RefCell::new(0u32));
@@ -2580,7 +2618,9 @@ mod failure_tests {
                 FaultPlan::uniform(rate, SimDuration::ZERO)
             };
             plan.rng = Xoshiro256pp::seed_from_u64(seed);
-            (0..4000).map(|_| plan.traverse(Rank(0), Rank(1)).0).collect()
+            (0..4000)
+                .map(|_| plan.traverse(Rank(0), Rank(1)).0)
+                .collect()
         };
         let longest = |drops: &[bool]| {
             let (mut best, mut cur) = (0usize, 0usize);

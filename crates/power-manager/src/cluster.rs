@@ -9,7 +9,7 @@ use crate::allocator::ProportionalAllocator;
 use crate::proto::{JobLimitMsg, ManagerRequest, PolicyKind, TOPIC_JOB_LIMIT};
 use crate::ManagerConfig;
 use fluxpm_flux::world::{EVENT_JOB_EXCEPTION, EVENT_JOB_FINISH, EVENT_JOB_START};
-use fluxpm_flux::{JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy};
+use fluxpm_flux::{JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy, Topic};
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -139,11 +139,11 @@ impl Module for ClusterLevelManager {
         "power-manager-cluster"
     }
 
-    fn topics(&self) -> Vec<String> {
+    fn topics(&self) -> Vec<Topic> {
         vec![
-            EVENT_JOB_START.to_string(),
-            EVENT_JOB_FINISH.to_string(),
-            EVENT_JOB_EXCEPTION.to_string(),
+            EVENT_JOB_START.into(),
+            EVENT_JOB_FINISH.into(),
+            EVENT_JOB_EXCEPTION.into(),
         ]
     }
 

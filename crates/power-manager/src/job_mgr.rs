@@ -8,7 +8,7 @@
 use crate::proto::{
     JobLimitMsg, ManagerReply, ManagerRequest, NodeLimitMsg, TOPIC_JOB_LIMIT, TOPIC_SET_NODE_LIMIT,
 };
-use fluxpm_flux::{JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy};
+use fluxpm_flux::{JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy, Topic};
 use fluxpm_hw::Watts;
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
@@ -89,8 +89,8 @@ impl Module for JobLevelManager {
         "power-manager-job"
     }
 
-    fn topics(&self) -> Vec<String> {
-        vec![TOPIC_JOB_LIMIT.to_string()]
+    fn topics(&self) -> Vec<Topic> {
+        vec![TOPIC_JOB_LIMIT.into()]
     }
 
     fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}

@@ -20,7 +20,7 @@
 
 use crate::fpp::{FppConfig, FppController, FppDecision};
 use crate::proto::{FppTarget, ManagerReply, ManagerRequest, PolicyKind, TOPIC_SET_NODE_LIMIT};
-use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind, Protocol};
+use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind, Protocol, Topic};
 use fluxpm_hw::{NodeId, Watts};
 use fluxpm_sim::{SimDuration, TraceLevel};
 use std::cell::RefCell;
@@ -372,8 +372,8 @@ impl Module for NodeLevelManager {
         "power-manager-node"
     }
 
-    fn topics(&self) -> Vec<String> {
-        vec![TOPIC_SET_NODE_LIMIT.to_string()]
+    fn topics(&self) -> Vec<Topic> {
+        vec![TOPIC_SET_NODE_LIMIT.into()]
     }
 
     fn load(&mut self, ctx: &mut ModuleCtx<'_>) {

@@ -6,9 +6,11 @@
 //! tracking, no subscriptions, just a timer and a ring buffer.
 
 use crate::config::MonitorConfig;
-use crate::proto::{MonitorReply, MonitorRequest, NodeDataReply, NodeDataRequest, NodeStats, PowerRecord};
+use crate::proto::{
+    MonitorReply, MonitorRequest, NodeDataReply, NodeDataRequest, NodeStats, PowerRecord,
+};
 use crate::ring::RingBuffer;
-use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind, Protocol, SharedModule};
+use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind, Protocol, SharedModule, Topic};
 use fluxpm_hw::NodeId;
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
@@ -208,11 +210,11 @@ impl Module for NodeAgent {
         "power-monitor-node-agent"
     }
 
-    fn topics(&self) -> Vec<String> {
+    fn topics(&self) -> Vec<Topic> {
         vec![
-            TOPIC_NODE_DATA.to_string(),
-            TOPIC_NODE_STATS.to_string(),
-            crate::tree_reduce::TOPIC_SUBTREE_STATS.to_string(),
+            TOPIC_NODE_DATA.into(),
+            TOPIC_NODE_STATS.into(),
+            crate::tree_reduce::TOPIC_SUBTREE_STATS.into(),
         ]
     }
 
@@ -250,9 +252,7 @@ impl Module for NodeAgent {
                 .unwrap_or_else(|| self.since_us.unwrap_or(0));
             if now_us > gap_start {
                 self.gaps.push((gap_start, now_us));
-                let interval_us = interval.as_micros();
-                if interval_us > 0 {
-                    let expected = now_us / interval_us;
+                if let Some(expected) = now_us.checked_div(interval.as_micros()) {
                     let accounted = self.buffer.total_pushed() + self.buffer.noted_lost();
                     self.buffer.note_loss(expected.saturating_sub(accounted));
                 }
@@ -310,12 +310,13 @@ mod tests {
         let got = Rc::new(RefCell::new(None));
         let got2 = Rc::clone(&got);
         let req = MonitorRequest::NodeData(NodeDataRequest { start_us, end_us });
-        w.rpc(to, req.topic(), req.encode()).send(eng, move |_, _, resp| {
-            let Ok(MonitorReply::NodeData(r)) = MonitorReply::decode(resp) else {
-                panic!("unexpected reply {resp:?}");
-            };
-            *got2.borrow_mut() = Some(r);
-        });
+        w.rpc(to, req.topic(), req.encode())
+            .send(eng, move |_, _, resp| {
+                let Ok(MonitorReply::NodeData(r)) = MonitorReply::decode(resp) else {
+                    panic!("unexpected reply {resp:?}");
+                };
+                *got2.borrow_mut() = Some(r);
+            });
         eng.run(w);
         let reply = got.borrow().clone().unwrap();
         reply

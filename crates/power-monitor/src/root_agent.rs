@@ -15,7 +15,7 @@ use crate::proto::{
     JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply, MonitorRequest,
     NodeDataReply, NodeDataRequest, NodeStats,
 };
-use fluxpm_flux::{JobState, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy};
+use fluxpm_flux::{JobState, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy, Topic};
 use fluxpm_sim::{SimDuration, TraceLevel};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -265,11 +265,8 @@ impl Module for RootAgent {
         "power-monitor-root-agent"
     }
 
-    fn topics(&self) -> Vec<String> {
-        vec![
-            TOPIC_GET_JOB_DATA.to_string(),
-            TOPIC_GET_JOB_STATS.to_string(),
-        ]
+    fn topics(&self) -> Vec<Topic> {
+        vec![TOPIC_GET_JOB_DATA.into(), TOPIC_GET_JOB_STATS.into()]
     }
 
     fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}

@@ -28,11 +28,13 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod baseline;
 pub mod engine;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use baseline::{BaselineEngine, BaselineEventId};
 pub use engine::{Engine, EventId, Periodic};
 pub use rng::{SplitMix64, Xoshiro256pp};
 pub use time::{SimDuration, SimTime};

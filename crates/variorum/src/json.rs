@@ -68,22 +68,31 @@ impl NodePowerSample {
     }
 
     /// Serialize as the flat Variorum JSON object.
+    ///
+    /// This runs on every sampling tick of every node agent — it is the
+    /// single hottest serialization path in the simulator — so it
+    /// formats keys and numbers with integer arithmetic straight into
+    /// the output buffer instead of going through `format!` (which
+    /// allocates per field and takes the slow exact-precision float
+    /// path).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push('{');
         push_str_field(&mut out, "hostname", &self.hostname);
-        push_int_field(&mut out, "timestamp_us", self.timestamp_us);
+        out.push_str("\"timestamp_us\":");
+        push_u64(&mut out, self.timestamp_us);
+        out.push(',');
         if let Some(w) = self.power_node_watts {
             push_num_field(&mut out, "power_node_watts", w);
         }
         for (i, w) in self.power_cpu_watts.iter().enumerate() {
-            push_num_field(&mut out, &format!("power_cpu_watts_socket_{i}"), *w);
+            push_indexed_num_field(&mut out, "power_cpu_watts_socket_", i, *w);
         }
         if let Some(w) = self.power_mem_watts {
             push_num_field(&mut out, "power_mem_watts", w);
         }
         for (i, w) in self.power_gpu_watts.iter().enumerate() {
-            push_num_field(&mut out, &format!("power_gpu_watts_{i}"), *w);
+            push_indexed_num_field(&mut out, "power_gpu_watts_", i, *w);
         }
         // Drop the trailing comma.
         if out.ends_with(',') {
@@ -160,21 +169,68 @@ fn push_str_field(out: &mut String, key: &str, val: &str) {
     out.push_str("\",");
 }
 
-fn push_int_field(out: &mut String, key: &str, val: u64) {
-    out.push('"');
-    out.push_str(key);
-    out.push_str("\":");
-    out.push_str(&val.to_string());
-    out.push(',');
-}
-
 fn push_num_field(out: &mut String, key: &str, val: f64) {
     out.push('"');
     out.push_str(key);
     out.push_str("\":");
-    // Fixed precision keeps records compact and diffable.
-    out.push_str(&format!("{val:.3}"));
+    push_fixed3(out, val);
     out.push(',');
+}
+
+/// `"{prefix}{index}": {val}` without building the key string on the
+/// heap first.
+fn push_indexed_num_field(out: &mut String, prefix: &str, index: usize, val: f64) {
+    out.push('"');
+    out.push_str(prefix);
+    push_u64(out, index as u64);
+    out.push_str("\":");
+    push_fixed3(out, val);
+    out.push(',');
+}
+
+/// Append a non-negative integer without allocating.
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+}
+
+/// Append `val` with exactly three decimal places. Fixed precision
+/// keeps records compact and diffable; the integer fast path avoids the
+/// standard formatter's exact-precision float machinery on the sampling
+/// hot path. Values too large for the scaled-integer representation
+/// (and non-finite values) fall back to `{val:.3}`; near round-to-even
+/// ties the fast path may differ from the standard formatter by one in
+/// the last decimal, which is within the sensor noise floor.
+fn push_fixed3(out: &mut String, val: f64) {
+    let a = val.abs();
+    if !val.is_finite() || a >= 4.0e12 {
+        use std::fmt::Write;
+        let _ = write!(out, "{val:.3}");
+        return;
+    }
+    if val.is_sign_negative() {
+        out.push('-');
+    }
+    let r = a * 1000.0;
+    let mut scaled = r.round() as u64; // rounds ties away from zero
+    if r - r.trunc() == 0.5 && scaled % 2 == 1 {
+        scaled -= 1; // ties to even, matching the standard formatter
+    }
+    push_u64(out, scaled / 1000);
+    let frac = (scaled % 1000) as u32;
+    out.push('.');
+    out.push((b'0' + (frac / 100) as u8) as char);
+    out.push((b'0' + (frac / 10 % 10) as u8) as char);
+    out.push((b'0' + (frac % 10) as u8) as char);
 }
 
 /// Split `a:1,b:"x,y"` on commas not inside strings.
@@ -283,6 +339,35 @@ mod tests {
         let s = NodePowerSample::from_json(json).unwrap();
         assert_eq!(s.hostname, "h");
         assert_eq!(s.timestamp_us, 5);
+    }
+
+    #[test]
+    fn fixed3_matches_standard_formatter() {
+        let mut vals = vec![
+            0.0,
+            -0.0,
+            0.001,
+            0.0625,  // exact binary tie at the 3rd decimal: rounds to even
+            0.1875,  // exact tie rounding up (187.5 -> 188)
+            -0.0625, // sign handled before the tie adjustment
+            999.999,
+            1000.0,
+            981.2,
+            4.1e12, // past the integer fast path: standard fallback
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        // A pseudo-random sweep over telemetry-scale magnitudes.
+        let mut x = 0.000123_f64;
+        for i in 0..2000 {
+            vals.push(x * (i as f64));
+            x = (x * 1.618 + 0.0137) % 3500.0;
+        }
+        for v in vals {
+            let mut fast = String::new();
+            push_fixed3(&mut fast, v);
+            assert_eq!(fast, format!("{v:.3}"), "value {v:?}");
+        }
     }
 
     #[test]

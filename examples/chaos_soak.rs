@@ -126,7 +126,11 @@ fn main() {
     println!("  root failovers        : {}", count("root failover:"));
     println!("  re-balance passes     : {}", count("re-balanced:"));
     println!("  messages dropped      : {}", w.fault_drops());
-    println!("  rpc timeouts/retries  : {}/{}", w.rpc_timeout_count(), w.rpc_retry_count());
+    println!(
+        "  rpc timeouts/retries  : {}/{}",
+        w.rpc_timeout_count(),
+        w.rpc_retry_count()
+    );
     println!("  pending matchtags     : {}", w.pending_rpc_count());
     println!("  topology epoch        : {}", w.tbon.epoch());
     println!(

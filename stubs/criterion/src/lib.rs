@@ -1,0 +1,311 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container cannot reach crates.io, so the workspace patches
+//! `criterion` to this crate. It keeps the API the benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, `criterion_group!`,
+//! `criterion_main!` — over a simple wall-clock harness: warm up to
+//! estimate per-iteration cost, then time fixed-iteration samples and
+//! report mean/min ns per iteration on stdout. No statistics files, no
+//! HTML reports, no outlier analysis.
+//!
+//! CLI flags understood (others are ignored so `cargo bench -- <args>`
+//! never fails): `--test` runs every benchmark exactly once (what
+//! `cargo test` needs), `--quick` cuts measurement time ~10x.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name, optionally with a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` (mirrors `criterion::BenchmarkId::new`).
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter (mirrors `BenchmarkId::from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Harness configuration + collected results.
+pub struct Criterion {
+    /// Run each bench exactly once (set by `--test`; `cargo test` mode).
+    test_mode: bool,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Warm-up time used to estimate per-iteration cost.
+    warm_up: Duration,
+    /// `(id, mean ns/iter)` for every bench run so far.
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: false,
+            measurement: Duration::from_millis(300),
+            warm_up: Duration::from_millis(60),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply `--test` / `--quick` from the process arguments; ignore
+    /// everything else (cargo passes through various flags).
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--quick" => {
+                    self.measurement = Duration::from_millis(30);
+                    self.warm_up = Duration::from_millis(10);
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Run one benchmark at top level.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let stats = run_bench(self, &mut f);
+        self.report(&id, stats);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Print the run's summary table.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!("\nbenchmark summary ({} entries):", self.results.len());
+        for (id, mean) in &self.results {
+            println!("  {id:<50} {:>14.1} ns/iter", mean);
+        }
+    }
+
+    fn report(&mut self, id: &str, stats: Option<Stats>) {
+        match stats {
+            Some(s) => {
+                println!(
+                    "{id:<50} time: {:>12.1} ns/iter (min {:.1} ns, {} samples x {} iters)",
+                    s.mean_ns, s.min_ns, s.samples, s.iters_per_sample
+                );
+                self.results.push((id.to_string(), s.mean_ns));
+            }
+            None => println!("{id:<50} ok (test mode, 1 iter)"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement = time;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        let stats = run_bench(self.criterion, &mut f);
+        self.criterion.report(&id, stats);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.0);
+        let stats = run_bench(self.criterion, &mut |b: &mut Bencher| f(b, input));
+        self.criterion.report(&id, stats);
+        self
+    }
+
+    /// Close the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Timing core handed to benchmark closures.
+pub struct Bencher {
+    mode: BenchMode,
+    stats: Option<Stats>,
+}
+
+enum BenchMode {
+    /// Single iteration, no timing (test mode).
+    Once,
+    /// Warm up for the duration, then measure for the duration.
+    Measure { warm_up: Duration, measurement: Duration },
+}
+
+impl Bencher {
+    /// Time the closure (mirrors `criterion::Bencher::iter`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let (warm_up, measurement) = match self.mode {
+            BenchMode::Once => {
+                black_box(routine());
+                return;
+            }
+            BenchMode::Measure { warm_up, measurement } => (warm_up, measurement),
+        };
+
+        // Warm-up: run until the warm-up budget elapses to estimate
+        // per-iteration cost (and to populate caches/branch predictors).
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Aim for ~20 samples within the measurement budget, each big
+        // enough to dwarf timer overhead.
+        let budget_ns = measurement.as_nanos() as f64;
+        let iters_per_sample = ((budget_ns / 20.0 / est_ns).floor() as u64).max(1);
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(24);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < measurement || sample_ns.len() < 3 {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            sample_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            if sample_ns.len() >= 500 {
+                break;
+            }
+        }
+        let mean = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+        let min = sample_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.stats = Some(Stats {
+            mean_ns: mean,
+            min_ns: min,
+            samples: sample_ns.len(),
+            iters_per_sample,
+        });
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, f: &mut F) -> Option<Stats> {
+    let mode = if c.test_mode {
+        BenchMode::Once
+    } else {
+        BenchMode::Measure { warm_up: c.warm_up, measurement: c.measurement }
+    };
+    let mut b = Bencher { mode, stats: None };
+    f(&mut b);
+    b.stats
+}
+
+/// Mirror of `criterion::criterion_group!` (plain target-list form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            test_mode: false,
+            measurement: Duration::from_millis(10),
+            warm_up: Duration::from_millis(2),
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > 0.0);
+    }
+
+    #[test]
+    fn group_and_ids() {
+        let mut c = Criterion {
+            test_mode: true,
+            measurement: Duration::from_millis(1),
+            warm_up: Duration::from_millis(1),
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert_eq!(BenchmarkId::new("a", 1).0, "a/1");
+        assert_eq!(BenchmarkId::from_parameter(9).0, "9");
+    }
+}

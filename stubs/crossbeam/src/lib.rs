@@ -1,0 +1,58 @@
+//! Offline stand-in for `crossbeam`. Only `crossbeam::thread::scope` is
+//! used by the workspace; it is implemented over `std::thread::scope`
+//! (stable since 1.63), preserving the crossbeam closure signature
+//! (`scope.spawn(|_| ...)`) and `Result` return.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Mirror of `crossbeam::thread::Scope`: hands out spawns whose
+    /// closures receive the scope again (always ignored in this
+    /// workspace, hence the `|_|` at call sites).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope that joins all spawned threads on exit.
+    /// A child-thread panic propagates out of `std::thread::scope`
+    /// itself, so the `Err` arm is never constructed — call sites that
+    /// `.expect()` the result behave identically either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_children() {
+        let n = AtomicU32::new(0);
+        let out = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| n.fetch_add(1, Ordering::SeqCst));
+            }
+            7u32
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+}

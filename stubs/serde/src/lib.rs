@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! patches `serde` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). The codebase only *derives* `Serialize`/`Deserialize`
+//! for forward compatibility — nothing actually serializes — so the
+//! traits are markers and the derives expand to nothing. Swapping back
+//! to real serde is a one-line patch removal.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! stand-in. They accept (and ignore) `#[serde(...)]` helper attributes
+//! and expand to nothing: the workspace derives these traits only for
+//! forward compatibility and never serializes.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` field/variant attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` field/variant attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -218,12 +218,7 @@ fn interior_rank_failure_mid_reduction_completes_incomplete() {
 
         let outer = slot.borrow().clone().unwrap();
         let stats = outer.borrow().clone().unwrap().unwrap();
-        let trace: String = w
-            .trace
-            .entries()
-            .iter()
-            .map(|e| format!("{e}\n"))
-            .collect();
+        let trace: String = w.trace.entries().iter().map(|e| format!("{e}\n")).collect();
         (w, id, stats, trace)
     };
 
@@ -296,12 +291,7 @@ fn chaos_faults_are_deterministic_and_aggregation_completes() {
         let slot = fetch_job_stats(&mut w, &mut eng2, id);
         eng2.run(&mut w);
         let reply = slot.borrow().clone();
-        let trace: String = w
-            .trace
-            .entries()
-            .iter()
-            .map(|e| format!("{e}\n"))
-            .collect();
+        let trace: String = w.trace.entries().iter().map(|e| format!("{e}\n")).collect();
         (
             trace,
             w.fault_drops(),

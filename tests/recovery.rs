@@ -72,7 +72,7 @@ fn fail_recover_cycle_restores_complete_aggregation() {
         });
         eng.run(&mut w);
 
-        let b = b_slot.borrow().clone().expect("job B was submitted");
+        let b = (*b_slot.borrow()).expect("job B was submitted");
         assert_eq!(w.jobs.get(b).unwrap().state, JobState::Completed);
 
         // Post-run: aggregate over job B's window.
@@ -85,12 +85,7 @@ fn fail_recover_cycle_restores_complete_aggregation() {
         let mid_stats = mid_inner.borrow().clone().unwrap().unwrap();
         let down_inner = down.borrow().clone().expect("down query was issued");
         let down_stats = down_inner.borrow().clone().unwrap().unwrap();
-        let trace: String = w
-            .trace
-            .entries()
-            .iter()
-            .map(|e| format!("{e}\n"))
-            .collect();
+        let trace: String = w.trace.entries().iter().map(|e| format!("{e}\n")).collect();
         (w, mid_stats, down_stats, complete, trace)
     };
 
@@ -209,12 +204,7 @@ fn root_failure_promotes_successor_and_preserves_budgets() {
     assert!(jobm.borrow().node_updates() >= 4, "initial + re-push fans");
 
     // All three root services migrated, and the managers re-pushed.
-    let trace: String = w
-        .trace
-        .entries()
-        .iter()
-        .map(|e| format!("{e}\n"))
-        .collect();
+    let trace: String = w.trace.entries().iter().map(|e| format!("{e}\n")).collect();
     assert!(trace.contains("migrated power-manager-cluster to rank1"));
     assert!(trace.contains("migrated power-manager-job to rank1"));
     assert!(trace.contains("migrated power-monitor-root-agent to rank1"));
