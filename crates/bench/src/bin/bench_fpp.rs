@@ -1,0 +1,216 @@
+//! Regenerate `BENCH_fpp.json`, the committed FPP-analytics
+//! performance baseline.
+//!
+//! Run from the repository root:
+//!
+//! ```sh
+//! cargo run --release -p fluxpm-bench --bin bench_fpp > BENCH_fpp.json
+//! ```
+//!
+//! Measures, on this machine, planned (cached FFT plans + scratch
+//! arena + zero-copy ring views) against unplanned (per-call planning,
+//! per-call allocation) analytics:
+//!
+//! * per-estimate wall time for single-window period estimation at
+//!   n = 15 (Bluestein), 64, and 1024 (radix-2);
+//! * Welch-averaged estimation at the production segment shapes
+//!   (180-sample double epoch / 90-sample segments, and 1024 / 128);
+//! * one node's Welch-mode per-GPU epoch analysis (8 GPUs × 90 samples
+//!   at 1 Hz), the paper's Algorithm 1 analysis step — this is the
+//!   number the ≥3× acceptance gate holds;
+//! * heap allocations per call on both stacks, via a counting global
+//!   allocator — the planned steady-state counts must be zero.
+//!
+//! Unlike `bench_sim` (whose pre-PR stack had to be recorded, because
+//! the optimized engine replaced it), both FPP analytics stacks live in
+//! the tree — `fluxpm_fft`'s unplanned functions *are* the pre-PR
+//! path — so every speedup here is measured live on every run.
+
+use fluxpm_bench::fpp::{
+    epoch_signal, planned_estimate, planned_welch, unplanned_estimate, unplanned_welch, FppEpochRig,
+};
+use fluxpm_fft::PeriodAnalyzer;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// System allocator wrapper counting allocations on this thread.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates every operation to `System` unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation count of one `f()` call on this thread.
+fn allocs_during(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+/// Wall time of `f()` in seconds, best of `reps` runs (best-of defeats
+/// scheduler noise better than the mean for short single-thread work).
+fn best_of<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Per-call nanoseconds for `f()`, amortized over `iters` calls.
+fn per_call_ns<R>(reps: u32, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    best_of(reps, || {
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+    }) * 1e9
+        / iters as f64
+}
+
+fn main() {
+    let mut analyzer = PeriodAnalyzer::new();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"fluxpm-bench-fpp/v1\",\n");
+    out.push_str(
+        "  \"regenerate\": \"cargo run --release -p fluxpm-bench --bin bench_fpp > BENCH_fpp.json\",\n",
+    );
+
+    // Single-window period estimation at the three plan shapes FPP
+    // meets in practice: tiny Bluestein, mid radix-2, large radix-2.
+    out.push_str("  \"estimate_period_ns\": {\n");
+    for (i, &n) in [15usize, 64, 1024].iter().enumerate() {
+        let x = epoch_signal(n, (n as f64 / 8.0).max(4.0), 7);
+        // Warm-up: populate the plan cache and fault in code paths.
+        assert_eq!(
+            planned_estimate(&mut analyzer, &x).is_some(),
+            unplanned_estimate(&x).is_some(),
+            "stacks disagree at n={n}"
+        );
+        let iters = if n >= 1024 { 200 } else { 2_000 };
+        let planned = per_call_ns(7, iters, || planned_estimate(&mut analyzer, &x));
+        let unplanned = per_call_ns(7, iters, || unplanned_estimate(&x));
+        let _ = writeln!(out, "    \"n{n}\": {{");
+        let _ = writeln!(out, "      \"planned\": {planned:.0},");
+        let _ = writeln!(out, "      \"unplanned\": {unplanned:.0},");
+        let _ = writeln!(out, "      \"speedup\": {:.2}", unplanned / planned);
+        let _ = writeln!(out, "    }}{}", if i < 2 { "," } else { "" });
+    }
+    out.push_str("  },\n");
+
+    // Welch-averaged estimation at production segment shapes.
+    out.push_str("  \"welch_ns\": {\n");
+    for (i, &(n, seg)) in [(180usize, 90usize), (1024, 128)].iter().enumerate() {
+        let x = epoch_signal(n, 12.0, 11);
+        assert_eq!(
+            planned_welch(&mut analyzer, &x, seg).is_some(),
+            unplanned_welch(&x, seg).is_some(),
+            "stacks disagree at n={n} seg={seg}"
+        );
+        let planned = per_call_ns(7, 500, || planned_welch(&mut analyzer, &x, seg));
+        let unplanned = per_call_ns(7, 500, || unplanned_welch(&x, seg));
+        let _ = writeln!(out, "    \"n{n}_seg{seg}\": {{");
+        let _ = writeln!(out, "      \"planned\": {planned:.0},");
+        let _ = writeln!(out, "      \"unplanned\": {unplanned:.0},");
+        let _ = writeln!(out, "      \"speedup\": {:.2}", unplanned / planned);
+        let _ = writeln!(out, "    }}{}", if i < 1 { "," } else { "" });
+    }
+    out.push_str("  },\n");
+
+    // The gated number: one node's Welch-mode per-GPU epoch analysis,
+    // production shape (8 GPUs x 90 samples at 1 Hz, Welch with
+    // single-window fallback per Algorithm 1).
+    let mut rig = FppEpochRig::new(8, 90, 3);
+    rig.verify_agreement();
+    let epoch_planned = per_call_ns(7, 200, || rig.planned_epoch());
+    let epoch_unplanned = per_call_ns(7, 200, || rig.unplanned_epoch());
+    let epoch_speedup = epoch_unplanned / epoch_planned;
+    out.push_str("  \"fpp_epoch_welch_8gpu\": {\n");
+    out.push_str("    \"gpus\": 8,\n");
+    out.push_str("    \"samples_per_gpu\": 90,\n");
+    let _ = writeln!(out, "    \"planned_ns\": {epoch_planned:.0},");
+    let _ = writeln!(out, "    \"unplanned_ns\": {epoch_unplanned:.0},");
+    let _ = writeln!(out, "    \"speedup\": {epoch_speedup:.2}");
+    out.push_str("  },\n");
+
+    // Steady-state allocations per call: the planned stack must be
+    // allocation-free after warm-up; the unplanned stack plans and
+    // allocates on every call.
+    let x90 = epoch_signal(90, 11.0, 5);
+    let x180 = epoch_signal(180, 12.0, 11);
+    planned_estimate(&mut analyzer, &x90);
+    planned_welch(&mut analyzer, &x180, 90);
+    let a_est_planned = allocs_during(|| {
+        planned_estimate(&mut analyzer, &x90);
+    });
+    let a_est_unplanned = allocs_during(|| {
+        unplanned_estimate(&x90);
+    });
+    let a_welch_planned = allocs_during(|| {
+        planned_welch(&mut analyzer, &x180, 90);
+    });
+    let a_welch_unplanned = allocs_during(|| {
+        unplanned_welch(&x180, 90);
+    });
+    let a_epoch_planned = allocs_during(|| {
+        rig.planned_epoch();
+    });
+    let a_epoch_unplanned = allocs_during(|| {
+        rig.unplanned_epoch();
+    });
+    out.push_str("  \"allocs_per_call\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"estimate_period_n90\": {{ \"planned\": {a_est_planned}, \"unplanned\": {a_est_unplanned} }},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"welch_n180_seg90\": {{ \"planned\": {a_welch_planned}, \"unplanned\": {a_welch_unplanned} }},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"epoch_8gpu\": {{ \"planned\": {a_epoch_planned}, \"unplanned\": {a_epoch_unplanned} }}"
+    );
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    print!("{out}");
+
+    // The acceptance gates travel with the generator: regenerating the
+    // baseline must fail loudly if the planned stack loses its edge or
+    // starts allocating, not silently commit a regression.
+    assert!(
+        epoch_speedup >= 3.0,
+        "Welch-mode per-epoch FPP analysis speedup fell below 3x ({epoch_speedup:.2}x)"
+    );
+    assert_eq!(
+        (a_est_planned, a_welch_planned, a_epoch_planned),
+        (0, 0, 0),
+        "planned paths must be allocation-free after warm-up"
+    );
+    assert!(
+        a_est_unplanned > 0 && a_welch_unplanned > 0 && a_epoch_unplanned > 0,
+        "unplanned paths are expected to allocate (counter sanity check)"
+    );
+}

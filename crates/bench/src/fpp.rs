@@ -1,0 +1,158 @@
+//! Shared FPP analytics workloads for the `fpp_hot_path` benchmark and
+//! the `bench_fpp` baseline generator.
+//!
+//! Both targets compare the same two stacks on the same signals:
+//!
+//! * **unplanned** — the pre-PR reference path: contiguous `Vec<f64>`
+//!   epoch buffers fed to [`fluxpm_fft::estimate_period`] /
+//!   [`fluxpm_fft::welch_estimate_period`], which replan twiddles,
+//!   window coefficients, and Bluestein chirps on every call;
+//! * **planned** — the allocation-free path: ring-backed epoch buffers
+//!   read through a two-slice [`Samples`] view and analyzed by one
+//!   shared [`PeriodAnalyzer`] (cached plans + scratch arena).
+//!
+//! The per-epoch rig mirrors production shape: one node manager's
+//! per-GPU controllers running Welch-mode period detection over a 90 s
+//! epoch at 1 Hz sampling, batched through a single analyzer.
+
+use fluxpm_fft::{estimate_period, welch_estimate_period, PeriodAnalyzer, Samples};
+use fluxpm_monitor::RingBuffer;
+
+/// FPP's production sampling rate: 1 Hz (`sample_period_s = 1.0`).
+pub const SAMPLE_RATE_HZ: f64 = 1.0;
+
+/// Deterministic noisy square wave — the signal class FPP sees from
+/// iteration-periodic GPU workloads. LCG-seeded so both stacks analyze
+/// byte-identical traces.
+pub fn epoch_signal(n: usize, period_s: f64, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|t| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            let base = if (t as f64 / period_s).fract() < 0.3 {
+                150.0
+            } else {
+                60.0
+            };
+            base + 4.0 * noise
+        })
+        .collect()
+}
+
+/// One unplanned `estimate_period` call on a contiguous buffer — the
+/// pre-PR per-epoch kernel.
+pub fn unplanned_estimate(samples: &[f64]) -> Option<f64> {
+    estimate_period(samples, SAMPLE_RATE_HZ).map(|e| e.period_seconds)
+}
+
+/// One planned `estimate_period` call through a shared analyzer.
+pub fn planned_estimate(analyzer: &mut PeriodAnalyzer, samples: &[f64]) -> Option<f64> {
+    analyzer
+        .estimate_period(Samples::from(samples), SAMPLE_RATE_HZ)
+        .map(|e| e.period_seconds)
+}
+
+/// One unplanned Welch estimate — the pre-PR Welch-mode kernel.
+pub fn unplanned_welch(samples: &[f64], segment_len: usize) -> Option<f64> {
+    welch_estimate_period(samples, SAMPLE_RATE_HZ, segment_len).map(|e| e.period_seconds)
+}
+
+/// One planned Welch estimate through a shared analyzer.
+pub fn planned_welch(
+    analyzer: &mut PeriodAnalyzer,
+    samples: &[f64],
+    segment_len: usize,
+) -> Option<f64> {
+    analyzer
+        .welch_estimate_period(Samples::from(samples), SAMPLE_RATE_HZ, segment_len)
+        .map(|e| e.period_seconds)
+}
+
+/// Per-epoch FPP analysis rig: one node's worth of per-GPU epoch
+/// buffers holding the same signals in both layouts — contiguous `Vec`s
+/// for the pre-PR path, wrapped `RingBuffer`s (written past one full
+/// revolution so every read is a genuine two-slice view) for the
+/// planned path.
+#[derive(Debug)]
+pub struct FppEpochRig {
+    vecs: Vec<Vec<f64>>,
+    rings: Vec<RingBuffer<f64>>,
+    analyzer: PeriodAnalyzer,
+    segment_len: usize,
+}
+
+impl FppEpochRig {
+    /// `gpus` buffers of `n` samples each; `segment_len` follows FPP's
+    /// production rule `(n / 2).max(8)`.
+    pub fn new(gpus: usize, n: usize, seed: u64) -> FppEpochRig {
+        let mut vecs = Vec::with_capacity(gpus);
+        let mut rings = Vec::with_capacity(gpus);
+        for gpu in 0..gpus {
+            // Distinct period per GPU: plans for several lengths stay
+            // hot at once, as in a real mixed-job node.
+            let period = 9.0 + gpu as f64 * 1.5;
+            let v = epoch_signal(n, period, seed.wrapping_add(gpu as u64));
+            let mut ring = RingBuffer::new(n);
+            // Fill 1.5 revolutions so the view wraps mid-buffer.
+            for &s in v.iter().take(n / 2) {
+                ring.push(s);
+            }
+            for &s in &v {
+                ring.push(s);
+            }
+            vecs.push(v);
+            rings.push(ring);
+        }
+        FppEpochRig {
+            vecs,
+            rings,
+            analyzer: PeriodAnalyzer::new(),
+            segment_len: (n / 2).max(8),
+        }
+    }
+
+    /// Pre-PR per-epoch analysis: Welch with single-window fallback on
+    /// each GPU's contiguous buffer, unplanned kernels throughout.
+    /// Returns the number of GPUs with a detected period.
+    pub fn unplanned_epoch(&self) -> usize {
+        self.vecs
+            .iter()
+            .filter(|v| {
+                welch_estimate_period(v, SAMPLE_RATE_HZ, self.segment_len)
+                    .or_else(|| estimate_period(v, SAMPLE_RATE_HZ))
+                    .is_some()
+            })
+            .count()
+    }
+
+    /// Planned per-epoch analysis: the same Welch-plus-fallback
+    /// structure on zero-copy ring views through the one shared
+    /// analyzer. Returns the number of GPUs with a detected period.
+    pub fn planned_epoch(&mut self) -> usize {
+        let analyzer = &mut self.analyzer;
+        let segment_len = self.segment_len;
+        self.rings
+            .iter()
+            .filter(|ring| {
+                let (head, tail) = ring.as_slices();
+                let view = Samples::new(head, tail);
+                analyzer
+                    .welch_estimate_period(view, SAMPLE_RATE_HZ, segment_len)
+                    .or_else(|| analyzer.estimate_period(view, SAMPLE_RATE_HZ))
+                    .is_some()
+            })
+            .count()
+    }
+
+    /// Both paths must agree on every GPU before timing means anything.
+    pub fn verify_agreement(&mut self) {
+        let planned = self.planned_epoch();
+        let unplanned = self.unplanned_epoch();
+        assert_eq!(
+            planned, unplanned,
+            "planned and unplanned epoch analysis disagree"
+        );
+        assert!(planned > 0, "rig signals must be detectable");
+    }
+}

@@ -1,0 +1,226 @@
+//! The planned FPP analysis front-end: one planner + scratch + spectrum
+//! set, reused across every GPU and every epoch.
+//!
+//! [`PeriodAnalyzer`] bundles everything the per-epoch FPP analysis
+//! needs — an [`FftPlanner`] (cached twiddle/bit-reversal/chirp/window
+//! tables), an [`FftScratch`] arena, and two reusable [`Periodogram`]
+//! outputs — behind the same `estimate_period` / `welch_estimate_period`
+//! signatures as the free functions, but reading from a zero-copy
+//! [`Samples`] view. A node-level manager owns exactly one analyzer and
+//! walks its 4–8 GPU controllers through it each epoch, so every GPU
+//! after the first hits warm plan caches and warm buffers: the steady
+//! state performs **zero allocations** (`tests/alloc_free.rs`).
+//!
+//! The estimates are produced by the same shared peak extractor as the
+//! unplanned paths; spectra differ from them only by the planned FFT
+//! kernel's tighter twiddles (see [`crate::plan`] for the accuracy
+//! contract). FPP's thresholded decisions are byte-identical across both
+//! paths on every in-tree scenario.
+
+use crate::period::{peak_estimate, PeriodEstimate};
+use crate::periodogram::Periodogram;
+use crate::plan::{FftPlanner, FftScratch};
+use crate::samples::Samples;
+use crate::welch::welch_into;
+use crate::window::Window;
+
+/// Reusable planned-analysis state: planner, scratch arena, and spectrum
+/// buffers. Create once, share across all per-GPU analyses.
+///
+/// ```
+/// use fluxpm_fft::{PeriodAnalyzer, Samples};
+///
+/// let mut analyzer = PeriodAnalyzer::new();
+/// let samples: Vec<f64> = (0..120)
+///     .map(|i| 250.0 + 30.0 * (2.0 * std::f64::consts::PI * (i as f64 * 0.5) / 10.0).sin())
+///     .collect();
+/// let est = analyzer
+///     .estimate_period(Samples::contiguous(&samples), 2.0)
+///     .expect("periodic signal");
+/// assert!((est.period_seconds - 10.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Default)]
+pub struct PeriodAnalyzer {
+    planner: FftPlanner,
+    scratch: FftScratch,
+    psd: Periodogram,
+    seg_psd: Periodogram,
+}
+
+impl PeriodAnalyzer {
+    /// A fresh analyzer with empty caches; everything warms on first use.
+    pub fn new() -> PeriodAnalyzer {
+        PeriodAnalyzer {
+            planner: FftPlanner::new(),
+            scratch: FftScratch::new(),
+            psd: Periodogram::empty(),
+            seg_psd: Periodogram::empty(),
+        }
+    }
+
+    /// Planned counterpart of [`crate::estimate_period`]: Hann-windowed
+    /// periodogram peak with parabolic refinement, same gates (≥ 8
+    /// samples, ≥ 5 % peak concentration), reading from `samples`
+    /// without copying it.
+    pub fn estimate_period(
+        &mut self,
+        samples: Samples<'_>,
+        sample_rate_hz: f64,
+    ) -> Option<PeriodEstimate> {
+        if samples.len() < 8 {
+            return None;
+        }
+        if !Periodogram::compute_into(
+            samples,
+            sample_rate_hz,
+            Window::Hann,
+            &mut self.planner,
+            &mut self.scratch,
+            &mut self.psd,
+        ) {
+            return None;
+        }
+        peak_estimate(&self.psd)
+    }
+
+    /// Planned counterpart of [`crate::welch_estimate_period`]: averaged
+    /// periodogram over 50 %-overlapped Hann segments, then the shared
+    /// peak extractor.
+    pub fn welch_estimate_period(
+        &mut self,
+        samples: Samples<'_>,
+        sample_rate_hz: f64,
+        segment_len: usize,
+    ) -> Option<PeriodEstimate> {
+        if !welch_into(
+            samples,
+            sample_rate_hz,
+            segment_len,
+            &mut self.planner,
+            &mut self.scratch,
+            &mut self.seg_psd,
+            &mut self.psd,
+        ) {
+            return None;
+        }
+        peak_estimate(&self.psd)
+    }
+
+    /// The most recent spectrum computed by either estimator (empty
+    /// before the first call). Exposed for diagnostics and tests.
+    pub fn last_spectrum(&self) -> &Periodogram {
+        &self.psd
+    }
+
+    /// Number of distinct transform plans currently cached.
+    pub fn plans_cached(&self) -> usize {
+        self.planner.plans_cached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::period::estimate_period;
+    use crate::welch::welch_estimate_period;
+
+    fn noisy_sine(n: usize, rate: f64, period_s: f64, noise: f64, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        (0..n)
+            .map(|i| {
+                250.0
+                    + 30.0 * (2.0 * std::f64::consts::PI * (i as f64 / rate) / period_s).sin()
+                    + noise * next()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn planned_estimate_matches_unplanned_closely() {
+        let mut a = PeriodAnalyzer::new();
+        for (n, rate, period) in [(30usize, 1.0, 10.0), (90, 1.0, 12.0), (120, 2.0, 8.0)] {
+            let x = noisy_sine(n, rate, period, 2.0, 42);
+            let old = estimate_period(&x, rate);
+            let new = a.estimate_period(Samples::contiguous(&x), rate);
+            match (old, new) {
+                (Some(o), Some(p)) => {
+                    assert!(
+                        (o.period_seconds - p.period_seconds).abs() < 1e-9,
+                        "n={n}: {} vs {}",
+                        o.period_seconds,
+                        p.period_seconds
+                    );
+                    assert!((o.confidence - p.confidence).abs() < 1e-9);
+                }
+                (o, p) => panic!("divergent options: {o:?} vs {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn planned_welch_matches_unplanned_closely() {
+        let mut a = PeriodAnalyzer::new();
+        let x = noisy_sine(512, 2.0, 10.0, 40.0, 7);
+        let old = welch_estimate_period(&x, 2.0, 128).expect("welch");
+        let new = a
+            .welch_estimate_period(Samples::contiguous(&x), 2.0, 128)
+            .expect("planned welch");
+        assert!((old.period_seconds - new.period_seconds).abs() < 1e-9);
+        assert!((old.confidence - new.confidence).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapped_view_matches_contiguous() {
+        let mut a = PeriodAnalyzer::new();
+        let x = noisy_sine(90, 1.0, 9.0, 1.0, 3);
+        let whole = a
+            .estimate_period(Samples::contiguous(&x), 1.0)
+            .expect("periodic");
+        for split in [1usize, 17, 45, 89] {
+            // Same logical sequence presented as two runs.
+            let head = &x[..split];
+            let tail = &x[split..];
+            let est = a
+                .estimate_period(Samples::new(head, tail), 1.0)
+                .expect("periodic");
+            assert_eq!(est.period_seconds.to_bits(), whole.period_seconds.to_bits());
+            assert_eq!(est.confidence.to_bits(), whole.confidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn gates_match_unplanned() {
+        let mut a = PeriodAnalyzer::new();
+        // Too short.
+        let short = [1.0; 6];
+        assert!(a
+            .estimate_period(Samples::contiguous(&short), 2.0)
+            .is_none());
+        // Flat.
+        let flat = [300.0; 64];
+        assert!(a.estimate_period(Samples::contiguous(&flat), 2.0).is_none());
+        // Bad rate.
+        let x = noisy_sine(64, 2.0, 8.0, 0.0, 1);
+        assert!(a.estimate_period(Samples::contiguous(&x), 0.0).is_none());
+        // Welch needs a full segment.
+        assert!(a
+            .welch_estimate_period(Samples::contiguous(&x), 2.0, 128)
+            .is_none());
+    }
+
+    #[test]
+    fn plan_cache_stops_growing() {
+        let mut a = PeriodAnalyzer::new();
+        let x = noisy_sine(90, 1.0, 10.0, 1.0, 5);
+        a.estimate_period(Samples::contiguous(&x), 1.0);
+        let after_first = a.plans_cached();
+        for _ in 0..10 {
+            a.estimate_period(Samples::contiguous(&x), 1.0);
+        }
+        assert_eq!(a.plans_cached(), after_first);
+    }
+}

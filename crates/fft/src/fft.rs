@@ -1,12 +1,24 @@
-//! Fast Fourier transforms.
+//! Fast Fourier transforms — the unplanned reference paths.
 //!
 //! * Power-of-two lengths: iterative radix-2 Cooley–Tukey with bit-reversal
-//!   permutation — O(n log n), no allocation beyond the twiddle table.
+//!   permutation — O(n log n). There is **no** twiddle table here: each
+//!   butterfly stage accumulates its twiddle incrementally (`w *= wlen`),
+//!   which re-derives every factor on every call and drifts by roughly one
+//!   ulp per accumulation step across a stage.
 //! * Arbitrary lengths: Bluestein's chirp-z algorithm, which re-expresses
 //!   the DFT as a convolution of length `>= 2n-1`, evaluated with the
-//!   radix-2 kernel. FPP's 30-second windows at a 2-second cadence are only
-//!   15 samples, so the arbitrary-length path is the one actually exercised
-//!   in production; the power-of-two path is the fast kernel underneath.
+//!   radix-2 kernel. This path allocates three length-`m` buffers (chirp,
+//!   `a`, `b`) per call and transforms the constant `b` kernel every time.
+//!   FPP's 30-second windows at a 2-second cadence are only 15 samples, so
+//!   the arbitrary-length path is the one actually exercised in production.
+//!
+//! The per-call costs above are deliberate: these functions are the
+//! simple, obviously-correct baseline that the planned kernels in
+//! [`crate::plan`] are cross-checked against (the same role
+//! `BaselineEngine` plays for the simulator core). Hot paths should use
+//! [`crate::FftPlanner`], which caches precomputed twiddle tables,
+//! bit-reversal tables, and Bluestein pre-transforms per length and runs
+//! allocation-free out of an [`crate::FftScratch`] arena.
 
 use crate::complex::Complex64;
 

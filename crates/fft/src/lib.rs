@@ -13,7 +13,17 @@
 //! * [`Periodogram`] — power spectral density estimate,
 //! * [`period`] — dominant-period estimation with parabolic peak
 //!   interpolation, plus an autocorrelation cross-check used by the test
-//!   suite and by FPP's "am I confident?" heuristic.
+//!   suite and by FPP's "am I confident?" heuristic,
+//! * [`plan`] — cached per-length FFT plans ([`FftPlanner`]) and the
+//!   [`FftScratch`] arena behind the allocation-free `_into` variants,
+//! * [`Samples`] — a two-run zero-copy view so ring-buffered traces are
+//!   analyzed in place,
+//! * [`PeriodAnalyzer`] — the planned, reusable front-end the FPP hot
+//!   path calls per GPU per epoch.
+//!
+//! The free functions above are the simple reference paths; hot paths use
+//! the planned stack, which is cross-checked against them by unit,
+//! property, and accuracy-regression tests.
 //!
 //! ```
 //! use fluxpm_fft::period::estimate_period;
@@ -27,16 +37,22 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod analyzer;
 pub mod complex;
 pub mod fft;
 pub mod period;
 pub mod periodogram;
+pub mod plan;
+pub mod samples;
 pub mod welch;
 pub mod window;
 
+pub use analyzer::PeriodAnalyzer;
 pub use complex::Complex64;
 pub use fft::{fft, fft_inplace, ifft, rfft};
 pub use period::{autocorr_period, estimate_period, PeriodEstimate};
 pub use periodogram::Periodogram;
-pub use welch::{welch, welch_estimate_period};
+pub use plan::{BluesteinPlan, FftPlanner, FftScratch, Radix2Plan, WindowTable};
+pub use samples::Samples;
+pub use welch::{welch, welch_estimate_period, welch_into};
 pub use window::Window;

@@ -35,14 +35,25 @@ pub fn estimate_period(samples: &[f64], sample_rate_hz: f64) -> Option<PeriodEst
         return None;
     }
     let p = Periodogram::compute(samples, sample_rate_hz, Window::Hann)?;
+    peak_estimate(&p)
+}
+
+/// Extract a [`PeriodEstimate`] from a computed spectrum: dominant bin,
+/// concentration gate, and parabolic interpolation over log-power of the
+/// three bins around the peak to refine the frequency beyond bin
+/// resolution.
+///
+/// This is the single shared peak extractor behind [`estimate_period`],
+/// [`crate::welch_estimate_period`], and the planned
+/// [`crate::PeriodAnalyzer`] — one op sequence, so all three produce
+/// bit-identical estimates from the same spectrum.
+pub(crate) fn peak_estimate(p: &Periodogram) -> Option<PeriodEstimate> {
     let k = p.dominant_bin()?;
     let confidence = p.peak_concentration(k);
     if confidence < 0.05 {
         return None;
     }
 
-    // Parabolic interpolation over log-power of the three bins around the
-    // peak refines the frequency beyond bin resolution.
     let refined_k = if k > 1 && k + 1 < p.power.len() {
         let eps = 1e-30;
         let l = (p.power[k - 1] + eps).ln();
@@ -59,7 +70,7 @@ pub fn estimate_period(samples: &[f64], sample_rate_hz: f64) -> Option<PeriodEst
         k as f64
     };
 
-    let frequency_hz = refined_k * sample_rate_hz / p.n as f64;
+    let frequency_hz = refined_k * p.sample_rate_hz / p.n as f64;
     if frequency_hz <= 0.0 {
         return None;
     }

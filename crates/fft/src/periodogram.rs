@@ -6,10 +6,12 @@
 //! and exposes the one-sided power spectrum with physical frequencies.
 
 use crate::fft::rfft;
+use crate::plan::{FftPlanner, FftScratch};
+use crate::samples::Samples;
 use crate::window::Window;
 
 /// One-sided power spectrum of a real signal.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Periodogram {
     /// Power at each retained bin (`k = 0 ..= n/2`).
     pub power: Vec<f64>,
@@ -22,6 +24,82 @@ pub struct Periodogram {
 }
 
 impl Periodogram {
+    /// An empty spectrum, for use as the reusable output of
+    /// [`Periodogram::compute_into`] — its vectors grow on first use and
+    /// keep their capacity across calls.
+    pub fn empty() -> Periodogram {
+        Periodogram {
+            power: Vec::new(),
+            freq_hz: Vec::new(),
+            sample_rate_hz: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Planned periodogram into a reusable output — the allocation-free
+    /// counterpart of [`Periodogram::compute`], reading straight from a
+    /// (possibly two-run) [`Samples`] view.
+    ///
+    /// Mean removal, windowing, normalization, and bin layout follow the
+    /// exact op sequence of [`Periodogram::compute`]; the only numerical
+    /// difference is the planned FFT kernel's precomputed twiddles (see
+    /// [`crate::plan`] for the accuracy contract). Returns `false`
+    /// (leaving `out` unspecified) exactly when [`Periodogram::compute`]
+    /// would return `None`.
+    pub fn compute_into(
+        samples: Samples<'_>,
+        sample_rate_hz: f64,
+        window: Window,
+        planner: &mut FftPlanner,
+        scratch: &mut FftScratch,
+        out: &mut Periodogram,
+    ) -> bool {
+        let n = samples.len();
+        if n < 4 || sample_rate_hz <= 0.0 {
+            return false;
+        }
+        let mean = samples.mean();
+
+        // Mean-remove and window into the reusable real buffer. The
+        // windowed path multiplies after the subtraction, matching
+        // `Window::apply` on a mean-removed copy op for op.
+        let mut re = std::mem::take(&mut scratch.re);
+        re.clear();
+        if matches!(window, Window::Rectangular) {
+            re.extend(samples.iter().map(|x| x - mean));
+        } else {
+            let table = planner.window(window, n);
+            re.extend(
+                samples
+                    .iter()
+                    .zip(table.coeffs().iter())
+                    .map(|(x, &c)| (x - mean) * c),
+            );
+        }
+        let mut spec = std::mem::take(&mut scratch.spec);
+        planner.rfft_into(&re, &mut spec, scratch);
+        scratch.re = re;
+
+        let half = n / 2;
+        let gain = planner.window(window, n).coherent_gain() * n as f64;
+        out.power.clear();
+        out.freq_hz.clear();
+        out.power.reserve(half + 1);
+        out.freq_hz.reserve(half + 1);
+        for (k, z) in spec.iter().take(half + 1).enumerate() {
+            let mut p = z.norm_sqr() / (gain * gain);
+            if k != 0 && !(n.is_multiple_of(2) && k == half) {
+                p *= 2.0;
+            }
+            out.power.push(p);
+            out.freq_hz.push(k as f64 * sample_rate_hz / n as f64);
+        }
+        out.sample_rate_hz = sample_rate_hz;
+        out.n = n;
+        scratch.spec = spec;
+        true
+    }
+
     /// Compute the periodogram of `samples` captured at `sample_rate_hz`.
     ///
     /// The mean is always subtracted before windowing. Returns `None` for

@@ -1,0 +1,589 @@
+//! Cached FFT plans and the scratch arena for allocation-free analysis.
+//!
+//! [`crate::fft_inplace`] and friends are correct but pay per call: the
+//! radix-2 kernel re-derives every twiddle through the numerically
+//! drifting `w *= wlen` accumulation, and the Bluestein chirp-z path
+//! allocates (and transforms) three fresh buffers. At production scale —
+//! thousands of nodes × 4–8 GPUs, Welch averaging over many overlapping
+//! segments per epoch — that per-call work *is* the analytics hot path.
+//!
+//! An [`FftPlanner`] amortizes all of it:
+//!
+//! * **Radix-2 plans** ([`Radix2Plan`]) carry a bit-reversal permutation
+//!   table and per-stage twiddle tables where each factor is computed
+//!   directly (`cis(-2πk/len)`, ~1 ulp) instead of accumulated (error
+//!   growing with the stage length) — the planned kernel is both faster
+//!   *and* tighter against the exact DFT (see `tests/accuracy.rs`).
+//! * **Bluestein plans** ([`BluesteinPlan`]) precompute the chirp table
+//!   and the *transformed* convolution kernel `FFT(b)` for both
+//!   directions, so each planned arbitrary-length transform runs two
+//!   table-driven power-of-two FFTs instead of three incremental ones,
+//!   with zero buffer allocation.
+//! * **Window tables** cache Hann/Hamming coefficient vectors and their
+//!   coherent gain per `(window, n)` — the periodogram's dominant cost
+//!   at small n was recomputing `cos` per sample per segment.
+//!
+//! All per-call storage lives in an [`FftScratch`] arena whose buffers
+//! are grown on first use and reused thereafter: after warm-up, planned
+//! transforms perform **zero steady-state allocations** (guarded by
+//! `tests/alloc_free.rs`, not just benchmarked).
+//!
+//! # Accuracy contract
+//!
+//! Planned and unplanned paths are cross-checked against each other and
+//! against an O(n²) reference by unit, property, and regression tests.
+//! They are *not* bit-identical: the planned kernel's direct twiddles
+//! are closer to the exact DFT than the incremental accumulation they
+//! replace, so the two paths differ by no more than their summed
+//! rounding error (observed ≤ 1e-12 relative at the lengths FPP uses;
+//! the planned path is the tighter of the two). Thresholded consumers —
+//! FPP's converge/reduce/give-back decisions — are byte-identical across
+//! both paths on every in-tree scenario (`tests/fpp_equivalence.rs` in
+//! `fluxpm-manager`).
+
+use crate::complex::Complex64;
+use crate::window::Window;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A radix-2 Cooley–Tukey plan for one power-of-two length: the
+/// bit-reversal permutation plus per-stage twiddle tables with each
+/// factor computed directly from `cis`.
+#[derive(Debug)]
+pub struct Radix2Plan {
+    n: usize,
+    /// `swap[i] = j` pairs with `j > i` (the only swaps performed).
+    bitrev: Vec<(u32, u32)>,
+    /// Forward twiddles, flattened per stage: stage `len` (2, 4, …, n)
+    /// occupies `twiddles[len/2 - 1 .. len - 1]` with
+    /// `twiddles[len/2 - 1 + k] = cis(-2πk/len)`.
+    twiddles: Vec<Complex64>,
+}
+
+impl Radix2Plan {
+    /// Build a plan for length `n`. Panics unless `n` is a power of two.
+    pub fn new(n: usize) -> Radix2Plan {
+        assert!(
+            crate::fft::is_power_of_two(n),
+            "radix-2 plan requires power-of-two length, got {n}"
+        );
+        let mut bitrev = Vec::new();
+        if n > 1 {
+            let bits = n.trailing_zeros();
+            for i in 0..n {
+                let j = i.reverse_bits() >> (usize::BITS - bits);
+                if j > i {
+                    bitrev.push((i as u32, j as u32));
+                }
+            }
+        }
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            for k in 0..len / 2 {
+                twiddles.push(Complex64::cis(ang * k as f64));
+            }
+            len <<= 1;
+        }
+        Radix2Plan {
+            n,
+            bitrev,
+            twiddles,
+        }
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate 1-point plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place FFT of exactly `self.len()` points. `inverse` selects
+    /// the inverse transform including the 1/n scaling (conjugated
+    /// twiddles — exact, since `cis(-θ)` and `cis(θ)` differ only in
+    /// the sign of the imaginary part).
+    pub fn process(&self, buf: &mut [Complex64], inverse: bool) {
+        self.run(buf, inverse);
+        if inverse {
+            let inv_n = 1.0 / self.n as f64;
+            for z in buf.iter_mut() {
+                *z = z.scale(inv_n);
+            }
+        }
+    }
+
+    /// The butterfly passes without the inverse 1/n scaling. Bluestein
+    /// convolution uses this directly, folding the (power-of-two, hence
+    /// bitwise-exact) 1/m factor into its precomputed kernel instead of
+    /// paying an extra scaling sweep per transform.
+    pub(crate) fn run(&self, buf: &mut [Complex64], inverse: bool) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "plan is for length {n}, got {}", buf.len());
+        if n <= 1 {
+            return;
+        }
+        for &(i, j) in &self.bitrev {
+            buf.swap(i as usize, j as usize);
+        }
+        // Stage len = 2: the lone twiddle is exactly 1 (forward and
+        // inverse alike) — pure add/sub butterflies, no multiply.
+        for pair in buf.chunks_exact_mut(2) {
+            let (u, v) = (pair[0], pair[1]);
+            pair[0] = u + v;
+            pair[1] = u - v;
+        }
+        let mut len = 4;
+        while len <= n {
+            let half = len / 2;
+            let stage = &self.twiddles[half - 1..len - 1];
+            // Split each block into halves and walk them in lockstep:
+            // no index arithmetic or bounds checks in the butterfly,
+            // and the direction branch is hoisted out of the hot loop.
+            for block in buf.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                if inverse {
+                    for ((u, v), &tw) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+                        let t = *v * tw.conj();
+                        let a = *u;
+                        *u = a + t;
+                        *v = a - t;
+                    }
+                } else {
+                    for ((u, v), &tw) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+                        let t = *v * tw;
+                        let a = *u;
+                        *u = a + t;
+                        *v = a - t;
+                    }
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// A Bluestein chirp-z plan for one arbitrary length: the chirp table
+/// and the pre-transformed convolution kernels for both directions.
+#[derive(Debug)]
+pub struct BluesteinPlan {
+    n: usize,
+    /// Power-of-two convolution length `m >= 2n - 1`.
+    m: usize,
+    /// Forward chirp `cis(-π k² mod 2n / n)`; the inverse chirp is its
+    /// conjugate.
+    chirp: Vec<Complex64>,
+    /// `FFT(b) / m` for the forward transform (`b[k] = conj(chirp[|k|])`).
+    /// The 1/m factor of the convolution's inverse FFT is folded in at
+    /// build time — bitwise exact, since m is a power of two.
+    b_fft_fwd: Vec<Complex64>,
+    /// `FFT(b) / m` for the inverse transform (`b[k] = chirp[|k|]`).
+    b_fft_inv: Vec<Complex64>,
+    /// The radix-2 plan for length `m` (shared with the planner cache).
+    inner: Rc<Radix2Plan>,
+}
+
+impl BluesteinPlan {
+    fn new(n: usize, inner: Rc<Radix2Plan>) -> BluesteinPlan {
+        debug_assert!(n >= 1);
+        let m = inner.len();
+        debug_assert!(m >= 2 * n - 1);
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let k2 = (k as u64 * k as u64) % (2 * n as u64);
+                Complex64::cis(-std::f64::consts::PI * k2 as f64 / n as f64)
+            })
+            .collect();
+        let mut b_fft_fwd = vec![Complex64::ZERO; m];
+        let mut b_fft_inv = vec![Complex64::ZERO; m];
+        b_fft_fwd[0] = chirp[0].conj();
+        b_fft_inv[0] = chirp[0];
+        for k in 1..n {
+            b_fft_fwd[k] = chirp[k].conj();
+            b_fft_fwd[m - k] = chirp[k].conj();
+            b_fft_inv[k] = chirp[k];
+            b_fft_inv[m - k] = chirp[k];
+        }
+        inner.process(&mut b_fft_fwd, false);
+        inner.process(&mut b_fft_inv, false);
+        // Pre-scale by 1/m so `convolve` can run its inverse FFT as
+        // unscaled butterfly passes. Exact: multiplying by a power of
+        // two only adjusts exponents, so the pointwise products below
+        // are bit-identical to scaling after the transform.
+        let inv_m = 1.0 / m as f64;
+        for z in b_fft_fwd.iter_mut().chain(b_fft_inv.iter_mut()) {
+            *z = z.scale(inv_m);
+        }
+        BluesteinPlan {
+            n,
+            m,
+            chirp,
+            b_fft_fwd,
+            b_fft_inv,
+            inner,
+        }
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate 0-point plan (never built in practice).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The chirp factor for output bin `k` (`k < n`), direction-adjusted.
+    fn out_chirp(&self, k: usize, inverse: bool) -> Complex64 {
+        if inverse {
+            self.chirp[k].conj()
+        } else {
+            self.chirp[k]
+        }
+    }
+
+    /// Run the chirp-z convolution over `scratch` (resized to `m`) from
+    /// an input accessor, leaving the *pre-chirp* convolution output in
+    /// `scratch[..n]`; callers multiply by [`BluesteinPlan::out_chirp`]
+    /// and, for the inverse, scale by 1/n.
+    fn convolve(
+        &self,
+        scratch: &mut Vec<Complex64>,
+        inverse: bool,
+        input: impl Fn(usize) -> Complex64,
+    ) {
+        scratch.clear();
+        scratch.resize(self.m, Complex64::ZERO);
+        for (k, (slot, &chirp)) in scratch.iter_mut().zip(self.chirp.iter()).enumerate() {
+            let c = if inverse { chirp.conj() } else { chirp };
+            *slot = input(k) * c;
+        }
+        self.inner.process(scratch, false);
+        let b = if inverse {
+            &self.b_fft_inv
+        } else {
+            &self.b_fft_fwd
+        };
+        for (x, y) in scratch.iter_mut().zip(b.iter()) {
+            *x *= *y;
+        }
+        // Unscaled inverse: the 1/m factor is already in `b`.
+        self.inner.run(scratch, true);
+    }
+}
+
+/// A cached Hann/Hamming/rectangular coefficient table plus its
+/// coherent gain — values identical to [`Window::coefficient`] /
+/// [`Window::coherent_gain`] (same formula, same summation order).
+#[derive(Debug)]
+pub struct WindowTable {
+    coeffs: Vec<f64>,
+    coherent_gain: f64,
+}
+
+impl WindowTable {
+    fn new(window: Window, n: usize) -> WindowTable {
+        let coeffs: Vec<f64> = (0..n).map(|i| window.coefficient(i, n)).collect();
+        let coherent_gain = coeffs.iter().sum::<f64>() / n.max(1) as f64;
+        WindowTable {
+            coeffs,
+            coherent_gain,
+        }
+    }
+
+    /// Coefficient vector (`len() == n`).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Mean coefficient, as [`Window::coherent_gain`] computes it.
+    pub fn coherent_gain(&self) -> f64 {
+        self.coherent_gain
+    }
+}
+
+/// Reusable per-call buffers for planned transforms. Buffers grow to
+/// the largest size seen and are then reused — steady state performs no
+/// allocation.
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    /// Main complex work buffer (the in-place transform target).
+    pub(crate) a: Vec<Complex64>,
+    /// Secondary complex buffer (Bluestein convolution workspace).
+    pub(crate) b: Vec<Complex64>,
+    /// Real work buffer (mean-removed, windowed samples).
+    pub(crate) re: Vec<f64>,
+    /// Complex spectrum buffer (planned periodogram output).
+    pub(crate) spec: Vec<Complex64>,
+}
+
+impl FftScratch {
+    /// An empty arena; buffers are grown on first use.
+    pub fn new() -> FftScratch {
+        FftScratch::default()
+    }
+}
+
+/// Key for the window-table cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WindowKey(Window, usize);
+
+/// A per-length plan cache. One planner (plus one [`FftScratch`]) is
+/// meant to be shared across every analysis a component runs — e.g. all
+/// FPP controllers of a node share a single planner, so 4–8 GPU traces
+/// per epoch reuse the same tables.
+///
+/// ```
+/// use fluxpm_fft::{FftPlanner, FftScratch};
+/// use fluxpm_fft::Complex64;
+///
+/// let mut planner = FftPlanner::new();
+/// let mut scratch = FftScratch::new();
+/// let signal: Vec<Complex64> = (0..15)
+///     .map(|i| Complex64::real((i as f64 * 0.9).sin()))
+///     .collect();
+/// let mut out = Vec::new();
+/// planner.fft_into(&signal, &mut out, &mut scratch);   // plans cached
+/// let reference = fluxpm_fft::fft(&signal);
+/// for (a, b) in out.iter().zip(reference.iter()) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct FftPlanner {
+    radix2: HashMap<usize, Rc<Radix2Plan>>,
+    bluestein: HashMap<usize, Rc<BluesteinPlan>>,
+    windows: HashMap<WindowKey, Rc<WindowTable>>,
+}
+
+impl FftPlanner {
+    /// An empty planner; plans are built on first use and cached.
+    pub fn new() -> FftPlanner {
+        FftPlanner::default()
+    }
+
+    /// The cached radix-2 plan for power-of-two `n` (built on miss).
+    pub fn radix2(&mut self, n: usize) -> Rc<Radix2Plan> {
+        Rc::clone(
+            self.radix2
+                .entry(n)
+                .or_insert_with(|| Rc::new(Radix2Plan::new(n))),
+        )
+    }
+
+    /// The cached Bluestein plan for arbitrary `n >= 1` (built on miss).
+    pub fn bluestein(&mut self, n: usize) -> Rc<BluesteinPlan> {
+        if let Some(p) = self.bluestein.get(&n) {
+            return Rc::clone(p);
+        }
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = self.radix2(m);
+        let plan = Rc::new(BluesteinPlan::new(n, inner));
+        self.bluestein.insert(n, Rc::clone(&plan));
+        plan
+    }
+
+    /// The cached window table for `(window, n)` (built on miss).
+    pub fn window(&mut self, window: Window, n: usize) -> Rc<WindowTable> {
+        Rc::clone(
+            self.windows
+                .entry(WindowKey(window, n))
+                .or_insert_with(|| Rc::new(WindowTable::new(window, n))),
+        )
+    }
+
+    /// Number of distinct (radix-2 + Bluestein) transform plans cached.
+    pub fn plans_cached(&self) -> usize {
+        self.radix2.len() + self.bluestein.len()
+    }
+
+    /// Planned forward DFT of arbitrary length into `out` (cleared and
+    /// refilled; no allocation once `out` and the scratch have grown).
+    pub fn fft_into(&mut self, input: &[Complex64], out: &mut Vec<Complex64>, s: &mut FftScratch) {
+        self.transform_into(input, out, s, false);
+    }
+
+    /// Planned inverse DFT (with 1/n scaling) into `out`.
+    pub fn ifft_into(&mut self, input: &[Complex64], out: &mut Vec<Complex64>, s: &mut FftScratch) {
+        self.transform_into(input, out, s, true);
+    }
+
+    fn transform_into(
+        &mut self,
+        input: &[Complex64],
+        out: &mut Vec<Complex64>,
+        s: &mut FftScratch,
+        inverse: bool,
+    ) {
+        let n = input.len();
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        if crate::fft::is_power_of_two(n) {
+            out.extend_from_slice(input);
+            self.radix2(n).process(out, inverse);
+            return;
+        }
+        let plan = self.bluestein(n);
+        plan.convolve(&mut s.a, inverse, |k| input[k]);
+        let inv_n = 1.0 / n as f64;
+        for k in 0..n {
+            let z = s.a[k] * plan.out_chirp(k, inverse);
+            out.push(if inverse { z.scale(inv_n) } else { z });
+        }
+    }
+
+    /// Planned forward DFT of a real signal into `out` — the planned
+    /// counterpart of [`crate::rfft`]. Returns all `n` bins.
+    pub fn rfft_into(&mut self, input: &[f64], out: &mut Vec<Complex64>, s: &mut FftScratch) {
+        let n = input.len();
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        if crate::fft::is_power_of_two(n) {
+            out.extend(input.iter().map(|&x| Complex64::real(x)));
+            self.radix2(n).process(out, false);
+            return;
+        }
+        let plan = self.bluestein(n);
+        plan.convolve(&mut s.b, false, |k| Complex64::real(input[k]));
+        // Move the convolution result out through `s.b` so `s.a` stays
+        // free for callers layering transforms; `out` gets the chirped
+        // bins.
+        for k in 0..n {
+            out.push(s.b[k] * plan.out_chirp(k, false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{fft, ifft, rfft};
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin() + 0.3, (i as f64 * 1.3).cos()))
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        let scale = b.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (*x - *y).abs() <= tol * scale,
+                "bin {i}: {x:?} vs {y:?} (|diff|={}, scale {scale})",
+                (*x - *y).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn planned_matches_unplanned_forward_and_inverse() {
+        let mut planner = FftPlanner::new();
+        let mut s = FftScratch::new();
+        let mut out = Vec::new();
+        for n in [1usize, 2, 3, 5, 7, 8, 15, 16, 30, 64, 100, 117, 128] {
+            let x = signal(n);
+            planner.fft_into(&x, &mut out, &mut s);
+            assert_close(&out, &fft(&x), 1e-12);
+            planner.ifft_into(&x, &mut out, &mut s);
+            assert_close(&out, &ifft(&x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn planned_rfft_matches_unplanned() {
+        let mut planner = FftPlanner::new();
+        let mut s = FftScratch::new();
+        let mut out = Vec::new();
+        for n in [8usize, 15, 30, 64, 90, 128] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| 250.0 + 30.0 * (i as f64 * 0.6).sin())
+                .collect();
+            planner.rfft_into(&x, &mut out, &mut s);
+            assert_close(&out, &rfft(&x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn planned_round_trip() {
+        let mut planner = FftPlanner::new();
+        let mut s = FftScratch::new();
+        let (mut spec, mut back) = (Vec::new(), Vec::new());
+        for n in [5usize, 12, 16, 33, 90] {
+            let x = signal(n);
+            planner.fft_into(&x, &mut spec, &mut s);
+            planner.ifft_into(&spec, &mut back, &mut s);
+            assert_close(&back, &x, 1e-11);
+        }
+    }
+
+    #[test]
+    fn plans_are_cached_and_shared() {
+        let mut planner = FftPlanner::new();
+        let p1 = planner.radix2(64);
+        let p2 = planner.radix2(64);
+        assert!(Rc::ptr_eq(&p1, &p2));
+        let b1 = planner.bluestein(15);
+        let b2 = planner.bluestein(15);
+        assert!(Rc::ptr_eq(&b1, &b2));
+        // Bluestein(15) shares the radix-2 plan for its m = 32.
+        let m = planner.radix2(32);
+        assert!(Rc::ptr_eq(&b1.inner, &m));
+        assert_eq!(planner.plans_cached(), 3);
+        let w1 = planner.window(Window::Hann, 90);
+        let w2 = planner.window(Window::Hann, 90);
+        assert!(Rc::ptr_eq(&w1, &w2));
+    }
+
+    #[test]
+    fn window_table_matches_direct_evaluation() {
+        let mut planner = FftPlanner::new();
+        for w in [Window::Rectangular, Window::Hann, Window::Hamming] {
+            for n in [1usize, 2, 15, 90] {
+                let t = planner.window(w, n);
+                assert_eq!(t.coeffs().len(), n);
+                for (i, &c) in t.coeffs().iter().enumerate() {
+                    assert_eq!(c, w.coefficient(i, n), "{w:?} n={n} i={i}");
+                }
+                assert_eq!(t.coherent_gain(), w.coherent_gain(n));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_lengths() {
+        let mut planner = FftPlanner::new();
+        let mut s = FftScratch::new();
+        let mut out = Vec::new();
+        planner.fft_into(&[], &mut out, &mut s);
+        assert!(out.is_empty());
+        let one = [Complex64::new(3.0, 1.0)];
+        planner.fft_into(&one, &mut out, &mut s);
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - one[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn radix2_plan_rejects_non_power_of_two() {
+        Radix2Plan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan is for length")]
+    fn radix2_plan_rejects_length_mismatch() {
+        let plan = Radix2Plan::new(8);
+        let mut buf = vec![Complex64::ZERO; 4];
+        plan.process(&mut buf, false);
+    }
+}

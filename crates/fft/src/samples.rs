@@ -1,0 +1,184 @@
+//! Zero-copy sample views over (possibly wrapped) ring storage.
+//!
+//! The FPP hot path reads each GPU's epoch buffer straight out of a
+//! circular buffer. A wrapped ring exposes its contents as two
+//! contiguous runs; [`Samples`] stitches them back into one logical
+//! sequence so the planned analytics ([`crate::PeriodAnalyzer`]) can
+//! window, segment, and reduce the trace without materializing a `Vec`
+//! per GPU per epoch.
+//!
+//! Iteration order is oldest → newest (`head` first, then `tail`), and
+//! every reduction ([`Samples::mean`], the windowed copy in
+//! [`crate::Periodogram::compute_into`]) visits elements in exactly
+//! that order — so results are bit-identical to the same computation
+//! over a contiguous copy.
+
+/// A read-only view of a sample sequence stored as (up to) two
+/// contiguous slices, in logical order `head ++ tail`.
+///
+/// ```
+/// use fluxpm_fft::Samples;
+///
+/// // A wrapped ring holding logically [1., 2., 3., 4.]:
+/// let v = Samples::new(&[1.0, 2.0], &[3.0, 4.0]);
+/// assert_eq!(v.len(), 4);
+/// assert_eq!(v.get(2), 3.0);
+/// assert_eq!(v.iter().sum::<f64>(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Samples<'a> {
+    head: &'a [f64],
+    tail: &'a [f64],
+}
+
+impl<'a> Samples<'a> {
+    /// View over two runs in logical order (`head` oldest).
+    pub fn new(head: &'a [f64], tail: &'a [f64]) -> Samples<'a> {
+        Samples { head, tail }
+    }
+
+    /// View over one contiguous slice.
+    pub fn contiguous(samples: &'a [f64]) -> Samples<'a> {
+        Samples {
+            head: samples,
+            tail: &[],
+        }
+    }
+
+    /// Total sample count.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    /// True when the view holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.tail.is_empty()
+    }
+
+    /// The two underlying runs, in logical order.
+    pub fn as_slices(&self) -> (&'a [f64], &'a [f64]) {
+        (self.head, self.tail)
+    }
+
+    /// The sample at logical index `i`. Panics when out of bounds.
+    pub fn get(&self, i: usize) -> f64 {
+        if i < self.head.len() {
+            self.head[i]
+        } else {
+            self.tail[i - self.head.len()]
+        }
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        self.head.iter().chain(self.tail.iter()).copied()
+    }
+
+    /// Sub-view of `len` samples starting at logical index `start` —
+    /// what Welch segmentation uses to walk overlapping windows without
+    /// copying. Panics when the range is out of bounds.
+    pub fn segment(&self, start: usize, len: usize) -> Samples<'a> {
+        let end = start
+            .checked_add(len)
+            .expect("segment range overflows usize");
+        assert!(
+            end <= self.len(),
+            "segment {start}..{end} out of bounds for {} samples",
+            self.len()
+        );
+        let h = self.head.len();
+        if end <= h {
+            Samples::contiguous(&self.head[start..end])
+        } else if start >= h {
+            Samples::contiguous(&self.tail[start - h..end - h])
+        } else {
+            Samples::new(&self.head[start..], &self.tail[..end - h])
+        }
+    }
+
+    /// Arithmetic mean over the view, summed oldest → newest — the same
+    /// association order as `slice.iter().sum()` over a contiguous copy,
+    /// so the result is bit-identical to the copied path. Returns 0 for
+    /// an empty view (matching the FPP controller's convention).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.iter().sum();
+        sum / self.len() as f64
+    }
+}
+
+impl<'a> From<&'a [f64]> for Samples<'a> {
+    fn from(samples: &'a [f64]) -> Samples<'a> {
+        Samples::contiguous(samples)
+    }
+}
+
+impl<'a> From<(&'a [f64], &'a [f64])> for Samples<'a> {
+    fn from((head, tail): (&'a [f64], &'a [f64])) -> Samples<'a> {
+        Samples::new(head, tail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_order_spans_both_runs() {
+        let v = Samples::new(&[1.0, 2.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(v.len(), 5);
+        assert!(!v.is_empty());
+        let collected: Vec<f64> = v.iter().collect();
+        assert_eq!(collected, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        for (i, want) in collected.iter().enumerate() {
+            assert_eq!(v.get(i), *want);
+        }
+    }
+
+    #[test]
+    fn contiguous_has_empty_tail() {
+        let xs = [7.0, 8.0];
+        let v = Samples::contiguous(&xs);
+        assert_eq!(v.as_slices(), (&xs[..], &[][..]));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn segment_within_head_within_tail_and_spanning() {
+        let v = Samples::new(&[0.0, 1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        let all: Vec<f64> = v.iter().collect();
+        for start in 0..all.len() {
+            for len in 0..=(all.len() - start) {
+                let seg = v.segment(start, len);
+                let got: Vec<f64> = seg.iter().collect();
+                assert_eq!(got, &all[start..start + len], "seg {start}+{len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn segment_rejects_overrun() {
+        Samples::new(&[1.0], &[2.0]).segment(1, 2);
+    }
+
+    #[test]
+    fn mean_matches_contiguous_sum_bitwise() {
+        let xs: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() * 251.0).collect();
+        for split in 0..xs.len() {
+            let v = Samples::new(&xs[split..], &xs[..split]);
+            let rotated: Vec<f64> = v.iter().collect();
+            let copied = rotated.iter().sum::<f64>() / rotated.len() as f64;
+            assert_eq!(v.mean(), copied, "split {split}");
+        }
+    }
+
+    #[test]
+    fn empty_view_mean_is_zero() {
+        let v = Samples::new(&[], &[]);
+        assert!(v.is_empty());
+        assert_eq!(v.mean(), 0.0);
+    }
+}

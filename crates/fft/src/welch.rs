@@ -8,6 +8,8 @@
 
 use crate::period::PeriodEstimate;
 use crate::periodogram::Periodogram;
+use crate::plan::{FftPlanner, FftScratch};
+use crate::samples::Samples;
 use crate::window::Window;
 
 /// Welch PSD estimate: segments of `segment_len` samples with 50 %
@@ -52,34 +54,70 @@ pub fn welch_estimate_period(
     segment_len: usize,
 ) -> Option<PeriodEstimate> {
     let p = welch(samples, sample_rate_hz, segment_len)?;
-    let k = p.dominant_bin()?;
-    let confidence = p.peak_concentration(k);
-    if confidence < 0.05 {
-        return None;
+    crate::period::peak_estimate(&p)
+}
+
+/// Planned Welch PSD into a reusable accumulator — the allocation-free
+/// counterpart of [`welch`], with identical segmentation (50 % overlap),
+/// windowing, bin-wise accumulation order, and averaging.
+///
+/// `out` receives the averaged spectrum; `seg` is a second reusable
+/// periodogram used as the per-segment workspace. Returns `false` (leaving
+/// `out` unspecified) exactly when [`welch`] would return `None`.
+pub fn welch_into(
+    samples: Samples<'_>,
+    sample_rate_hz: f64,
+    segment_len: usize,
+    planner: &mut FftPlanner,
+    scratch: &mut FftScratch,
+    seg: &mut Periodogram,
+    out: &mut Periodogram,
+) -> bool {
+    if segment_len < 8 || samples.len() < segment_len || sample_rate_hz <= 0.0 {
+        return false;
     }
-    let refined_k = if k > 1 && k + 1 < p.power.len() {
-        let eps = 1e-30;
-        let l = (p.power[k - 1] + eps).ln();
-        let c = (p.power[k] + eps).ln();
-        let r = (p.power[k + 1] + eps).ln();
-        let denom = l - 2.0 * c + r;
-        if denom.abs() > 1e-12 {
-            k as f64 + (0.5 * (l - r) / denom).clamp(-0.5, 0.5)
+    let hop = (segment_len / 2).max(1);
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + segment_len <= samples.len() {
+        let piece = samples.segment(start, segment_len);
+        if segments == 0 {
+            if !Periodogram::compute_into(
+                piece,
+                sample_rate_hz,
+                Window::Hann,
+                planner,
+                scratch,
+                out,
+            ) {
+                return false;
+            }
         } else {
-            k as f64
+            if !Periodogram::compute_into(
+                piece,
+                sample_rate_hz,
+                Window::Hann,
+                planner,
+                scratch,
+                seg,
+            ) {
+                return false;
+            }
+            for (dst, src) in out.power.iter_mut().zip(seg.power.iter()) {
+                *dst += *src;
+            }
         }
-    } else {
-        k as f64
-    };
-    let frequency_hz = refined_k * sample_rate_hz / p.n as f64;
-    if frequency_hz <= 0.0 {
-        return None;
+        segments += 1;
+        start += hop;
     }
-    Some(PeriodEstimate {
-        period_seconds: 1.0 / frequency_hz,
-        frequency_hz,
-        confidence,
-    })
+    if segments == 0 {
+        return false;
+    }
+    let k = segments as f64;
+    for p in &mut out.power {
+        *p /= k;
+    }
+    true
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! defaults to Hann.
 
 /// A window function applied to a sample buffer before the FFT.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Window {
     /// No taper (all ones).
     Rectangular,

@@ -1,0 +1,122 @@
+//! FFT accuracy regression: the planned radix-2 kernel (precomputed
+//! twiddle tables) must be *tighter* against the exact DFT than the
+//! incremental-twiddle kernel it replaces.
+//!
+//! The unplanned `fft_inplace` accumulates each stage's twiddle as
+//! `w *= wlen`, compounding roughly one ulp per butterfly across a
+//! stage; the planned kernel evaluates every factor directly with
+//! `cis`, so its per-factor error is a fixed ~1 ulp regardless of
+//! stage length. At n = 1024/4096 the difference is measurable, and
+//! this test pins it so a regression back to accumulated twiddles (or a
+//! sloppy table construction) fails loudly.
+//!
+//! The reference is a naive O(n²) DFT with two upgrades over
+//! `fluxpm_fft::naive_dft` that matter at these lengths: exact phase
+//! indexing through `k*t mod n` on a precomputed phasor table (no phase
+//! error growth), and Kahan-compensated summation (otherwise the
+//! reference's own rounding error at n = 4096 would swamp the
+//! difference we are trying to measure).
+
+use fluxpm_fft::{fft_inplace, Complex64, FftPlanner, FftScratch};
+
+/// Naive DFT with a precomputed phasor table and Kahan-compensated
+/// accumulation — accurate enough to serve as ground truth at n = 4096.
+fn reference_dft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    let table: Vec<Complex64> = (0..n)
+        .map(|j| Complex64::cis(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut sum_re = 0.0f64;
+        let mut sum_im = 0.0f64;
+        let mut c_re = 0.0f64;
+        let mut c_im = 0.0f64;
+        for (t, &x) in input.iter().enumerate() {
+            let w = table[k * t % n];
+            let z = x * w;
+            // Kahan: y = z - c; t = sum + y; c = (t - sum) - y; sum = t.
+            let y_re = z.re - c_re;
+            let t_re = sum_re + y_re;
+            c_re = (t_re - sum_re) - y_re;
+            sum_re = t_re;
+            let y_im = z.im - c_im;
+            let t_im = sum_im + y_im;
+            c_im = (t_im - sum_im) - y_im;
+            sum_im = t_im;
+        }
+        out.push(Complex64::new(sum_re, sum_im));
+    }
+    out
+}
+
+fn signal(n: usize) -> Vec<Complex64> {
+    // Deterministic, broadband, power-trace-like: DC offset plus several
+    // incommensurate tones plus LCG noise.
+    let mut state = 0x5DEECE66Du64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let re = 250.0 + 30.0 * (t * 0.0721).sin() + 11.0 * (t * 0.3117).cos() + 4.0 * next();
+            let im = 2.0 * next();
+            Complex64::new(re, im)
+        })
+        .collect()
+}
+
+/// Max absolute bin error against the reference, normalized by the
+/// largest reference bin magnitude.
+fn max_rel_error(got: &[Complex64], want: &[Complex64]) -> f64 {
+    let scale = want.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+    got.iter()
+        .zip(want.iter())
+        .map(|(a, b)| (*a - *b).abs())
+        .fold(0.0f64, f64::max)
+        / scale
+}
+
+#[test]
+fn planned_radix2_is_tighter_than_incremental_twiddles() {
+    let mut planner = FftPlanner::new();
+    let mut scratch = FftScratch::new();
+    let mut planned = Vec::new();
+    for n in [1024usize, 4096] {
+        let x = signal(n);
+        let reference = reference_dft(&x);
+
+        planner.fft_into(&x, &mut planned, &mut scratch);
+        let mut incremental = x.clone();
+        fft_inplace(&mut incremental, false);
+
+        let err_planned = max_rel_error(&planned, &reference);
+        let err_incremental = max_rel_error(&incremental, &reference);
+
+        // Absolute regression pin: the planned kernel stays well inside
+        // the documented 1e-12 relative contract.
+        assert!(
+            err_planned < 1e-13,
+            "n={n}: planned error {err_planned:.3e} exceeds pin"
+        );
+        // The headline property: direct twiddles beat accumulation.
+        assert!(
+            err_planned < err_incremental,
+            "n={n}: planned {err_planned:.3e} not tighter than incremental {err_incremental:.3e}"
+        );
+    }
+}
+
+#[test]
+fn reference_dft_self_check() {
+    // The compensated reference must agree with the in-tree naive DFT at
+    // a small length where both are trustworthy.
+    let x = signal(64);
+    let a = reference_dft(&x);
+    let b = fluxpm_fft::fft::naive_dft(&x, false);
+    for (i, (p, q)) in a.iter().zip(b.iter()).enumerate() {
+        assert!((*p - *q).abs() < 1e-9, "bin {i}");
+    }
+}

@@ -1,8 +1,9 @@
 //! Property-based tests for the FFT crate.
 
-use fluxpm_fft::fft::{fft, ifft, naive_dft};
+use fluxpm_fft::fft::{fft, ifft, naive_dft, rfft};
 use fluxpm_fft::period::estimate_period;
-use fluxpm_fft::Complex64;
+use fluxpm_fft::welch::welch_estimate_period;
+use fluxpm_fft::{Complex64, FftPlanner, FftScratch, PeriodAnalyzer, Samples};
 use proptest::prelude::*;
 
 fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
@@ -79,5 +80,75 @@ proptest! {
         let got = est.unwrap().period_seconds;
         let want = period_samples / rate;
         prop_assert!((got - want).abs() / want < 0.15, "want {want}, got {got}");
+    }
+
+    /// Planned transforms agree with the unplanned reference paths to
+    /// within the documented tolerance, for arbitrary lengths and values.
+    #[test]
+    fn planned_fft_matches_unplanned(x in complex_vec(160)) {
+        let mut planner = FftPlanner::new();
+        let mut scratch = FftScratch::new();
+        let mut out = Vec::new();
+        let scale = x.iter().map(|z| z.abs()).sum::<f64>().max(1.0);
+
+        planner.fft_into(&x, &mut out, &mut scratch);
+        for (a, b) in out.iter().zip(fft(&x).iter()) {
+            prop_assert!((*a - *b).abs() < 1e-12 * scale, "fwd {a:?} vs {b:?}");
+        }
+        planner.ifft_into(&x, &mut out, &mut scratch);
+        for (a, b) in out.iter().zip(ifft(&x).iter()) {
+            prop_assert!((*a - *b).abs() < 1e-12 * scale, "inv {a:?} vs {b:?}");
+        }
+    }
+
+    /// Planned real FFT agrees with the unplanned `rfft`.
+    #[test]
+    fn planned_rfft_matches_unplanned(xs in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut planner = FftPlanner::new();
+        let mut scratch = FftScratch::new();
+        let mut out = Vec::new();
+        let scale = xs.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        planner.rfft_into(&xs, &mut out, &mut scratch);
+        for (a, b) in out.iter().zip(rfft(&xs).iter()) {
+            prop_assert!((*a - *b).abs() < 1e-12 * scale, "{a:?} vs {b:?}");
+        }
+    }
+
+    /// The planned analyzer and the unplanned free functions agree on the
+    /// period estimate (presence and value) for arbitrary noisy periodic
+    /// signals, with the samples presented through an arbitrarily split
+    /// two-run view.
+    #[test]
+    fn planned_estimator_matches_unplanned(
+        period_samples in 4.0f64..20.0,
+        n in 16usize..256,
+        amp in 0.0f64..100.0,
+        dc in 0.0f64..1000.0,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let rate = 1.0;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| dc + amp * (2.0 * std::f64::consts::PI * i as f64 / period_samples).sin())
+            .collect();
+        let split = ((n as f64 * split_frac) as usize).min(n);
+        let view = Samples::new(&xs[..split], &xs[split..]);
+        let mut analyzer = PeriodAnalyzer::new();
+
+        let old = estimate_period(&xs, rate);
+        let new = analyzer.estimate_period(view, rate);
+        prop_assert_eq!(old.is_some(), new.is_some(), "gate divergence: {:?} vs {:?}", old, new);
+        if let (Some(o), Some(p)) = (old, new) {
+            prop_assert!((o.period_seconds - p.period_seconds).abs() <= 1e-6 * o.period_seconds.abs().max(1.0));
+            prop_assert!((o.confidence - p.confidence).abs() <= 1e-6);
+        }
+
+        let seg = (n / 2).max(8);
+        let old_w = welch_estimate_period(&xs, rate, seg);
+        let new_w = analyzer.welch_estimate_period(view, rate, seg);
+        prop_assert_eq!(old_w.is_some(), new_w.is_some(), "welch gate divergence");
+        if let (Some(o), Some(p)) = (old_w, new_w) {
+            prop_assert!((o.period_seconds - p.period_seconds).abs() <= 1e-6 * o.period_seconds.abs().max(1.0));
+            prop_assert!((o.confidence - p.confidence).abs() <= 1e-6);
+        }
     }
 }

@@ -119,25 +119,35 @@ impl NodeHardware {
 
     /// Resolve the current demand into actual draw under the current caps.
     pub fn draw(&mut self) -> PowerDraw {
-        if let Some(d) = &self.cached_draw {
-            return d.clone();
+        self.draw_ref().clone()
+    }
+
+    /// Like [`NodeHardware::draw`], but returns a reference into the resolution
+    /// cache instead of cloning it — the read path for per-tick callers
+    /// (the node manager samples every GPU every second; cloning two
+    /// `Vec<Watts>` per tick per node is pure waste). The cache-miss
+    /// path still resolves; steady-state reads between demand/cap
+    /// changes are allocation-free.
+    pub fn draw_ref(&mut self) -> &PowerDraw {
+        if self.cached_draw.is_none() {
+            let caps = self.effective_gpu_caps();
+            // The DRAM cap clamps memory demand before resolution (no
+            // throttle feedback: none of the modelled apps is
+            // memory-bound).
+            let mut demand = self.demand.clone();
+            if let Some(c) = self.dram.cap() {
+                demand.memory = demand.memory.min(c.max(self.arch.mem_idle));
+            }
+            let d = resolve_with_sockets(
+                &self.arch,
+                &demand,
+                &caps,
+                self.rapl.caps(),
+                self.node_cap(),
+            );
+            self.cached_draw = Some(d);
         }
-        let caps = self.effective_gpu_caps();
-        // The DRAM cap clamps memory demand before resolution (no
-        // throttle feedback: none of the modelled apps is memory-bound).
-        let mut demand = self.demand.clone();
-        if let Some(c) = self.dram.cap() {
-            demand.memory = demand.memory.min(c.max(self.arch.mem_idle));
-        }
-        let d = resolve_with_sockets(
-            &self.arch,
-            &demand,
-            &caps,
-            self.rapl.caps(),
-            self.node_cap(),
-        );
-        self.cached_draw = Some(d.clone());
-        d
+        self.cached_draw.as_ref().expect("cache just filled")
     }
 
     /// Set the OPAL node cap. Errors on architectures without node

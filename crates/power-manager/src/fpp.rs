@@ -23,7 +23,9 @@
 //! describes via the period-doubling observation.
 
 use fluxpm_fft::period::estimate_period;
+use fluxpm_fft::{PeriodAnalyzer, Samples};
 use fluxpm_hw::Watts;
+use fluxpm_monitor::RingBuffer;
 use serde::{Deserialize, Serialize};
 
 /// FPP tuning constants (paper Algorithm 1 defaults; "these values are
@@ -145,7 +147,13 @@ pub struct FppController {
     /// Epochs completed.
     epochs: u64,
     /// Power samples for the current epoch (reset each epoch, line 42).
-    buffer: Vec<f64>,
+    ///
+    /// A ring, not a `Vec`: per-GPU memory is bounded even if the epoch
+    /// timer stalls (the capacity is 4× the expected samples per epoch,
+    /// so a healthy epoch never wraps), and the planned analysis path
+    /// reads it through a two-slice zero-copy view instead of collecting
+    /// the samples into a fresh `Vec` every epoch.
+    buffer: RingBuffer<f64>,
 }
 
 impl FppController {
@@ -168,6 +176,16 @@ impl FppController {
     ) -> FppController {
         assert!(min_cap <= max_cap_bound);
         let cap = max_cap_bound.min(power_lim).max(min_cap);
+        // 4× the expected epoch sample count: generous enough that a
+        // healthy epoch (even Welch callers feeding double-length
+        // traces) never wraps, while bounding per-device memory if the
+        // epoch timer stalls.
+        let expected = if config.sample_period_s > 0.0 && config.powercap_time_s.is_finite() {
+            (config.powercap_time_s / config.sample_period_s).ceil() as usize
+        } else {
+            128
+        };
+        let capacity = expected.saturating_mul(4).max(64);
         FppController {
             config,
             min_cap,
@@ -179,7 +197,7 @@ impl FppController {
             converged: false,
             restoring: None,
             epochs: 0,
-            buffer: Vec::new(),
+            buffer: RingBuffer::new(capacity),
         }
     }
 
@@ -233,24 +251,18 @@ impl FppController {
     /// Epoch boundary (line 38): estimate the period from the buffered
     /// samples, run `GET-GPU-CAP`, reset the buffer, and return the
     /// decision.
+    ///
+    /// This is the *reference* path: it copies the buffered samples out
+    /// and analyzes them with the unplanned free functions. Production
+    /// epoch loops use [`FppController::on_epoch_with`], which produces
+    /// byte-identical decisions without the copy or the per-call FFT
+    /// setup (`tests/fpp_equivalence.rs` pins the equivalence).
     pub fn on_epoch(&mut self) -> FppDecision {
-        self.epochs += 1;
-        let samples = std::mem::take(&mut self.buffer);
-        if self.converged {
-            return FppDecision::Keep(self.cap);
+        if let Some(d) = self.epoch_shortcut() {
+            return d;
         }
-        // Staged give-back in flight: keep climbing toward the pre-probe
-        // cap, one step per epoch, and converge on arrival. The period
-        // estimate is irrelevant while restoring — the decision to give
-        // the power back has already been made.
-        if let Some((target, step)) = self.restoring {
-            self.cap = (self.cap + step).min(target);
-            if self.cap >= target {
-                self.restoring = None;
-                self.converged = true;
-            }
-            return FppDecision::Set(self.cap);
-        }
+        let samples: Vec<f64> = self.buffer.iter().copied().collect();
+        self.buffer.clear();
         let rate = 1.0 / self.config.sample_period_s;
         let t_cur = if self.config.use_welch {
             let seg = (samples.len() / 2).max(8);
@@ -265,6 +277,73 @@ impl FppController {
         } else {
             samples.iter().sum::<f64>() / samples.len() as f64
         };
+        self.decide(t_cur, mean)
+    }
+
+    /// Epoch boundary through the planned analytics: identical policy to
+    /// [`FppController::on_epoch`], but the samples are read via a
+    /// two-slice zero-copy view of the ring and the period estimate runs
+    /// on the shared planner/scratch in `analyzer` — zero steady-state
+    /// allocation. One analyzer is meant to serve every controller of a
+    /// node (its plan caches are keyed by length, so 4–8 GPUs feeding
+    /// the same epoch geometry share one warm plan set).
+    pub fn on_epoch_with(&mut self, analyzer: &mut PeriodAnalyzer) -> FppDecision {
+        if let Some(d) = self.epoch_shortcut() {
+            return d;
+        }
+        let rate = 1.0 / self.config.sample_period_s;
+        let (head, tail) = self.buffer.as_slices();
+        let view = Samples::new(head, tail);
+        let t_cur = if self.config.use_welch {
+            let seg = (view.len() / 2).max(8);
+            analyzer
+                .welch_estimate_period(view, rate, seg)
+                .or_else(|| analyzer.estimate_period(view, rate))
+                .map(|e| e.period_seconds)
+        } else {
+            analyzer
+                .estimate_period(view, rate)
+                .map(|e| e.period_seconds)
+        };
+        // Summed oldest → newest, the same association order as the
+        // copied path — bit-identical mean.
+        let mean = view.mean();
+        self.buffer.clear();
+        self.decide(t_cur, mean)
+    }
+
+    /// Shared epoch entry: bump the epoch counter and handle the two
+    /// states that never look at the samples (already converged; staged
+    /// give-back in flight). Returns `Some(decision)` on those paths —
+    /// with the buffer reset, as every epoch boundary must — and `None`
+    /// when the caller should analyze the buffered samples.
+    fn epoch_shortcut(&mut self) -> Option<FppDecision> {
+        self.epochs += 1;
+        if self.converged {
+            self.buffer.clear();
+            return Some(FppDecision::Keep(self.cap));
+        }
+        // Staged give-back in flight: keep climbing toward the pre-probe
+        // cap, one step per epoch, and converge on arrival. The period
+        // estimate is irrelevant while restoring — the decision to give
+        // the power back has already been made.
+        if let Some((target, step)) = self.restoring {
+            self.buffer.clear();
+            self.cap = (self.cap + step).min(target);
+            if self.cap >= target {
+                self.restoring = None;
+                self.converged = true;
+            }
+            return Some(FppDecision::Set(self.cap));
+        }
+        None
+    }
+
+    /// `GET-GPU-CAP` (Algorithm 1 lines 10–31), shared verbatim by the
+    /// reference and planned epoch paths so their decisions cannot
+    /// drift: given this epoch's period estimate and mean draw, move the
+    /// cap.
+    fn decide(&mut self, t_cur: Option<f64>, mean: f64) -> FppDecision {
         let binding = mean >= self.cap.get() - self.config.binding_margin.get();
 
         // First epoch: record the baseline and issue the downward probe

@@ -20,6 +20,7 @@
 
 use crate::fpp::{FppConfig, FppController, FppDecision};
 use crate::proto::{FppTarget, ManagerReply, ManagerRequest, PolicyKind, TOPIC_SET_NODE_LIMIT};
+use fluxpm_fft::PeriodAnalyzer;
 use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind, Protocol, Topic};
 use fluxpm_hw::{NodeId, Watts};
 use fluxpm_sim::{SimDuration, TraceLevel};
@@ -48,6 +49,10 @@ pub struct NodeLevelManager {
     node_limit: Option<Watts>,
     /// Per-GPU FPP controllers (policy == Fpp only).
     controllers: Vec<FppController>,
+    /// One planned-analysis state shared by every controller on this
+    /// node: all 4–8 per-GPU epoch analyses reuse the same cached FFT
+    /// plans, window tables, scratch arena, and spectrum buffers.
+    analyzer: PeriodAnalyzer,
     /// Recent node power history (bounded).
     history: Vec<TrackedPower>,
     /// Cap-set operations that failed (NVML §V failures).
@@ -78,6 +83,7 @@ impl NodeLevelManager {
             fpp_target,
             node_limit: None,
             controllers: Vec::new(),
+            analyzer: PeriodAnalyzer::new(),
             history: Vec::new(),
             cap_failures: 0,
             current_job: None,
@@ -323,17 +329,21 @@ impl NodeLevelManager {
                 }
             }
         }
-        let draw = ctx.world.nodes[rank.index()].draw();
+        let t_seconds = ctx.eng.now().as_secs_f64();
+        // Zero-copy read: the resolved draw stays in the node's cache,
+        // the per-device feed is a borrowed slice — no `Vec` clones on
+        // the 1 Hz sampling tick.
+        let draw = ctx.world.nodes[rank.index()].draw_ref();
         if self.history.len() < Self::HISTORY_CAP {
             self.history.push(TrackedPower {
-                t_seconds: ctx.eng.now().as_secs_f64(),
+                t_seconds,
                 node: draw.total(),
             });
         }
-        let feed = match self.fpp_target {
-            FppTarget::Gpu => draw.gpu.clone(),
-            FppTarget::Socket => draw.cpu.clone(),
-            FppTarget::Memory => vec![draw.memory],
+        let feed: &[Watts] = match self.fpp_target {
+            FppTarget::Gpu => &draw.gpu,
+            FppTarget::Socket => &draw.cpu,
+            FppTarget::Memory => std::slice::from_ref(&draw.memory),
         };
         for (c, &g) in self.controllers.iter_mut().zip(feed.iter()) {
             c.store_power_sample(g);
@@ -348,8 +358,15 @@ impl NodeLevelManager {
         // Only act while a job occupies this node; an idle node's
         // controllers sit on stale buffers.
         let busy = ctx.world.jobs.job_on_node(NodeId(ctx.rank.0)).is_some();
-        let decisions: Vec<FppDecision> =
-            self.controllers.iter_mut().map(|c| c.on_epoch()).collect();
+        // Planned path: every controller's analysis runs through the one
+        // shared analyzer, so the whole per-GPU batch reuses a single
+        // warm plan/scratch set.
+        let analyzer = &mut self.analyzer;
+        let decisions: Vec<FppDecision> = self
+            .controllers
+            .iter_mut()
+            .map(|c| c.on_epoch_with(analyzer))
+            .collect();
         if !busy {
             return;
         }

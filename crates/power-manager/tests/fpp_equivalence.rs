@@ -1,0 +1,265 @@
+//! FPP decision equivalence: the planned epoch path
+//! (`on_epoch_with` + shared `PeriodAnalyzer`, zero-copy ring view) must
+//! produce **byte-identical** decisions to the reference path
+//! (`on_epoch`, copied `Vec` + unplanned FFT) on every scenario the repo
+//! exercises — chaos-soak-style seeded signals, the §IV-E queue
+//! restore loop, Welch mode, and the whole decision-space battery.
+//!
+//! Why byte-identical is achievable: the two paths share one `decide()`
+//! op sequence and a bit-identical mean; only the FFT kernel differs, by
+//! ~1e-15 relative, and FPP's thresholded comparisons (2 s / 5 s deltas,
+//! 5 % confidence, binding margin) never sit within a ulp of a
+//! boundary on realistic power traces. Every cap a decision carries is
+//! pure `Watts` arithmetic, so the golden traces stay unchanged.
+
+use fluxpm_fft::PeriodAnalyzer;
+use fluxpm_hw::Watts;
+use fluxpm_manager::{FppConfig, FppController, FppDecision};
+
+/// Drive the same controller state down both paths and assert bitwise
+/// equality of every decision and all observable state, epoch by epoch.
+/// `feed(epoch) -> samples` generates each epoch's trace.
+fn assert_paths_identical(
+    label: &str,
+    config: FppConfig,
+    power_lim: Watts,
+    epochs: usize,
+    mut feed: impl FnMut(usize) -> Vec<f64>,
+) {
+    let mut reference = FppController::new(config.clone(), power_lim);
+    let mut planned = FppController::new(config, power_lim);
+    let mut analyzer = PeriodAnalyzer::new();
+    for epoch in 0..epochs {
+        let samples = feed(epoch);
+        for &s in &samples {
+            reference.store_power_sample(Watts(s));
+            planned.store_power_sample(Watts(s));
+        }
+        let d_ref = reference.on_epoch();
+        let d_new = planned.on_epoch_with(&mut analyzer);
+        assert_decisions_bitwise(label, epoch, d_ref, d_new);
+        assert_eq!(
+            reference.cap().get().to_bits(),
+            planned.cap().get().to_bits(),
+            "{label}: cap diverged at epoch {epoch}"
+        );
+        assert_eq!(
+            reference.converged(),
+            planned.converged(),
+            "{label}: convergence flag diverged at epoch {epoch}"
+        );
+        assert_eq!(reference.epochs(), planned.epochs());
+        assert_eq!(reference.buffered(), 0);
+        assert_eq!(planned.buffered(), 0, "{label}: planned path must reset");
+    }
+}
+
+fn assert_decisions_bitwise(label: &str, epoch: usize, a: FppDecision, b: FppDecision) {
+    let same = match (a, b) {
+        (FppDecision::Keep(x), FppDecision::Keep(y)) => x.get().to_bits() == y.get().to_bits(),
+        (FppDecision::Set(x), FppDecision::Set(y)) => x.get().to_bits() == y.get().to_bits(),
+        _ => false,
+    };
+    assert!(
+        same,
+        "{label}: epoch {epoch} decisions differ: {a:?} vs {b:?}"
+    );
+}
+
+fn square_wave(n: usize, period_s: f64, hi: f64, lo: f64) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            if (t as f64 / period_s).fract() < 0.3 {
+                hi
+            } else {
+                lo
+            }
+        })
+        .collect()
+}
+
+fn lcg_noise(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    }
+}
+
+#[test]
+fn quicksilver_like_probe_then_converge() {
+    assert_paths_identical("quicksilver", FppConfig::default(), Watts(253.5), 4, |_| {
+        square_wave(90, 10.0, 140.0, 55.0)
+    });
+}
+
+#[test]
+fn gemm_like_binding_give_back() {
+    // Flat draw pinned at whatever the cap is: probe, binding fallback,
+    // instant restore, then hold.
+    let caps = std::cell::Cell::new(253.5);
+    assert_paths_identical(
+        "gemm-binding",
+        FppConfig::default(),
+        Watts(253.5),
+        4,
+        |epoch| {
+            // Epoch 0 at the initial cap, epoch 1 at the probe cap.
+            let level = if epoch == 0 { 253.5 } else { caps.get() };
+            caps.set(203.5);
+            vec![level; 90]
+        },
+    );
+}
+
+#[test]
+fn period_stretch_give_back() {
+    assert_paths_identical("stretch", FppConfig::default(), Watts(300.0), 3, |epoch| {
+        let period = if epoch == 0 { 10.0 } else { 18.0 };
+        square_wave(90, period, 290.0, 100.0)
+    });
+}
+
+#[test]
+fn mild_shrink_reduces_further() {
+    assert_paths_identical("shrink", FppConfig::default(), Watts(300.0), 3, |epoch| {
+        let period = if epoch == 0 { 14.0 } else { 11.0 };
+        square_wave(90, period, 200.0, 80.0)
+    });
+}
+
+#[test]
+fn chaos_seed_style_signals() {
+    // The chaos-soak harness drives node demand from small-integer
+    // seeds; mirror that here: per-seed LCG noise over drifting square
+    // waves, long horizon, both estimator modes.
+    for seed in [11u64, 29, 47] {
+        for use_welch in [false, true] {
+            let cfg = FppConfig {
+                use_welch,
+                ..FppConfig::default()
+            };
+            let mut noise = lcg_noise(seed);
+            assert_paths_identical(
+                &format!("chaos seed {seed} welch={use_welch}"),
+                cfg,
+                Watts(253.5),
+                8,
+                move |epoch| {
+                    let period = 8.0 + (seed % 7) as f64 + (epoch % 3) as f64;
+                    square_wave(90, period, 150.0, 60.0)
+                        .into_iter()
+                        .map(|v| v + 5.0 * noise())
+                        .collect()
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn welch_mode_long_epochs() {
+    // The Welch-mode unit scenario: 180 samples per epoch, noisy
+    // square wave.
+    let cfg = FppConfig {
+        use_welch: true,
+        ..FppConfig::default()
+    };
+    let mut noise = lcg_noise(0xD00D);
+    assert_paths_identical("welch-long", cfg, Watts(253.5), 3, move |_| {
+        square_wave(180, 10.0, 140.0, 55.0)
+            .into_iter()
+            .map(|v| v + 10.0 * noise())
+            .collect()
+    });
+}
+
+#[test]
+fn staged_give_back_restore_ladder() {
+    // The §IV-E queue scenario (`epochs_to_restore`): flat draw pinned
+    // at the current cap keeps the binding fallback firing; staged mode
+    // climbs the level ladder over several epochs.
+    for staged in [false, true] {
+        let cfg = FppConfig {
+            staged_give_back: staged,
+            ..FppConfig::default()
+        };
+        let pre_probe = 253.5;
+        let mut reference = FppController::new(cfg.clone(), Watts(pre_probe));
+        let mut planned = FppController::new(cfg, Watts(pre_probe));
+        let mut analyzer = PeriodAnalyzer::new();
+        for epoch in 0..8 {
+            // Feed each controller its *own* cap (they must agree, which
+            // the assertion below pins).
+            for c in [&mut reference, &mut planned] {
+                let draw = c.cap().get();
+                for _ in 0..90 {
+                    c.store_power_sample(Watts(draw));
+                }
+            }
+            let d_ref = reference.on_epoch();
+            let d_new = planned.on_epoch_with(&mut analyzer);
+            assert_decisions_bitwise(&format!("queue staged={staged}"), epoch, d_ref, d_new);
+            assert_eq!(
+                reference.cap().get().to_bits(),
+                planned.cap().get().to_bits()
+            );
+        }
+        assert!(reference.converged());
+        assert!((reference.cap().get() - pre_probe).abs() < 1e-9, "restored");
+    }
+}
+
+#[test]
+fn no_samples_and_short_epochs() {
+    // Degenerate feeds: empty epochs, then too-short epochs — the
+    // binding fallback and gates must agree.
+    assert_paths_identical("empty", FppConfig::default(), Watts(300.0), 3, |_| vec![]);
+    assert_paths_identical("short", FppConfig::default(), Watts(300.0), 3, |_| {
+        vec![120.0; 5]
+    });
+}
+
+#[test]
+fn socket_bounds_variant() {
+    // Device-agnostic form with non-GPU bounds (socket-level FPP).
+    let cfg = FppConfig::default();
+    let mut reference =
+        FppController::with_bounds(cfg.clone(), Watts(180.0), Watts(60.0), Watts(200.0));
+    let mut planned = FppController::with_bounds(cfg, Watts(180.0), Watts(60.0), Watts(200.0));
+    let mut analyzer = PeriodAnalyzer::new();
+    for epoch in 0..5 {
+        for s in square_wave(90, 12.0, 170.0, 70.0) {
+            reference.store_power_sample(Watts(s));
+            planned.store_power_sample(Watts(s));
+        }
+        let d_ref = reference.on_epoch();
+        let d_new = planned.on_epoch_with(&mut analyzer);
+        assert_decisions_bitwise("socket", epoch, d_ref, d_new);
+    }
+}
+
+#[test]
+fn rebase_mid_flight_stays_identical() {
+    let cfg = FppConfig::default();
+    let mut reference = FppController::new(cfg.clone(), Watts(300.0));
+    let mut planned = FppController::new(cfg, Watts(300.0));
+    let mut analyzer = PeriodAnalyzer::new();
+    for epoch in 0..6 {
+        if epoch == 2 {
+            reference.rebase(Watts(260.0));
+            planned.rebase(Watts(260.0));
+        }
+        for s in square_wave(90, 10.0, 240.0, 90.0) {
+            reference.store_power_sample(Watts(s));
+            planned.store_power_sample(Watts(s));
+        }
+        let d_ref = reference.on_epoch();
+        let d_new = planned.on_epoch_with(&mut analyzer);
+        assert_decisions_bitwise("rebase", epoch, d_ref, d_new);
+        assert_eq!(
+            reference.cap().get().to_bits(),
+            planned.cap().get().to_bits()
+        );
+    }
+}

@@ -109,6 +109,17 @@ impl<T> RingBuffer<T> {
         front.iter().chain(tail.iter())
     }
 
+    /// The contents as two contiguous runs in logical (oldest → newest)
+    /// order: `first` starts at the oldest element, `second` holds the
+    /// wrapped remainder (empty until the buffer wraps). Chaining the two
+    /// runs yields exactly [`RingBuffer::iter`]'s sequence — this is the
+    /// zero-copy read path the FPP analytics use instead of collecting a
+    /// `Vec` per GPU per epoch.
+    pub fn as_slices(&self) -> (&[T], &[T]) {
+        let (tail, front) = self.buf.split_at(self.head);
+        (front, tail)
+    }
+
     /// The oldest retained element.
     pub fn oldest(&self) -> Option<&T> {
         self.iter().next()
@@ -214,6 +225,34 @@ mod tests {
         r.note_loss(2);
         assert_eq!(r.noted_lost(), 6, "repeated gaps accumulate");
         assert_eq!(r.overwritten(), 7);
+    }
+
+    #[test]
+    fn as_slices_matches_iter_at_every_fill_level() {
+        let mut r = RingBuffer::new(5);
+        for i in 0..23 {
+            let (a, b) = r.as_slices();
+            let stitched: Vec<i32> = a.iter().chain(b.iter()).copied().collect();
+            assert_eq!(stitched, r.iter().copied().collect::<Vec<_>>(), "push {i}");
+            r.push(i);
+        }
+        // Wrapped state: second run non-empty.
+        let (a, b) = r.as_slices();
+        assert!(!b.is_empty(), "expected a wrapped second run");
+        assert_eq!(
+            a.iter().chain(b.iter()).copied().collect::<Vec<_>>(),
+            vec![18, 19, 20, 21, 22]
+        );
+    }
+
+    #[test]
+    fn as_slices_unwrapped_second_is_empty() {
+        let mut r = RingBuffer::new(4);
+        r.push(1);
+        r.push(2);
+        let (a, b) = r.as_slices();
+        assert_eq!(a, &[1, 2]);
+        assert!(b.is_empty());
     }
 
     #[test]

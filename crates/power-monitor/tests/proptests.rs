@@ -18,6 +18,24 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// An operation against a sample ring as the FPP epoch loop drives it:
+/// pushes, outage gaps (`note_loss`, as the node agent records while its
+/// host is down), and fail/recover cycles that drop the buffered history.
+#[derive(Debug, Clone)]
+enum SampleOp {
+    Push(f64),
+    NoteLoss(u64),
+    FailRecover,
+}
+
+fn sample_op_strategy() -> impl Strategy<Value = SampleOp> {
+    prop_oneof![
+        12 => (50.0f64..600.0).prop_map(SampleOp::Push),
+        2 => (1u64..30).prop_map(SampleOp::NoteLoss),
+        1 => Just(SampleOp::FailRecover),
+    ]
+}
+
 fn stats_strategy() -> impl Strategy<Value = SubtreeStats> {
     (
         0usize..6,
@@ -181,6 +199,84 @@ proptest! {
         prop_assert_eq!(r.is_empty(), model.is_empty());
         prop_assert_eq!(r.total_pushed(), pushed);
         prop_assert_eq!(r.capacity(), capacity);
+    }
+
+    /// The two-slice view is always exactly the iterated (copied)
+    /// contents: chaining `as_slices().0 ++ as_slices().1` equals the
+    /// `Vec` a copying reader would materialize, at every step of an
+    /// arbitrary interleaving of pushes, `note_loss` gaps, and
+    /// fail/recover cycles.
+    #[test]
+    fn as_slices_matches_copied_vec_under_churn(
+        capacity in 1usize..48,
+        ops in prop::collection::vec(sample_op_strategy(), 0..300),
+    ) {
+        let mut r = RingBuffer::new(capacity);
+        for op in &ops {
+            match op {
+                SampleOp::Push(x) => {
+                    r.push(*x);
+                }
+                SampleOp::NoteLoss(n) => r.note_loss(*n),
+                SampleOp::FailRecover => r.clear(),
+            }
+            let copied: Vec<f64> = r.iter().copied().collect();
+            let (a, b) = r.as_slices();
+            let stitched: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            prop_assert_eq!(&stitched, &copied);
+            prop_assert_eq!(a.len() + b.len(), r.len());
+            // Run boundaries stay consistent with the endpoints.
+            if !r.is_empty() {
+                let first = if a.is_empty() { b[0] } else { a[0] };
+                prop_assert_eq!(Some(&first), r.oldest());
+                let last = if b.is_empty() { a[a.len() - 1] } else { b[b.len() - 1] };
+                prop_assert_eq!(Some(&last), r.newest());
+            }
+        }
+    }
+
+    /// Analyzing the ring through the zero-copy view gives the same
+    /// period estimate as copying the samples out first — across
+    /// wrap-around states produced by arbitrary churn. This is the
+    /// contract the FPP hot path relies on when it swaps the per-GPU
+    /// `Vec` materialization for `as_slices()`.
+    #[test]
+    fn zero_copy_analysis_matches_copied_path(
+        capacity in 16usize..128,
+        warm_pushes in 0usize..200,
+        period_samples in 4.0f64..20.0,
+        gaps in prop::collection::vec((0usize..200, 1u64..10), 0..4),
+    ) {
+        use fluxpm_fft::{estimate_period, PeriodAnalyzer, Samples};
+
+        let mut r = RingBuffer::new(capacity);
+        // Pre-churn: misaligned pushes so the head lands anywhere.
+        for i in 0..warm_pushes {
+            r.push(i as f64);
+        }
+        // The epoch's real samples, with note_loss gaps interleaved (gaps
+        // touch only the accounting, never the contents).
+        let mut gap_iter = gaps.iter().peekable();
+        for i in 0..capacity * 2 {
+            if let Some((at, n)) = gap_iter.peek() {
+                if *at == i {
+                    r.note_loss(*n);
+                    gap_iter.next();
+                }
+            }
+            r.push(250.0 + 30.0 * (2.0 * std::f64::consts::PI * i as f64 / period_samples).sin());
+        }
+
+        let copied: Vec<f64> = r.iter().copied().collect();
+        let (head, tail) = r.as_slices();
+        let mut analyzer = PeriodAnalyzer::new();
+        let via_view = analyzer.estimate_period(Samples::new(head, tail), 1.0);
+        let via_copy = estimate_period(&copied, 1.0);
+        prop_assert_eq!(via_view.is_some(), via_copy.is_some());
+        if let (Some(v), Some(c)) = (via_view, via_copy) {
+            prop_assert!((v.period_seconds - c.period_seconds).abs() <= 1e-6 * c.period_seconds.abs().max(1.0));
+            prop_assert!((v.confidence - c.confidence).abs() <= 1e-6);
+        }
     }
 
     /// `SubtreeStats::merge` is associative and commutative with `empty`
