@@ -17,7 +17,10 @@
 //!   engine's O(pending) scan;
 //! * per-hop overlay delivery cost from root → leaf echo round trips;
 //! * wall time of the 128-rank chaos storms (standard and long
-//!   horizon), against the recorded pre-optimization stack numbers.
+//!   horizon), against the recorded pre-optimization stack numbers;
+//! * the shard-scaling curve: the identical 128-rank storm across
+//!   1/2/4/8 worker-thread shards (trace-hash-checked, so every point
+//!   computes the same thing), plus the 100k-rank fleet soak.
 //!
 //! The `pre_pr` block is a *recorded* measurement of the full pre-PR
 //! stack (map-based engine, `String` topics, eager per-sample JSON via
@@ -27,9 +30,11 @@
 //! file is a trajectory anchor, not a portable constant.
 
 use fluxpm_bench::workload::{
-    churn_baseline, churn_new, sliced_drain_baseline, sliced_drain_new, DeliveryRig,
+    churn_baseline, churn_new, shard_fleet_config, shard_scaling_config, sliced_drain_baseline,
+    sliced_drain_new, DeliveryRig,
 };
 use fluxpm_experiments::chaos::{storm, StormConfig};
+use fluxpm_experiments::sharded::sharded_storm;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -105,6 +110,34 @@ fn main() {
     const PRE_PR_STD_S: f64 = 0.042;
     const PRE_PR_LONG_S: f64 = 0.198;
 
+    // Shard scaling: the identical 128-rank storm (heavy per-tick
+    // compute, merged trace invariant across all points — the hash
+    // equality below proves every measurement computed the same thing)
+    // across 1/2/4/8 worker-thread shards.
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut shard_walls = [0.0f64; 4];
+    let reference = sharded_storm(&shard_scaling_config(128, 1, 42));
+    for (i, &shards) in shard_counts.iter().enumerate() {
+        let cfg = shard_scaling_config(128, shards, 42);
+        let out = sharded_storm(&cfg); // warm-up + invariance check
+        assert_eq!(
+            out.trace_hash, reference.trace_hash,
+            "shard count must not change the storm"
+        );
+        shard_walls[i] = best_of(3, || sharded_storm(&cfg));
+    }
+    let speedup_4 = shard_walls[0] / shard_walls[2];
+    // Parallel speedup needs parallel hardware: on hosts with fewer
+    // than 4 cores the curve degenerates to pure coordination overhead,
+    // so that is what gets gated there (see the asserts at the end).
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Fleet soak: 100k ranks on a fanout-16 TBON across 8 shards — the
+    // "whole-machine chaos soak in seconds" headline number.
+    let fleet_cfg = shard_fleet_config(100_000, 8, 42);
+    let fleet_out = sharded_storm(&fleet_cfg);
+    let fleet_s = best_of(2, || sharded_storm(&fleet_cfg));
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"fluxpm-bench-sim/v1\",\n");
@@ -144,6 +177,42 @@ fn main() {
         PRE_PR_LONG_S / long_s
     );
     out.push_str("  },\n");
+    out.push_str("  \"sim_sharded\": {\n");
+    let _ = writeln!(out, "    \"storm_ranks\": 128,");
+    let _ = writeln!(out, "    \"host_cores\": {host_cores},");
+    let _ = writeln!(
+        out,
+        "    \"gate\": \"{}\",",
+        if host_cores >= 4 {
+            "speedup >= 2x at 4 shards"
+        } else {
+            "coordination overhead <= 35% (host has < 4 cores)"
+        }
+    );
+    let _ = writeln!(out, "    \"trace_hash\": {},", reference.trace_hash);
+    for (i, &shards) in shard_counts.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"wall_s_{shards}_shards\": {:.4},",
+            shard_walls[i]
+        );
+    }
+    for (i, &shards) in shard_counts.iter().enumerate().skip(1) {
+        let _ = writeln!(
+            out,
+            "    \"speedup_{shards}_shards\": {:.2},",
+            shard_walls[0] / shard_walls[i]
+        );
+    }
+    out.push_str("    \"fleet\": {\n");
+    let _ = writeln!(out, "      \"ranks\": 100000,");
+    let _ = writeln!(out, "      \"shards\": 8,");
+    let _ = writeln!(out, "      \"events\": {},", fleet_out.events);
+    let _ = writeln!(out, "      \"windows\": {},", fleet_out.windows);
+    let _ = writeln!(out, "      \"boundary_msgs\": {},", fleet_out.boundary_msgs);
+    let _ = writeln!(out, "      \"wall_s\": {:.4}", fleet_s);
+    out.push_str("    }\n");
+    out.push_str("  },\n");
     out.push_str("  \"pre_pr\": {\n");
     out.push_str(
         "    \"note\": \"full pre-optimization stack (map-based engine, String topics, standard-formatter JSON), same seeds, same machine class, release build\",\n",
@@ -163,5 +232,33 @@ fn main() {
         "128-rank soak speedup fell below 2x (standard {:.2}x, long {:.2}x)",
         PRE_PR_STD_S / std_s,
         PRE_PR_LONG_S / long_s
+    );
+    // Shard-scaling gate. With real parallel hardware, 4 worker shards
+    // must run the 128-rank storm at least 2x faster than one shard.
+    // On a host without 4 cores no scheduler can deliver that, so the
+    // gate degrades to the thing a starved host *can* measure: the
+    // window protocol's coordination overhead must stay bounded (4
+    // serialized shards at most 35% slower than one), which is what
+    // guarantees the speedup materializes the moment cores exist.
+    if host_cores >= 4 {
+        assert!(
+            speedup_4 >= 2.0,
+            "shard scaling fell below 2x at 4 shards ({speedup_4:.2}x; \
+             walls {shard_walls:?})"
+        );
+    } else {
+        let overhead = shard_walls[2] / shard_walls[0] - 1.0;
+        assert!(
+            overhead <= 0.35,
+            "window coordination overhead is {:.0}% on a {host_cores}-core \
+             host (walls {shard_walls:?}) — the protocol got expensive",
+            overhead * 100.0
+        );
+    }
+    // And the fleet headline must hold: 100k ranks in seconds, not
+    // minutes.
+    assert!(
+        fleet_s < 30.0,
+        "100k-rank fleet soak took {fleet_s:.1}s — no longer 'seconds'"
     );
 }

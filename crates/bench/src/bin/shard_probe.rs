@@ -1,0 +1,34 @@
+//! Diagnostic: decompose shard-scaling wall time into compute vs
+//! window coordination. Not part of the committed baseline — run it
+//! when the `sim_sharded` curve looks off:
+//!
+//! ```sh
+//! cargo run --release -p fluxpm-bench --bin shard_probe
+//! ```
+
+use fluxpm_bench::workload::shard_scaling_config;
+use fluxpm_experiments::sharded::sharded_storm;
+use std::time::Instant;
+
+fn wall(cfg: &fluxpm_flux::shard::ShardStormConfig) -> (f64, u64, u64) {
+    let t = Instant::now();
+    let out = sharded_storm(cfg);
+    (t.elapsed().as_secs_f64(), out.windows, out.events)
+}
+
+fn main() {
+    for &work in &[0u32, 1024, 16_384] {
+        for &shards in &[1usize, 2, 4, 8] {
+            let mut cfg = shard_scaling_config(128, shards, 42);
+            cfg.work_per_tick = work;
+            wall(&cfg); // warm-up
+            let (s, windows, events) = wall(&cfg);
+            println!(
+                "work={work:6} shards={shards} wall={:8.2}ms windows={windows:5} \
+                 events={events:8} ({:5.1}us/window)",
+                s * 1e3,
+                s * 1e6 / windows as f64
+            );
+        }
+    }
+}

@@ -304,7 +304,7 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
             // in the same tick.
             for i in 0..w.size() {
                 if !w.broker_up(Rank(i)) && rng.chance(0.45) {
-                    w.recover_node(eng, NodeId(i));
+                    assert!(w.recover_node(eng, NodeId(i)), "guarded: broker was down");
                 }
             }
             let mut up: Vec<u32> = (0..w.size()).filter(|&i| w.broker_up(Rank(i))).collect();
@@ -326,7 +326,7 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
     eng.schedule(SimTime::from_secs(settle_s), move |w: &mut World, eng| {
         for i in 0..w.size() {
             if !w.broker_up(Rank(i)) {
-                w.recover_node(eng, NodeId(i));
+                assert!(w.recover_node(eng, NodeId(i)), "guarded: broker was down");
             }
         }
     });

@@ -26,6 +26,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod scenario;
+pub mod sharded;
 pub mod stats;
 
 pub use report::{JobResult, RunReport};

@@ -1,0 +1,86 @@
+//! Fleet-scale sharded chaos storms — the parallel counterpart of
+//! [`crate::chaos`].
+//!
+//! The single-threaded storm harness exercises the full power stack
+//! (modules, scheduler, RPC retries, dynamic healing) at up to a few
+//! hundred ranks. This harness trades module fidelity for scale: the
+//! [`fluxpm_flux::shard`] storm world runs the overlay's traffic
+//! pattern — periodic telemetry reports up the TBON, cap waves down,
+//! scripted outages dropping messages — across worker threads, one per
+//! subtree shard, under the conservative window coordinator. That is
+//! what lets a 100k+-rank storm finish in seconds while staying
+//! bit-reproducible (see `DESIGN.md` §9 for the determinism contract).
+
+use fluxpm_flux::shard::{records_hash, run_storm, ShardRecord, ShardStormConfig};
+use fluxpm_sim::ShardedRunStats;
+
+/// Everything a sharded storm run reports.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// FNV-1a fingerprint of the canonical merged record stream —
+    /// identical for every shard count of the same scenario.
+    pub trace_hash: u64,
+    /// Number of records in the merged stream.
+    pub records: usize,
+    /// Reports dropped at down ranks.
+    pub drops: u64,
+    /// Synchronization windows the coordinator ran.
+    pub windows: u64,
+    /// Boundary messages that crossed shard cuts.
+    pub boundary_msgs: u64,
+    /// Total events executed across all shards.
+    pub events: u64,
+}
+
+/// Run one sharded storm and fingerprint its merged trace.
+pub fn sharded_storm(cfg: &ShardStormConfig) -> ShardedOutcome {
+    let (records, drops, stats) = run_storm(*cfg);
+    outcome(&records, drops, stats)
+}
+
+/// Like [`sharded_storm`], but also return the merged stream (for
+/// byte-level comparisons in determinism tests).
+pub fn sharded_storm_full(cfg: &ShardStormConfig) -> (Vec<ShardRecord>, ShardedOutcome) {
+    let (records, drops, stats) = run_storm(*cfg);
+    let out = outcome(&records, drops, stats);
+    (records, out)
+}
+
+fn outcome(records: &[ShardRecord], drops: u64, stats: ShardedRunStats) -> ShardedOutcome {
+    ShardedOutcome {
+        trace_hash: records_hash(records),
+        records: records.len(),
+        drops,
+        windows: stats.windows,
+        boundary_msgs: stats.boundary_msgs,
+        events: stats.events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_invariant_across_shard_counts() {
+        let base = ShardStormConfig::new(96, 1, 17);
+        let one = sharded_storm(&base);
+        for shards in [2usize, 4] {
+            let mut cfg = base;
+            cfg.shards = shards;
+            let n = sharded_storm(&cfg);
+            assert_eq!(one.trace_hash, n.trace_hash);
+            assert_eq!(one.records, n.records);
+            assert_eq!(one.drops, n.drops);
+            assert!(n.boundary_msgs > 0);
+        }
+    }
+
+    #[test]
+    fn fleet_config_scales_down_for_tests() {
+        let cfg = ShardStormConfig::fleet(4096, 4, 3);
+        let out = sharded_storm(&cfg);
+        assert!(out.events > 4096, "every rank ticks at least once");
+        assert!(out.records > 0);
+    }
+}

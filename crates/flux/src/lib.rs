@@ -28,6 +28,7 @@ pub mod message;
 pub mod module;
 pub mod proto;
 pub mod sched;
+pub mod shard;
 pub mod subinstance;
 pub mod tbon;
 pub mod topic;
@@ -39,6 +40,10 @@ pub use message::{payload, unit_payload, Message, MsgKind, Payload};
 pub use module::{Module, ModuleCtx, SharedModule};
 pub use proto::{Protocol, ProtocolError};
 pub use sched::FcfsScheduler;
+pub use shard::{
+    merge_records, records_hash, run_storm, FaultScript, ShardPlan, ShardRecord, ShardStormConfig,
+    StormShard, WireMsg,
+};
 pub use subinstance::{InstancePowerPolicy, SubInstance};
 pub use tbon::{Rank, Tbon};
 pub use topic::Topic;

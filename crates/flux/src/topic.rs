@@ -4,16 +4,20 @@
 //! paths — routing table lookups, per-topic stats, request/response
 //! correlation, retry bookkeeping — used to clone that `String` at
 //! every hop. [`Topic`] replaces it with a cheap-to-clone handle to an
-//! interned `Rc<str>`: constructing a `Topic` from the same text twice
+//! interned `Arc<str>`: constructing a `Topic` from the same text twice
 //! yields two handles to the *same* allocation, so cloning a message,
 //! keying a stats map, or re-arming a retry costs one refcount bump
 //! instead of a heap copy.
 //!
-//! The intern table is thread-local, matching the single-threaded
-//! discrete-event world: no locks, and `Rc` (not `Arc`) suffices.
-//! Topics are never evicted — the topic vocabulary of a simulation is a
-//! small fixed set (one entry per service method), so the table stays
-//! tiny for the lifetime of the process.
+//! The intern table is thread-local — each shard worker of the
+//! partitioned simulator interns independently, with no locks on the
+//! hot path — but the handle itself is an `Arc<str>`, so a `Topic` is
+//! `Send + Sync` and may ride inside a cross-shard boundary message.
+//! Equality, hashing, and ordering delegate to the text (never the
+//! pointer), so handles interned on different threads compare
+//! correctly. Topics are never evicted — the topic vocabulary of a
+//! simulation is a small fixed set (one entry per service method), so
+//! each table stays tiny for the lifetime of the process.
 //!
 //! `Topic` dereferences to `str` and compares against string types in
 //! both directions, so call sites that match on `msg.topic == SOME_STR`
@@ -24,22 +28,23 @@ use std::cell::RefCell;
 use std::collections::HashSet;
 use std::fmt;
 use std::ops::Deref;
-use std::rc::Rc;
+use std::sync::Arc;
 
 thread_local! {
-    /// Process-wide (per-thread) intern table. `Rc<str>: Borrow<str>`,
+    /// Process-wide (per-thread) intern table. `Arc<str>: Borrow<str>`,
     /// so lookups take `&str` without allocating.
-    static INTERN: RefCell<HashSet<Rc<str>>> = RefCell::new(HashSet::new());
+    static INTERN: RefCell<HashSet<Arc<str>>> = RefCell::new(HashSet::new());
 }
 
 /// An interned service topic, e.g. `"power-monitor.get-node-data"`.
 ///
-/// Equal topics share one allocation; `Clone` is a refcount bump and
-/// `Eq`/`Hash`/`Ord` delegate to the text (not the pointer), so maps
-/// keyed by `Topic` iterate in the same order as maps keyed by the
-/// underlying strings.
+/// Equal topics share one allocation per thread; `Clone` is a refcount
+/// bump and `Eq`/`Hash`/`Ord` delegate to the text (not the pointer),
+/// so maps keyed by `Topic` iterate in the same order as maps keyed by
+/// the underlying strings — and topics interned on different shard
+/// threads interoperate.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Topic(Rc<str>);
+pub struct Topic(Arc<str>);
 
 impl Topic {
     /// Intern `s`, returning a handle to the canonical allocation.
@@ -47,10 +52,10 @@ impl Topic {
         INTERN.with(|t| {
             let mut table = t.borrow_mut();
             if let Some(existing) = table.get(s) {
-                Topic(Rc::clone(existing))
+                Topic(Arc::clone(existing))
             } else {
-                let rc: Rc<str> = Rc::from(s);
-                table.insert(Rc::clone(&rc));
+                let rc: Arc<str> = Arc::from(s);
+                table.insert(Arc::clone(&rc));
                 Topic(rc)
             }
         })
@@ -162,10 +167,10 @@ mod tests {
         let a = Topic::intern("svc.op");
         let b = Topic::from("svc.op");
         let c = Topic::from("svc.op".to_string());
-        assert!(Rc::ptr_eq(&a.0, &b.0));
-        assert!(Rc::ptr_eq(&a.0, &c.0));
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert!(Arc::ptr_eq(&a.0, &c.0));
         let d = a.clone();
-        assert!(Rc::ptr_eq(&a.0, &d.0));
+        assert!(Arc::ptr_eq(&a.0, &d.0));
     }
 
     #[test]
@@ -173,7 +178,7 @@ mod tests {
         let a = Topic::intern("svc.op");
         let b = Topic::intern("svc.other");
         assert_ne!(a, b);
-        assert!(!Rc::ptr_eq(&a.0, &b.0));
+        assert!(!Arc::ptr_eq(&a.0, &b.0));
     }
 
     #[test]

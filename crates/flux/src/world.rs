@@ -1357,6 +1357,12 @@ impl World {
     /// rebooted, so e.g. monitor ring buffers restart empty and report
     /// partial history for windows spanning the outage. Returns `false`
     /// (a no-op) if the node is already up.
+    ///
+    /// The result is `#[must_use]`: a recovery that silently no-ops is
+    /// precisely the failure mode chaos tests exist to catch, so call
+    /// sites must either assert the outcome or explicitly guard on the
+    /// node being down first.
+    #[must_use = "recover_node returns false when the node was already up — assert or guard the outcome"]
     pub fn recover_node(&mut self, eng: &mut FluxEngine, node: NodeId) -> bool {
         if self.brokers[node.index()].is_up() {
             return false;
@@ -1436,6 +1442,7 @@ impl World {
     /// sends route against the re-balanced tree). Returns whether the
     /// topology changed. A balanced tree is left untouched — no epoch
     /// churn, no trace.
+    #[must_use = "rebalance_tbon returns false when the tree was already balanced — assert or guard the outcome"]
     pub fn rebalance_tbon(&mut self, eng: &mut FluxEngine) -> bool {
         if self.tbon.is_balanced() {
             return false;
@@ -1458,6 +1465,13 @@ impl World {
         changed
     }
 
+    /// Cut this world's overlay into `shards` subtree shards (see
+    /// [`crate::shard::ShardPlan`]): the partition the sharded runner
+    /// uses to confine each subtree's events to one worker thread.
+    pub fn shard_plan(&self, shards: usize) -> crate::shard::ShardPlan {
+        crate::shard::ShardPlan::for_tbon(&self.tbon, shards)
+    }
+
     /// Install a periodic post-churn re-balance pass (stops when the
     /// world halts). Each tick runs [`World::rebalance_tbon`], so a
     /// long fail/recover churn cannot permanently flatten the TBON into
@@ -1470,7 +1484,9 @@ impl World {
                 if world.halted {
                     return ControlFlow::Break(());
                 }
-                world.rebalance_tbon(eng);
+                // Periodic pass: a balanced tree legitimately makes
+                // this a no-op, so the result carries no signal here.
+                let _changed = world.rebalance_tbon(eng);
                 ControlFlow::Continue(())
             },
         );

@@ -113,8 +113,25 @@ pub fn fetch_job_stats_tree(
     slot
 }
 
+/// Quote a free-text CSV field per RFC 4180: fields containing a
+/// comma, double quote, or line break are wrapped in double quotes,
+/// with embedded quotes doubled. Clean fields pass through unchanged,
+/// so well-behaved outputs (and their goldens) stay byte-identical.
+///
+/// Job names, hostnames, and topics are operator- or config-supplied
+/// strings; interpolating them raw lets a name like `gemm,12` or
+/// `svc."x"` shift every later column of its row.
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains(['"', ',', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    }
+}
+
 /// Render a job-data reply as the client's CSV (paper §III-A): one row
-/// per sample per node, with a completeness flag.
+/// per sample per node, with a completeness flag. Free-text fields are
+/// escaped per RFC 4180 (quoted, with embedded quotes doubled).
 pub fn job_data_to_csv(reply: &JobDataReply) -> String {
     let mut csv = String::new();
     csv.push_str(
@@ -136,8 +153,8 @@ pub fn job_data_to_csv(reply: &JobDataReply) -> String {
                 csv,
                 "{},{},{},{:.1},{},{:.1},{},{:.1},{}",
                 reply.job.0,
-                reply.name,
-                node.hostname,
+                csv_field(&reply.name),
+                csv_field(&node.hostname),
                 s.timestamp_us as f64 / 1e6,
                 node_w,
                 s.cpu_total(),
@@ -159,7 +176,14 @@ pub fn job_data_to_csv(reply: &JobDataReply) -> String {
 pub fn rpc_stats_to_csv(world: &World) -> String {
     let mut csv = String::from("topic,timeouts,retries,drops\n");
     for (topic, s) in world.rpc_stats() {
-        let _ = writeln!(csv, "{topic},{},{},{}", s.timeouts, s.retries, s.drops);
+        let _ = writeln!(
+            csv,
+            "{},{},{},{}",
+            csv_field(topic.as_str()),
+            s.timeouts,
+            s.retries,
+            s.drops
+        );
     }
     csv
 }
@@ -245,6 +269,119 @@ mod tests {
         // A healthy run has no per-topic RPC incidents to report.
         let stats_csv = rpc_stats_to_csv(&w);
         assert_eq!(stats_csv, "topic,timeouts,retries,drops\n");
+    }
+
+    /// Minimal RFC 4180 row parser for the assertions below: splits a
+    /// line into fields, honoring quoted fields with doubled quotes.
+    fn parse_csv_row(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' if cur.is_empty() => quoted = true,
+                ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
+    #[test]
+    fn csv_field_escapes_per_rfc4180() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("with space"), "with space");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(csv_field("evil\",inject"), "\"evil\"\",inject\"");
+        // Round trip through the parser.
+        for hostile in ["a,b", "say \"hi\"", "evil\",inject", "x\r\ny"] {
+            let row = format!("pre,{},post", csv_field(hostile));
+            // \r\n inside a quoted field spans lines; parse as one.
+            let parsed = parse_csv_row(&row);
+            assert_eq!(parsed, vec!["pre", hostile, "post"], "{hostile:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_job_name_cannot_corrupt_csv_rows() {
+        let hostile = "burn\",2000,\"injected";
+        let mut w = World::new(MachineKind::Lassen, 4, 11);
+        w.autostop_after = Some(1);
+        let mut eng: FluxEngine = Engine::new();
+        w.install_executor(&mut eng);
+        crate::load(&mut w, &mut eng, MonitorConfig::default());
+        let id = w.submit(
+            &mut eng,
+            JobSpec::new(hostile, 1),
+            Box::new(Burn {
+                secs: 10.0,
+                done: 0.0,
+            }),
+        );
+        eng.run(&mut w);
+
+        let mut eng2: FluxEngine = Engine::new();
+        let slot = fetch_job_data(&mut w, &mut eng2, id);
+        eng2.run(&mut w);
+        let reply = slot.borrow().clone().unwrap().unwrap();
+        assert_eq!(reply.name, hostile);
+
+        let csv = job_data_to_csv(&reply);
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            let fields = parse_csv_row(line);
+            assert_eq!(
+                fields.len(),
+                header_cols,
+                "row structure survived a hostile app name: {line}"
+            );
+            assert_eq!(fields[1], hostile, "name round-trips");
+            // The naive unescaped rendering would have split this row
+            // into extra columns.
+            assert!(line.split(',').count() > header_cols);
+        }
+    }
+
+    #[test]
+    fn hostile_topic_cannot_corrupt_rpc_stats_csv() {
+        use fluxpm_flux::{payload, Rank, RetryPolicy};
+        use fluxpm_sim::SimDuration;
+        let hostile = "evil\"topic,with,commas";
+        let mut w = World::new(MachineKind::Lassen, 2, 11);
+        let mut eng: FluxEngine = Engine::new();
+        w.fail_node(&mut eng, fluxpm_hw::NodeId(1));
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            deadline: SimDuration::from_millis(50),
+            backoff: SimDuration::from_millis(10),
+            backoff_factor: 2,
+        };
+        w.rpc(Rank(1), hostile, payload(()))
+            .retry(policy)
+            .send(&mut eng, |_, _, _| {});
+        eng.run(&mut w);
+        assert!(w.rpc_stats().contains_key(hostile), "topic recorded");
+
+        let csv = rpc_stats_to_csv(&w);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("topic,timeouts,retries,drops"));
+        let row = lines.next().expect("one incident row");
+        let fields = parse_csv_row(row);
+        assert_eq!(fields.len(), 4, "row stays 4 columns: {row}");
+        assert_eq!(fields[0], hostile);
+        assert!(row.split(',').count() > 4, "naive split would corrupt");
     }
 
     #[test]

@@ -499,7 +499,7 @@ mod tests {
                 w.fail_node(eng, fluxpm_hw::NodeId(1));
             });
             eng.schedule(SimTime::from_millis(recover_ms), |w: &mut World, eng| {
-                w.recover_node(eng, fluxpm_hw::NodeId(1));
+                assert!(w.recover_node(eng, fluxpm_hw::NodeId(1)), "node was down");
             });
         }
         eng.set_horizon(SimTime::from_secs(30));
@@ -542,7 +542,7 @@ mod tests {
 
         eng.schedule(SimTime::from_millis(5_200), |w: &mut World, eng| {
             w.fail_node(eng, fluxpm_hw::NodeId(1));
-            w.recover_node(eng, fluxpm_hw::NodeId(1));
+            assert!(w.recover_node(eng, fluxpm_hw::NodeId(1)), "node was down");
         });
         eng.set_horizon(SimTime::from_secs(12));
         eng.run(&mut w);

@@ -31,11 +31,13 @@
 pub mod baseline;
 pub mod engine;
 pub mod rng;
+pub mod sharded;
 pub mod time;
 pub mod trace;
 
 pub use baseline::{BaselineEngine, BaselineEventId};
 pub use engine::{Engine, EventId, Periodic};
 pub use rng::{SplitMix64, Xoshiro256pp};
+pub use sharded::{Inbound, Outbound, ShardSim, ShardedEngine, ShardedRunStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceLevel};

@@ -78,13 +78,24 @@ impl SimDuration {
         SimDuration(us)
     }
 
+    /// The longest representable duration — the saturation bound for
+    /// lossy float conversions and for saturating time arithmetic.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
     /// Construct from fractional seconds, rounding to the nearest
-    /// microsecond. Negative inputs clamp to zero.
+    /// microsecond. Degenerate inputs saturate instead of wrapping
+    /// through the float→int cast: negative values, `-0.0`, and NaN
+    /// clamp to [`SimDuration::ZERO`]; values beyond the representable
+    /// range (including `+∞`) clamp to [`SimDuration::MAX`].
     pub fn from_secs_f64(secs: f64) -> Self {
-        if secs <= 0.0 {
+        if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
-        SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
+        let micros = (secs * MICROS_PER_SEC as f64).round();
+        if micros >= u64::MAX as f64 {
+            return SimDuration::MAX;
+        }
+        SimDuration(micros as u64)
     }
 
     /// Seconds as a float.
@@ -102,22 +113,28 @@ impl SimDuration {
         self.0 == 0
     }
 
-    /// Integer multiple of this duration.
+    /// Integer multiple of this duration, saturating at
+    /// [`SimDuration::MAX`].
     pub const fn mul(self, k: u64) -> SimDuration {
-        SimDuration(self.0 * k)
+        SimDuration(self.0.saturating_mul(k))
     }
 }
 
+// Additions saturate at the top of the clock rather than wrapping or
+// panicking: a saturated duration (e.g. a degenerate `from_secs_f64`
+// input) then pins the instant at the far future — which an ordering
+// comparison or horizon check catches — instead of aborting the
+// simulation or wrapping back into valid-looking small times.
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -131,7 +148,7 @@ impl Sub<SimTime> for SimTime {
 impl Add<SimDuration> for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
@@ -191,6 +208,48 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(1e-7).as_micros(), 0);
+    }
+
+    #[test]
+    fn from_secs_f64_rejects_degenerate_inputs() {
+        // NaN slips past a plain `<= 0.0` guard (all NaN comparisons
+        // are false) and the raw `as u64` cast would turn it into 0 —
+        // or +inf into u64::MAX — silently. Both must clamp instead.
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
+        assert_eq!(SimDuration::from_secs_f64(-0.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+        // Values overflowing the microsecond clock saturate at MAX, not
+        // at a wrapped small number.
+        assert_eq!(SimDuration::from_secs_f64(1e300), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::from_secs_f64(u64::MAX as f64),
+            SimDuration::MAX
+        );
+        // The largest finite conversions stay monotone.
+        let nearly = SimDuration::from_secs_f64(1e13);
+        assert!(nearly < SimDuration::MAX);
+        assert_eq!(nearly.as_micros(), 1e19 as u64);
+    }
+
+    #[test]
+    fn saturated_durations_pin_instants_without_wrapping() {
+        let t = SimTime::from_secs(10);
+        // Adding a saturated duration used to overflow-panic (debug) or
+        // wrap (release); now it pins at the far future.
+        assert_eq!(t + SimDuration::MAX, SimTime(u64::MAX));
+        let mut t2 = SimTime::from_secs(1);
+        t2 += SimDuration::MAX;
+        assert_eq!(t2, SimTime(u64::MAX));
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
+        assert_eq!(SimDuration::MAX.mul(3), SimDuration::MAX);
     }
 
     #[test]

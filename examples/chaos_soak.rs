@@ -70,8 +70,8 @@ fn main() {
         w.fail_nodes(eng, &[NodeId(1), NodeId(2)]);
     });
     eng.schedule(SimTime::from_secs(30), |w: &mut World, eng| {
-        w.recover_node(eng, NodeId(1));
-        w.recover_node(eng, NodeId(2));
+        assert!(w.recover_node(eng, NodeId(1)), "node 1 was down");
+        assert!(w.recover_node(eng, NodeId(2)), "node 2 was down");
     });
     eng.schedule(SimTime::from_secs(35), |w: &mut World, eng| {
         let root = w.root();
@@ -84,7 +84,7 @@ fn main() {
             let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xC0FFEE ^ (k << 32));
             for i in 0..w.size() {
                 if !w.broker_up(Rank(i)) && rng.chance(0.45) {
-                    w.recover_node(eng, NodeId(i));
+                    assert!(w.recover_node(eng, NodeId(i)), "guarded: broker was down");
                 }
             }
             let mut up: Vec<u32> = (0..w.size()).filter(|&i| w.broker_up(Rank(i))).collect();
@@ -105,7 +105,7 @@ fn main() {
     eng.schedule(SimTime::from_secs(95), |w: &mut World, eng| {
         for i in 0..w.size() {
             if !w.broker_up(Rank(i)) {
-                w.recover_node(eng, NodeId(i));
+                assert!(w.recover_node(eng, NodeId(i)), "guarded: broker was down");
             }
         }
     });

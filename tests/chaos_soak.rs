@@ -237,7 +237,7 @@ fn soak(seed: u64) -> Outcome {
             // the same tick.
             for i in 0..w.size() {
                 if !w.broker_up(Rank(i)) && rng.chance(0.45) {
-                    w.recover_node(eng, NodeId(i));
+                    assert!(w.recover_node(eng, NodeId(i)), "guarded: broker was down");
                 }
             }
             let mut up: Vec<u32> = (0..w.size()).filter(|&i| w.broker_up(Rank(i))).collect();
@@ -258,7 +258,7 @@ fn soak(seed: u64) -> Outcome {
     eng.schedule(SimTime::from_secs(95), move |w: &mut World, eng| {
         for i in 0..w.size() {
             if !w.broker_up(Rank(i)) {
-                w.recover_node(eng, NodeId(i));
+                assert!(w.recover_node(eng, NodeId(i)), "guarded: broker was down");
             }
         }
     });
