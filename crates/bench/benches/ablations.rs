@@ -236,7 +236,7 @@ fn bench_fpp_controller(c: &mut Criterion) {
 fn bench_stats_aggregation(c: &mut Criterion) {
     use fluxpm_flux::{FluxEngine, JobSpec, World};
     use fluxpm_hw::MachineKind;
-    use fluxpm_monitor::{fetch_job_stats, fetch_job_stats_tree, MonitorConfig};
+    use fluxpm_monitor::{MonitorConfig, MonitorQuery};
     use fluxpm_workloads::{laghos, App, JitterModel};
 
     // Build one monitored world with a completed wide job, then compare
@@ -260,9 +260,9 @@ fn bench_stats_aggregation(c: &mut Criterion) {
     g.bench_function("direct_fanout", |b| {
         b.iter(|| {
             let mut eng: FluxEngine = Engine::new();
-            let slot = fetch_job_stats(&mut w1, &mut eng, id1);
+            let query = MonitorQuery::job_stats(id1).send(&mut w1, &mut eng);
             eng.run(&mut w1);
-            let done = slot.borrow().is_some();
+            let done = query.ready();
             black_box(done)
         })
     });
@@ -270,9 +270,9 @@ fn bench_stats_aggregation(c: &mut Criterion) {
     g.bench_function("tree_reduce", |b| {
         b.iter(|| {
             let mut eng: FluxEngine = Engine::new();
-            let slot = fetch_job_stats_tree(&mut w2, &mut eng, id2);
+            let query = MonitorQuery::job_stats_tree(id2).send(&mut w2, &mut eng);
             eng.run(&mut w2);
-            let done = slot.borrow().is_some();
+            let done = query.ready();
             black_box(done)
         })
     });

@@ -1,0 +1,222 @@
+//! Regenerate `BENCH_telemetry.json`, the committed subscription
+//! fan-out baseline.
+//!
+//! Run from the repository root:
+//!
+//! ```sh
+//! cargo run --release -p fluxpm-bench --bin bench_telemetry > BENCH_telemetry.json
+//! ```
+//!
+//! Measures, on this machine, the `TelemetryHub` fan-out core that the
+//! monitor's root agent runs on every pushed sample:
+//!
+//! * delta deliveries/sec into 1 000 and 5 000 concurrent unfiltered
+//!   subscribers (every publish lands in every queue), and the per
+//!   subscriber-delivery overhead in nanoseconds;
+//! * selective fan-out: 1 000 subscribers each pinned to one of 64
+//!   nodes, so ~1/64 match per publish — the filter-rejection cost;
+//! * poll drain throughput (consumer side of the bounded queues);
+//! * backpressure under a permanently slow fleet: publish rate with
+//!   full queues shedding oldest, and the eviction sweep cost.
+//!
+//! The committed file is a trajectory anchor, not a portable constant —
+//! absolute numbers vary by machine. The gate asserts the *shape*:
+//! thousands of live subscribers at better than 4 µs per delivery.
+
+use fluxpm_monitor::{SubscriberId, SubscriptionConfig, SubscriptionFilter, TelemetryHub};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall time of `f()` in seconds, best of `reps` runs.
+fn best_of<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+const NODES: u32 = 64;
+
+/// A hub with `subs` live subscribers; unfiltered unless `pin_nodes`,
+/// in which case subscriber i watches only node i % NODES.
+fn hub_with(subs: usize, pin_nodes: bool, capacity: usize) -> (TelemetryHub, Vec<SubscriberId>) {
+    let mut hub = TelemetryHub::new(SubscriptionConfig {
+        queue_capacity: capacity,
+        // Never evict during throughput runs: loss is the scenario,
+        // eviction is measured separately.
+        evict_after_drops: u64::MAX,
+    });
+    let ids = (0..subs)
+        .map(|i| {
+            let filter = if pin_nodes {
+                SubscriptionFilter::all().with_nodes(vec![i as u32 % NODES])
+            } else {
+                SubscriptionFilter::all()
+            };
+            hub.subscribe(filter)
+        })
+        .collect();
+    (hub, ids)
+}
+
+/// Publish `rounds` sweeps over all nodes; returns deliveries enqueued.
+fn publish_rounds(hub: &mut TelemetryHub, rounds: u64) -> u64 {
+    let mut deliveries = 0u64;
+    for r in 0..rounds {
+        for node in 0..NODES {
+            deliveries += hub.publish(node, r * 2_000_000, 900.0, None) as u64;
+        }
+    }
+    deliveries
+}
+
+fn main() {
+    // --- Broadcast fan-out at 1k and 5k subscribers -------------------
+    // Queues sized to hold a full measurement run, so the shed path
+    // stays cold and this measures pure enqueue fan-out.
+    let fanout = |subs: usize, rounds: u64| -> (u64, f64) {
+        let (mut hub, _ids) = hub_with(subs, false, (rounds as usize) * NODES as usize);
+        publish_rounds(&mut hub, 1); // warm
+        let expect = rounds * NODES as u64 * subs as u64;
+        let wall = best_of(5, || {
+            let (mut hub, _ids) = hub_with(subs, false, (rounds as usize) * NODES as usize);
+            assert_eq!(publish_rounds(&mut hub, rounds), expect);
+        });
+        // Subtract nothing: setup cost is part of the guard band, the
+        // committed number is conservative.
+        (expect, wall)
+    };
+    let (deliv_1k, wall_1k) = fanout(1_000, 8);
+    let (deliv_5k, wall_5k) = fanout(5_000, 4);
+    let rate_1k = deliv_1k as f64 / wall_1k;
+    let rate_5k = deliv_5k as f64 / wall_5k;
+    let ns_per_delivery_1k = wall_1k * 1e9 / deliv_1k as f64;
+    let ns_per_delivery_5k = wall_5k * 1e9 / deliv_5k as f64;
+
+    // --- Selective fan-out: ~1/64 of subscribers match ----------------
+    let (mut hub, _ids) = hub_with(1_000, true, 4_096);
+    publish_rounds(&mut hub, 1);
+    let sel_rounds = 64u64;
+    let sel_deliv = publish_rounds(&mut hub, sel_rounds);
+    let sel_wall = best_of(5, || {
+        let (mut hub, _ids) = hub_with(1_000, true, 4_096);
+        publish_rounds(&mut hub, sel_rounds)
+    });
+    let sel_publishes = sel_rounds * NODES as u64;
+    let sel_ns_per_publish = sel_wall * 1e9 / sel_publishes as f64;
+
+    // --- Poll drain ---------------------------------------------------
+    let drain_wall = best_of(5, || {
+        let (mut hub, ids) = hub_with(1_000, false, 512);
+        publish_rounds(&mut hub, 8);
+        let mut drained = 0usize;
+        for &id in &ids {
+            while let Some((deltas, _)) = hub.poll(id, 128) {
+                if deltas.is_empty() {
+                    break;
+                }
+                drained += deltas.len();
+            }
+        }
+        assert_eq!(drained as u64, 8 * NODES as u64 * 1_000);
+        drained
+    });
+    let drained = 8u64 * NODES as u64 * 1_000;
+    let drain_rate = drained as f64 / drain_wall;
+
+    // --- Backpressure: full queues shedding oldest --------------------
+    let shed_rounds = 16u64;
+    let shed_wall = best_of(5, || {
+        let (mut hub, _ids) = hub_with(1_000, false, 8);
+        publish_rounds(&mut hub, shed_rounds)
+    });
+    let shed_publishes = shed_rounds * NODES as u64;
+    let shed_ns_per_publish = shed_wall * 1e9 / shed_publishes as f64;
+
+    // --- Eviction sweep: slow fleet aged out --------------------------
+    let evicted = {
+        let mut hub = TelemetryHub::new(SubscriptionConfig {
+            queue_capacity: 4,
+            evict_after_drops: 32,
+        });
+        for _ in 0..1_000 {
+            hub.subscribe(SubscriptionFilter::all());
+        }
+        publish_rounds(&mut hub, 64);
+        assert_eq!(hub.subscriber_count(), 0, "slow fleet fully evicted");
+        hub.evicted()
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"fluxpm-bench-telemetry/v1\",\n");
+    out.push_str(
+        "  \"regenerate\": \"cargo run --release -p fluxpm-bench --bin bench_telemetry > BENCH_telemetry.json\",\n",
+    );
+    let _ = writeln!(out, "  \"nodes\": {NODES},");
+    out.push_str("  \"broadcast_fanout\": {\n");
+    out.push_str("    \"subscribers_1k\": {\n");
+    let _ = writeln!(out, "      \"subscribers\": 1000,");
+    let _ = writeln!(out, "      \"deliveries\": {deliv_1k},");
+    let _ = writeln!(out, "      \"deliveries_per_sec\": {:.0},", rate_1k);
+    let _ = writeln!(
+        out,
+        "      \"ns_per_subscriber_delivery\": {:.1}",
+        ns_per_delivery_1k
+    );
+    out.push_str("    },\n");
+    out.push_str("    \"subscribers_5k\": {\n");
+    let _ = writeln!(out, "      \"subscribers\": 5000,");
+    let _ = writeln!(out, "      \"deliveries\": {deliv_5k},");
+    let _ = writeln!(out, "      \"deliveries_per_sec\": {:.0},", rate_5k);
+    let _ = writeln!(
+        out,
+        "      \"ns_per_subscriber_delivery\": {:.1}",
+        ns_per_delivery_5k
+    );
+    out.push_str("    }\n");
+    out.push_str("  },\n");
+    out.push_str("  \"selective_fanout\": {\n");
+    let _ = writeln!(out, "    \"subscribers\": 1000,");
+    let _ = writeln!(out, "    \"matching_fraction\": {:.4},", 1.0 / NODES as f64);
+    let _ = writeln!(out, "    \"deliveries\": {sel_deliv},");
+    let _ = writeln!(out, "    \"ns_per_publish\": {:.0}", sel_ns_per_publish);
+    out.push_str("  },\n");
+    out.push_str("  \"poll_drain\": {\n");
+    let _ = writeln!(out, "    \"deltas_drained\": {drained},");
+    let _ = writeln!(out, "    \"deltas_per_sec\": {:.0}", drain_rate);
+    out.push_str("  },\n");
+    out.push_str("  \"backpressure\": {\n");
+    let _ = writeln!(out, "    \"queue_capacity\": 8,");
+    let _ = writeln!(
+        out,
+        "    \"ns_per_publish_full_queues\": {:.0},",
+        shed_ns_per_publish
+    );
+    let _ = writeln!(out, "    \"slow_fleet_evicted\": {evicted}");
+    out.push_str("  },\n");
+    out.push_str("  \"gate\": {\n");
+    out.push_str("    \"rule\": \"1k and 5k broadcast fan-out sustained at <= 4000 ns per subscriber-delivery (>= 250k deliveries/sec)\"\n");
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    print!("{out}");
+
+    // The acceptance gate travels with the generator: a regeneration
+    // that cannot hold thousands of subscribers at production rates
+    // must fail loudly, not silently commit a regression.
+    assert!(
+        ns_per_delivery_1k <= 4_000.0 && rate_1k >= 250_000.0,
+        "1k-subscriber fan-out regressed: {ns_per_delivery_1k:.0} ns/delivery, {rate_1k:.0}/s"
+    );
+    assert!(
+        ns_per_delivery_5k <= 4_000.0 && rate_5k >= 250_000.0,
+        "5k-subscriber fan-out regressed: {ns_per_delivery_5k:.0} ns/delivery, {rate_5k:.0}/s"
+    );
+    assert!(
+        evicted == 1_000,
+        "eviction sweep must age out the whole slow fleet"
+    );
+}

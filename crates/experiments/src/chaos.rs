@@ -20,7 +20,7 @@ use fluxpm_flux::{
     World,
 };
 use fluxpm_hw::{MachineKind, NodeId, Watts};
-use fluxpm_monitor::{fetch_job_stats_tree, MonitorConfig};
+use fluxpm_monitor::{MonitorConfig, MonitorQuery};
 use fluxpm_sim::{Engine, SimDuration, SimTime, Trace, TraceLevel, Xoshiro256pp};
 use fluxpm_workloads::{laghos, App, JitterModel};
 use std::cell::{Cell, RefCell};
@@ -263,7 +263,7 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
     {
         let degraded = Rc::clone(&degraded);
         eng.schedule(SimTime::from_secs(20), move |w: &mut World, eng| {
-            *degraded.borrow_mut() = Some(fetch_job_stats_tree(w, eng, a));
+            *degraded.borrow_mut() = Some(MonitorQuery::job_stats_tree(a).send(w, eng));
         });
     }
     // t=25: recovery of rank 1 overlaps a fresh failure, and rank 1 is
@@ -397,8 +397,7 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
         .borrow()
         .clone()
         .expect("degraded query issued")
-        .borrow()
-        .clone()
+        .subtree_stats()
         .expect("mid-storm reduction completed")
         .expect("reduction replied");
     assert!(

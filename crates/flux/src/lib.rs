@@ -29,6 +29,7 @@ pub mod module;
 pub mod proto;
 pub mod sched;
 pub mod shard;
+pub mod state;
 pub mod subinstance;
 pub mod tbon;
 pub mod topic;
@@ -44,6 +45,7 @@ pub use shard::{
     merge_records, records_hash, run_storm, FaultScript, ShardPlan, ShardRecord, ShardStormConfig,
     StormShard, WireMsg,
 };
+pub use state::{Snapshot, StateEvent, StateLog, StateValue};
 pub use subinstance::{InstancePowerPolicy, SubInstance};
 pub use tbon::{Rank, Tbon};
 pub use topic::Topic;

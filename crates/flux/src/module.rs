@@ -7,6 +7,7 @@
 //! send messages, issue RPCs, and schedule timers (its "thread").
 
 use crate::message::Message;
+use crate::state::{StateEvent, StateValue};
 use crate::tbon::Rank;
 use crate::topic::Topic;
 use crate::world::{FluxEngine, World};
@@ -52,6 +53,34 @@ pub trait Module: 'static {
     /// no-op.
     fn on_migrate(&mut self, ctx: &mut ModuleCtx<'_>) {
         let _ = ctx;
+    }
+
+    /// Fold this module's current derived state into one [`StateValue`]
+    /// for the instance [state log](crate::StateLog). Root services that
+    /// record [`StateEvent`]s implement this so periodic snapshots can
+    /// truncate the log; `None` (the default) opts out of snapshotting.
+    ///
+    /// Contract: `restore(snapshot())` on a fresh instance must
+    /// reproduce this module's state exactly — the replay-equivalence
+    /// proptests hold implementations to it.
+    fn snapshot(&self) -> Option<StateValue> {
+        None
+    }
+
+    /// Reset this module's state from a snapshot previously produced by
+    /// [`Module::snapshot`]. Called on a factory-fresh instance during
+    /// instance resurrection, before the tail events are applied.
+    /// Default: no-op.
+    fn restore(&mut self, snapshot: &StateValue) {
+        let _ = snapshot;
+    }
+
+    /// Apply one logged state transition during replay. Must mutate
+    /// state only — no messages, no timers, and **no appending** (the
+    /// event being applied is already in the log; re-recording it would
+    /// double state on the next replay). Default: no-op.
+    fn apply_event(&mut self, event: &StateEvent) {
+        let _ = event;
     }
 }
 

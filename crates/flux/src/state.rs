@@ -1,0 +1,357 @@
+//! Event-sourced root-service state (the instance's durable log).
+//!
+//! Root services (the cluster manager's budgets, the job manager's limit
+//! mirror, the monitor root agent's in-flight aggregations) are
+//! cluster-singleton state. A live root failover migrates their module
+//! instances wholesale, but when the *whole instance* dies (the root
+//! fails with no live successor) the modules die with it. The paper's
+//! production deployment survives that because state is derived from a
+//! durable record, not held hostage by one process — this module is that
+//! record in the simulation: an append-only [`StateLog`] of immutable,
+//! typed [`StateEvent`]s with periodic [`Snapshot`]s.
+//!
+//! The contract (see `DESIGN.md` §10):
+//!
+//! * every root-service state transition is appended as a [`StateEvent`]
+//!   *at the time it happens* (never during replay),
+//! * a snapshot folds the log prefix into one [`StateValue`] per module
+//!   and truncates the tail — bounded memory on long soaks,
+//! * `replay(snapshot + tail)` reproduces the exact state that
+//!   `replay(full log)` would — the equivalence the proptest suite
+//!   pins down — so resurrection restores the latest snapshot and
+//!   applies the tail, byte for byte the pre-crash state.
+
+use std::collections::BTreeMap;
+
+/// A self-describing value: the typed payload of events and snapshots.
+///
+/// Deliberately closed and ordered (maps are `BTreeMap`) so two equal
+/// states render identically — byte-identical `format!("{v:?}")` is the
+/// replay acceptance check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateValue {
+    /// Absent / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (ids, counts, microsecond timestamps).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (watts, seconds).
+    F64(f64),
+    /// Text.
+    Str(String),
+    /// Ordered sequence.
+    List(Vec<StateValue>),
+    /// Key → value record, deterministically ordered.
+    Map(BTreeMap<String, StateValue>),
+}
+
+impl StateValue {
+    /// Build a `Map` from `(key, value)` pairs.
+    pub fn record<'a>(fields: impl IntoIterator<Item = (&'a str, StateValue)>) -> StateValue {
+        StateValue::Map(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            StateValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            StateValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            StateValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a list, if it is one.
+    pub fn as_list(&self) -> Option<&[StateValue]> {
+        match self {
+            StateValue::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A field of a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&StateValue> {
+        match self {
+            StateValue::Map(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Shorthand: `self.get(key)?.as_u64()`.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.get(key)?.as_u64()
+    }
+
+    /// Shorthand: `self.get(key)?.as_f64()`.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        self.get(key)?.as_f64()
+    }
+}
+
+impl From<bool> for StateValue {
+    fn from(v: bool) -> StateValue {
+        StateValue::Bool(v)
+    }
+}
+impl From<u64> for StateValue {
+    fn from(v: u64) -> StateValue {
+        StateValue::U64(v)
+    }
+}
+impl From<i64> for StateValue {
+    fn from(v: i64) -> StateValue {
+        StateValue::I64(v)
+    }
+}
+impl From<f64> for StateValue {
+    fn from(v: f64) -> StateValue {
+        StateValue::F64(v)
+    }
+}
+impl From<&str> for StateValue {
+    fn from(v: &str) -> StateValue {
+        StateValue::Str(v.to_string())
+    }
+}
+impl From<String> for StateValue {
+    fn from(v: String) -> StateValue {
+        StateValue::Str(v)
+    }
+}
+impl From<Vec<StateValue>> for StateValue {
+    fn from(v: Vec<StateValue>) -> StateValue {
+        StateValue::List(v)
+    }
+}
+
+/// One immutable state transition, stamped with a log-global sequence
+/// number and the simulation time it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateEvent {
+    /// Log-global sequence number (monotonic, never reused).
+    pub seq: u64,
+    /// Simulation time of the transition, microseconds.
+    pub time_us: u64,
+    /// Owning module's [`name`](crate::Module::name).
+    pub module: &'static str,
+    /// Transition kind within the module (e.g. `"admit"`, `"release"`).
+    pub kind: &'static str,
+    /// Typed payload — self-contained: applying the event must need no
+    /// context beyond prior state.
+    pub data: StateValue,
+}
+
+/// A fold of the log prefix up to (and including) `seq`: one derived
+/// state value per module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Highest event sequence folded into this snapshot.
+    pub seq: u64,
+    /// Simulation time the snapshot was taken, microseconds.
+    pub time_us: u64,
+    /// Derived state per module name.
+    pub modules: BTreeMap<&'static str, StateValue>,
+}
+
+/// The instance's append-only event log with snapshot truncation.
+///
+/// Owned by the `World` (not by any broker), so it survives full
+/// instance death the way the real deployment's durable store would.
+#[derive(Debug, Default)]
+pub struct StateLog {
+    next_seq: u64,
+    /// Events after the latest snapshot, in append order.
+    tail: Vec<StateEvent>,
+    snapshot: Option<Snapshot>,
+    /// Events ever appended (diagnostics; survives truncation).
+    appended: u64,
+    snapshots_taken: u64,
+}
+
+impl StateLog {
+    /// An empty log.
+    pub fn new() -> StateLog {
+        StateLog::default()
+    }
+
+    /// Append one event; returns its sequence number.
+    pub fn append(
+        &mut self,
+        time_us: u64,
+        module: &'static str,
+        kind: &'static str,
+        data: StateValue,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.appended += 1;
+        self.tail.push(StateEvent {
+            seq,
+            time_us,
+            module,
+            kind,
+            data,
+        });
+        seq
+    }
+
+    /// Events since the latest snapshot, in append order.
+    pub fn tail(&self) -> &[StateEvent] {
+        &self.tail
+    }
+
+    /// Tail events owned by one module.
+    pub fn tail_for<'a>(&'a self, module: &'a str) -> impl Iterator<Item = &'a StateEvent> {
+        self.tail.iter().filter(move |e| e.module == module)
+    }
+
+    /// The latest snapshot, if one has been taken.
+    pub fn snapshot(&self) -> Option<&Snapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Install a snapshot folding everything appended so far and truncate
+    /// the tail. `modules` must be each module's state *after* applying
+    /// every appended event (the caller asks the live modules).
+    pub fn install_snapshot(&mut self, time_us: u64, modules: BTreeMap<&'static str, StateValue>) {
+        self.snapshot = Some(Snapshot {
+            seq: self.next_seq.wrapping_sub(1),
+            time_us,
+            modules,
+        });
+        self.snapshots_taken += 1;
+        self.tail.clear();
+    }
+
+    /// Replay one module's state: `restore` receives the snapshot entry
+    /// (if any), then `apply` receives each tail event in order. This is
+    /// the whole recovery contract — by construction the result equals a
+    /// replay of the full untruncated log.
+    pub fn replay(
+        &self,
+        module: &str,
+        mut restore: impl FnMut(&StateValue),
+        mut apply: impl FnMut(&StateEvent),
+    ) {
+        if let Some(snap) = &self.snapshot {
+            if let Some(v) = snap.modules.get(module) {
+                restore(v);
+            }
+        }
+        for ev in self.tail_for(module) {
+            apply(ev);
+        }
+    }
+
+    /// Events currently retained in the tail.
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Events ever appended (including truncated ones).
+    pub fn total_appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Snapshots installed so far.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_stamps_monotonic_seq() {
+        let mut log = StateLog::new();
+        let a = log.append(10, "m", "x", StateValue::U64(1));
+        let b = log.append(20, "m", "y", StateValue::U64(2));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(log.tail_len(), 2);
+        assert_eq!(log.total_appended(), 2);
+        assert_eq!(log.tail()[1].kind, "y");
+    }
+
+    #[test]
+    fn snapshot_truncates_but_keeps_counting() {
+        let mut log = StateLog::new();
+        log.append(1, "m", "x", StateValue::Null);
+        log.append(2, "m", "x", StateValue::Null);
+        log.install_snapshot(2, BTreeMap::from([("m", StateValue::U64(2))]));
+        assert_eq!(log.tail_len(), 0);
+        assert_eq!(log.total_appended(), 2);
+        assert_eq!(log.snapshot().unwrap().seq, 1);
+        let c = log.append(3, "m", "x", StateValue::Null);
+        assert_eq!(c, 2, "seq continues across truncation");
+    }
+
+    #[test]
+    fn replay_restores_then_applies_in_order() {
+        let mut log = StateLog::new();
+        log.append(1, "a", "add", StateValue::U64(5));
+        log.append(1, "b", "add", StateValue::U64(100));
+        log.install_snapshot(
+            1,
+            BTreeMap::from([("a", StateValue::U64(5)), ("b", StateValue::U64(100))]),
+        );
+        log.append(2, "a", "add", StateValue::U64(3));
+        log.append(3, "a", "add", StateValue::U64(2));
+
+        let total = std::cell::Cell::new(0u64);
+        log.replay(
+            "a",
+            |snap| total.set(snap.as_u64().unwrap()),
+            |ev| total.set(total.get() + ev.data.as_u64().unwrap()),
+        );
+        assert_eq!(total.get(), 10);
+        // Module b has no tail events; its snapshot alone replays.
+        let b = std::cell::Cell::new(0u64);
+        log.replay(
+            "b",
+            |snap| b.set(snap.as_u64().unwrap()),
+            |_| b.set(b.get() + 1),
+        );
+        assert_eq!(b.get(), 100);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = StateValue::record([
+            ("job", StateValue::U64(7)),
+            ("w", StateValue::F64(1200.0)),
+            ("name", "gemm".into()),
+            ("list", vec![StateValue::U64(1), StateValue::U64(2)].into()),
+        ]);
+        assert_eq!(v.u64_field("job"), Some(7));
+        assert_eq!(v.f64_field("w"), Some(1200.0));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("gemm"));
+        assert_eq!(v.get("list").unwrap().as_list().unwrap().len(), 2);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(StateValue::from(true), StateValue::Bool(true));
+        assert_eq!(StateValue::from(-3i64), StateValue::I64(-3));
+    }
+}

@@ -17,6 +17,7 @@ use crate::job::{JobId, JobProgram, JobRegistry, JobSpec, JobState, StepCtx, Ste
 use crate::message::{payload, Message, MsgKind, Payload};
 use crate::module::{ModuleCtx, SharedModule};
 use crate::sched::FcfsScheduler;
+use crate::state::{StateLog, StateValue};
 use crate::tbon::{Rank, Tbon};
 use crate::topic::Topic;
 use fluxpm_hw::{lassen, tioga, MachineKind, NodeHardware, NodeId, Watts};
@@ -480,6 +481,14 @@ pub struct World {
     /// Factories for per-rank modules, replayed by
     /// [`World::recover_node`] to reload a rejoining broker.
     module_factories: Vec<Box<dyn Fn(Rank) -> SharedModule>>,
+    /// Factories for *root-service* modules, used only when the whole
+    /// instance died and a recovering rank resurrects it: each factory
+    /// builds a fresh module whose state is then replayed from
+    /// [`World::state`].
+    root_service_factories: Vec<Box<dyn Fn() -> SharedModule>>,
+    /// The instance's durable event log of root-service state (survives
+    /// full instance death, like the production deployment's store).
+    pub state: StateLog,
     /// End of the last executor slice.
     last_exec: SimTime,
     executor_installed: bool,
@@ -521,6 +530,8 @@ impl World {
             rpc_retries: 0,
             topic_stats: BTreeMap::new(),
             module_factories: Vec::new(),
+            root_service_factories: Vec::new(),
+            state: StateLog::new(),
             last_exec: SimTime::ZERO,
             executor_installed: false,
         }
@@ -541,6 +552,101 @@ impl World {
     /// must not be registered here.
     pub fn register_module_factory(&mut self, factory: impl Fn(Rank) -> SharedModule + 'static) {
         self.module_factories.push(Box::new(factory));
+    }
+
+    /// Register a factory for a *root-service* module. Live root
+    /// failovers migrate the module instance itself and never touch
+    /// these; they exist for full instance death, where
+    /// [`World::recover_node`] rebuilds each root service from its
+    /// factory and replays its state from the [event log](World::state)
+    /// (latest snapshot + tail events) back to the exact pre-crash
+    /// state, then runs [`Module::on_migrate`](crate::Module::on_migrate)
+    /// so in-flight work resumes under the new topology epoch.
+    pub fn register_root_service_factory(&mut self, factory: impl Fn() -> SharedModule + 'static) {
+        self.root_service_factories.push(Box::new(factory));
+    }
+
+    /// Fold the current state of every snapshotting root-service module
+    /// into the [event log](World::state) and truncate its tail. Called
+    /// periodically via [`World::schedule_state_snapshots`], or directly
+    /// by tests and operators.
+    pub fn take_state_snapshot(&mut self, eng: &FluxEngine) {
+        let root = self.root();
+        let broker = &self.brokers[root.index()];
+        let mut modules: BTreeMap<&'static str, StateValue> = BTreeMap::new();
+        for name in broker.module_names() {
+            let Some(m) = broker.module(name) else {
+                continue;
+            };
+            let m = m.borrow();
+            if !m.root_service() {
+                continue;
+            }
+            if let Some(v) = m.snapshot() {
+                modules.insert(name, v);
+            }
+        }
+        self.state.install_snapshot(eng.now().as_micros(), modules);
+    }
+
+    /// Take a state snapshot every `interval` starting at `start` — the
+    /// periodic snapshot cadence that keeps the event log's tail bounded
+    /// on long-running instances. Stops when the world halts.
+    pub fn schedule_state_snapshots(
+        &mut self,
+        eng: &mut FluxEngine,
+        start: SimTime,
+        interval: SimDuration,
+    ) -> EventId {
+        eng.schedule_every(start, interval, move |world: &mut World, eng| {
+            if world.halted {
+                return ControlFlow::Break(());
+            }
+            world.take_state_snapshot(eng);
+            ControlFlow::Continue(())
+        })
+    }
+
+    /// Rebuild every registered root service on `rank` (the freshly
+    /// promoted root of a resurrected instance) and replay each one from
+    /// the event log. Two phases, mirroring `fail_root`: register and
+    /// replay all modules first, then run the migration hooks — a hook
+    /// may immediately RPC a sibling root service, which must already be
+    /// routable and restored.
+    fn resurrect_root_services(&mut self, eng: &mut FluxEngine, rank: Rank) {
+        let factories = std::mem::take(&mut self.root_service_factories);
+        let mut revived: Vec<SharedModule> = Vec::new();
+        for f in &factories {
+            let m = f();
+            let name = m.borrow().name();
+            if self.brokers[rank.index()].register(Rc::clone(&m)) {
+                {
+                    let mut module = m.borrow_mut();
+                    if let Some(v) = self.state.snapshot().and_then(|s| s.modules.get(name)) {
+                        module.restore(v);
+                    }
+                    for ev in self.state.tail_for(name) {
+                        module.apply_event(ev);
+                    }
+                }
+                self.trace.emit(
+                    eng.now(),
+                    TraceLevel::Info,
+                    "tbon",
+                    format!("resurrected {name} on {rank} from state log"),
+                );
+                revived.push(m);
+            }
+        }
+        self.root_service_factories = factories;
+        for m in revived {
+            let mut ctx = ModuleCtx {
+                world: self,
+                eng,
+                rank,
+            };
+            m.borrow_mut().on_migrate(&mut ctx);
+        }
     }
 
     /// Number of nodes/brokers.
@@ -1370,13 +1476,16 @@ impl World {
         let rank = Rank(node.0);
         self.brokers[node.index()].set_up();
         let cur_root = self.tbon.root();
+        let mut resurrected = false;
         if !self.tbon.is_attached(rank) && !self.brokers[cur_root.index()].is_up() {
             // The instance died entirely (the root failed with no live
             // successor, so it kept the root role while down). The
             // first rank to recover resurrects the instance as its new
-            // root. The old root-service state died with the instance;
-            // per-rank module factories reload below, and root services
-            // must be re-established by their owners.
+            // root. The old root-service module instances died with the
+            // instance; per-rank module factories reload below, and
+            // registered root services are rebuilt afterwards and
+            // replayed from the event log to their pre-crash state.
+            resurrected = true;
             self.tbon.attach(rank, cur_root);
             self.tbon.promote_root(rank);
             self.trace.emit(
@@ -1432,6 +1541,12 @@ impl World {
             self.load_module(eng, rank, f(rank));
         }
         self.module_factories = factories;
+        // Root services replay *after* the per-rank reload: their
+        // migration hooks may RPC per-rank peers (e.g. re-pushed node
+        // limits), which must already be routable.
+        if resurrected {
+            self.resurrect_root_services(eng, rank);
+        }
         true
     }
 

@@ -54,9 +54,33 @@ impl ProportionalAllocator {
         }
     }
 
+    /// Rebuild an allocator from snapshot parts: the bound, the node
+    /// peak, and the admitted `(job, nnodes)` set. Inverse of
+    /// [`ProportionalAllocator::admitted_jobs`], used by event-log
+    /// replay after full instance death.
+    pub fn from_parts(
+        global: Watts,
+        node_peak: Watts,
+        jobs: impl IntoIterator<Item = (JobId, u32)>,
+    ) -> ProportionalAllocator {
+        let mut a = ProportionalAllocator::new(global, node_peak);
+        a.jobs = jobs.into_iter().collect();
+        a
+    }
+
     /// The global bound.
     pub fn global_bound(&self) -> Watts {
         self.global
+    }
+
+    /// The per-node nameplate maximum this allocator clamps to.
+    pub fn node_peak(&self) -> Watts {
+        self.node_peak
+    }
+
+    /// The admitted jobs and their node counts, in job-id order.
+    pub fn admitted_jobs(&self) -> impl Iterator<Item = (JobId, u32)> + '_ {
+        self.jobs.iter().map(|(&id, &n)| (id, n))
     }
 
     /// Total nodes currently allocated.

@@ -9,10 +9,17 @@ use crate::allocator::ProportionalAllocator;
 use crate::proto::{JobLimitMsg, ManagerRequest, PolicyKind, TOPIC_JOB_LIMIT};
 use crate::ManagerConfig;
 use fluxpm_flux::world::{EVENT_JOB_EXCEPTION, EVENT_JOB_FINISH, EVENT_JOB_START};
-use fluxpm_flux::{JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy, Topic};
+use fluxpm_flux::{
+    JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy, StateEvent, StateValue,
+    Topic,
+};
+use fluxpm_hw::Watts;
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Module name, also the key under which state events are logged.
+pub const CLUSTER_MANAGER: &str = "power-manager-cluster";
 
 /// The `flux-power-manager` cluster-level component.
 pub struct ClusterLevelManager {
@@ -110,6 +117,18 @@ impl ClusterLevelManager {
         };
         if let Some(alloc) = &mut self.allocator {
             let per_node = alloc.admit(job, nnodes);
+            // Log the admission as a self-contained event: it carries
+            // the bound and peak so replay after full instance death can
+            // rebuild the allocator without re-deriving hardware facts.
+            let ev = StateValue::record([
+                ("job", StateValue::U64(job.0)),
+                ("nnodes", StateValue::U64(nnodes as u64)),
+                ("bound", StateValue::F64(alloc.global_bound().get())),
+                ("peak", StateValue::F64(alloc.node_peak().get())),
+            ]);
+            ctx.world
+                .state
+                .append(ctx.eng.now().as_micros(), CLUSTER_MANAGER, "admit", ev);
             ctx.world.trace.emit(
                 ctx.eng.now(),
                 TraceLevel::Info,
@@ -123,6 +142,12 @@ impl ClusterLevelManager {
     fn on_job_finish(&mut self, ctx: &mut ModuleCtx<'_>, job: JobId) {
         if let Some(alloc) = &mut self.allocator {
             let per_node = alloc.release(job);
+            ctx.world.state.append(
+                ctx.eng.now().as_micros(),
+                CLUSTER_MANAGER,
+                "release",
+                StateValue::record([("job", StateValue::U64(job.0))]),
+            );
             ctx.world.trace.emit(
                 ctx.eng.now(),
                 TraceLevel::Info,
@@ -132,11 +157,18 @@ impl ClusterLevelManager {
             self.push_all_limits(ctx);
         }
     }
+
+    /// Rebuild an allocator from an event's embedded bound/peak.
+    fn allocator_from_event(data: &StateValue) -> Option<ProportionalAllocator> {
+        let bound = data.f64_field("bound")?;
+        let peak = data.f64_field("peak")?;
+        Some(ProportionalAllocator::new(Watts(bound), Watts(peak)))
+    }
 }
 
 impl Module for ClusterLevelManager {
     fn name(&self) -> &'static str {
-        "power-manager-cluster"
+        CLUSTER_MANAGER
     }
 
     fn topics(&self) -> Vec<Topic> {
@@ -183,5 +215,70 @@ impl Module for ClusterLevelManager {
             ),
         );
         self.push_all_limits(ctx);
+    }
+
+    /// The replayable state: the budgets. Diagnostics counters
+    /// (`updates_sent`) are deliberately excluded — they count messages,
+    /// not state, and re-pushes after recovery legitimately differ.
+    fn snapshot(&self) -> Option<StateValue> {
+        let alloc = self.allocator.as_ref()?;
+        let jobs: Vec<StateValue> = alloc
+            .admitted_jobs()
+            .map(|(job, n)| {
+                StateValue::record([
+                    ("job", StateValue::U64(job.0)),
+                    ("nnodes", StateValue::U64(n as u64)),
+                ])
+            })
+            .collect();
+        Some(StateValue::record([
+            ("bound", StateValue::F64(alloc.global_bound().get())),
+            ("peak", StateValue::F64(alloc.node_peak().get())),
+            ("jobs", jobs.into()),
+        ]))
+    }
+
+    fn restore(&mut self, snapshot: &StateValue) {
+        let (Some(bound), Some(peak)) = (snapshot.f64_field("bound"), snapshot.f64_field("peak"))
+        else {
+            return;
+        };
+        let jobs = snapshot
+            .get("jobs")
+            .and_then(|j| j.as_list())
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|j| Some((JobId(j.u64_field("job")?), j.u64_field("nnodes")? as u32)));
+        self.allocator = Some(ProportionalAllocator::from_parts(
+            Watts(bound),
+            Watts(peak),
+            jobs,
+        ));
+    }
+
+    fn apply_event(&mut self, event: &StateEvent) {
+        match event.kind {
+            "admit" => {
+                if self.allocator.is_none() {
+                    self.allocator = Self::allocator_from_event(&event.data);
+                }
+                let (Some(job), Some(n)) =
+                    (event.data.u64_field("job"), event.data.u64_field("nnodes"))
+                else {
+                    return;
+                };
+                if let Some(alloc) = &mut self.allocator {
+                    alloc.admit(JobId(job), n as u32);
+                }
+            }
+            "release" => {
+                if let (Some(alloc), Some(job)) =
+                    (self.allocator.as_mut(), event.data.u64_field("job"))
+                {
+                    alloc.release(JobId(job));
+                }
+            }
+            _ => {}
+        }
     }
 }

@@ -8,12 +8,18 @@
 use crate::proto::{
     JobLimitMsg, ManagerReply, ManagerRequest, NodeLimitMsg, TOPIC_JOB_LIMIT, TOPIC_SET_NODE_LIMIT,
 };
-use fluxpm_flux::{JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy, Topic};
+use fluxpm_flux::{
+    JobId, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy, StateEvent, StateValue,
+    Topic,
+};
 use fluxpm_hw::Watts;
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Module name, also the key under which state events are logged.
+pub const JOB_MANAGER: &str = "power-manager-job";
 
 /// The `flux-power-manager` job-level component.
 #[derive(Default)]
@@ -58,6 +64,15 @@ impl JobLevelManager {
             return;
         }
         self.limits.insert(m.job, m.limit);
+        ctx.world.state.append(
+            ctx.eng.now().as_micros(),
+            JOB_MANAGER,
+            "limit",
+            StateValue::record([
+                ("job", StateValue::U64(m.job.0)),
+                ("w", StateValue::F64(m.limit.get())),
+            ]),
+        );
         let per_node = m.limit / ranks.len() as f64;
         let here = ctx.rank;
         for rank in ranks {
@@ -86,7 +101,7 @@ impl JobLevelManager {
 
 impl Module for JobLevelManager {
     fn name(&self) -> &'static str {
-        "power-manager-job"
+        JOB_MANAGER
     }
 
     fn topics(&self) -> Vec<Topic> {
@@ -115,7 +130,8 @@ impl Module for JobLevelManager {
         // failover, but its values are usually unchanged — and the no-op
         // dedup above would swallow them, leaving node managers that
         // missed an in-flight push permanently stale. Forget the mirror
-        // so the re-push fans out unconditionally.
+        // so the re-push fans out unconditionally. The clear is itself a
+        // state transition, so it is logged.
         ctx.world.trace.emit(
             ctx.eng.now(),
             TraceLevel::Info,
@@ -127,5 +143,58 @@ impl Module for JobLevelManager {
             ),
         );
         self.limits.clear();
+        ctx.world.state.append(
+            ctx.eng.now().as_micros(),
+            JOB_MANAGER,
+            "clear",
+            StateValue::Null,
+        );
+    }
+
+    /// The replayable state: the per-job limit mirror, in job-id order.
+    /// The `node_updates` counter is diagnostics, not state.
+    fn snapshot(&self) -> Option<StateValue> {
+        let mut limits: Vec<(JobId, Watts)> = self.limits.iter().map(|(&j, &w)| (j, w)).collect();
+        limits.sort_by_key(|(j, _)| *j);
+        Some(StateValue::record([(
+            "limits",
+            limits
+                .into_iter()
+                .map(|(j, w)| {
+                    StateValue::record([
+                        ("job", StateValue::U64(j.0)),
+                        ("w", StateValue::F64(w.get())),
+                    ])
+                })
+                .collect::<Vec<_>>()
+                .into(),
+        )]))
+    }
+
+    fn restore(&mut self, snapshot: &StateValue) {
+        self.limits.clear();
+        for entry in snapshot
+            .get("limits")
+            .and_then(|l| l.as_list())
+            .unwrap_or_default()
+        {
+            if let (Some(job), Some(w)) = (entry.u64_field("job"), entry.f64_field("w")) {
+                self.limits.insert(JobId(job), Watts(w));
+            }
+        }
+    }
+
+    fn apply_event(&mut self, event: &StateEvent) {
+        match event.kind {
+            "limit" => {
+                if let (Some(job), Some(w)) =
+                    (event.data.u64_field("job"), event.data.f64_field("w"))
+                {
+                    self.limits.insert(JobId(job), Watts(w));
+                }
+            }
+            "clear" => self.limits.clear(),
+            _ => {}
+        }
     }
 }

@@ -113,7 +113,11 @@ impl ManagerConfig {
 /// node-level manager from this factory (it restarts unconstrained and
 /// reconverges on the next limit push). The job- and cluster-level
 /// managers are root services — on root failure they migrate with their
-/// state (allocator budgets, mirrored limits) to the elected successor.
+/// state (allocator budgets, mirrored limits) to the elected successor,
+/// and both log their transitions to the instance
+/// [state log](fluxpm_flux::StateLog): if the *whole* instance dies, the
+/// first recovered rank rebuilds them from the registered root-service
+/// factories and replays the log back to the exact pre-crash state.
 pub fn load(world: &mut World, eng: &mut FluxEngine, config: ManagerConfig) -> bool {
     let mut ok = true;
     for rank in world.tbon.ranks().collect::<Vec<_>>() {
@@ -127,8 +131,23 @@ pub fn load(world: &mut World, eng: &mut FluxEngine, config: ManagerConfig) -> b
     let root = world.root();
     ok &= world.load_module(eng, root, JobLevelManager::shared());
     ok &= world.load_module(eng, root, ClusterLevelManager::shared(config.clone()));
-    world.register_module_factory(move |_rank| {
-        NodeLevelManager::shared_with_target(config.policy, config.fpp.clone(), config.fpp_target)
+    {
+        let config = config.clone();
+        world.register_module_factory(move |_rank| {
+            NodeLevelManager::shared_with_target(
+                config.policy,
+                config.fpp.clone(),
+                config.fpp_target,
+            )
+        });
+    }
+    world.register_root_service_factory(|| {
+        let m: fluxpm_flux::SharedModule = JobLevelManager::shared();
+        m
+    });
+    world.register_root_service_factory(move || {
+        let m: fluxpm_flux::SharedModule = ClusterLevelManager::shared(config.clone());
+        m
     });
     ok
 }

@@ -2,24 +2,272 @@
 //!
 //! The paper's client is a Python script: given a job id it resolves the
 //! job's nodes and window, asks the root agent, and writes a CSV with a
-//! completeness column. Here the client is a pair of functions driven
-//! against the simulation.
+//! completeness column. Here the client is a single typed query builder,
+//! [`MonitorQuery`], driven against the simulation: pick what to ask
+//! ([`MonitorQuery::job_data`], [`MonitorQuery::job_stats`], a
+//! subscription verb, …), optionally arm a per-call [`deadline`] or
+//! [`retry`] policy, and [`send`] it for a [`QueryHandle`] that yields
+//! the typed [`MonitorReply`] once the simulation delivers it.
+//!
+//! CSV rendering is split in two layers: [`job_data_rows`] /
+//! [`rpc_stats_rows`] flatten replies into typed row structs, and the
+//! `*_to_csv` functions are thin serializers over those rows (RFC 4180
+//! quoting lives in exactly one place, the private `csv_field` helper).
+//!
+//! [`deadline`]: MonitorQuery::deadline
+//! [`retry`]: MonitorQuery::retry
+//! [`send`]: MonitorQuery::send
 
 use crate::proto::{
-    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply, MonitorRequest,
+    DeltaBatch, JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply,
+    MonitorRequest, PollRequest, SubscribeRequest, UnsubscribeRequest,
 };
-use fluxpm_flux::{FluxEngine, JobId, Protocol, World};
+use crate::subscription::{SubscriberId, SubscriptionFilter};
+use crate::tree_reduce::SubtreeStats;
+use fluxpm_flux::{FluxEngine, JobId, Protocol, RetryPolicy, World};
+use fluxpm_sim::SimDuration;
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
-/// Request a job's telemetry from the root agent. The reply callback
-/// fires once all node agents have answered; run the engine (or continue
-/// the simulation) to completion to receive it. The request is addressed
-/// to the *current* root — after a failover it reaches the promoted
-/// successor.
+/// What a [`MonitorQuery`] asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// Full per-node records for a job.
+    JobData(JobId),
+    /// Per-node summary statistics for a job (direct fan-out).
+    JobStats(JobId),
+    /// Job summary via the in-tree reduction (see
+    /// [`crate::tree_reduce`]).
+    JobStatsTree(JobId),
+    /// Register a telemetry subscription.
+    Subscribe(SubscriptionFilter),
+    /// Drop a subscription.
+    Unsubscribe(SubscriberId),
+    /// Drain a subscription's pending deltas.
+    Poll {
+        /// The subscription to drain.
+        sub: SubscriberId,
+        /// Upper bound on deltas returned.
+        max: usize,
+    },
+}
+
+/// One monitor query under construction: what to ask, plus optional
+/// per-call delivery knobs. Always addressed to the *current* root —
+/// after a failover it reaches the promoted successor.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use = "a query does nothing until sent"]
+pub struct MonitorQuery {
+    kind: QueryKind,
+    deadline: Option<SimDuration>,
+    retry: Option<RetryPolicy>,
+}
+
+impl MonitorQuery {
+    fn new(kind: QueryKind) -> MonitorQuery {
+        MonitorQuery {
+            kind,
+            deadline: None,
+            retry: None,
+        }
+    }
+
+    /// Query a job's full telemetry records.
+    pub fn job_data(job: JobId) -> MonitorQuery {
+        MonitorQuery::new(QueryKind::JobData(job))
+    }
+
+    /// Query a job's summary statistics — the light-weight query: each
+    /// node agent reduces its window locally and only a few numbers
+    /// cross the overlay.
+    pub fn job_stats(job: JobId) -> MonitorQuery {
+        MonitorQuery::new(QueryKind::JobStats(job))
+    }
+
+    /// Query a job's summary via the *in-tree reduction*: one request
+    /// enters the tree at the root and each broker combines its subtree,
+    /// so every tree link carries at most one message pair (the scalable
+    /// form; see [`crate::tree_reduce`]).
+    pub fn job_stats_tree(job: JobId) -> MonitorQuery {
+        MonitorQuery::new(QueryKind::JobStatsTree(job))
+    }
+
+    /// Register a telemetry subscription matching `filter`.
+    pub fn subscribe(filter: SubscriptionFilter) -> MonitorQuery {
+        MonitorQuery::new(QueryKind::Subscribe(filter))
+    }
+
+    /// Drop a subscription.
+    pub fn unsubscribe(sub: SubscriberId) -> MonitorQuery {
+        MonitorQuery::new(QueryKind::Unsubscribe(sub))
+    }
+
+    /// Drain up to `max` pending deltas from a subscription.
+    pub fn poll(sub: SubscriberId, max: usize) -> MonitorQuery {
+        MonitorQuery::new(QueryKind::Poll { sub, max })
+    }
+
+    /// Arm a response deadline: if the root does not answer in time the
+    /// handle resolves to a timeout error instead of staying empty
+    /// forever (e.g. across a root failover).
+    pub fn deadline(mut self, deadline: SimDuration) -> MonitorQuery {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Retry timed-out attempts per `policy` (implies a deadline; the
+    /// handle resolves exactly once, with the first real response or the
+    /// final timeout).
+    pub fn retry(mut self, policy: RetryPolicy) -> MonitorQuery {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Launch the query. Run the engine (or continue the simulation) to
+    /// completion for the handle to fill.
+    pub fn send(self, world: &mut World, eng: &mut FluxEngine) -> QueryHandle {
+        let slot: QuerySlot = Rc::new(RefCell::new(None));
+        let out = Rc::clone(&slot);
+        self.send_with(world, eng, move |result| {
+            *out.borrow_mut() = Some(result);
+        });
+        QueryHandle { slot }
+    }
+
+    /// The single dispatch path every query (and every deprecated shim)
+    /// funnels through.
+    fn send_with(
+        self,
+        world: &mut World,
+        eng: &mut FluxEngine,
+        cb: impl FnOnce(Result<MonitorReply, String>) + 'static,
+    ) {
+        let req = match self.kind {
+            QueryKind::JobData(job) => MonitorRequest::JobData(JobDataRequest { job }),
+            QueryKind::JobStats(job) => MonitorRequest::JobStats(JobStatsRequest { job }),
+            QueryKind::JobStatsTree(job) => {
+                // The tree reduction carries an explicit window and node
+                // set, resolved client-side (the paper's client script
+                // does the same against the job record). Resolution
+                // failures surface synchronously.
+                use crate::tree_reduce::SubtreeStatsRequest;
+                let Some(record) = world.jobs.get(job) else {
+                    cb(Err(format!("no such job {job:?}")));
+                    return;
+                };
+                let Some(start) = record.started_at else {
+                    cb(Err("job has not started".into()));
+                    return;
+                };
+                let start_us = start.as_micros();
+                let end_us = record
+                    .finished_at
+                    .map(|t| t.as_micros())
+                    .unwrap_or_else(|| eng.now().as_micros());
+                let targets: Vec<u32> = record.nodes.iter().map(|n| n.0).collect();
+                MonitorRequest::SubtreeStats(SubtreeStatsRequest {
+                    start_us,
+                    end_us,
+                    targets,
+                })
+            }
+            QueryKind::Subscribe(filter) => MonitorRequest::Subscribe(SubscribeRequest { filter }),
+            QueryKind::Unsubscribe(sub) => MonitorRequest::Unsubscribe(UnsubscribeRequest { sub }),
+            QueryKind::Poll { sub, max } => MonitorRequest::Poll(PollRequest { sub, max }),
+        };
+        let root = world.root();
+        let mut rpc = world.rpc(root, req.topic(), req.encode());
+        if let Some(deadline) = self.deadline {
+            rpc = rpc.deadline(deadline);
+        }
+        if let Some(policy) = self.retry {
+            rpc = rpc.retry(policy);
+        }
+        rpc.send(eng, move |_, _, resp| {
+            let result = match (&resp.error, MonitorReply::decode(resp)) {
+                (Some(e), _) => Err(e.clone()),
+                (None, Ok(reply)) => Ok(reply),
+                (None, Err(e)) => Err(e.reason),
+            };
+            cb(result);
+        });
+    }
+}
+
+type QuerySlot = Rc<RefCell<Option<Result<MonitorReply, String>>>>;
+
+/// The eventual result of a [`MonitorQuery`]: empty until the engine
+/// delivers the reply (or a deadline fires), then holds the typed
+/// [`MonitorReply`] or an error string. The typed accessors also reject
+/// a reply of the wrong variant, so a caller can never silently read a
+/// stats reply as data.
+#[derive(Debug, Clone)]
+pub struct QueryHandle {
+    slot: QuerySlot,
+}
+
+/// Map one reply variant out of a handle's slot, turning a variant
+/// mismatch into an error.
+macro_rules! extract {
+    ($slot:expr, $what:literal, $pat:pat => $out:expr) => {
+        $slot.borrow().clone().map(|result| match result {
+            Ok($pat) => Ok($out),
+            Ok(other) => Err(format!(
+                concat!("expected ", $what, " reply, got {:?}"),
+                other
+            )),
+            Err(e) => Err(e),
+        })
+    };
+}
+
+impl QueryHandle {
+    /// Whether the reply (or an error) has arrived.
+    pub fn ready(&self) -> bool {
+        self.slot.borrow().is_some()
+    }
+
+    /// The raw reply, if available.
+    pub fn reply(&self) -> Option<Result<MonitorReply, String>> {
+        self.slot.borrow().clone()
+    }
+
+    /// The reply to a [`MonitorQuery::job_data`] query.
+    pub fn job_data(&self) -> Option<Result<JobDataReply, String>> {
+        extract!(self.slot, "job-data", MonitorReply::JobData(r) => r)
+    }
+
+    /// The reply to a [`MonitorQuery::job_stats`] query.
+    pub fn job_stats(&self) -> Option<Result<JobStatsReply, String>> {
+        extract!(self.slot, "job-stats", MonitorReply::JobStats(r) => r)
+    }
+
+    /// The reply to a [`MonitorQuery::job_stats_tree`] query.
+    pub fn subtree_stats(&self) -> Option<Result<SubtreeStats, String>> {
+        extract!(self.slot, "subtree-stats", MonitorReply::SubtreeStats(r) => r)
+    }
+
+    /// The subscription id granted to a [`MonitorQuery::subscribe`].
+    pub fn subscription(&self) -> Option<Result<SubscriberId, String>> {
+        extract!(self.slot, "subscribe", MonitorReply::Subscribed(id) => id)
+    }
+
+    /// Whether a [`MonitorQuery::unsubscribe`] found its subscription.
+    pub fn unsubscribed(&self) -> Option<Result<bool, String>> {
+        extract!(self.slot, "unsubscribe", MonitorReply::Unsubscribed(b) => b)
+    }
+
+    /// The deltas drained by a [`MonitorQuery::poll`].
+    pub fn deltas(&self) -> Option<Result<DeltaBatch, String>> {
+        extract!(self.slot, "poll", MonitorReply::Deltas(b) => b)
+    }
+}
+
+/// Request a job's telemetry from the root agent.
 ///
-/// Returns a handle that yields the reply once available.
+/// Returns a slot that yields the reply once available.
+#[deprecated(note = "use MonitorQuery::job_data(job).send(world, eng)")]
 pub fn fetch_job_data(
     world: &mut World,
     eng: &mut FluxEngine,
@@ -27,24 +275,20 @@ pub fn fetch_job_data(
 ) -> Rc<RefCell<Option<Result<JobDataReply, String>>>> {
     let slot: Rc<RefCell<Option<Result<JobDataReply, String>>>> = Rc::new(RefCell::new(None));
     let out = Rc::clone(&slot);
-    let root = world.root();
-    let req = MonitorRequest::JobData(JobDataRequest { job });
-    world
-        .rpc(root, req.topic(), req.encode())
-        .send(eng, move |_, _, resp| {
-            let result = match (&resp.error, MonitorReply::decode(resp)) {
-                (Some(e), _) => Err(e.clone()),
-                (None, Ok(MonitorReply::JobData(r))) => Ok(r),
-                (None, _) => Err("malformed job-data reply".to_string()),
-            };
-            *out.borrow_mut() = Some(result);
+    MonitorQuery::job_data(job).send_with(world, eng, move |result| {
+        *out.borrow_mut() = Some(match result {
+            Ok(MonitorReply::JobData(r)) => Ok(r),
+            Ok(_) => Err("malformed job-data reply".to_string()),
+            Err(e) => Err(e),
         });
+    });
     slot
 }
 
-/// Request a job's summary statistics — the light-weight query: each
-/// node agent reduces its window locally and only a few numbers cross
-/// the overlay.
+/// Request a job's summary statistics.
+///
+/// Returns a slot that yields the reply once available.
+#[deprecated(note = "use MonitorQuery::job_stats(job).send(world, eng)")]
 pub fn fetch_job_stats(
     world: &mut World,
     eng: &mut FluxEngine,
@@ -52,65 +296,119 @@ pub fn fetch_job_stats(
 ) -> Rc<RefCell<Option<Result<JobStatsReply, String>>>> {
     let slot: Rc<RefCell<Option<Result<JobStatsReply, String>>>> = Rc::new(RefCell::new(None));
     let out = Rc::clone(&slot);
-    let root = world.root();
-    let req = MonitorRequest::JobStats(JobStatsRequest { job });
-    world
-        .rpc(root, req.topic(), req.encode())
-        .send(eng, move |_, _, resp| {
-            let result = match (&resp.error, MonitorReply::decode(resp)) {
-                (Some(e), _) => Err(e.clone()),
-                (None, Ok(MonitorReply::JobStats(r))) => Ok(r),
-                (None, _) => Err("malformed job-stats reply".to_string()),
-            };
-            *out.borrow_mut() = Some(result);
+    MonitorQuery::job_stats(job).send_with(world, eng, move |result| {
+        *out.borrow_mut() = Some(match result {
+            Ok(MonitorReply::JobStats(r)) => Ok(r),
+            Ok(_) => Err("malformed job-stats reply".to_string()),
+            Err(e) => Err(e),
         });
+    });
     slot
 }
 
-/// Request a job's summary via the *in-tree reduction*: one request
-/// enters the tree at the root and each broker combines its subtree, so
-/// every tree link carries at most one message pair (the scalable form;
-/// see [`crate::tree_reduce`]).
+/// Request a job's summary via the in-tree reduction.
+///
+/// Returns a slot that yields the reply once available.
+#[deprecated(note = "use MonitorQuery::job_stats_tree(job).send(world, eng)")]
 pub fn fetch_job_stats_tree(
     world: &mut World,
     eng: &mut FluxEngine,
     job: JobId,
-) -> Rc<RefCell<Option<Result<crate::tree_reduce::SubtreeStats, String>>>> {
-    use crate::tree_reduce::{SubtreeStatsRequest, TOPIC_SUBTREE_STATS};
-    let slot: Rc<RefCell<Option<Result<crate::tree_reduce::SubtreeStats, String>>>> =
-        Rc::new(RefCell::new(None));
-    let Some(record) = world.jobs.get(job) else {
-        *slot.borrow_mut() = Some(Err(format!("no such job {job:?}")));
-        return slot;
-    };
-    let Some(start) = record.started_at else {
-        *slot.borrow_mut() = Some(Err("job has not started".into()));
-        return slot;
-    };
-    let start_us = start.as_micros();
-    let end_us = record
-        .finished_at
-        .map(|t| t.as_micros())
-        .unwrap_or_else(|| eng.now().as_micros());
-    let targets: Vec<u32> = record.nodes.iter().map(|n| n.0).collect();
+) -> Rc<RefCell<Option<Result<SubtreeStats, String>>>> {
+    let slot: Rc<RefCell<Option<Result<SubtreeStats, String>>>> = Rc::new(RefCell::new(None));
     let out = Rc::clone(&slot);
-    let root = world.root();
-    let req = MonitorRequest::SubtreeStats(SubtreeStatsRequest {
-        start_us,
-        end_us,
-        targets,
-    });
-    world
-        .rpc(root, TOPIC_SUBTREE_STATS, req.encode())
-        .send(eng, move |_, _, resp| {
-            let result = match (&resp.error, MonitorReply::decode(resp)) {
-                (Some(e), _) => Err(e.clone()),
-                (None, Ok(MonitorReply::SubtreeStats(r))) => Ok(r),
-                (None, _) => Err("malformed subtree-stats reply".to_string()),
-            };
-            *out.borrow_mut() = Some(result);
+    MonitorQuery::job_stats_tree(job).send_with(world, eng, move |result| {
+        *out.borrow_mut() = Some(match result {
+            Ok(MonitorReply::SubtreeStats(r)) => Ok(r),
+            Ok(_) => Err("malformed subtree-stats reply".to_string()),
+            Err(e) => Err(e),
         });
+    });
     slot
+}
+
+/// One CSV row of job telemetry: a single sample on a single node,
+/// flattened and typed (see [`job_data_rows`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRow {
+    /// The job id.
+    pub job: u64,
+    /// Application name (free text; quoted on render).
+    pub app: String,
+    /// Sampling node's hostname (free text; quoted on render).
+    pub hostname: String,
+    /// Sample timestamp in seconds.
+    pub timestamp_s: f64,
+    /// Node power in watts: the measured value when the platform reports
+    /// one, otherwise the component-sum estimate.
+    pub node_power_w: f64,
+    /// Whether `node_power_w` is a direct measurement.
+    pub node_power_measured: bool,
+    /// Summed CPU power (W).
+    pub cpu_power_w: f64,
+    /// Memory-subsystem power (W), when the platform reports it.
+    pub mem_power_w: Option<f64>,
+    /// Summed GPU power (W).
+    pub gpu_power_w: f64,
+    /// Whether this node's window was fully retained (the paper's
+    /// per-node "complete"/"partial" data flag).
+    pub complete: bool,
+}
+
+/// Flatten a job-data reply into typed rows, one per sample per node, in
+/// reply order.
+pub fn job_data_rows(reply: &JobDataReply) -> Vec<JobRow> {
+    let mut rows = Vec::with_capacity(reply.sample_count());
+    for node in &reply.nodes {
+        for r in &node.records {
+            let s = &r.sample;
+            rows.push(JobRow {
+                job: reply.job.0,
+                app: reply.name.clone(),
+                hostname: node.hostname.clone(),
+                timestamp_s: s.timestamp_us as f64 / 1e6,
+                node_power_w: s
+                    .power_node_watts
+                    .unwrap_or_else(|| s.node_power_estimate()),
+                node_power_measured: s.power_node_watts.is_some(),
+                cpu_power_w: s.cpu_total(),
+                mem_power_w: s.power_mem_watts,
+                gpu_power_w: s.gpu_total(),
+                complete: node.complete,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the overlay's per-topic RPC health report (see
+/// [`rpc_stats_rows`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicRow {
+    /// The overlay topic (free text; quoted on render).
+    pub topic: String,
+    /// Requests that hit their response deadline.
+    pub timeouts: u64,
+    /// Attempts re-sent by the retry machinery.
+    pub retries: u64,
+    /// Messages dropped by the overlay.
+    pub drops: u64,
+}
+
+/// The overlay's per-topic RPC health counters as typed rows, one per
+/// topic that saw a timeout, retry, or drop (see
+/// [`fluxpm_flux::World::rpc_stats`]).
+pub fn rpc_stats_rows(world: &World) -> Vec<TopicRow> {
+    world
+        .rpc_stats()
+        .iter()
+        .map(|(topic, s)| TopicRow {
+            topic: topic.as_str().to_owned(),
+            timeouts: s.timeouts,
+            retries: s.retries,
+            drops: s.drops,
+        })
+        .collect()
 }
 
 /// Quote a free-text CSV field per RFC 4180: fields containing a
@@ -130,59 +428,51 @@ fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
 }
 
 /// Render a job-data reply as the client's CSV (paper §III-A): one row
-/// per sample per node, with a completeness flag. Free-text fields are
-/// escaped per RFC 4180 (quoted, with embedded quotes doubled).
+/// per sample per node, with a completeness flag. A thin serializer over
+/// [`job_data_rows`]; free-text fields are escaped per RFC 4180.
 pub fn job_data_to_csv(reply: &JobDataReply) -> String {
     let mut csv = String::new();
     csv.push_str(
         "jobid,app,hostname,timestamp_s,node_power_w,cpu_power_w,mem_power_w,gpu_power_w,data\n",
     );
-    for node in &reply.nodes {
-        let flag = if node.complete { "complete" } else { "partial" };
-        for r in &node.records {
-            let s = &r.sample;
-            let mem = s
-                .power_mem_watts
-                .map(|m| format!("{m:.1}"))
-                .unwrap_or_default();
-            let node_w = s
-                .power_node_watts
-                .map(|w| format!("{w:.1}"))
-                .unwrap_or_else(|| format!("{:.1}", s.node_power_estimate()));
-            let _ = writeln!(
-                csv,
-                "{},{},{},{:.1},{},{:.1},{},{:.1},{}",
-                reply.job.0,
-                csv_field(&reply.name),
-                csv_field(&node.hostname),
-                s.timestamp_us as f64 / 1e6,
-                node_w,
-                s.cpu_total(),
-                mem,
-                s.gpu_total(),
-                flag
-            );
-        }
+    for row in job_data_rows(reply) {
+        let flag = if row.complete { "complete" } else { "partial" };
+        let mem = row
+            .mem_power_w
+            .map(|m| format!("{m:.1}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            csv,
+            "{},{},{},{:.1},{:.1},{:.1},{},{:.1},{}",
+            row.job,
+            csv_field(&row.app),
+            csv_field(&row.hostname),
+            row.timestamp_s,
+            row.node_power_w,
+            row.cpu_power_w,
+            mem,
+            row.gpu_power_w,
+            flag
+        );
     }
     csv
 }
 
-/// Render the overlay's per-topic RPC health counters as CSV — one row
-/// per topic that saw a timeout, retry, or drop (see
-/// [`fluxpm_flux::World::rpc_stats`]). Operators ship this next to the
+/// Render the overlay's per-topic RPC health counters as CSV. A thin
+/// serializer over [`rpc_stats_rows`]. Operators ship this next to the
 /// telemetry CSV to tell "the data is partial because the buffer
 /// wrapped" apart from "the data is partial because the overlay lost
 /// messages".
 pub fn rpc_stats_to_csv(world: &World) -> String {
     let mut csv = String::from("topic,timeouts,retries,drops\n");
-    for (topic, s) in world.rpc_stats() {
+    for row in rpc_stats_rows(world) {
         let _ = writeln!(
             csv,
             "{},{},{},{}",
-            csv_field(topic.as_str()),
-            s.timeouts,
-            s.retries,
-            s.drops
+            csv_field(&row.topic),
+            row.timeouts,
+            row.retries,
+            row.drops
         );
     }
     csv
@@ -249,9 +539,10 @@ mod tests {
 
         // Client query after completion.
         let mut eng2: FluxEngine = Engine::new();
-        let slot = fetch_job_data(&mut w, &mut eng2, id);
+        let handle = MonitorQuery::job_data(id).send(&mut w, &mut eng2);
+        assert!(!handle.ready());
         eng2.run(&mut w);
-        let reply = slot.borrow().clone().unwrap().unwrap();
+        let reply = handle.job_data().unwrap().unwrap();
         assert_eq!(reply.nodes.len(), 2);
         assert!(reply.all_complete());
         // Samples every 2 s over ~20 s on each node.
@@ -260,6 +551,17 @@ mod tests {
         let avg = reply.average_node_power();
         assert!((avg - 1420.0).abs() < 50.0, "avg {avg}");
 
+        // A typed accessor for the wrong variant rejects the reply
+        // instead of decoding garbage.
+        let err = handle.job_stats().unwrap().unwrap_err();
+        assert!(err.contains("expected job-stats"), "{err}");
+
+        // Rows flatten one sample per node per instant.
+        let rows = job_data_rows(&reply);
+        assert_eq!(rows.len(), reply.sample_count());
+        assert!(rows.iter().all(|r| r.complete && r.job == id.0));
+        assert!(rows.iter().all(|r| (r.node_power_w - 1420.0).abs() < 80.0));
+
         let csv = job_data_to_csv(&reply);
         assert!(csv.starts_with("jobid,app,hostname"));
         assert!(csv.contains("complete"));
@@ -267,8 +569,44 @@ mod tests {
         assert_eq!(csv.lines().count(), 1 + reply.sample_count());
 
         // A healthy run has no per-topic RPC incidents to report.
+        assert!(rpc_stats_rows(&w).is_empty());
         let stats_csv = rpc_stats_to_csv(&w);
         assert_eq!(stats_csv, "topic,timeouts,retries,drops\n");
+    }
+
+    /// The deprecated shims still work and produce the same replies as
+    /// the builder they wrap.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_fetch_shims_still_answer() {
+        let mut w = World::new(MachineKind::Lassen, 4, 11);
+        w.autostop_after = Some(1);
+        let mut eng: FluxEngine = Engine::new();
+        w.install_executor(&mut eng);
+        crate::load(&mut w, &mut eng, MonitorConfig::default());
+        let id = w.submit(
+            &mut eng,
+            JobSpec::new("burn", 2),
+            Box::new(Burn {
+                secs: 20.0,
+                done: 0.0,
+            }),
+        );
+        eng.run(&mut w);
+
+        let mut eng2: FluxEngine = Engine::new();
+        let slot = fetch_job_data(&mut w, &mut eng2, id);
+        let handle = MonitorQuery::job_data(id).send(&mut w, &mut eng2);
+        eng2.run(&mut w);
+        let shim_reply = slot.borrow().clone().unwrap().unwrap();
+        let new_reply = handle.job_data().unwrap().unwrap();
+        assert_eq!(shim_reply, new_reply);
+
+        let mut eng3: FluxEngine = Engine::new();
+        let slot = fetch_job_stats(&mut w, &mut eng3, id);
+        eng3.run(&mut w);
+        let stats = slot.borrow().clone().unwrap().unwrap();
+        assert_eq!(stats.nodes.len(), 2);
     }
 
     /// Minimal RFC 4180 row parser for the assertions below: splits a
@@ -333,9 +671,9 @@ mod tests {
         eng.run(&mut w);
 
         let mut eng2: FluxEngine = Engine::new();
-        let slot = fetch_job_data(&mut w, &mut eng2, id);
+        let handle = MonitorQuery::job_data(id).send(&mut w, &mut eng2);
         eng2.run(&mut w);
-        let reply = slot.borrow().clone().unwrap().unwrap();
+        let reply = handle.job_data().unwrap().unwrap();
         assert_eq!(reply.name, hostile);
 
         let csv = job_data_to_csv(&reply);
@@ -374,6 +712,10 @@ mod tests {
         eng.run(&mut w);
         assert!(w.rpc_stats().contains_key(hostile), "topic recorded");
 
+        let rows = rpc_stats_rows(&w);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].topic, hostile);
+
         let csv = rpc_stats_to_csv(&w);
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("topic,timeouts,retries,drops"));
@@ -389,11 +731,20 @@ mod tests {
         let mut w = World::new(MachineKind::Lassen, 2, 11);
         let mut eng: FluxEngine = Engine::new();
         crate::load(&mut w, &mut eng, MonitorConfig::default());
-        let slot = fetch_job_data(&mut w, &mut eng, JobId(42));
+        let handle = MonitorQuery::job_data(JobId(42)).send(&mut w, &mut eng);
         eng.set_horizon(fluxpm_sim::SimTime::from_secs(1));
         eng.run(&mut w);
-        let result = slot.borrow().clone().unwrap();
+        let result = handle.job_data().unwrap();
         assert!(result.unwrap_err().contains("no such job"));
+        // The tree form resolves client-side and fails synchronously.
+        let mut eng2: FluxEngine = Engine::new();
+        let handle = MonitorQuery::job_stats_tree(JobId(42)).send(&mut w, &mut eng2);
+        assert!(handle.ready());
+        assert!(handle
+            .subtree_stats()
+            .unwrap()
+            .unwrap_err()
+            .contains("no such job"));
     }
 
     #[test]
@@ -419,10 +770,10 @@ mod tests {
                 done: 0.0,
             }),
         );
-        let slot = fetch_job_data(&mut w, &mut eng, pending);
+        let handle = MonitorQuery::job_data(pending).send(&mut w, &mut eng);
         eng.set_horizon(fluxpm_sim::SimTime::from_secs(2));
         eng.run(&mut w);
-        let result = slot.borrow().clone().unwrap();
+        let result = handle.job_data().unwrap();
         assert!(result.unwrap_err().contains("not started"));
     }
 
@@ -447,14 +798,33 @@ mod tests {
         eng.schedule(
             fluxpm_sim::SimTime::from_secs(30),
             move |w: &mut World, eng| {
-                let inner = fetch_job_data(w, eng, id);
-                *slot2.borrow_mut() = Some(inner);
+                let handle = MonitorQuery::job_data(id).send(w, eng);
+                *slot2.borrow_mut() = Some(handle);
             },
         );
         eng.run(&mut w);
-        let outer = slot.borrow().clone().unwrap();
-        let reply = outer.borrow().clone().unwrap().unwrap();
+        let handle = slot.borrow().clone().unwrap();
+        let reply = handle.job_data().unwrap().unwrap();
         assert!(reply.end_us <= 31_000_000, "window ends near query time");
         assert!(reply.sample_count() >= 13, "{}", reply.sample_count());
+    }
+
+    /// A per-call deadline resolves the handle with a timeout error when
+    /// the root never answers (here: the root rank is down and no
+    /// failover is configured to take the query).
+    #[test]
+    fn per_call_deadline_times_out() {
+        let mut w = World::new(MachineKind::Lassen, 2, 11);
+        let mut eng: FluxEngine = Engine::new();
+        crate::load(&mut w, &mut eng, MonitorConfig::default());
+        // Sever the path to the root so the request is dropped.
+        w.fail_node(&mut eng, fluxpm_hw::NodeId(0));
+        let handle = MonitorQuery::job_data(JobId(1))
+            .deadline(fluxpm_sim::SimDuration::from_millis(200))
+            .send(&mut w, &mut eng);
+        eng.set_horizon(fluxpm_sim::SimTime::from_secs(1));
+        eng.run(&mut w);
+        let result = handle.job_data().expect("deadline resolved the handle");
+        assert!(result.is_err(), "no reply without a live root");
     }
 }

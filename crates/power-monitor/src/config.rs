@@ -20,6 +20,17 @@ pub struct MonitorConfig {
     /// in-tree reduction scales this by subtree height so a parent never
     /// gives up before its children have had the chance to.
     pub rpc_deadline: SimDuration,
+    /// When set, every node agent pushes its newest sample to the root
+    /// agent on this cadence, feeding the subscription fan-out (see
+    /// [`crate::subscription`]). `None` (the default) disables pushes —
+    /// the monitor stays pull-only and its message traffic is unchanged.
+    pub push_interval: Option<SimDuration>,
+    /// Per-subscriber bounded delta-queue capacity; the oldest delta is
+    /// shed when a slow consumer overflows it.
+    pub subscriber_queue_capacity: usize,
+    /// Cumulative shed deltas after which a slow consumer is evicted
+    /// outright (it re-subscribes to resume from the latest snapshot).
+    pub subscriber_evict_after_drops: u64,
 }
 
 impl Default for MonitorConfig {
@@ -29,6 +40,9 @@ impl Default for MonitorConfig {
             buffer_capacity: 100_000,
             charge_overhead: true,
             rpc_deadline: SimDuration::from_secs(1),
+            push_interval: None,
+            subscriber_queue_capacity: 64,
+            subscriber_evict_after_drops: 256,
         }
     }
 }
@@ -53,6 +67,34 @@ impl MonitorConfig {
         assert!(!deadline.is_zero());
         self.rpc_deadline = deadline;
         self
+    }
+
+    /// Enable sample pushes from node agents on the given cadence.
+    pub fn with_push_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero());
+        self.push_interval = Some(interval);
+        self
+    }
+
+    /// Override the per-subscriber bounded queue capacity.
+    pub fn with_subscriber_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        self.subscriber_queue_capacity = capacity;
+        self
+    }
+
+    /// Override the slow-consumer eviction threshold (cumulative drops).
+    pub fn with_subscriber_evict_after_drops(mut self, drops: u64) -> Self {
+        self.subscriber_evict_after_drops = drops;
+        self
+    }
+
+    /// The subscription tuning derived from this config.
+    pub fn subscription_config(&self) -> crate::subscription::SubscriptionConfig {
+        crate::subscription::SubscriptionConfig {
+            queue_capacity: self.subscriber_queue_capacity,
+            evict_after_drops: self.subscriber_evict_after_drops,
+        }
     }
 
     /// Sampling rate in Hz.

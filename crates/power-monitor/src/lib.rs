@@ -26,19 +26,27 @@ pub mod node_agent;
 pub mod proto;
 pub mod ring;
 pub mod root_agent;
+pub mod subscription;
 pub mod tree_reduce;
 
+#[allow(deprecated)]
+pub use client::{fetch_job_data, fetch_job_stats, fetch_job_stats_tree};
 pub use client::{
-    fetch_job_data, fetch_job_stats, fetch_job_stats_tree, job_data_to_csv, rpc_stats_to_csv,
+    job_data_rows, job_data_to_csv, rpc_stats_rows, rpc_stats_to_csv, JobRow, MonitorQuery,
+    QueryHandle, QueryKind, TopicRow,
 };
 pub use config::MonitorConfig;
 pub use node_agent::NodeAgent;
 pub use proto::{
-    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply, MonitorRequest,
-    NodeDataReply, NodeDataRequest, NodeStats, PowerRecord,
+    DeltaBatch, JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply,
+    MonitorRequest, NodeDataReply, NodeDataRequest, NodeStats, PowerRecord, SamplePush,
 };
 pub use ring::RingBuffer;
 pub use root_agent::RootAgent;
+pub use subscription::{
+    SubscriberId, SubscriberStats, SubscriptionConfig, SubscriptionFilter, TelemetryDelta,
+    TelemetryHub,
+};
 pub use tree_reduce::{SubtreeStats, SubtreeStatsRequest};
 
 use fluxpm_flux::{FluxEngine, World};
@@ -53,7 +61,10 @@ use fluxpm_flux::{FluxEngine, World};
 /// agent resumes sampling from recovery time and flags windows reaching
 /// into the outage gap as partial. The root agent is a root service —
 /// on root failure it migrates (with its state) to the elected
-/// successor instead of being rebuilt.
+/// successor instead of being rebuilt, and it logs every aggregation
+/// begin/end to the instance [state log](fluxpm_flux::StateLog), so even
+/// full-instance death rebuilds its in-flight set exactly via the
+/// registered root-service factory.
 pub fn load(world: &mut World, eng: &mut FluxEngine, config: MonitorConfig) -> bool {
     let mut ok = true;
     for rank in world.tbon.ranks().collect::<Vec<_>>() {
@@ -61,7 +72,20 @@ pub fn load(world: &mut World, eng: &mut FluxEngine, config: MonitorConfig) -> b
         ok &= world.load_module(eng, rank, agent);
     }
     let root = world.root();
-    ok &= world.load_module(eng, root, RootAgent::shared(config.rpc_deadline));
+    let root_agent = std::rc::Rc::new(std::cell::RefCell::new(RootAgent::with_subscriptions(
+        config.rpc_deadline,
+        config.subscription_config(),
+    )));
+    ok &= world.load_module(eng, root, root_agent);
+    {
+        let config = config.clone();
+        world.register_root_service_factory(move || {
+            let m: fluxpm_flux::SharedModule = std::rc::Rc::new(std::cell::RefCell::new(
+                RootAgent::with_subscriptions(config.rpc_deadline, config.subscription_config()),
+            ));
+            m
+        });
+    }
     world.register_module_factory(move |_rank| NodeAgent::shared(config.clone()));
     ok
 }

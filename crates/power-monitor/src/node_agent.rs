@@ -3,7 +3,10 @@
 //! Stateless by design (paper §III-A): it samples power on a fixed cadence
 //! whether or not a job is running, and answers time-window queries from
 //! the root agent. Statelessness is what keeps overhead low — no job
-//! tracking, no subscriptions, just a timer and a ring buffer.
+//! tracking, no subscriptions, just a timer and a ring buffer. When
+//! [`MonitorConfig::push_interval`] is set it additionally pushes its
+//! newest sample up to the root agent on that cadence (still stateless:
+//! job attribution and subscriber fan-out happen at the root).
 
 use crate::config::MonitorConfig;
 use crate::proto::{
@@ -43,6 +46,11 @@ pub struct NodeAgent {
     /// buffer with `overwritten() == 0` — fabricating completeness over
     /// a window that spans the outage.
     gaps: Vec<(u64, u64)>,
+    /// Timestamp of the last sample pushed to the root agent, so a push
+    /// tick with no fresh sample sends nothing.
+    last_pushed_us: u64,
+    /// Samples pushed to the root agent (diagnostics).
+    pushes_sent: u64,
 }
 
 impl NodeAgent {
@@ -56,6 +64,8 @@ impl NodeAgent {
             buffer_bytes: 0,
             since_us: None,
             gaps: Vec::new(),
+            last_pushed_us: 0,
+            pushes_sent: 0,
         }
     }
 
@@ -178,6 +188,39 @@ impl NodeAgent {
         }
     }
 
+    /// Samples pushed to the root agent so far.
+    pub fn pushes_sent(&self) -> u64 {
+        self.pushes_sent
+    }
+
+    /// Push the newest sample to the root agent (called from the push
+    /// timer when [`MonitorConfig::push_interval`] is set). Fire and
+    /// forget: a lost push is just a missing delta, and the next tick
+    /// carries a fresher sample anyway.
+    fn push_newest(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let Some(newest) = self.buffer.newest() else {
+            return;
+        };
+        let ts = newest.timestamp_us();
+        if ts <= self.last_pushed_us {
+            return;
+        }
+        self.last_pushed_us = ts;
+        self.pushes_sent += 1;
+        let push = crate::proto::SamplePush {
+            node: ctx.rank.0,
+            timestamp_us: ts,
+            node_w: newest.sample.node_power_estimate(),
+        };
+        let req = MonitorRequest::PushSample(push);
+        let root = ctx.world.root();
+        let from = ctx.rank;
+        ctx.world
+            .rpc(root, req.topic(), req.encode())
+            .from(from)
+            .send(ctx.eng, |_, _, _| {});
+    }
+
     /// Answer a window stats query.
     fn answer_stats(&self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: NodeDataRequest) {
         let stats = self.local_stats(ctx, req.start_us, req.end_us);
@@ -260,6 +303,10 @@ impl Module for NodeAgent {
         }
         ctx.world
             .schedule_module_timer(ctx.eng, rank, name, start, interval, 0);
+        if let Some(push) = self.config.push_interval {
+            ctx.world
+                .schedule_module_timer(ctx.eng, rank, name, now + push, push, 1);
+        }
         ctx.world.trace.emit(
             ctx.eng.now(),
             TraceLevel::Info,
@@ -283,8 +330,12 @@ impl Module for NodeAgent {
         }
     }
 
-    fn timer(&mut self, ctx: &mut ModuleCtx<'_>, _tag: u64) {
-        self.sample(ctx);
+    fn timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
+        match tag {
+            0 => self.sample(ctx),
+            1 => self.push_newest(ctx),
+            _ => {}
+        }
     }
 }
 

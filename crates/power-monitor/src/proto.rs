@@ -207,6 +207,53 @@ impl JobDataReply {
     }
 }
 
+/// Client → root request: register a telemetry subscription.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscribeRequest {
+    /// What the subscriber wants to see.
+    pub filter: crate::subscription::SubscriptionFilter,
+}
+
+/// Client → root request: drop a subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsubscribeRequest {
+    /// The subscription to drop.
+    pub sub: crate::subscription::SubscriberId,
+}
+
+/// Client → root request: drain pending deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollRequest {
+    /// The subscription to drain.
+    pub sub: crate::subscription::SubscriberId,
+    /// Upper bound on deltas returned.
+    pub max: usize,
+}
+
+/// Node agent → root agent: one pushed power sample feeding the
+/// subscription fan-out (job attribution happens at the root, keeping
+/// the node agent stateless).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePush {
+    /// Originating rank.
+    pub node: u32,
+    /// Sample timestamp, microseconds.
+    pub timestamp_us: u64,
+    /// Node power estimate, watts.
+    pub node_w: f64,
+}
+
+/// Root → client reply to a poll: the drained deltas ([`std::rc::Rc`]-shared
+/// with the hub — fan-out never copies sample payloads) plus the
+/// subscriber's cumulative shed count for backpressure visibility.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaBatch {
+    /// Drained deltas, oldest first.
+    pub deltas: Vec<std::rc::Rc<crate::subscription::TelemetryDelta>>,
+    /// Deltas this subscriber has lost to its bounded queue so far.
+    pub dropped: u64,
+}
+
 /// Every request the monitor stack serves, one variant per topic.
 ///
 /// * `NodeData` / `NodeStats` — root agent → node agent window queries
@@ -214,6 +261,8 @@ impl JobDataReply {
 ///   records vs. local summary).
 /// * `SubtreeStats` — the in-tree reduction request, relayed hop by hop.
 /// * `JobData` / `JobStats` — external client → root agent.
+/// * `Subscribe` / `Unsubscribe` / `Poll` — the subscription API.
+/// * `PushSample` — node agent → root agent telemetry push.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MonitorRequest {
     /// Raw records in a window ([`crate::node_agent::TOPIC_NODE_DATA`]).
@@ -230,6 +279,18 @@ pub enum MonitorRequest {
     /// Client query for a job's summary
     /// ([`crate::root_agent::TOPIC_GET_JOB_STATS`]).
     JobStats(JobStatsRequest),
+    /// Register a subscription
+    /// ([`crate::subscription::TOPIC_SUBSCRIBE`]).
+    Subscribe(SubscribeRequest),
+    /// Drop a subscription
+    /// ([`crate::subscription::TOPIC_UNSUBSCRIBE`]).
+    Unsubscribe(UnsubscribeRequest),
+    /// Drain a subscriber's deltas
+    /// ([`crate::subscription::TOPIC_POLL`]).
+    Poll(PollRequest),
+    /// Node-agent sample push
+    /// ([`crate::subscription::TOPIC_SAMPLE_PUSH`]).
+    PushSample(SamplePush),
 }
 
 impl Protocol for MonitorRequest {
@@ -240,6 +301,10 @@ impl Protocol for MonitorRequest {
             MonitorRequest::SubtreeStats(_) => crate::tree_reduce::TOPIC_SUBTREE_STATS,
             MonitorRequest::JobData(_) => crate::root_agent::TOPIC_GET_JOB_DATA,
             MonitorRequest::JobStats(_) => crate::root_agent::TOPIC_GET_JOB_STATS,
+            MonitorRequest::Subscribe(_) => crate::subscription::TOPIC_SUBSCRIBE,
+            MonitorRequest::Unsubscribe(_) => crate::subscription::TOPIC_UNSUBSCRIBE,
+            MonitorRequest::Poll(_) => crate::subscription::TOPIC_POLL,
+            MonitorRequest::PushSample(_) => crate::subscription::TOPIC_SAMPLE_PUSH,
         }
     }
 }
@@ -259,6 +324,14 @@ pub enum MonitorReply {
     JobData(JobDataReply),
     /// Per-node summaries for a job.
     JobStats(JobStatsReply),
+    /// Subscription granted, with its handle.
+    Subscribed(crate::subscription::SubscriberId),
+    /// Whether the dropped subscription existed.
+    Unsubscribed(bool),
+    /// Drained deltas for a poll.
+    Deltas(DeltaBatch),
+    /// Sample push acknowledged.
+    PushAck,
 }
 
 impl Protocol for MonitorReply {
@@ -269,6 +342,10 @@ impl Protocol for MonitorReply {
             MonitorReply::SubtreeStats(_) => crate::tree_reduce::TOPIC_SUBTREE_STATS,
             MonitorReply::JobData(_) => crate::root_agent::TOPIC_GET_JOB_DATA,
             MonitorReply::JobStats(_) => crate::root_agent::TOPIC_GET_JOB_STATS,
+            MonitorReply::Subscribed(_) => crate::subscription::TOPIC_SUBSCRIBE,
+            MonitorReply::Unsubscribed(_) => crate::subscription::TOPIC_UNSUBSCRIBE,
+            MonitorReply::Deltas(_) => crate::subscription::TOPIC_POLL,
+            MonitorReply::PushAck => crate::subscription::TOPIC_SAMPLE_PUSH,
         }
     }
 }

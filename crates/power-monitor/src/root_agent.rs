@@ -8,17 +8,37 @@
 //! The root agent is a *root service*: when the root rank dies, the
 //! world migrates it (state and all) onto the elected successor, where
 //! [`Module::on_migrate`] re-issues every in-flight aggregation under
-//! the new topology epoch.
+//! the new topology epoch. Every aggregation begin/end is also logged to
+//! the instance [state log](fluxpm_flux::StateLog), so even *full*
+//! instance death replays the in-flight set exactly on resurrection.
+//!
+//! It also hosts the [`TelemetryHub`]: node agents push samples up
+//! ([`crate::subscription::TOPIC_SAMPLE_PUSH`]) and the agent fans them
+//! out to registered subscribers with bounded queues and slow-consumer
+//! eviction (see [`crate::subscription`]).
 
 use crate::node_agent::{TOPIC_NODE_DATA, TOPIC_NODE_STATS};
 use crate::proto::{
-    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply, MonitorRequest,
-    NodeDataReply, NodeDataRequest, NodeStats,
+    DeltaBatch, JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply,
+    MonitorRequest, NodeDataReply, NodeDataRequest, NodeStats, PollRequest, SamplePush,
+    SubscribeRequest, UnsubscribeRequest,
 };
-use fluxpm_flux::{JobState, Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy, Topic};
+use crate::subscription::{
+    SubscriptionConfig, TelemetryHub, TOPIC_POLL, TOPIC_SAMPLE_PUSH, TOPIC_SUBSCRIBE,
+    TOPIC_UNSUBSCRIBE,
+};
+use fluxpm_flux::{
+    FluxEngine, JobState, Message, Module, ModuleCtx, MsgKind, Protocol, Rank, RetryPolicy,
+    StateEvent, StateValue, Topic, World,
+};
+use fluxpm_hw::NodeId;
 use fluxpm_sim::{SimDuration, TraceLevel};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Module name, also the key under which state events are logged.
+pub const ROOT_AGENT: &str = "power-monitor-root-agent";
 
 /// Topic the external client calls for full records.
 pub const TOPIC_GET_JOB_DATA: &str = "power-monitor.get-job-data";
@@ -36,6 +56,28 @@ struct Aggregation {
     remaining: usize,
 }
 
+/// Client requests whose fan-out has not completed, keyed by matchtag.
+/// Kept so a root failover can re-issue them on the successor (the old
+/// root's pending fan-out callbacks die with its broker). The map keying
+/// makes every terminal path — reply sent, error sent, duplicate folded
+/// — an O(log n) eager removal instead of a scan deferred to later
+/// bookkeeping.
+type InflightMap = Rc<RefCell<BTreeMap<u64, Message>>>;
+
+/// Remove a finished aggregation from the in-flight set *immediately*
+/// and log its end. Shared by every terminal path so a cancelled or
+/// timed-out reduction can never linger.
+fn finish_inflight(world: &mut World, eng: &FluxEngine, inflight: &InflightMap, tag: u64) {
+    if inflight.borrow_mut().remove(&tag).is_some() {
+        world.state.append(
+            eng.now().as_micros(),
+            ROOT_AGENT,
+            "agg-end",
+            StateValue::record([("tag", StateValue::U64(tag))]),
+        );
+    }
+}
+
 /// The `flux-power-monitor` root agent.
 pub struct RootAgent {
     /// Completed aggregations served (diagnostics).
@@ -44,10 +86,11 @@ pub struct RootAgent {
     /// never answers (dead, partitioned) contributes an incomplete
     /// reply instead of stalling the aggregation forever.
     deadline: SimDuration,
-    /// Client requests whose fan-out has not completed yet. Kept so a
-    /// root failover can re-issue them on the successor (the old root's
-    /// pending fan-out callbacks die with its broker).
-    inflight: Rc<RefCell<Vec<Message>>>,
+    inflight: InflightMap,
+    /// The subscription fan-out core.
+    hub: TelemetryHub,
+    /// Samples pushed up by node agents (diagnostics).
+    pushes_received: u64,
 }
 
 impl Default for RootAgent {
@@ -59,10 +102,17 @@ impl Default for RootAgent {
 impl RootAgent {
     /// Create an unloaded agent with the given fan-out RPC deadline.
     pub fn new(deadline: SimDuration) -> RootAgent {
+        RootAgent::with_subscriptions(deadline, SubscriptionConfig::default())
+    }
+
+    /// Create an unloaded agent with explicit subscription tuning.
+    pub fn with_subscriptions(deadline: SimDuration, subs: SubscriptionConfig) -> RootAgent {
         RootAgent {
             served: 0,
             deadline,
-            inflight: Rc::new(RefCell::new(Vec::new())),
+            inflight: Rc::new(RefCell::new(BTreeMap::new())),
+            hub: TelemetryHub::new(subs),
+            pushes_received: 0,
         }
     }
 
@@ -81,9 +131,34 @@ impl RootAgent {
         self.inflight.borrow().len()
     }
 
+    /// The subscription fan-out core (for diagnostics and tests).
+    pub fn hub(&self) -> &TelemetryHub {
+        &self.hub
+    }
+
+    /// Samples pushed up by node agents so far.
+    pub fn pushes_received(&self) -> u64 {
+        self.pushes_received
+    }
+
     /// The retry schedule used for node-agent fan-outs.
     fn retry_policy(&self) -> RetryPolicy {
         RetryPolicy::with_deadline(self.deadline)
+    }
+
+    /// Log an aggregation begin: enough to rebuild the client request
+    /// (and therefore the whole fan-out) on a resurrected instance.
+    fn log_begin(ctx: &mut ModuleCtx<'_>, msg: &Message, kind: &str, job: fluxpm_flux::JobId) {
+        let ev = StateValue::record([
+            ("tag", StateValue::U64(msg.matchtag)),
+            ("from", StateValue::U64(msg.from.0 as u64)),
+            ("to", StateValue::U64(msg.to.0 as u64)),
+            ("kind", kind.into()),
+            ("job", StateValue::U64(job.0)),
+        ]);
+        ctx.world
+            .state
+            .append(ctx.eng.now().as_micros(), ROOT_AGENT, "agg-begin", ev);
     }
 
     /// Resolve the job behind a client request, or answer with an error.
@@ -119,12 +194,38 @@ impl RootAgent {
         ))
     }
 
+    /// Guard shared by both aggregation paths: fold duplicate client
+    /// attempts (a retried request re-enters with the same matchtag —
+    /// answering the fan-out already in flight) instead of double
+    /// fanning out and double counting.
+    fn already_inflight(&self, msg: &Message) -> bool {
+        self.inflight.borrow().contains_key(&msg.matchtag)
+    }
+
     fn start_aggregation(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: JobDataRequest) {
+        if self.already_inflight(msg) {
+            return;
+        }
         let Some((job, name, start_us, end_us, ranks)) = Self::resolve_job(ctx, msg, req.job)
         else {
             return;
         };
         let n = ranks.len();
+        if n == 0 {
+            // Nothing to fan out to: answer now rather than parking an
+            // aggregation that no callback will ever finish.
+            let reply = JobDataReply {
+                job,
+                name,
+                start_us,
+                end_us,
+                nodes: Vec::new(),
+            };
+            self.served += 1;
+            ctx.world
+                .respond(ctx.eng, msg, MonitorReply::JobData(reply).encode());
+            return;
+        }
         let agg = Rc::new(RefCell::new(Aggregation {
             request: msg.clone(),
             job,
@@ -135,7 +236,8 @@ impl RootAgent {
             remaining: n,
         }));
         self.served += 1;
-        self.inflight.borrow_mut().push(msg.clone());
+        self.inflight.borrow_mut().insert(msg.matchtag, msg.clone());
+        Self::log_begin(ctx, msg, "data", job);
 
         let policy = self.retry_policy();
         let self_rank = ctx.rank;
@@ -155,8 +257,7 @@ impl RootAgent {
                     };
                     a.remaining -= 1;
                     if a.remaining == 0 {
-                        let tag = a.request.matchtag;
-                        inflight.borrow_mut().retain(|m| m.matchtag != tag);
+                        finish_inflight(world, eng, &inflight, a.request.matchtag);
                         let reply = JobDataReply {
                             job: a.job,
                             name: a.name.clone(),
@@ -188,11 +289,27 @@ impl RootAgent {
         msg: &Message,
         req: JobStatsRequest,
     ) {
+        if self.already_inflight(msg) {
+            return;
+        }
         let Some((job, name, start_us, end_us, ranks)) = Self::resolve_job(ctx, msg, req.job)
         else {
             return;
         };
         let n = ranks.len();
+        if n == 0 {
+            let reply = JobStatsReply {
+                job,
+                name,
+                start_us,
+                end_us,
+                nodes: Vec::new(),
+            };
+            self.served += 1;
+            ctx.world
+                .respond(ctx.eng, msg, MonitorReply::JobStats(reply).encode());
+            return;
+        }
         struct StatsAgg {
             request: Message,
             job: fluxpm_flux::JobId,
@@ -212,7 +329,8 @@ impl RootAgent {
             remaining: n,
         }));
         self.served += 1;
-        self.inflight.borrow_mut().push(msg.clone());
+        self.inflight.borrow_mut().insert(msg.matchtag, msg.clone());
+        Self::log_begin(ctx, msg, "stats", job);
         let policy = self.retry_policy();
         let self_rank = ctx.rank;
         for (i, rank) in ranks.into_iter().enumerate() {
@@ -231,8 +349,7 @@ impl RootAgent {
                     };
                     a.remaining -= 1;
                     if a.remaining == 0 {
-                        let tag = a.request.matchtag;
-                        inflight.borrow_mut().retain(|m| m.matchtag != tag);
+                        finish_inflight(world, eng, &inflight, a.request.matchtag);
                         let reply = JobStatsReply {
                             job: a.job,
                             name: a.name.clone(),
@@ -258,15 +375,62 @@ impl RootAgent {
                 });
         }
     }
+
+    fn on_subscribe(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: SubscribeRequest) {
+        let id = self.hub.subscribe(req.filter);
+        ctx.world
+            .respond(ctx.eng, msg, MonitorReply::Subscribed(id).encode());
+    }
+
+    fn on_unsubscribe(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: UnsubscribeRequest) {
+        let existed = self.hub.unsubscribe(req.sub);
+        ctx.world
+            .respond(ctx.eng, msg, MonitorReply::Unsubscribed(existed).encode());
+    }
+
+    fn on_poll(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: PollRequest) {
+        match self.hub.poll(req.sub, req.max) {
+            Some((deltas, dropped)) => {
+                let batch = DeltaBatch { deltas, dropped };
+                ctx.world
+                    .respond(ctx.eng, msg, MonitorReply::Deltas(batch).encode());
+            }
+            // Never registered, unsubscribed, or evicted for slowness:
+            // the client re-subscribes and resumes from the latest
+            // snapshot.
+            None => {
+                ctx.world
+                    .respond_error(ctx.eng, msg, format!("unknown subscriber {}", req.sub))
+            }
+        }
+    }
+
+    fn on_push(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, push: SamplePush) {
+        self.pushes_received += 1;
+        // Job attribution happens here: the node agent stays stateless,
+        // and the instance's job registry is authoritative at the root.
+        let job = ctx.world.jobs.job_on_node(NodeId(push.node));
+        self.hub
+            .publish(push.node, push.timestamp_us, push.node_w, job);
+        ctx.world
+            .respond(ctx.eng, msg, MonitorReply::PushAck.encode());
+    }
 }
 
 impl Module for RootAgent {
     fn name(&self) -> &'static str {
-        "power-monitor-root-agent"
+        ROOT_AGENT
     }
 
     fn topics(&self) -> Vec<Topic> {
-        vec![TOPIC_GET_JOB_DATA.into(), TOPIC_GET_JOB_STATS.into()]
+        vec![
+            TOPIC_GET_JOB_DATA.into(),
+            TOPIC_GET_JOB_STATS.into(),
+            TOPIC_SUBSCRIBE.into(),
+            TOPIC_UNSUBSCRIBE.into(),
+            TOPIC_POLL.into(),
+            TOPIC_SAMPLE_PUSH.into(),
+        ]
     }
 
     fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
@@ -278,6 +442,10 @@ impl Module for RootAgent {
         match MonitorRequest::decode(msg) {
             Ok(MonitorRequest::JobData(req)) => self.start_aggregation(ctx, msg, req),
             Ok(MonitorRequest::JobStats(req)) => self.start_stats_aggregation(ctx, msg, req),
+            Ok(MonitorRequest::Subscribe(req)) => self.on_subscribe(ctx, msg, req),
+            Ok(MonitorRequest::Unsubscribe(req)) => self.on_unsubscribe(ctx, msg, req),
+            Ok(MonitorRequest::Poll(req)) => self.on_poll(ctx, msg, req),
+            Ok(MonitorRequest::PushSample(push)) => self.on_push(ctx, msg, push),
             Ok(_) => {} // node-agent topics; not served here
             Err(e) => ctx.world.respond_error(ctx.eng, msg, e.reason),
         }
@@ -292,7 +460,15 @@ impl Module for RootAgent {
         // broker. Re-issue every unfinished client aggregation from the
         // new root: re-address the stored request to this rank (replies
         // must originate from a live broker) and restart the fan-out.
-        let stalled: Vec<Message> = self.inflight.borrow_mut().drain(..).collect();
+        // Subscriptions are deliberately *not* durable state: their
+        // queues died with the old broker, and consumers re-subscribe to
+        // resume from the latest snapshot.
+        let stalled: Vec<Message> = {
+            let mut inflight = self.inflight.borrow_mut();
+            let msgs = inflight.values().cloned().collect();
+            inflight.clear();
+            msgs
+        };
         if !stalled.is_empty() {
             ctx.world.trace.emit(
                 ctx.eng.now(),
@@ -310,4 +486,82 @@ impl Module for RootAgent {
             self.handle(ctx, &msg);
         }
     }
+
+    /// The replayable state: the in-flight client aggregations. `served`
+    /// and push counters are diagnostics; subscriptions are ephemeral by
+    /// design (see [`Module::on_migrate`]).
+    fn snapshot(&self) -> Option<StateValue> {
+        let inflight: Vec<StateValue> = self
+            .inflight
+            .borrow()
+            .values()
+            .map(|msg| {
+                let kind = if msg.topic.as_str() == TOPIC_GET_JOB_STATS {
+                    "stats"
+                } else {
+                    "data"
+                };
+                let job = match MonitorRequest::decode(msg) {
+                    Ok(MonitorRequest::JobData(r)) => r.job.0,
+                    Ok(MonitorRequest::JobStats(r)) => r.job.0,
+                    _ => u64::MAX,
+                };
+                StateValue::record([
+                    ("tag", StateValue::U64(msg.matchtag)),
+                    ("from", StateValue::U64(msg.from.0 as u64)),
+                    ("to", StateValue::U64(msg.to.0 as u64)),
+                    ("kind", kind.into()),
+                    ("job", StateValue::U64(job)),
+                ])
+            })
+            .collect();
+        Some(StateValue::record([("inflight", inflight.into())]))
+    }
+
+    fn restore(&mut self, snapshot: &StateValue) {
+        self.inflight.borrow_mut().clear();
+        for entry in snapshot
+            .get("inflight")
+            .and_then(|l| l.as_list())
+            .unwrap_or_default()
+        {
+            if let Some(msg) = rebuild_request(entry) {
+                self.inflight.borrow_mut().insert(msg.matchtag, msg);
+            }
+        }
+    }
+
+    fn apply_event(&mut self, event: &StateEvent) {
+        match event.kind {
+            "agg-begin" => {
+                if let Some(msg) = rebuild_request(&event.data) {
+                    // Keyed insert: a re-logged begin after a live
+                    // migration folds onto the same tag.
+                    self.inflight.borrow_mut().insert(msg.matchtag, msg);
+                }
+            }
+            "agg-end" => {
+                if let Some(tag) = event.data.u64_field("tag") {
+                    self.inflight.borrow_mut().remove(&tag);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rebuild a client request message from a logged `agg-begin` event or
+/// snapshot entry.
+fn rebuild_request(data: &StateValue) -> Option<Message> {
+    let tag = data.u64_field("tag")?;
+    let from = Rank(data.u64_field("from")? as u32);
+    let to = Rank(data.u64_field("to")? as u32);
+    let job = fluxpm_flux::JobId(data.u64_field("job")?);
+    let req = match data.get("kind")?.as_str()? {
+        "stats" => MonitorRequest::JobStats(JobStatsRequest { job }),
+        _ => MonitorRequest::JobData(JobDataRequest { job }),
+    };
+    let mut msg = Message::request(from, to, req.topic(), req.encode());
+    msg.matchtag = tag;
+    Some(msg)
 }

@@ -1,0 +1,436 @@
+//! The subscription telemetry service: many consumers, bounded memory.
+//!
+//! The paper's monitor serves one CSV-polling client. Production wants
+//! "job-specific monitoring for the masses": thousands of concurrent
+//! consumers each watching a filtered slice of the telemetry stream.
+//! This module is the fan-out core — a [`TelemetryHub`] hosted by the
+//! root agent that:
+//!
+//! * registers subscribers with a [`SubscriptionFilter`] (job, node
+//!   set, per-subscriber sample cadence),
+//! * fans each incoming sample out as an [`Rc`]-shared
+//!   [`TelemetryDelta`] (one allocation per event, regardless of the
+//!   subscriber count),
+//! * bounds every subscriber to a fixed-capacity queue — a slow
+//!   consumer loses its *oldest* deltas first (backpressure by
+//!   shedding), and one that falls too far behind is **evicted**
+//!   outright so it cannot pin memory,
+//! * keeps a latest-sample-per-node snapshot, so a (re-)subscriber
+//!   resumes from current state instead of an empty stream — the
+//!   state-engine discipline of consumers receiving *state updates*,
+//!   not a replayed raw firehose.
+//!
+//! The hub is pure (no simulation types beyond ids), which is what lets
+//! `bench_telemetry` drive it at thousands of subscribers and commit
+//! the fan-out numbers as `BENCH_telemetry.json`.
+
+use fluxpm_flux::JobId;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Overlay topic: register a subscription with the root agent.
+pub const TOPIC_SUBSCRIBE: &str = "power-monitor.subscribe";
+/// Overlay topic: drop a subscription.
+pub const TOPIC_UNSUBSCRIBE: &str = "power-monitor.unsubscribe";
+/// Overlay topic: drain a subscriber's pending deltas.
+pub const TOPIC_POLL: &str = "power-monitor.poll";
+/// Overlay topic: node agent → root agent periodic sample push.
+pub const TOPIC_SAMPLE_PUSH: &str = "power-monitor.sample-push";
+
+/// Opaque subscriber handle.
+pub type SubscriberId = u64;
+
+/// What a subscriber wants to see.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SubscriptionFilter {
+    /// Only samples attributed to this job.
+    pub job: Option<JobId>,
+    /// Only samples from these ranks.
+    pub nodes: Option<Vec<u32>>,
+    /// Per-node cadence floor in microseconds: deltas for a node are
+    /// delivered at most once per interval (downsampling for cheap
+    /// dashboards). `0` delivers every sample.
+    pub min_interval_us: u64,
+}
+
+impl SubscriptionFilter {
+    /// Everything, at full rate.
+    pub fn all() -> SubscriptionFilter {
+        SubscriptionFilter::default()
+    }
+
+    /// Restrict to one job's nodes.
+    pub fn with_job(mut self, job: JobId) -> Self {
+        self.job = Some(job);
+        self
+    }
+
+    /// Restrict to an explicit rank set.
+    pub fn with_nodes(mut self, nodes: Vec<u32>) -> Self {
+        self.nodes = Some(nodes);
+        self
+    }
+
+    /// Set the per-node cadence floor.
+    pub fn with_min_interval_us(mut self, us: u64) -> Self {
+        self.min_interval_us = us;
+        self
+    }
+
+    fn matches(&self, delta: &TelemetryDelta) -> bool {
+        if let Some(job) = self.job {
+            if delta.job != Some(job) {
+                return false;
+            }
+        }
+        if let Some(nodes) = &self.nodes {
+            if !nodes.contains(&delta.node) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One state update fanned out to subscribers: the latest power sample
+/// of one node, with job attribution resolved at the root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryDelta {
+    /// Hub-global publication sequence number.
+    pub seq: u64,
+    /// Originating rank.
+    pub node: u32,
+    /// Sample timestamp, microseconds.
+    pub timestamp_us: u64,
+    /// Node power estimate, watts.
+    pub node_w: f64,
+    /// The job running on the node at publish time, if any.
+    pub job: Option<JobId>,
+}
+
+/// Hub tuning: every subscriber is bounded by these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionConfig {
+    /// Per-subscriber queue capacity. A full queue sheds its oldest
+    /// delta per new arrival.
+    pub queue_capacity: usize,
+    /// Cumulative shed deltas after which a subscriber is evicted.
+    pub evict_after_drops: u64,
+}
+
+impl Default for SubscriptionConfig {
+    fn default() -> Self {
+        SubscriptionConfig {
+            queue_capacity: 64,
+            evict_after_drops: 256,
+        }
+    }
+}
+
+/// Per-subscriber state: the filter, the bounded queue, and loss
+/// accounting.
+struct Subscriber {
+    filter: SubscriptionFilter,
+    queue: VecDeque<Rc<TelemetryDelta>>,
+    /// Last delivered timestamp per node (cadence floor); allocated only
+    /// when the filter has one.
+    last_us: HashMap<u32, u64>,
+    /// Deltas shed because the queue was full.
+    dropped: u64,
+    /// Deltas handed out via poll.
+    delivered: u64,
+}
+
+/// Per-subscriber counters returned by [`TelemetryHub::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberStats {
+    /// Deltas currently queued.
+    pub queued: usize,
+    /// Deltas shed to the bounded queue so far.
+    pub dropped: u64,
+    /// Deltas delivered via poll so far.
+    pub delivered: u64,
+}
+
+/// The root agent's fan-out core. See the module docs.
+pub struct TelemetryHub {
+    config: SubscriptionConfig,
+    subs: BTreeMap<SubscriberId, Subscriber>,
+    next_id: SubscriberId,
+    /// Latest delta per node — the snapshot a (re-)subscriber resumes
+    /// from.
+    latest: BTreeMap<u32, Rc<TelemetryDelta>>,
+    next_seq: u64,
+    published: u64,
+    fanned_out: u64,
+    evicted: u64,
+}
+
+impl TelemetryHub {
+    /// An empty hub.
+    pub fn new(config: SubscriptionConfig) -> TelemetryHub {
+        TelemetryHub {
+            config,
+            subs: BTreeMap::new(),
+            next_id: 1,
+            latest: BTreeMap::new(),
+            next_seq: 0,
+            published: 0,
+            fanned_out: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Register a subscriber. Its queue is seeded with the latest known
+    /// sample of every node its filter matches, so the consumer starts
+    /// from current state — and a consumer evicted for slowness loses
+    /// nothing permanent by re-subscribing.
+    pub fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriberId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut sub = Subscriber {
+            filter,
+            queue: VecDeque::new(),
+            last_us: HashMap::new(),
+            dropped: 0,
+            delivered: 0,
+        };
+        for delta in self.latest.values() {
+            if sub.filter.matches(delta) {
+                Self::enqueue(&self.config, &mut sub, delta);
+            }
+        }
+        self.subs.insert(id, sub);
+        id
+    }
+
+    /// Remove a subscriber. Returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubscriberId) -> bool {
+        self.subs.remove(&id).is_some()
+    }
+
+    /// Publish one sample: updates the per-node snapshot and fans the
+    /// delta out to every matching subscriber. Returns the fan-out count
+    /// (deliveries enqueued). Subscribers whose cumulative shed count
+    /// crosses the eviction threshold are removed.
+    pub fn publish(
+        &mut self,
+        node: u32,
+        timestamp_us: u64,
+        node_w: f64,
+        job: Option<JobId>,
+    ) -> usize {
+        let delta = Rc::new(TelemetryDelta {
+            seq: self.next_seq,
+            node,
+            timestamp_us,
+            node_w,
+            job,
+        });
+        self.next_seq += 1;
+        self.published += 1;
+        self.latest.insert(node, Rc::clone(&delta));
+        let mut fanout = 0usize;
+        let mut evict: Vec<SubscriberId> = Vec::new();
+        for (&id, sub) in self.subs.iter_mut() {
+            if !sub.filter.matches(&delta) {
+                continue;
+            }
+            if sub.filter.min_interval_us > 0 {
+                let last = sub.last_us.get(&node).copied();
+                if let Some(last) = last {
+                    if timestamp_us < last.saturating_add(sub.filter.min_interval_us) {
+                        continue;
+                    }
+                }
+                sub.last_us.insert(node, timestamp_us);
+            }
+            Self::enqueue(&self.config, sub, &delta);
+            fanout += 1;
+            if sub.dropped > self.config.evict_after_drops {
+                evict.push(id);
+            }
+        }
+        for id in evict {
+            self.subs.remove(&id);
+            self.evicted += 1;
+        }
+        self.fanned_out += fanout as u64;
+        fanout
+    }
+
+    fn enqueue(config: &SubscriptionConfig, sub: &mut Subscriber, delta: &Rc<TelemetryDelta>) {
+        if sub.queue.len() >= config.queue_capacity {
+            sub.queue.pop_front();
+            sub.dropped += 1;
+        }
+        sub.queue.push_back(Rc::clone(delta));
+    }
+
+    /// Drain up to `max` pending deltas for a subscriber, oldest first.
+    /// `None` when the subscriber is unknown — never registered, already
+    /// unsubscribed, or evicted for slowness (the caller re-subscribes
+    /// and resumes from the latest snapshot).
+    pub fn poll(&mut self, id: SubscriberId, max: usize) -> Option<(Vec<Rc<TelemetryDelta>>, u64)> {
+        let sub = self.subs.get_mut(&id)?;
+        let n = max.min(sub.queue.len());
+        let deltas: Vec<Rc<TelemetryDelta>> = sub.queue.drain(..n).collect();
+        sub.delivered += deltas.len() as u64;
+        Some((deltas, sub.dropped))
+    }
+
+    /// Live subscriber count.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Counters for one subscriber.
+    pub fn stats(&self, id: SubscriberId) -> Option<SubscriberStats> {
+        self.subs.get(&id).map(|s| SubscriberStats {
+            queued: s.queue.len(),
+            dropped: s.dropped,
+            delivered: s.delivered,
+        })
+    }
+
+    /// Samples published into the hub so far.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Total deliveries enqueued across all subscribers.
+    pub fn fanned_out(&self) -> u64 {
+        self.fanned_out
+    }
+
+    /// Subscribers evicted for falling too far behind.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The latest known sample for a node, if any.
+    pub fn latest(&self, node: u32) -> Option<&Rc<TelemetryDelta>> {
+        self.latest.get(&node)
+    }
+}
+
+impl Default for TelemetryHub {
+    fn default() -> Self {
+        TelemetryHub::new(SubscriptionConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub(cap: usize, evict: u64) -> TelemetryHub {
+        TelemetryHub::new(SubscriptionConfig {
+            queue_capacity: cap,
+            evict_after_drops: evict,
+        })
+    }
+
+    #[test]
+    fn filters_route_deltas() {
+        let mut h = TelemetryHub::default();
+        let all = h.subscribe(SubscriptionFilter::all());
+        let job1 = h.subscribe(SubscriptionFilter::all().with_job(JobId(1)));
+        let node2 = h.subscribe(SubscriptionFilter::all().with_nodes(vec![2]));
+
+        assert_eq!(h.publish(0, 1_000, 100.0, None), 1); // all only
+        assert_eq!(h.publish(2, 2_000, 200.0, Some(JobId(1))), 3); // everyone
+        assert_eq!(h.publish(3, 3_000, 300.0, Some(JobId(9))), 1); // all only
+
+        assert_eq!(h.poll(all, usize::MAX).unwrap().0.len(), 3);
+        assert_eq!(h.poll(job1, usize::MAX).unwrap().0.len(), 1);
+        let (d, dropped) = h.poll(node2, usize::MAX).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].node, 2);
+        assert_eq!(d[0].job, Some(JobId(1)));
+    }
+
+    #[test]
+    fn cadence_floor_downsamples_per_node() {
+        let mut h = TelemetryHub::default();
+        let slow = h.subscribe(SubscriptionFilter::all().with_min_interval_us(10_000));
+        // Node 0 samples every 2 ms: only every 5th delivered.
+        for i in 0..10u64 {
+            h.publish(0, i * 2_000, 1.0, None);
+        }
+        // Cadence is per node: node 1 gets its own budget.
+        h.publish(1, 1_000, 2.0, None);
+        let (d, _) = h.poll(slow, usize::MAX).unwrap();
+        let node0: Vec<u64> = d
+            .iter()
+            .filter(|x| x.node == 0)
+            .map(|x| x.timestamp_us)
+            .collect();
+        assert_eq!(node0, vec![0, 10_000], "next slot would be 20 ms");
+        assert_eq!(d.iter().filter(|x| x.node == 1).count(), 1);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_oldest_then_evicts() {
+        let mut h = hub(4, 6);
+        let lazy = h.subscribe(SubscriptionFilter::all());
+        // Never polled: 4 queued, then every publish sheds the oldest.
+        for i in 0..10u64 {
+            h.publish(0, i, 1.0, None);
+        }
+        let s = h.stats(lazy).unwrap();
+        assert_eq!(s.queued, 4);
+        assert_eq!(s.dropped, 6, "10 published, 4 retained");
+        // Crossing the eviction threshold removes the subscriber.
+        h.publish(0, 10, 1.0, None);
+        assert_eq!(h.subscriber_count(), 0);
+        assert_eq!(h.evicted(), 1);
+        assert!(h.poll(lazy, 1).is_none(), "evicted subscriber is unknown");
+    }
+
+    #[test]
+    fn resubscribe_resumes_from_latest_snapshot() {
+        let mut h = hub(2, 1);
+        let lazy = h.subscribe(SubscriptionFilter::all());
+        for node in 0..3u32 {
+            for t in 0..4u64 {
+                h.publish(node, 100 * node as u64 + t, node as f64, None);
+            }
+        }
+        assert!(h.poll(lazy, 1).is_none(), "evicted");
+        // A fresh subscription starts from the latest sample per node,
+        // not an empty stream and not the full history.
+        let again = h.subscribe(SubscriptionFilter::all().with_nodes(vec![0, 2]));
+        let (d, _) = h.poll(again, usize::MAX).unwrap();
+        let seen: Vec<(u32, u64)> = d.iter().map(|x| (x.node, x.timestamp_us)).collect();
+        assert_eq!(seen, vec![(0, 3), (2, 203)]);
+    }
+
+    #[test]
+    fn poll_drains_in_order_with_max() {
+        let mut h = TelemetryHub::default();
+        let s = h.subscribe(SubscriptionFilter::all());
+        for i in 0..5u64 {
+            h.publish(0, i, i as f64, None);
+        }
+        let (first, _) = h.poll(s, 2).unwrap();
+        assert_eq!(
+            first.iter().map(|d| d.timestamp_us).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let (rest, _) = h.poll(s, usize::MAX).unwrap();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(h.stats(s).unwrap().delivered, 5);
+        assert_eq!(h.fanned_out(), 5);
+    }
+
+    #[test]
+    fn unsubscribe_stops_fanout() {
+        let mut h = TelemetryHub::default();
+        let s = h.subscribe(SubscriptionFilter::all());
+        assert!(h.unsubscribe(s));
+        assert!(!h.unsubscribe(s));
+        assert_eq!(h.publish(0, 1, 1.0, None), 0);
+    }
+}

@@ -12,7 +12,7 @@
 
 use fluxpm::flux::{Engine, FluxEngine, JobSpec, World};
 use fluxpm::hw::MachineKind;
-use fluxpm::monitor::{fetch_job_data, MonitorConfig};
+use fluxpm::monitor::{MonitorConfig, MonitorQuery};
 use fluxpm::variorum::get_node_power_domain_info;
 use fluxpm::workloads::{lammps, App, JitterModel};
 
@@ -40,9 +40,9 @@ fn run_on(machine: MachineKind) {
     eng.run(&mut world);
 
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng2, job);
+    let query = MonitorQuery::job_data(job).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_data().unwrap().unwrap();
 
     let record = world.jobs.get(job).unwrap();
     let sample = &reply.nodes[0].records[reply.nodes[0].records.len() / 2].sample;

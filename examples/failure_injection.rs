@@ -48,9 +48,9 @@ fn main() {
     eng.run(&mut world);
 
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng2, id);
+    let query = MonitorQuery::job_data(id).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_data().unwrap().unwrap();
     println!(
         "90 s job, 30 s buffer: {} samples retained, complete = {}",
         reply.sample_count(),
@@ -105,9 +105,9 @@ fn main() {
         !world.sched.is_free(NodeId(1))
     );
     let mut eng3: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng3, victim);
+    let query = MonitorQuery::job_data(victim).send(&mut world, &mut eng3);
     eng3.run(&mut world);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_data().unwrap().unwrap();
     println!(
         "victim telemetry: {} of {} node replies populated, complete = {}",
         reply.nodes.iter().filter(|n| !n.records.is_empty()).count(),

@@ -6,7 +6,7 @@
 
 use fluxpm::flux::{Engine, FluxEngine, JobSpec, World};
 use fluxpm::hw::MachineKind;
-use fluxpm::monitor::{fetch_job_data, job_data_to_csv, MonitorConfig};
+use fluxpm::monitor::{job_data_to_csv, MonitorConfig, MonitorQuery};
 use fluxpm::workloads::{quicksilver, App, JitterModel};
 
 fn main() {
@@ -45,9 +45,9 @@ fn main() {
 
     // The external client: job id -> nodes & window -> per-node CSV.
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng2, job);
+    let query = MonitorQuery::job_data(job).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let reply = slot.borrow().clone().expect("reply").expect("no error");
+    let reply = query.job_data().expect("reply").expect("no error");
     println!(
         "telemetry: {} samples across {} nodes (complete: {})",
         reply.sample_count(),

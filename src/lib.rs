@@ -40,9 +40,9 @@
 //! eng.run(&mut world);
 //!
 //! let mut eng2: FluxEngine = Engine::new();
-//! let reply = fluxpm::monitor::fetch_job_data(&mut world, &mut eng2, job);
+//! let query = fluxpm::monitor::MonitorQuery::job_data(job).send(&mut world, &mut eng2);
 //! eng2.run(&mut world);
-//! let data = reply.borrow().clone().unwrap().unwrap();
+//! let data = query.job_data().unwrap().unwrap();
 //! assert!(data.all_complete());
 //! println!("{}", fluxpm::monitor::job_data_to_csv(&data));
 //! ```
@@ -117,7 +117,7 @@ pub mod prelude {
     pub use crate::hw::{Joules, MachineKind, NodeHardware, NodeId, Watts};
     pub use crate::manager::{FppConfig, FppController, FppTarget, ManagerConfig, PolicyKind};
     pub use crate::monitor::{
-        fetch_job_data, fetch_job_stats, fetch_job_stats_tree, job_data_to_csv, MonitorConfig,
+        job_data_to_csv, MonitorConfig, MonitorQuery, QueryHandle, SubscriptionFilter,
     };
     pub use crate::sim::{SimDuration, SimTime};
     pub use crate::workloads::{

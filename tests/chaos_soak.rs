@@ -18,7 +18,7 @@ use fluxpm::flux::{
     SharedModule, Tbon, World,
 };
 use fluxpm::hw::{MachineKind, NodeId, Watts};
-use fluxpm::monitor::{fetch_job_stats_tree, MonitorConfig};
+use fluxpm::monitor::{MonitorConfig, MonitorQuery};
 use fluxpm::sim::{SimDuration, SimTime, Trace, TraceLevel, Xoshiro256pp};
 use fluxpm::workloads::{laghos, App, JitterModel};
 use std::cell::{Cell, RefCell};
@@ -198,7 +198,7 @@ fn soak(seed: u64) -> Outcome {
     {
         let degraded = Rc::clone(&degraded);
         eng.schedule(SimTime::from_secs(20), move |w: &mut World, eng| {
-            *degraded.borrow_mut() = Some(fetch_job_stats_tree(w, eng, a));
+            *degraded.borrow_mut() = Some(MonitorQuery::job_stats_tree(a).send(w, eng));
         });
     }
     // t=25: recovery of rank 1 overlaps a fresh failure (rank 4) ...
@@ -341,8 +341,7 @@ fn soak(seed: u64) -> Outcome {
 
     let inner = degraded.borrow().clone().expect("degraded query issued");
     let stats = inner
-        .borrow()
-        .clone()
+        .subtree_stats()
         .expect("mid-storm reduction completed")
         .expect("reduction replied");
     assert!(

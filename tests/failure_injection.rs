@@ -3,7 +3,7 @@
 
 use fluxpm::flux::{Engine, FluxEngine, JobSpec, JobState, Rank, World};
 use fluxpm::hw::{MachineKind, NodeHardware, NodeId, Watts};
-use fluxpm::monitor::{fetch_job_data, fetch_job_stats, fetch_job_stats_tree, MonitorConfig};
+use fluxpm::monitor::{MonitorConfig, MonitorQuery};
 use fluxpm::sim::{SimDuration, SimTime, Trace, TraceLevel};
 use fluxpm::workloads::{laghos, App, JitterModel};
 use std::cell::RefCell;
@@ -64,9 +64,9 @@ fn buffer_wrap_yields_partial_job_data() {
     eng.run(&mut world);
 
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng2, id);
+    let query = MonitorQuery::job_data(id).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_data().unwrap().unwrap();
     assert!(
         !reply.all_complete(),
         "wrapped buffer must flag partial data"
@@ -122,9 +122,9 @@ fn tioga_cap_refusal_does_not_break_management() {
     assert!(world.jobs.get(id).unwrap().runtime_seconds().is_some());
 
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng2, id);
+    let query = MonitorQuery::job_data(id).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_data().unwrap().unwrap();
     assert!(
         reply.sample_count() > 0,
         "telemetry unaffected by cap refusal"
@@ -208,7 +208,7 @@ fn interior_rank_failure_mid_reduction_completes_incomplete() {
         let slot = Rc::new(RefCell::new(None));
         let slot2 = Rc::clone(&slot);
         eng.schedule(SimTime::from_secs(30), move |w: &mut World, eng| {
-            let inner = fetch_job_stats_tree(w, eng, id);
+            let inner = MonitorQuery::job_stats_tree(id).send(w, eng);
             *slot2.borrow_mut() = Some(inner);
         });
         eng.schedule(fail_at, move |w: &mut World, eng| {
@@ -217,7 +217,7 @@ fn interior_rank_failure_mid_reduction_completes_incomplete() {
         eng.run(&mut w);
 
         let outer = slot.borrow().clone().unwrap();
-        let stats = outer.borrow().clone().unwrap().unwrap();
+        let stats = outer.subtree_stats().unwrap().unwrap();
         let trace: String = w.trace.entries().iter().map(|e| format!("{e}\n")).collect();
         (w, id, stats, trace)
     };
@@ -288,9 +288,9 @@ fn chaos_faults_are_deterministic_and_aggregation_completes() {
 
         // Post-run stats aggregation across the lossy overlay.
         let mut eng2: FluxEngine = Engine::new();
-        let slot = fetch_job_stats(&mut w, &mut eng2, id);
+        let query = MonitorQuery::job_stats(id).send(&mut w, &mut eng2);
         eng2.run(&mut w);
-        let reply = slot.borrow().clone();
+        let reply = query.job_stats();
         let trace: String = w.trace.entries().iter().map(|e| format!("{e}\n")).collect();
         (
             trace,

@@ -5,7 +5,7 @@ use fluxpm::experiments::{JobRequest, PowerSetup, Scenario};
 use fluxpm::flux::{Engine, FluxEngine, JobSpec, World};
 use fluxpm::hw::{MachineKind, Watts};
 use fluxpm::manager::ManagerConfig;
-use fluxpm::monitor::{fetch_job_data, MonitorConfig};
+use fluxpm::monitor::{MonitorConfig, MonitorQuery};
 use fluxpm::workloads::{laghos, App, JitterModel};
 
 /// Monitor and manager coexist: telemetry reflects the caps the manager
@@ -48,9 +48,9 @@ fn monitor_and_manager_together() {
 
     // Fetch GEMM's telemetry through the monitor.
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng2, gid);
+    let query = MonitorQuery::job_data(gid).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_data().unwrap().unwrap();
     assert_eq!(reply.nodes.len(), 6);
     assert!(reply.all_complete());
 
@@ -124,9 +124,9 @@ fn telemetry_matches_injected_demand() {
     eng.run(&mut world);
 
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng2, id);
+    let query = MonitorQuery::job_data(id).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_data().unwrap().unwrap();
     // Laghos: 2*85 + 4*55 + 60 + 40 = 490 W nominal (CPU sine ±).
     let avg = reply.average_node_power();
     assert!((avg - 490.0).abs() < 25.0, "telemetry avg {avg} W");
@@ -185,7 +185,6 @@ fn scheduling_unaffected_by_power_modules() {
 /// The light-weight stats query agrees with the full-record query.
 #[test]
 fn stats_query_agrees_with_full_records() {
-    use fluxpm::monitor::fetch_job_stats;
     let mut world = World::new(MachineKind::Lassen, 4, 31);
     world.autostop_after = Some(1);
     let mut eng: FluxEngine = Engine::new();
@@ -197,11 +196,11 @@ fn stats_query_agrees_with_full_records() {
     eng.run(&mut world);
 
     let mut eng2: FluxEngine = Engine::new();
-    let data_slot = fetch_job_data(&mut world, &mut eng2, id);
-    let stats_slot = fetch_job_stats(&mut world, &mut eng2, id);
+    let data_query = MonitorQuery::job_data(id).send(&mut world, &mut eng2);
+    let stats_query = MonitorQuery::job_stats(id).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let data = data_slot.borrow().clone().unwrap().unwrap();
-    let stats = stats_slot.borrow().clone().unwrap().unwrap();
+    let data = data_query.job_data().unwrap().unwrap();
+    let stats = stats_query.job_stats().unwrap().unwrap();
 
     assert_eq!(stats.nodes.len(), 2);
     assert!((stats.mean_node_power() - data.average_node_power()).abs() < 1e-6);
@@ -260,9 +259,9 @@ fn node_failure_degrades_gracefully() {
     // Telemetry for the failed job: the downed rank contributes an empty
     // partial reply; the surviving rank still answers.
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng2, a);
+    let query = MonitorQuery::job_data(a).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_data().unwrap().unwrap();
     assert_eq!(reply.nodes.len(), 2);
     assert!(!reply.all_complete(), "downed rank flagged partial");
     let live: usize = reply.nodes.iter().filter(|n| !n.records.is_empty()).count();
@@ -273,7 +272,6 @@ fn node_failure_degrades_gracefully() {
 /// fan-out query, on a cluster large enough for a multi-level TBON.
 #[test]
 fn tree_reduction_agrees_with_direct_stats() {
-    use fluxpm::monitor::{fetch_job_stats, fetch_job_stats_tree};
     let mut world = World::new(MachineKind::Lassen, 16, 61);
     world.autostop_after = Some(1);
     let mut eng: FluxEngine = Engine::new();
@@ -286,11 +284,11 @@ fn tree_reduction_agrees_with_direct_stats() {
     eng.run(&mut world);
 
     let mut eng2: FluxEngine = Engine::new();
-    let direct_slot = fetch_job_stats(&mut world, &mut eng2, id);
-    let tree_slot = fetch_job_stats_tree(&mut world, &mut eng2, id);
+    let direct_query = MonitorQuery::job_stats(id).send(&mut world, &mut eng2);
+    let tree_query = MonitorQuery::job_stats_tree(id).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let direct = direct_slot.borrow().clone().unwrap().unwrap();
-    let tree = tree_slot.borrow().clone().unwrap().unwrap();
+    let direct = direct_query.job_stats().unwrap().unwrap();
+    let tree = tree_query.subtree_stats().unwrap().unwrap();
 
     assert_eq!(tree.nodes, 10);
     assert_eq!(

@@ -14,7 +14,7 @@
 use fluxpm::flux::{Engine, FaultPlan, FluxEngine, JobSpec, JobState, World};
 use fluxpm::hw::{MachineKind, Watts};
 use fluxpm::manager::ManagerConfig;
-use fluxpm::monitor::{fetch_job_data, job_data_to_csv, rpc_stats_to_csv, MonitorConfig};
+use fluxpm::monitor::{job_data_to_csv, rpc_stats_to_csv, MonitorConfig, MonitorQuery};
 use fluxpm::sim::{SimDuration, Trace, TraceLevel};
 use fluxpm::workloads::{laghos, App, JitterModel};
 
@@ -78,9 +78,9 @@ fn event_trace_matches_golden() {
 fn monitor_csvs_match_golden() {
     let (mut world, a) = replay_world();
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_data(&mut world, &mut eng2, a);
+    let query = MonitorQuery::job_data(a).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_data().unwrap().unwrap();
     assert_eq!(reply.nodes.len(), 4);
 
     common::check_golden(

@@ -7,7 +7,7 @@
 
 use fluxpm::flux::{Engine, FluxEngine, JobSpec, JobState, Rank, World};
 use fluxpm::hw::{MachineKind, NodeId, Watts};
-use fluxpm::monitor::{fetch_job_stats, fetch_job_stats_tree, rpc_stats_to_csv, MonitorConfig};
+use fluxpm::monitor::{rpc_stats_to_csv, MonitorConfig, MonitorQuery};
 use fluxpm::sim::{SimTime, Trace, TraceLevel};
 use fluxpm::workloads::{laghos, App, JitterModel};
 use std::cell::RefCell;
@@ -39,7 +39,7 @@ fn fail_recover_cycle_restores_complete_aggregation() {
         let mid = Rc::new(RefCell::new(None));
         let mid2 = Rc::clone(&mid);
         eng.schedule(SimTime::from_secs(30), move |w: &mut World, eng| {
-            let inner = fetch_job_stats_tree(w, eng, a);
+            let inner = MonitorQuery::job_stats_tree(a).send(w, eng);
             *mid2.borrow_mut() = Some(inner);
         });
         eng.schedule(fail_at, move |w: &mut World, eng| {
@@ -51,7 +51,7 @@ fn fail_recover_cycle_restores_complete_aggregation() {
         let down = Rc::new(RefCell::new(None));
         let down2 = Rc::clone(&down);
         eng.schedule(SimTime::from_secs(40), move |w: &mut World, eng| {
-            let inner = fetch_job_stats_tree(w, eng, a);
+            let inner = MonitorQuery::job_stats_tree(a).send(w, eng);
             *down2.borrow_mut() = Some(inner);
         });
 
@@ -77,14 +77,14 @@ fn fail_recover_cycle_restores_complete_aggregation() {
 
         // Post-run: aggregate over job B's window.
         let mut eng2: FluxEngine = Engine::new();
-        let slot = fetch_job_stats_tree(&mut w, &mut eng2, b);
+        let query = MonitorQuery::job_stats_tree(b).send(&mut w, &mut eng2);
         eng2.run(&mut w);
-        let complete = slot.borrow().clone().unwrap().unwrap();
+        let complete = query.subtree_stats().unwrap().unwrap();
 
         let mid_inner = mid.borrow().clone().expect("mid query was issued");
-        let mid_stats = mid_inner.borrow().clone().unwrap().unwrap();
+        let mid_stats = mid_inner.subtree_stats().unwrap().unwrap();
         let down_inner = down.borrow().clone().expect("down query was issued");
-        let down_stats = down_inner.borrow().clone().unwrap().unwrap();
+        let down_stats = down_inner.subtree_stats().unwrap().unwrap();
         let trace: String = w.trace.entries().iter().map(|e| format!("{e}\n")).collect();
         (w, mid_stats, down_stats, complete, trace)
     };
@@ -213,8 +213,8 @@ fn root_failure_promotes_successor_and_preserves_budgets() {
 
     // Monitoring still works through the new root.
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_stats(&mut w, &mut eng2, b);
+    let query = MonitorQuery::job_stats(b).send(&mut w, &mut eng2);
     eng2.run(&mut w);
-    let reply = slot.borrow().clone().unwrap().unwrap();
+    let reply = query.job_stats().unwrap().unwrap();
     assert_eq!(reply.nodes.len(), 2, "both of job B's nodes answered");
 }

@@ -6,7 +6,7 @@ use fluxpm::experiments::{JobRequest, PowerSetup, Scenario};
 use fluxpm::flux::{Engine, FluxEngine, JobSpec, World};
 use fluxpm::hw::{MachineKind, Watts};
 use fluxpm::manager::ManagerConfig;
-use fluxpm::monitor::{fetch_job_stats_tree, MonitorConfig};
+use fluxpm::monitor::{MonitorConfig, MonitorQuery};
 use fluxpm::workloads::{laghos, App, JitterModel};
 
 /// 128 nodes, 24 jobs, both power modules loaded: everything completes,
@@ -59,9 +59,9 @@ fn tree_reduction_on_deep_tbon() {
     eng.run(&mut world);
 
     let mut eng2: FluxEngine = Engine::new();
-    let slot = fetch_job_stats_tree(&mut world, &mut eng2, id);
+    let query = MonitorQuery::job_stats_tree(id).send(&mut world, &mut eng2);
     eng2.run(&mut world);
-    let stats = slot.borrow().clone().unwrap().unwrap();
+    let stats = query.subtree_stats().unwrap().unwrap();
     assert_eq!(stats.nodes, 60);
     assert!(stats.all_complete);
     // Laghos nodes: ~490 W each.

@@ -1,0 +1,304 @@
+//! Subscription/push telemetry, end to end — the fan-out tentpole.
+//!
+//! Node agents push their newest sample to the root on a configurable
+//! cadence; the root agent's `TelemetryHub` fans deltas out to bounded
+//! per-subscriber queues. These tests drive the full in-sim lifecycle
+//! over the RPC surface (`MonitorQuery::subscribe/poll/unsubscribe`):
+//! register → receive ordered deltas → fall behind and get evicted →
+//! re-subscribe and resume from the latest-per-node snapshot.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use fluxpm::flux::{Engine, FluxEngine, JobSpec, World};
+use fluxpm::hw::MachineKind;
+use fluxpm::monitor::{
+    DeltaBatch, MonitorConfig, MonitorQuery, QueryHandle, SubscriberId, SubscriptionConfig,
+    SubscriptionFilter, TelemetryHub,
+};
+use fluxpm::sim::{SimDuration, SimTime};
+use fluxpm::workloads::{laghos, App, JitterModel};
+
+/// A 4-node world with sample pushes every 2 s and one long job, so
+/// telemetry flows for the whole observation window.
+fn pushing_world(config: MonitorConfig) -> (World, FluxEngine) {
+    let mut w = World::new(MachineKind::Lassen, 4, 37);
+    let mut eng: FluxEngine = Engine::new();
+    fluxpm::monitor::load(&mut w, &mut eng, config);
+    w.install_executor(&mut eng);
+    w.submit(
+        &mut eng,
+        JobSpec::new("Laghos", 4),
+        Box::new(
+            App::with_jitter(laghos(), MachineKind::Lassen, 4, 9, JitterModel::none())
+                .with_work_seconds(500.0),
+        ),
+    );
+    (w, eng)
+}
+
+type Slot<T> = Rc<RefCell<Option<T>>>;
+
+fn slot<T>() -> Slot<T> {
+    Rc::new(RefCell::new(None))
+}
+
+#[test]
+fn subscription_lifecycle_over_rpc() {
+    let (mut w, mut eng) =
+        pushing_world(MonitorConfig::default().with_push_interval(SimDuration::from_secs(2)));
+
+    // t=5: register a subscriber over the wire.
+    let sub_q: Slot<QueryHandle> = slot();
+    {
+        let s = Rc::clone(&sub_q);
+        eng.schedule(SimTime::from_secs(5), move |w: &mut World, eng| {
+            let filter = SubscriptionFilter::all();
+            *s.borrow_mut() = Some(MonitorQuery::subscribe(filter).send(w, eng));
+        });
+    }
+
+    // t=15: drain the queue; ~5 push rounds x 4 nodes have landed.
+    let first_poll: Slot<DeltaBatch> = slot();
+    let sub_id: Slot<SubscriberId> = slot();
+    {
+        let (s, id, out) = (
+            Rc::clone(&sub_q),
+            Rc::clone(&sub_id),
+            Rc::clone(&first_poll),
+        );
+        eng.schedule(SimTime::from_secs(15), move |w: &mut World, eng| {
+            let sub = s
+                .borrow()
+                .as_ref()
+                .expect("subscribe sent")
+                .subscription()
+                .expect("subscribe answered")
+                .expect("subscribe succeeded");
+            *id.borrow_mut() = Some(sub);
+            let q = MonitorQuery::poll(sub, 1024).send(w, eng);
+            let out = Rc::clone(&out);
+            eng.schedule(
+                SimTime::from_micros(15_500_000),
+                move |_w: &mut World, _| {
+                    *out.borrow_mut() = Some(q.deltas().expect("poll answered").expect("poll ok"));
+                },
+            );
+        });
+    }
+
+    // t=20: unsubscribe; t=21: a poll for the dead id must error.
+    let dead_poll: Slot<Result<DeltaBatch, String>> = slot();
+    {
+        let id = Rc::clone(&sub_id);
+        eng.schedule(SimTime::from_secs(20), move |w: &mut World, eng| {
+            let sub = id.borrow().expect("id resolved");
+            MonitorQuery::unsubscribe(sub).send(w, eng);
+        });
+        let (id, out) = (Rc::clone(&sub_id), Rc::clone(&dead_poll));
+        eng.schedule(SimTime::from_secs(21), move |w: &mut World, eng| {
+            let sub = id.borrow().expect("id resolved");
+            let q = MonitorQuery::poll(sub, 16).send(w, eng);
+            let out = Rc::clone(&out);
+            eng.schedule(
+                SimTime::from_micros(21_500_000),
+                move |_w: &mut World, _| {
+                    *out.borrow_mut() = q.deltas();
+                },
+            );
+        });
+    }
+
+    // t=25: re-subscribe. The new queue is seeded from the hub's
+    // latest-per-node snapshot, so a poll *before the next push round*
+    // already holds one delta per node.
+    let reseed_poll: Slot<DeltaBatch> = slot();
+    {
+        let out = Rc::clone(&reseed_poll);
+        eng.schedule(
+            SimTime::from_micros(25_100_000),
+            move |w: &mut World, eng| {
+                let q = MonitorQuery::subscribe(SubscriptionFilter::all()).send(w, eng);
+                let out = Rc::clone(&out);
+                eng.schedule(
+                    SimTime::from_micros(25_500_000),
+                    move |w: &mut World, eng| {
+                        let sub = q
+                            .subscription()
+                            .expect("re-subscribe answered")
+                            .expect("re-subscribe ok");
+                        let q = MonitorQuery::poll(sub, 16).send(w, eng);
+                        let out = Rc::clone(&out);
+                        eng.schedule(
+                            SimTime::from_micros(25_900_000),
+                            move |_w: &mut World, _| {
+                                *out.borrow_mut() =
+                                    Some(q.deltas().expect("poll answered").expect("poll ok"));
+                            },
+                        );
+                    },
+                );
+            },
+        );
+    }
+
+    eng.run_until(&mut w, SimTime::from_secs(30));
+
+    // First drain: non-empty, lossless, strictly ordered, all 4 nodes.
+    let batch = first_poll.borrow().clone().expect("first poll resolved");
+    assert!(!batch.deltas.is_empty(), "deltas flowed by t=15");
+    assert_eq!(batch.dropped, 0, "no loss at this cadence");
+    assert!(
+        batch.deltas.windows(2).all(|p| p[0].seq < p[1].seq),
+        "deltas arrive in publication order"
+    );
+    let nodes: BTreeSet<u32> = batch.deltas.iter().map(|d| d.node).collect();
+    assert_eq!(nodes.len(), 4, "every node's pushes reached the hub");
+    assert!(
+        batch.deltas.iter().all(|d| d.job.is_some()),
+        "deltas carry job attribution while the job runs"
+    );
+
+    // Dead-id poll: a typed error, not a hang or empty batch.
+    let err = dead_poll
+        .borrow()
+        .clone()
+        .expect("dead poll resolved")
+        .expect_err("polling an unsubscribed id errors");
+    assert!(err.contains("unknown subscriber"), "got: {err}");
+
+    // Re-subscribe resumed from the snapshot: one delta per node,
+    // without waiting for a fresh push round.
+    let batch = reseed_poll.borrow().clone().expect("re-seed poll resolved");
+    let nodes: Vec<u32> = batch.deltas.iter().map(|d| d.node).collect();
+    let unique: BTreeSet<u32> = nodes.iter().copied().collect();
+    assert_eq!(
+        (nodes.len(), unique.len()),
+        (4, 4),
+        "snapshot seeds exactly one latest delta per node: {nodes:?}"
+    );
+}
+
+/// A subscriber that never polls overruns its bounded queue and is
+/// evicted once its cumulative drops pass the configured threshold —
+/// the hub protects itself, the consumer finds out at the next poll.
+#[test]
+fn slow_subscriber_is_evicted_and_can_resubscribe() {
+    let (mut w, mut eng) = pushing_world(
+        MonitorConfig::default()
+            .with_push_interval(SimDuration::from_secs(2))
+            .with_subscriber_queue_capacity(2)
+            .with_subscriber_evict_after_drops(3),
+    );
+
+    let sub_id: Slot<SubscriberId> = slot();
+    {
+        let id = Rc::clone(&sub_id);
+        eng.schedule(SimTime::from_secs(2), move |w: &mut World, eng| {
+            let q = MonitorQuery::subscribe(SubscriptionFilter::all()).send(w, eng);
+            let id = Rc::clone(&id);
+            eng.schedule(SimTime::from_secs(3), move |_w: &mut World, _| {
+                *id.borrow_mut() = Some(q.subscription().unwrap().unwrap());
+            });
+        });
+    }
+
+    // By t=20, ~9 push rounds x 4 nodes >> capacity 2 + threshold 3:
+    // the subscriber is long gone. Its poll errors; a fresh subscribe
+    // still works and polls cleanly.
+    let evicted_poll: Slot<Result<DeltaBatch, String>> = slot();
+    let fresh_poll: Slot<Result<DeltaBatch, String>> = slot();
+    {
+        let (id, out) = (Rc::clone(&sub_id), Rc::clone(&evicted_poll));
+        eng.schedule(SimTime::from_secs(20), move |w: &mut World, eng| {
+            let sub = id.borrow().expect("id resolved");
+            let q = MonitorQuery::poll(sub, 16).send(w, eng);
+            let out = Rc::clone(&out);
+            eng.schedule(
+                SimTime::from_micros(20_500_000),
+                move |_w: &mut World, _| {
+                    *out.borrow_mut() = q.deltas();
+                },
+            );
+        });
+        let out = Rc::clone(&fresh_poll);
+        eng.schedule(SimTime::from_secs(21), move |w: &mut World, eng| {
+            let q = MonitorQuery::subscribe(SubscriptionFilter::all()).send(w, eng);
+            let out = Rc::clone(&out);
+            eng.schedule(
+                SimTime::from_micros(21_500_000),
+                move |w: &mut World, eng| {
+                    let sub = q.subscription().unwrap().unwrap();
+                    let q = MonitorQuery::poll(sub, 16).send(w, eng);
+                    let out = Rc::clone(&out);
+                    eng.schedule(
+                        SimTime::from_micros(21_900_000),
+                        move |_w: &mut World, _| {
+                            *out.borrow_mut() = q.deltas();
+                        },
+                    );
+                },
+            );
+        });
+    }
+
+    eng.run_until(&mut w, SimTime::from_secs(25));
+
+    let err = evicted_poll
+        .borrow()
+        .clone()
+        .expect("evicted poll resolved")
+        .expect_err("evicted subscriber's poll errors");
+    assert!(err.contains("unknown subscriber"), "got: {err}");
+    let batch = fresh_poll
+        .borrow()
+        .clone()
+        .expect("fresh poll resolved")
+        .expect("fresh subscriber polls cleanly");
+    assert!(
+        !batch.deltas.is_empty(),
+        "eviction of one subscriber never poisons the hub"
+    );
+}
+
+/// Cadence floor: a `min_interval_us` filter thins per-node updates to
+/// the requested rate while a firehose subscriber sees everything.
+#[test]
+fn cadence_filter_thins_updates() {
+    let mut hub = TelemetryHub::new(SubscriptionConfig::default());
+    let firehose = hub.subscribe(SubscriptionFilter::all());
+    let slow = hub.subscribe(SubscriptionFilter::all().with_min_interval_us(5_000_000));
+    for tick in 0u64..10 {
+        hub.publish(0, tick * 2_000_000, 900.0, None);
+    }
+    let (all, _) = hub.poll(firehose, 64).expect("firehose alive");
+    let (thinned, _) = hub.poll(slow, 64).expect("slow alive");
+    assert_eq!(all.len(), 10);
+    // 2 s pushes against a 5 s floor: t=0,6,12,18 pass (gap >= 5 s).
+    let times: Vec<u64> = thinned.iter().map(|d| d.timestamp_us).collect();
+    assert_eq!(times, vec![0, 6_000_000, 12_000_000, 18_000_000]);
+}
+
+/// The fan-out core holds a thousand concurrent subscribers: every
+/// matching delta lands once in every queue, bounded memory throughout.
+/// (BENCH_telemetry.json benches the same path at scale.)
+#[test]
+fn hub_fans_out_to_a_thousand_subscribers() {
+    let mut hub = TelemetryHub::new(SubscriptionConfig::default());
+    let subs: Vec<SubscriberId> = (0..1000)
+        .map(|_| hub.subscribe(SubscriptionFilter::all()))
+        .collect();
+    assert_eq!(hub.subscriber_count(), 1000);
+    for node in 0u32..4 {
+        let n = hub.publish(node, 2_000_000, 850.0, None);
+        assert_eq!(n, 1000, "every subscriber matched");
+    }
+    assert_eq!(hub.fanned_out(), 4000);
+    for &s in &subs {
+        let stats = hub.stats(s).expect("subscriber alive");
+        assert_eq!((stats.queued, stats.dropped), (4, 0));
+    }
+    let (deltas, dropped) = hub.poll(subs[500], 64).expect("alive");
+    assert_eq!((deltas.len(), dropped), (4, 0));
+}
