@@ -8,7 +8,7 @@
 //! than trusted from a number recorded once.
 
 use fluxpm_flux::shard::ShardStormConfig;
-use fluxpm_flux::{payload, Message, Module, ModuleCtx, MsgKind, Rank, Topic, World};
+use fluxpm_flux::{payload, FaultPlan, Message, Module, ModuleCtx, MsgKind, Rank, Topic, World};
 use fluxpm_hw::MachineKind;
 use fluxpm_sim::{Engine, SimDuration, SimTime, Xoshiro256pp};
 use std::cell::RefCell;
@@ -202,6 +202,29 @@ impl DeliveryRig {
         route.len() as u32 - 1
     }
 
+    /// Build the rig with the target's uplink congested at `severity`
+    /// for the first simulated hour. Echo round trips then pay the
+    /// link's serialization + queueing delay on the last hop both ways,
+    /// which prices the congestion-aware delivery path (queue
+    /// bookkeeping, severity lookup, EWMA updates) against the clean
+    /// rig's fast path.
+    pub fn congested(nnodes: u32, severity: f64) -> DeliveryRig {
+        let mut rig = DeliveryRig::new(nnodes);
+        let parent = rig
+            .world
+            .tbon
+            .parent(rig.target)
+            .expect("target has an uplink");
+        let plan = FaultPlan::uniform(0.0, SimDuration::ZERO).with_congestion(
+            parent,
+            rig.target,
+            SimTime::ZERO..SimTime::from_secs(3_600),
+            severity,
+        );
+        rig.world.install_fault_plan(plan);
+        rig
+    }
+
     /// Issue one root → target echo RPC and drain the engine; panics if
     /// the response does not arrive (nothing in this rig drops traffic).
     pub fn roundtrip(&mut self) {
@@ -263,5 +286,21 @@ mod tests {
         rig.roundtrip();
         rig.roundtrip();
         assert_eq!(rig.world.pending_rpc_count(), 0);
+    }
+
+    #[test]
+    fn congested_rig_pays_queueing_delay_on_the_last_hop() {
+        let mut clean = DeliveryRig::new(8);
+        let mut hot = DeliveryRig::congested(8, 0.999);
+        clean.roundtrip();
+        hot.roundtrip();
+        assert!(
+            hot.eng.now() > clean.eng.now(),
+            "a 0.999-severity uplink must inflate the echo round trip \
+             (clean {:?}, congested {:?})",
+            clean.eng.now(),
+            hot.eng.now()
+        );
+        assert_eq!(hot.world.pending_rpc_count(), 0);
     }
 }

@@ -1,0 +1,9 @@
+//! Congestion-severity sweep ablation. See the module docs of
+//! `fluxpm_experiments::experiments::ablation_congestion`.
+
+fn main() {
+    print!(
+        "{}",
+        fluxpm_experiments::experiments::ablation_congestion::run()
+    );
+}

@@ -31,6 +31,10 @@ fn main() {
             "ablation_psr",
             fluxpm_experiments::experiments::ablation_psr::run,
         ),
+        (
+            "ablation_congestion",
+            fluxpm_experiments::experiments::ablation_congestion::run,
+        ),
     ];
     let total = Instant::now();
     for (name, run) in experiments {

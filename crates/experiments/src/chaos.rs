@@ -16,8 +16,8 @@
 //! the replay-equality gate.
 
 use fluxpm_flux::{
-    FaultPlan, FluxEngine, GilbertElliott, JobSpec, JobState, LinkProfile, Rank, SharedModule,
-    World,
+    CongestionBurst, FaultPlan, FluxEngine, GilbertElliott, JobSpec, JobState, LinkHealthConfig,
+    LinkProfile, Rank, SharedModule, World,
 };
 use fluxpm_hw::{MachineKind, NodeId, Watts};
 use fluxpm_monitor::{MonitorConfig, MonitorQuery};
@@ -44,6 +44,12 @@ pub struct StormConfig {
     /// replay at full strictness); `Info` keeps only state transitions
     /// and is the default at scale.
     pub trace_level: TraceLevel,
+    /// Network-realism mode: sample pushes every second feed steady
+    /// upward traffic, seeded congestion windows (one sustained
+    /// pre-storm, one bursty Gilbert–Elliott-style window riding the
+    /// random death ticks, one mid-tree) squeeze per-link bandwidth, and
+    /// the link monitor routes subtrees around sustained congestion.
+    pub congestion: bool,
 }
 
 impl StormConfig {
@@ -56,6 +62,7 @@ impl StormConfig {
             seed,
             random_ticks: 10,
             trace_level: TraceLevel::Info,
+            congestion: false,
         }
     }
 
@@ -64,6 +71,16 @@ impl StormConfig {
     pub fn long(nodes: u32, seed: u64) -> Self {
         Self {
             random_ticks: 120,
+            ..Self::new(nodes, seed)
+        }
+    }
+
+    /// Network-realism storm: the standard death storm with congestion
+    /// windows, push telemetry traffic, and the congestion-avoidance
+    /// link monitor layered on top.
+    pub fn congested(nodes: u32, seed: u64) -> Self {
+        Self {
+            congestion: true,
             ..Self::new(nodes, seed)
         }
     }
@@ -87,6 +104,10 @@ pub struct StormOutcome {
     pub epoch: u64,
     /// Per-second invariant sweeps that ran.
     pub invariant_checks: u64,
+    /// Messages tail-dropped by congested link queues.
+    pub congestion_drops: u64,
+    /// Subtrees re-parented away from sustained congestion.
+    pub congestion_reparents: u64,
     /// Jobs that reached `Completed` / `Failed`.
     pub completed: usize,
     /// Jobs that reached `Failed`.
@@ -154,7 +175,14 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
             )
         });
     }
-    fluxpm_monitor::load(&mut w, &mut eng, MonitorConfig::default());
+    // In congestion mode, 1 s sample pushes give every interior link a
+    // steady upward stream — the traffic the link monitor judges.
+    let mon_cfg = if cfg.congestion {
+        MonitorConfig::default().with_push_interval(SimDuration::from_secs(1))
+    } else {
+        MonitorConfig::default()
+    };
+    fluxpm_monitor::load(&mut w, &mut eng, mon_cfg);
     w.install_executor(&mut eng);
 
     // Per-link burst faults: lightly lossy default links plus a worse
@@ -169,15 +197,59 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
         good_drop_prob: 0.08,
         ..ge
     };
-    w.install_fault_plan(
-        FaultPlan::uniform(0.02, SimDuration::from_micros(20))
-            .with_burst(ge)
-            .with_link(
+    let mut plan = FaultPlan::uniform(0.02, SimDuration::from_micros(20))
+        .with_burst(ge)
+        .with_link(
+            Rank(0),
+            Rank(1),
+            LinkProfile::uniform(0.08, SimDuration::from_micros(40)).with_burst(ge_root),
+        );
+    if cfg.congestion {
+        // Three congestion regimes layered over the death storm:
+        // a sustained pre-storm squeeze on a root link (deterministic
+        // re-parent bait), a Gilbert–Elliott-style flapping window on
+        // the already-lossy root link riding the random death ticks,
+        // and a shorter mid-tree squeeze inside the storm proper.
+        plan = plan
+            .with_congestion(
+                Rank(0),
+                Rank(2),
+                SimTime::from_secs(5)..SimTime::from_secs(13),
+                0.999,
+            )
+            .with_bursty_congestion(
                 Rank(0),
                 Rank(1),
-                LinkProfile::uniform(0.08, SimDuration::from_micros(40)).with_burst(ge_root),
-            ),
-    );
+                SimTime::from_secs(40)..SimTime::from_secs(last_tick_s + 10),
+                CongestionBurst {
+                    p_calm_to_congested: 0.2,
+                    p_congested_to_calm: 0.25,
+                    calm_severity: 0.0,
+                    congested_severity: 0.999,
+                },
+            )
+            .with_congestion(
+                Rank(1),
+                Rank(3),
+                SimTime::from_secs(50)..SimTime::from_secs(60),
+                0.999,
+            );
+    }
+    w.install_fault_plan(plan);
+    if cfg.congestion {
+        // Window matched to the 1 s push cadence so every judged window
+        // carries a full push round; 50 µs hot threshold sees the
+        // ~102 µs serialization a 0.999 squeeze puts on 1 KiB pushes.
+        w.schedule_link_monitor(
+            &mut eng,
+            LinkHealthConfig {
+                window: SimDuration::from_secs(1),
+                hot_delay_us: 50,
+                cooldown_windows: 8,
+                ..LinkHealthConfig::default()
+            },
+        );
+    }
     w.schedule_rebalance(&mut eng, SimDuration::from_secs(7));
 
     // Job A pins the bottom half of the machine and dies with the batch
@@ -188,7 +260,7 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
     let a = w.submit(&mut eng, JobSpec::new("Laghos", wide), Box::new(app_a));
     let app_b = App::with_jitter(laghos(), MachineKind::Lassen, 4, 2, JitterModel::none())
         .with_work_seconds(60.0);
-    let _b = w.submit(&mut eng, JobSpec::new("Laghos", 4), Box::new(app_b));
+    let b = w.submit(&mut eng, JobSpec::new("Laghos", 4), Box::new(app_b));
     for k in 0..7u64 {
         eng.schedule(SimTime::from_secs(6 + 12 * k), move |w: &mut World, eng| {
             let app = App::with_jitter(
@@ -264,6 +336,18 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
         let degraded = Rc::clone(&degraded);
         eng.schedule(SimTime::from_secs(20), move |w: &mut World, eng| {
             *degraded.borrow_mut() = Some(MonitorQuery::job_stats_tree(a).send(w, eng));
+        });
+    }
+    // t=45 (congestion mode): a reduction launched while the flapping
+    // root-link window and the random death ticks are both live — slow
+    // links inflate hop latency, but height-scaled deadlines must still
+    // let the reduction finish instead of silently dropping a congested
+    // subtree.
+    let congested_q = Rc::new(RefCell::new(None));
+    if cfg.congestion {
+        let congested_q = Rc::clone(&congested_q);
+        eng.schedule(SimTime::from_secs(45), move |w: &mut World, eng| {
+            *congested_q.borrow_mut() = Some(MonitorQuery::job_stats_tree(b).send(w, eng));
         });
     }
     // t=25: recovery of rank 1 overlaps a fresh failure, and rank 1 is
@@ -410,6 +494,46 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
         "the burst plan actually dropped traffic"
     );
 
+    if cfg.congestion {
+        assert!(
+            w.congestion_reparent_count() >= 1,
+            "sustained congestion must trigger at least one re-route"
+        );
+        // The pre-storm sustained window on link 0-2 is one event: the
+        // cooldown must hold it to exactly one re-parent, even with the
+        // periodic rebalance pulling the subtree back.
+        let early = w
+            .trace
+            .entries()
+            .iter()
+            .filter(|e| {
+                e.subsystem == "link"
+                    && e.at < SimTime::from_secs(15)
+                    && e.message.starts_with("congestion: re-parented rank2 ")
+            })
+            .count();
+        assert_eq!(early, 1, "one sustained event, one re-parent");
+        // A flapping link legitimately takes one re-parent per congested
+        // bout; what must never happen is thrash within a bout.
+        for ls in w.link_stats() {
+            assert!(
+                ls.reparents <= 4,
+                "epoch thrash on link {}-{}: {} re-parents",
+                ls.child,
+                ls.parent,
+                ls.reparents
+            );
+        }
+        let stats = congested_q
+            .borrow()
+            .clone()
+            .expect("mid-congestion query issued")
+            .subtree_stats()
+            .expect("reduction completed under congestion")
+            .expect("reduction replied");
+        assert!(stats.samples > 0, "congested reduction carried data");
+    }
+
     let mut trace_hash = 0xcbf2_9ce4_8422_2325u64;
     let mut line = String::new();
     for e in w.trace.entries() {
@@ -433,6 +557,8 @@ pub fn storm(cfg: &StormConfig) -> StormOutcome {
         retries: w.rpc_retry_count(),
         epoch: w.tbon.epoch(),
         invariant_checks: checks.get(),
+        congestion_drops: w.congestion_drop_count(),
+        congestion_reparents: w.congestion_reparent_count(),
         completed,
         failed,
         halted_at_us: eng.now().as_micros(),
@@ -450,6 +576,18 @@ mod tests {
         let cfg = StormConfig::new(16, 11);
         let first = storm(&cfg);
         assert!(first.invariant_checks >= 90);
+        assert_eq!(first, storm(&cfg));
+    }
+
+    /// The congested 16-node storm re-routes around the sustained
+    /// squeeze and still replays identically — congestion windows,
+    /// bursty severity flaps, and the avoidance response all draw from
+    /// seeded streams.
+    #[test]
+    fn congested_storm_16_replays_identically() {
+        let cfg = StormConfig::congested(16, 11);
+        let first = storm(&cfg);
+        assert!(first.congestion_reparents >= 1);
         assert_eq!(first, storm(&cfg));
     }
 }

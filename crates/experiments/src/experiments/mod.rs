@@ -1,5 +1,6 @@
 //! One module per paper artifact.
 
+pub mod ablation_congestion;
 pub mod ablation_fpp;
 pub mod ablation_psr;
 pub mod ablation_reserve;

@@ -1,9 +1,138 @@
-//! Per-node broker: the module registry and message dispatch table.
+//! Per-node broker: the module registry, message dispatch table, and the
+//! uplink-degradation detector.
 
 use crate::module::SharedModule;
 use crate::tbon::Rank;
 use crate::topic::Topic;
+use fluxpm_sim::SimDuration;
 use std::collections::HashMap;
+
+/// Tuning for the sustained-congestion detector each broker runs on its
+/// *uplink* — the TBON edge to its current parent.
+///
+/// Once per `window` the world feeds each broker's detector the window's
+/// crossing counters for its uplink. The link is **hot** in a window when
+/// it carried at least `min_crossings` messages (enough to judge) and
+/// either the fraction of crossings whose queueing + serialization delay
+/// exceeded `hot_delay_us` was above `hot_fraction` (an order-statistic
+/// proxy: fraction > 0.05 ⇔ p95 > threshold) or the queue reached
+/// `hot_depth` entries. `trigger_windows` *consecutive* hot windows make
+/// the link **degraded** — the caller should route the subtree around it.
+/// After a congestion re-parent the detector sits out `cooldown_windows`
+/// windows, so one sustained event causes at most one re-parent per link
+/// and a flapping link cannot thrash the topology epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkHealthConfig {
+    /// Observation window length.
+    pub window: SimDuration,
+    /// Per-crossing queueing + serialization delay that counts as slow.
+    pub hot_delay_us: u64,
+    /// Fraction of slow crossings above which the window is hot.
+    pub hot_fraction: f64,
+    /// Queue occupancy that makes the window hot regardless of delay.
+    pub hot_depth: u32,
+    /// Minimum crossings per window before the link is judged at all.
+    pub min_crossings: u32,
+    /// Consecutive hot windows before the link is declared degraded.
+    pub trigger_windows: u32,
+    /// Windows to sit out after a congestion re-parent (hysteresis).
+    pub cooldown_windows: u32,
+}
+
+impl Default for LinkHealthConfig {
+    fn default() -> LinkHealthConfig {
+        LinkHealthConfig {
+            window: SimDuration::from_millis(500),
+            hot_delay_us: 200,
+            hot_fraction: 0.05,
+            hot_depth: 8,
+            min_crossings: 4,
+            trigger_windows: 3,
+            cooldown_windows: 6,
+        }
+    }
+}
+
+/// One window's verdict from [`LinkDetector::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkVerdict {
+    /// Too little traffic this window to judge the link.
+    Idle,
+    /// Carried traffic within thresholds.
+    Healthy,
+    /// Over threshold, but not yet for `trigger_windows` windows.
+    Hot,
+    /// Sustained congestion: the caller should route around this uplink.
+    Degraded,
+    /// Sitting out the post-re-parent hysteresis period.
+    Cooldown,
+}
+
+/// Per-broker uplink health state machine (see [`LinkHealthConfig`] for
+/// the windowing semantics). Pure state — the world owns the counters
+/// and the routing response.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkDetector {
+    consec_hot: u32,
+    cooldown: u32,
+    reparents: u64,
+}
+
+impl LinkDetector {
+    /// Fold one window's uplink counters into the state machine:
+    /// `crossings` messages crossed the link, `over` of them saw
+    /// queueing + serialization delay above `cfg.hot_delay_us`, and the
+    /// queue peaked at `max_depth`.
+    pub fn observe(
+        &mut self,
+        cfg: &LinkHealthConfig,
+        crossings: u32,
+        over: u32,
+        max_depth: u32,
+    ) -> LinkVerdict {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            self.consec_hot = 0;
+            return LinkVerdict::Cooldown;
+        }
+        if crossings < cfg.min_crossings {
+            self.consec_hot = 0;
+            return LinkVerdict::Idle;
+        }
+        let hot =
+            f64::from(over) > cfg.hot_fraction * f64::from(crossings) || max_depth >= cfg.hot_depth;
+        if !hot {
+            self.consec_hot = 0;
+            return LinkVerdict::Healthy;
+        }
+        self.consec_hot += 1;
+        if self.consec_hot >= cfg.trigger_windows {
+            LinkVerdict::Degraded
+        } else {
+            LinkVerdict::Hot
+        }
+    }
+
+    /// Record that the world re-parented this broker's subtree away from
+    /// the congested uplink: arms the cooldown and clears the hot streak.
+    pub fn note_reparent(&mut self, cfg: &LinkHealthConfig) {
+        self.reparents += 1;
+        self.cooldown = cfg.cooldown_windows;
+        self.consec_hot = 0;
+    }
+
+    /// Forget the hot streak without arming cooldown — the uplink changed
+    /// identity for an unrelated reason (death re-parent, rebalance), so
+    /// the streak's history no longer describes the new wire.
+    pub fn reset(&mut self) {
+        self.consec_hot = 0;
+    }
+
+    /// How many congestion re-parents this broker's subtree has taken.
+    pub fn reparents(&self) -> u64 {
+        self.reparents
+    }
+}
 
 /// One `flux-broker` process (one per node).
 pub struct Broker {
@@ -26,6 +155,8 @@ pub struct Broker {
     /// reloaded after recovery (which schedules its own timer) — fast
     /// fail/recover churn would otherwise stack timers.
     incarnation: u64,
+    /// Sustained-congestion detector for this broker's uplink.
+    pub uplink: LinkDetector,
 }
 
 impl Broker {
@@ -38,6 +169,7 @@ impl Broker {
             routes: HashMap::new(),
             up: true,
             incarnation: 0,
+            uplink: LinkDetector::default(),
         }
     }
 
@@ -68,6 +200,9 @@ impl Broker {
         if !self.up {
             self.up = true;
             self.incarnation += 1;
+            // A recovered node rejoins as a leaf under a (possibly) new
+            // parent — its old uplink streak describes a dead wire.
+            self.uplink.reset();
         }
     }
 
@@ -210,6 +345,57 @@ mod tests {
         b.set_down();
         b.set_up();
         assert_eq!(b.incarnation(), 2);
+    }
+
+    #[test]
+    fn detector_requires_sustained_heat() {
+        let cfg = LinkHealthConfig {
+            trigger_windows: 3,
+            ..LinkHealthConfig::default()
+        };
+        let mut d = LinkDetector::default();
+        // Fraction over threshold: 2/10 > 5% ⇒ hot.
+        assert_eq!(d.observe(&cfg, 10, 2, 0), LinkVerdict::Hot);
+        assert_eq!(d.observe(&cfg, 10, 2, 0), LinkVerdict::Hot);
+        assert_eq!(d.observe(&cfg, 10, 2, 0), LinkVerdict::Degraded);
+        // One healthy window resets the streak.
+        assert_eq!(d.observe(&cfg, 10, 0, 0), LinkVerdict::Healthy);
+        assert_eq!(d.observe(&cfg, 10, 2, 0), LinkVerdict::Hot);
+    }
+
+    #[test]
+    fn detector_judges_occupancy_and_ignores_idle_links() {
+        let cfg = LinkHealthConfig::default();
+        let mut d = LinkDetector::default();
+        // Depth alone is enough to be hot.
+        assert_eq!(d.observe(&cfg, 10, 0, cfg.hot_depth), LinkVerdict::Hot);
+        // Under min_crossings: no judgement, streak cleared.
+        assert_eq!(
+            d.observe(&cfg, cfg.min_crossings - 1, 1, cfg.hot_depth),
+            LinkVerdict::Idle
+        );
+        assert_eq!(d.observe(&cfg, 10, 0, cfg.hot_depth), LinkVerdict::Hot);
+    }
+
+    #[test]
+    fn detector_cooldown_blocks_immediate_retrigger() {
+        let cfg = LinkHealthConfig {
+            trigger_windows: 2,
+            cooldown_windows: 3,
+            ..LinkHealthConfig::default()
+        };
+        let mut d = LinkDetector::default();
+        assert_eq!(d.observe(&cfg, 10, 10, 0), LinkVerdict::Hot);
+        assert_eq!(d.observe(&cfg, 10, 10, 0), LinkVerdict::Degraded);
+        d.note_reparent(&cfg);
+        assert_eq!(d.reparents(), 1);
+        // Even fully saturated windows don't re-trigger during cooldown.
+        for _ in 0..3 {
+            assert_eq!(d.observe(&cfg, 10, 10, 0), LinkVerdict::Cooldown);
+        }
+        // After cooldown, the streak must be rebuilt from scratch.
+        assert_eq!(d.observe(&cfg, 10, 10, 0), LinkVerdict::Hot);
+        assert_eq!(d.observe(&cfg, 10, 10, 0), LinkVerdict::Degraded);
     }
 
     #[test]

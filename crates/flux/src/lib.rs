@@ -35,7 +35,7 @@ pub mod tbon;
 pub mod topic;
 pub mod world;
 
-pub use broker::Broker;
+pub use broker::{Broker, LinkDetector, LinkHealthConfig, LinkVerdict};
 pub use job::{Job, JobId, JobProgram, JobRegistry, JobSpec, JobState, StepCtx, StepOutcome};
 pub use message::{payload, unit_payload, Message, MsgKind, Payload};
 pub use module::{Module, ModuleCtx, SharedModule};
@@ -50,5 +50,6 @@ pub use subinstance::{InstancePowerPolicy, SubInstance};
 pub use tbon::{Rank, Tbon};
 pub use topic::Topic;
 pub use world::{
-    FaultPlan, FluxEngine, GilbertElliott, LinkProfile, RetryPolicy, RpcBuilder, TopicStats, World,
+    CongestionBurst, CongestionEvent, FaultPlan, FluxEngine, GilbertElliott, LinkProfile,
+    LinkStats, RetryPolicy, RpcBuilder, TopicStats, World,
 };

@@ -64,9 +64,23 @@ pub struct Message {
     pub payload: Payload,
     /// For responses: success or error string (Flux errnum analogue).
     pub error: Option<String>,
+    /// Wire size in bytes, charged against per-link bandwidth when the
+    /// message crosses the overlay. Payloads are typed values rather
+    /// than encoded frames, so this is declared, not measured; the
+    /// default models a small control message.
+    pub size_bytes: u32,
 }
 
 impl Message {
+    /// Default wire size for messages that don't declare one (a typical
+    /// encoded control/telemetry frame).
+    pub const DEFAULT_SIZE_BYTES: u32 = 1024;
+
+    /// Declare the message's wire size (builder-style).
+    pub fn with_size(mut self, size_bytes: u32) -> Message {
+        self.size_bytes = size_bytes;
+        self
+    }
     /// Build a request message.
     pub fn request(from: Rank, to: Rank, topic: impl Into<Topic>, p: Payload) -> Message {
         Message {
@@ -77,6 +91,7 @@ impl Message {
             matchtag: 0,
             payload: p,
             error: None,
+            size_bytes: Message::DEFAULT_SIZE_BYTES,
         }
     }
 
@@ -90,6 +105,7 @@ impl Message {
             matchtag: req.matchtag,
             payload: p,
             error: None,
+            size_bytes: Message::DEFAULT_SIZE_BYTES,
         }
     }
 
@@ -103,6 +119,7 @@ impl Message {
             matchtag: req.matchtag,
             payload: unit_payload(),
             error: Some(error.into()),
+            size_bytes: Message::DEFAULT_SIZE_BYTES,
         }
     }
 
@@ -119,6 +136,7 @@ impl Message {
             matchtag: req.matchtag,
             payload: unit_payload(),
             error: Some(format!("{} on {}", Message::TIMEOUT_ERROR, req.topic)),
+            size_bytes: Message::DEFAULT_SIZE_BYTES,
         }
     }
 
@@ -132,6 +150,7 @@ impl Message {
             matchtag: 0,
             payload: p,
             error: None,
+            size_bytes: Message::DEFAULT_SIZE_BYTES,
         }
     }
 
@@ -235,6 +254,19 @@ mod tests {
         let c = Message::timeout_response(&req);
         assert!(Rc::ptr_eq(&a.payload, &b.payload));
         assert!(Rc::ptr_eq(&b.payload, &c.payload));
+    }
+
+    #[test]
+    fn wire_size_defaults_and_overrides() {
+        let m = Message::request(Rank(0), Rank(1), "t", payload(()));
+        assert_eq!(m.size_bytes, Message::DEFAULT_SIZE_BYTES);
+        let big = Message::event(Rank(0), Rank(1), "t", payload(())).with_size(1 << 20);
+        assert_eq!(big.size_bytes, 1 << 20);
+        // Responses are control-sized unless the service says otherwise.
+        assert_eq!(
+            Message::respond_to(&big, payload(())).size_bytes,
+            Message::DEFAULT_SIZE_BYTES
+        );
     }
 
     #[test]

@@ -381,6 +381,33 @@ impl Tbon {
         self.invalidate();
     }
 
+    /// Move the whole subtree rooted at `child` under `new_parent`,
+    /// bumping the epoch — the routing response to a sustainedly
+    /// congested (but alive) uplink, structurally the same heal as a
+    /// death `detach`/`attach` except the subtree stays intact. Returns
+    /// `false` (and changes nothing) when the move is impossible or
+    /// pointless: `child` is the root or detached, `new_parent` is
+    /// detached, equal to `child` or the current parent, or lies inside
+    /// `child`'s own subtree (which would cut a cycle loose).
+    pub fn reattach(&mut self, child: Rank, new_parent: Rank) -> bool {
+        if child == self.root
+            || child == new_parent
+            || !self.attached[child.index()]
+            || !self.attached[new_parent.index()]
+            || self.parents[child.index()] == Some(new_parent)
+            || self.is_ancestor(child, new_parent)
+        {
+            return false;
+        }
+        let old = self.parents[child.index()].expect("attached non-root has a parent");
+        self.children[old.index()].retain(|&c| c != child);
+        self.parents[child.index()] = Some(new_parent);
+        self.children[new_parent.index()].push(child);
+        self.children[new_parent.index()].sort_unstable();
+        self.invalidate();
+        true
+    }
+
     /// Depth of the deepest attached rank (root = 0).
     pub fn max_depth(&self) -> u32 {
         self.attached_ranks()
@@ -512,6 +539,38 @@ mod tests {
         // and 6 share only the root.
         assert_eq!(t.hops(Rank(3), Rank(6)), 4);
         assert_eq!(t.hops(Rank(0), Rank(3)), 2);
+    }
+
+    #[test]
+    fn reattach_moves_the_subtree_and_bumps_the_epoch() {
+        let mut t = Tbon::binary(7);
+        let e0 = t.epoch();
+        // Move rank 1's whole subtree (3, 4) under rank 2.
+        assert!(t.reattach(Rank(1), Rank(2)));
+        assert_eq!(t.parent(Rank(1)), Some(Rank(2)));
+        assert_eq!(t.parent(Rank(3)), Some(Rank(1)), "subtree stays intact");
+        assert_eq!(t.children(Rank(2)), vec![Rank(1), Rank(5), Rank(6)]);
+        assert_eq!(t.children(Rank(0)), vec![Rank(2)]);
+        assert!(t.epoch() > e0);
+        // Routes reflect the new shape.
+        assert_eq!(t.hops(Rank(3), Rank(0)), 3);
+    }
+
+    #[test]
+    fn reattach_rejects_impossible_moves() {
+        let mut t = Tbon::binary(7);
+        let e0 = t.epoch();
+        assert!(!t.reattach(Rank(0), Rank(1)), "root cannot re-parent");
+        assert!(!t.reattach(Rank(1), Rank(1)), "self-parent");
+        assert!(!t.reattach(Rank(1), Rank(0)), "already the parent");
+        assert!(
+            !t.reattach(Rank(1), Rank(3)),
+            "cycle: 3 is inside 1's subtree"
+        );
+        t.detach(Rank(5));
+        assert!(!t.reattach(Rank(5), Rank(1)), "detached child");
+        assert!(!t.reattach(Rank(1), Rank(5)), "detached parent");
+        assert!(!t.reattach(Rank(1), Rank(0)) && t.epoch() > e0); // only detach bumped
     }
 
     #[test]

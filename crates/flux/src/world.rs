@@ -12,7 +12,7 @@
 //! is how `flux-power-monitor`'s overhead becomes measurable application
 //! slowdown (paper Fig. 3).
 
-use crate::broker::Broker;
+use crate::broker::{Broker, LinkHealthConfig, LinkVerdict};
 use crate::job::{JobId, JobProgram, JobRegistry, JobSpec, JobState, StepCtx, StepOutcome};
 use crate::message::{payload, Message, MsgKind, Payload};
 use crate::module::{ModuleCtx, SharedModule};
@@ -22,7 +22,7 @@ use crate::tbon::{Rank, Tbon};
 use crate::topic::Topic;
 use fluxpm_hw::{lassen, tioga, MachineKind, NodeHardware, NodeId, Watts};
 use fluxpm_sim::{Engine, EventId, SimDuration, SimTime, Trace, TraceLevel, Xoshiro256pp};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::ControlFlow;
 use std::rc::Rc;
 
@@ -178,6 +178,7 @@ impl<'w> RpcBuilder<'w> {
                     payload,
                     policy,
                     attempt: 1,
+                    prev_delay_us: 0,
                     callback: Box::new(callback),
                 },
             );
@@ -189,7 +190,7 @@ impl<'w> RpcBuilder<'w> {
     }
 }
 
-/// Loss/jitter shaping for one (undirected) TBON link.
+/// Loss/jitter/capacity shaping for one (undirected) TBON link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkProfile {
     /// Probability a message is lost crossing the link (ignored while a
@@ -202,6 +203,13 @@ pub struct LinkProfile {
     /// loss: once a link enters the bad state, consecutive messages are
     /// dropped together until it recovers.
     pub burst: Option<GilbertElliott>,
+    /// Link bandwidth in bytes/s, charged per [`Message::size_bytes`]
+    /// crossing (`None` = [`World::link_bandwidth_bps`]).
+    pub bandwidth_bps: Option<u64>,
+    /// Bounded-FIFO capacity: messages still serializing when the next
+    /// one arrives queue up to this depth, then tail-drop (`None` =
+    /// [`World::link_queue_capacity`]).
+    pub queue_capacity: Option<u32>,
 }
 
 impl LinkProfile {
@@ -211,6 +219,8 @@ impl LinkProfile {
             drop_prob,
             jitter_max_us: jitter_max.as_micros(),
             burst: None,
+            bandwidth_bps: None,
+            queue_capacity: None,
         }
     }
 
@@ -220,12 +230,26 @@ impl LinkProfile {
             drop_prob: 0.0,
             jitter_max_us: 0,
             burst: None,
+            bandwidth_bps: None,
+            queue_capacity: None,
         }
     }
 
     /// Govern this link with a [`GilbertElliott`] burst channel.
     pub fn with_burst(mut self, burst: GilbertElliott) -> LinkProfile {
         self.burst = Some(burst);
+        self
+    }
+
+    /// Override the link's bandwidth (bytes/s).
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> LinkProfile {
+        self.bandwidth_bps = Some(bytes_per_sec);
+        self
+    }
+
+    /// Override the link's bounded-FIFO capacity.
+    pub fn with_queue_capacity(mut self, capacity: u32) -> LinkProfile {
+        self.queue_capacity = Some(capacity);
         self
     }
 }
@@ -260,6 +284,44 @@ impl GilbertElliott {
     }
 }
 
+/// One seeded congestion window on a link: while the simulation clock is
+/// inside `[start_us, end_us)`, the link's effective bandwidth is scaled
+/// by `1 − severity` — the link turns *slow*, not lossy. Serialization
+/// stretches, the bounded FIFO fills, queueing delay rises, and only at
+/// full queue do messages tail-drop. An optional [`CongestionBurst`]
+/// makes the severity flap inside the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionEvent {
+    /// Window start (inclusive), in simulation microseconds.
+    pub start_us: u64,
+    /// Window end (exclusive), in simulation microseconds.
+    pub end_us: u64,
+    /// Fraction of the link's bandwidth taken away (clamped to
+    /// `[0, 0.999]` at crossing time so a link is never fully stalled).
+    pub severity: f64,
+    /// Optional two-state flapping model; when set, the per-state
+    /// severities replace the flat `severity` above.
+    pub burst: Option<CongestionBurst>,
+}
+
+/// Gilbert–Elliott-shaped bursty congestion: a two-state Markov chain
+/// (calm/congested) stepped once per message crossing while the owning
+/// [`CongestionEvent`]'s window is active, modulating *bandwidth* the way
+/// [`GilbertElliott`] modulates loss. State evolution draws from the
+/// fault-plan RNG, so only links that actually carry bursty congestion
+/// consume RNG — runs without congestion keep identical random streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionBurst {
+    /// Per-crossing probability of entering the congested state.
+    pub p_calm_to_congested: f64,
+    /// Per-crossing probability of returning to calm.
+    pub p_congested_to_calm: f64,
+    /// Bandwidth fraction taken away while calm (usually ~0).
+    pub calm_severity: f64,
+    /// Bandwidth fraction taken away while congested (e.g. 0.95).
+    pub congested_severity: f64,
+}
+
 /// Deterministic chaos injection over TBON links: per-hop message loss
 /// and latency jitter, drawn from a dedicated RNG stream derived from
 /// the world seed so runs replay byte-identically. One default
@@ -280,6 +342,11 @@ pub struct FaultPlan {
     /// created; only read per-link, never iterated, so the `HashMap`
     /// cannot perturb determinism.
     burst_bad: HashMap<(u32, u32), bool>,
+    /// Seeded congestion windows per link, in insertion order.
+    congestion: HashMap<(u32, u32), Vec<CongestionEvent>>,
+    /// Current [`CongestionBurst`] state per (link, event index)
+    /// (`true` = congested). Same determinism discipline as `burst_bad`.
+    burst_congested: HashMap<((u32, u32), u32), bool>,
     rng: Xoshiro256pp,
     dropped: u64,
 }
@@ -292,6 +359,8 @@ impl FaultPlan {
             default_link: LinkProfile::uniform(drop_prob, jitter_max),
             per_link: HashMap::new(),
             burst_bad: HashMap::new(),
+            congestion: HashMap::new(),
+            burst_congested: HashMap::new(),
             rng: Xoshiro256pp::seed_from_u64(0),
             dropped: 0,
         }
@@ -306,6 +375,50 @@ impl FaultPlan {
     /// Put every link (without a per-link override) on a burst channel.
     pub fn with_burst(mut self, burst: GilbertElliott) -> FaultPlan {
         self.default_link.burst = Some(burst);
+        self
+    }
+
+    /// Congest the `a`–`b` link for the given window: its effective
+    /// bandwidth is scaled by `1 − severity` while the window is active,
+    /// so traffic slows (and eventually tail-drops) instead of vanishing.
+    /// Windows may overlap — the worst active severity wins per crossing.
+    pub fn with_congestion(
+        mut self,
+        a: Rank,
+        b: Rank,
+        window: std::ops::Range<SimTime>,
+        severity: f64,
+    ) -> FaultPlan {
+        self.congestion
+            .entry(Self::link_key(a, b))
+            .or_default()
+            .push(CongestionEvent {
+                start_us: window.start.as_micros(),
+                end_us: window.end.as_micros(),
+                severity,
+                burst: None,
+            });
+        self
+    }
+
+    /// Congest the `a`–`b` link for the given window with a
+    /// [`CongestionBurst`] flapping channel instead of a flat severity.
+    pub fn with_bursty_congestion(
+        mut self,
+        a: Rank,
+        b: Rank,
+        window: std::ops::Range<SimTime>,
+        burst: CongestionBurst,
+    ) -> FaultPlan {
+        self.congestion
+            .entry(Self::link_key(a, b))
+            .or_default()
+            .push(CongestionEvent {
+                start_us: window.start.as_micros(),
+                end_us: window.end.as_micros(),
+                severity: burst.congested_severity,
+                burst: Some(burst),
+            });
         self
     }
 
@@ -326,11 +439,14 @@ impl FaultPlan {
         (a.0.min(b.0), a.0.max(b.0))
     }
 
-    /// One message crossing the `a`–`b` link: evolve the link's burst
-    /// state (if any), decide loss, and draw the jitter. Returns
-    /// `(lost, jitter_us)`. RNG consumption is strictly per-crossing in
-    /// route order, so same-seed runs replay byte-identically.
-    fn traverse(&mut self, a: Rank, b: Rank) -> (bool, u64) {
+    /// One message crossing the `a`–`b` link at simulation time
+    /// `now_us`: evolve the link's burst state (if any), decide loss,
+    /// draw the jitter, and sample the active congestion severity.
+    /// Returns `(lost, jitter_us, severity)`. RNG consumption is
+    /// strictly per-crossing in route order — and congestion windows
+    /// only consume RNG when they carry a [`CongestionBurst`] — so
+    /// same-seed runs replay byte-identically.
+    fn traverse(&mut self, a: Rank, b: Rank, now_us: u64) -> (bool, u64, f64) {
         let profile = self.link_profile(a, b);
         let drop_prob = match profile.burst {
             None => profile.drop_prob,
@@ -352,9 +468,46 @@ impl FaultPlan {
         };
         if self.rng.chance(drop_prob) {
             self.dropped += 1;
-            return (true, 0);
+            return (true, 0, 0.0);
         }
-        (false, self.rng.below(profile.jitter_max_us + 1))
+        let jitter = self.rng.below(profile.jitter_max_us + 1);
+        (false, jitter, self.congestion_severity(a, b, now_us))
+    }
+
+    /// The worst congestion severity active on the `a`–`b` link at
+    /// `now_us`, stepping any [`CongestionBurst`] channels whose window
+    /// is open. Links with no configured congestion return 0.0 without
+    /// touching the RNG.
+    fn congestion_severity(&mut self, a: Rank, b: Rank, now_us: u64) -> f64 {
+        let key = Self::link_key(a, b);
+        let n = self.congestion.get(&key).map_or(0, |v| v.len());
+        let mut severity = 0.0f64;
+        for i in 0..n {
+            let ev = self.congestion[&key][i];
+            if now_us < ev.start_us || now_us >= ev.end_us {
+                continue;
+            }
+            let sev = match ev.burst {
+                None => ev.severity,
+                Some(cb) => {
+                    let congested = self.burst_congested.entry((key, i as u32)).or_insert(false);
+                    if *congested {
+                        if self.rng.chance(cb.p_congested_to_calm) {
+                            *congested = false;
+                        }
+                    } else if self.rng.chance(cb.p_calm_to_congested) {
+                        *congested = true;
+                    }
+                    if *congested {
+                        cb.congested_severity
+                    } else {
+                        cb.calm_severity
+                    }
+                }
+            };
+            severity = severity.max(sev);
+        }
+        severity
     }
 }
 
@@ -366,12 +519,22 @@ struct RetryState {
     payload: Payload,
     policy: RetryPolicy,
     attempt: u32,
+    /// The previous attempt's backoff delay (0 before the first retry) —
+    /// the anchor for the decorrelated-jitter draw.
+    prev_delay_us: u64,
     callback: RpcCallback,
 }
 
 /// Issue attempt `st.attempt` of a retried RPC; on a timeout response
 /// with attempts left (and the requester still up), schedule the next
-/// attempt after exponential backoff, otherwise surface the response.
+/// attempt after a backoff with *decorrelated jitter*: the delay is
+/// drawn uniformly from `[base, min(cap, 3·prev)]`, where `base` is the
+/// policy's initial backoff and `cap` the pure-exponential final delay
+/// (`backoff · factor^(max_attempts−1)`). Synchronized requesters that
+/// all timed out against the same congested link thereby spread their
+/// re-sends instead of re-congesting it in lockstep. Draws come from the
+/// world's dedicated retry RNG stream, so same-seed runs replay
+/// byte-identically.
 fn retry_attempt(world: &mut World, eng: &mut FluxEngine, st: RetryState) {
     let RetryState {
         from,
@@ -380,6 +543,7 @@ fn retry_attempt(world: &mut World, eng: &mut FluxEngine, st: RetryState) {
         payload,
         policy,
         attempt,
+        prev_delay_us,
         callback,
     } = st;
     let topic_next = topic.clone();
@@ -404,7 +568,19 @@ fn retry_attempt(world: &mut World, eng: &mut FluxEngine, st: RetryState) {
                 .entry(topic_next.clone())
                 .or_default()
                 .retries += 1;
-            let delay = policy.backoff.mul(policy.backoff_factor.pow(attempt - 1));
+            let base = policy.backoff.as_micros().max(1);
+            let cap = base.saturating_mul(
+                policy
+                    .backoff_factor
+                    .max(1)
+                    .saturating_pow(policy.max_attempts.saturating_sub(1)),
+            );
+            let hi = prev_delay_us
+                .max(base)
+                .saturating_mul(3)
+                .clamp(base, cap.max(base));
+            let delay_us = world.retry_rng.range_inclusive(base, hi);
+            let delay = SimDuration::from_micros(delay_us);
             world.trace.emit(
                 eng.now(),
                 TraceLevel::Warn,
@@ -420,11 +596,72 @@ fn retry_attempt(world: &mut World, eng: &mut FluxEngine, st: RetryState) {
                 payload: payload_next,
                 policy,
                 attempt: attempt + 1,
+                prev_delay_us: delay_us,
                 callback,
             };
             eng.schedule_in(delay, move |world, eng| retry_attempt(world, eng, next));
         }),
     );
+}
+
+/// Default per-link bandwidth: 10 GB/s, a modern HPC management-network
+/// class link. At this rate a default-sized control message serializes
+/// in well under a microsecond, so the uncongested integer-microsecond
+/// delivery timing is identical to the pure `hop_latency` model.
+pub const DEFAULT_LINK_BANDWIDTH_BPS: u64 = 10_000_000_000;
+
+/// Default bounded-FIFO capacity per link: messages queued behind
+/// in-flight serialization beyond this depth are tail-dropped.
+pub const DEFAULT_LINK_QUEUE_CAPACITY: u32 = 64;
+
+/// EWMA smoothing factor for per-link delay/depth telemetry.
+const LINK_EWMA_ALPHA: f64 = 0.2;
+
+/// Per-uplink transmission state, keyed by the *child* rank of the tree
+/// edge it models. `parent` records which wire the state describes; when
+/// the child re-parents (death heal, rebalance, congestion re-route) the
+/// first crossing of the new edge sees the mismatch and resets — stale
+/// queue backlog never carries over to a different physical link.
+#[derive(Debug, Clone, Default)]
+struct LinkQueue {
+    /// The parent endpoint this state was accumulated against.
+    parent: Option<Rank>,
+    /// Departure times (µs) of messages still serializing or queued;
+    /// `front` leaves first, `back` is when the link next goes idle.
+    departures: VecDeque<u64>,
+    /// EWMA of per-crossing queueing + serialization delay (µs).
+    ewma_delay_us: f64,
+    /// EWMA of queue depth observed at arrival.
+    ewma_depth: f64,
+    /// Messages that crossed this link.
+    delivered: u64,
+    /// Messages tail-dropped by the full FIFO.
+    congestion_drops: u64,
+    /// Window counters for the degradation detector (reset every
+    /// monitor window): crossings, crossings over the hot-delay
+    /// threshold, and the deepest queue seen.
+    win_crossings: u32,
+    win_over: u32,
+    win_max_depth: u32,
+}
+
+/// One link's telemetry snapshot, from [`World::link_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkStats {
+    /// Child endpoint of the tree edge (the link's key).
+    pub child: u32,
+    /// Parent endpoint under the current topology.
+    pub parent: u32,
+    /// EWMA of per-crossing queueing + serialization delay (µs).
+    pub ewma_delay_us: f64,
+    /// EWMA of queue depth observed at arrival.
+    pub ewma_depth: f64,
+    /// Messages that crossed the link.
+    pub delivered: u64,
+    /// Messages tail-dropped by the full FIFO.
+    pub congestion_drops: u64,
+    /// Congestion-triggered re-parents this child's subtree has taken.
+    pub reparents: u64,
 }
 
 /// Topic published when a job is submitted (payload: [`JobId`]).
@@ -470,6 +707,25 @@ pub struct World {
     next_matchtag: u64,
     /// Chaos injection over TBON links, if enabled.
     faults: Option<FaultPlan>,
+    /// Per-uplink queue/telemetry state, indexed by the child rank of
+    /// each tree edge.
+    links: Vec<LinkQueue>,
+    /// Default link bandwidth (bytes/s) where no [`LinkProfile`]
+    /// overrides it.
+    pub link_bandwidth_bps: u64,
+    /// Default bounded-FIFO capacity where no [`LinkProfile`] overrides
+    /// it.
+    pub link_queue_capacity: u32,
+    /// Tuning shared by every broker's uplink degradation detector (and
+    /// the hot-delay threshold the per-crossing window counters use).
+    pub link_health: LinkHealthConfig,
+    /// Messages tail-dropped by full link queues.
+    congestion_drops: u64,
+    /// Congestion-triggered re-parents performed by the link monitor.
+    congestion_reparents: u64,
+    /// Dedicated RNG stream for retry-backoff jitter, derived from the
+    /// world seed — retries stay decorrelated *and* replayable.
+    retry_rng: Xoshiro256pp,
     /// Messages dropped (severed routes + injected loss).
     dropped_messages: u64,
     /// RPC deadlines that expired before a response arrived.
@@ -509,6 +765,7 @@ impl World {
         let brokers: Vec<Broker> = (0..nnodes)
             .map(|i| Broker::new(Rank(i), format!("{}{}", machine.name(), i)))
             .collect();
+        let retry_rng = rng.child(0x7E_781);
         World {
             tbon: Tbon::binary(nnodes),
             machine,
@@ -525,6 +782,13 @@ impl World {
             pending_rpcs: HashMap::new(),
             next_matchtag: 1,
             faults: None,
+            links: vec![LinkQueue::default(); nnodes as usize],
+            link_bandwidth_bps: DEFAULT_LINK_BANDWIDTH_BPS,
+            link_queue_capacity: DEFAULT_LINK_QUEUE_CAPACITY,
+            link_health: LinkHealthConfig::default(),
+            congestion_drops: 0,
+            congestion_reparents: 0,
+            retry_rng,
             dropped_messages: 0,
             rpc_timeouts: 0,
             rpc_retries: 0,
@@ -777,36 +1041,82 @@ impl World {
             );
             return;
         };
-        let hops = route.len() as u32 - 1;
-        let mut delay = SimDuration::from_micros(self.tbon.hop_latency.as_micros() * hops as u64);
-        let mut lost = false;
-        if let Some(fp) = &mut self.faults {
-            // Each hop loses the message or jitters it per its link's
-            // profile; self-sends (0 hops) cross no link and are
-            // unaffected.
+        // Store-and-forward over the route: at each hop the message
+        // pays queueing + serialization on the link (per its bandwidth
+        // and bounded FIFO, evaluated at the hop's *arrival* time) plus
+        // the fixed propagation latency and any injected jitter.
+        // Self-sends (0 hops) cross no link and are unaffected.
+        enum Died {
+            Fault,
+            Congestion(Rank, Rank),
+        }
+        let now_us = eng.now().as_micros();
+        let mut arrive_us = now_us;
+        let hop_latency_us = self.tbon.hop_latency.as_micros();
+        let mut died: Option<Died> = None;
+        if self.faults.is_none()
+            && (msg.size_bytes as u64).saturating_mul(1_000_000) < self.link_bandwidth_bps
+        {
+            // Ideal network (no fault plan installed) carrying a message
+            // whose serialization is below the µs clock at the default
+            // bandwidth: every `link_cross` would return 0 (no loss, no
+            // jitter, no severity, FIFO bypass), so skip the per-hop
+            // queue bookkeeping entirely. Plan-less worlds pay nothing
+            // for the congestion machinery — and report no per-link
+            // telemetry, since their links never do anything.
+            arrive_us += hop_latency_us * (route.len() as u64 - 1);
+        } else {
             for hop in route.windows(2) {
-                let (hop_lost, jitter_us) = fp.traverse(hop[0], hop[1]);
+                let (hop_lost, jitter_us, severity) = match &mut self.faults {
+                    Some(fp) => fp.traverse(hop[0], hop[1], arrive_us),
+                    None => (false, 0, 0.0),
+                };
                 if hop_lost {
-                    lost = true;
+                    died = Some(Died::Fault);
                     break;
                 }
-                delay = delay + SimDuration::from_micros(jitter_us);
+                match self.link_cross(hop[0], hop[1], arrive_us, msg.size_bytes, severity) {
+                    Some(link_us) => arrive_us += link_us + hop_latency_us + jitter_us,
+                    None => {
+                        died = Some(Died::Congestion(hop[0], hop[1]));
+                        break;
+                    }
+                }
             }
         }
-        if lost {
-            self.dropped_messages += 1;
-            self.note_drop(&msg.topic);
-            self.trace.emit(
-                eng.now(),
-                TraceLevel::Warn,
-                "fault",
-                format!(
-                    "lost {:?} {} -> {} topic {}",
-                    msg.kind, msg.from, msg.to, msg.topic
-                ),
-            );
-            return;
+        match died {
+            None => {}
+            Some(Died::Fault) => {
+                self.dropped_messages += 1;
+                self.note_drop(&msg.topic);
+                self.trace.emit(
+                    eng.now(),
+                    TraceLevel::Warn,
+                    "fault",
+                    format!(
+                        "lost {:?} {} -> {} topic {}",
+                        msg.kind, msg.from, msg.to, msg.topic
+                    ),
+                );
+                return;
+            }
+            Some(Died::Congestion(a, b)) => {
+                self.dropped_messages += 1;
+                self.congestion_drops += 1;
+                self.note_drop(&msg.topic);
+                self.trace.emit(
+                    eng.now(),
+                    TraceLevel::Warn,
+                    "link",
+                    format!(
+                        "congested: tail-drop {:?} {} -> {} topic {} at link {a}-{b}",
+                        msg.kind, msg.from, msg.to, msg.topic
+                    ),
+                );
+                return;
+            }
         }
+        let delay = SimDuration::from_micros(arrive_us - now_us);
         if self.trace.accepts(TraceLevel::Debug) {
             self.trace.emit(
                 eng.now(),
@@ -1013,6 +1323,217 @@ impl World {
     /// Record a drop against a topic's counters.
     fn note_drop(&mut self, topic: &Topic) {
         self.topic_stats.entry(topic.clone()).or_default().drops += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Link queueing + health
+    // ------------------------------------------------------------------
+
+    /// One message crossing the undirected `a`–`b` tree edge at
+    /// `arrive_us`: charge serialization against the link's (possibly
+    /// congestion-scaled) bandwidth, queue behind messages still
+    /// serializing, and tail-drop when the bounded FIFO is full.
+    /// Returns the queueing + serialization microseconds, or `None` on
+    /// tail-drop. All arithmetic is integer-µs, so delivery timing is
+    /// exactly replayable.
+    fn link_cross(
+        &mut self,
+        a: Rank,
+        b: Rank,
+        arrive_us: u64,
+        size_bytes: u32,
+        severity: f64,
+    ) -> Option<u64> {
+        // The edge is keyed by its child endpoint under the current tree.
+        let child = if self.tbon.parent(a) == Some(b) { a } else { b };
+        let parent = self.tbon.parent(child);
+        let (bw, cap) = match &self.faults {
+            Some(fp) => {
+                let p = fp.link_profile(a, b);
+                (
+                    p.bandwidth_bps.unwrap_or(self.link_bandwidth_bps),
+                    p.queue_capacity.unwrap_or(self.link_queue_capacity),
+                )
+            }
+            None => (self.link_bandwidth_bps, self.link_queue_capacity),
+        };
+        let hot_delay_us = self.link_health.hot_delay_us;
+        let lq = &mut self.links[child.index()];
+        if lq.parent != parent {
+            // The edge changed identity (re-parent, rebalance,
+            // recovery): stale backlog describes a wire that no longer
+            // exists.
+            *lq = LinkQueue {
+                parent,
+                ..LinkQueue::default()
+            };
+        }
+        while lq.departures.front().is_some_and(|&d| d <= arrive_us) {
+            lq.departures.pop_front();
+        }
+        let depth = lq.departures.len() as u32;
+        let eff_bw = ((bw as f64) * (1.0 - severity.clamp(0.0, 0.999))).max(1.0) as u64;
+        let ser_us = ((size_bytes as u128) * 1_000_000 / (eff_bw as u128)) as u64;
+        if ser_us == 0 {
+            // Serialization below the integer-µs clock resolution: the
+            // message never occupies the wire long enough to queue, so it
+            // bypasses the FIFO. Crossings are computed at send time, so
+            // per-hop jitter delivers them to this edge out of order — if
+            // zero-cost crossings occupied slots, that reordering would
+            // fabricate backlog on busy healthy links and trip the
+            // degradation detector with no congestion anywhere.
+            lq.delivered += 1;
+            lq.ewma_delay_us += LINK_EWMA_ALPHA * (0.0 - lq.ewma_delay_us);
+            lq.ewma_depth += LINK_EWMA_ALPHA * (f64::from(depth) - lq.ewma_depth);
+            lq.win_crossings = lq.win_crossings.saturating_add(1);
+            lq.win_max_depth = lq.win_max_depth.max(depth);
+            return Some(0);
+        }
+        if depth >= cap {
+            lq.congestion_drops += 1;
+            return None;
+        }
+        let start_us = lq.departures.back().copied().unwrap_or(0).max(arrive_us);
+        let link_us = (start_us - arrive_us) + ser_us;
+        lq.departures.push_back(start_us + ser_us);
+        lq.delivered += 1;
+        lq.ewma_delay_us += LINK_EWMA_ALPHA * (link_us as f64 - lq.ewma_delay_us);
+        lq.ewma_depth += LINK_EWMA_ALPHA * (f64::from(depth) - lq.ewma_depth);
+        lq.win_crossings = lq.win_crossings.saturating_add(1);
+        if link_us > hot_delay_us {
+            lq.win_over = lq.win_over.saturating_add(1);
+        }
+        lq.win_max_depth = lq.win_max_depth.max(depth + 1);
+        Some(link_us)
+    }
+
+    /// Messages tail-dropped by full link queues so far.
+    pub fn congestion_drop_count(&self) -> u64 {
+        self.congestion_drops
+    }
+
+    /// Congestion-triggered re-parents the link monitor has performed.
+    pub fn congestion_reparent_count(&self) -> u64 {
+        self.congestion_reparents
+    }
+
+    /// Per-link telemetry snapshot in child-rank order (deterministic).
+    /// Only links that have carried or dropped traffic appear; `parent`
+    /// reflects the edge the stats were accumulated against, which is
+    /// the current topology unless the child re-parented since its last
+    /// crossing.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        (0..self.size())
+            .filter_map(|r| {
+                let lq = &self.links[r as usize];
+                let parent = lq.parent?;
+                if lq.delivered == 0 && lq.congestion_drops == 0 {
+                    return None;
+                }
+                Some(LinkStats {
+                    child: r,
+                    parent: parent.0,
+                    ewma_delay_us: lq.ewma_delay_us,
+                    ewma_depth: lq.ewma_depth,
+                    delivered: lq.delivered,
+                    congestion_drops: lq.congestion_drops,
+                    reparents: self.brokers[r as usize].uplink.reparents(),
+                })
+            })
+            .collect()
+    }
+
+    /// Start the periodic uplink-health monitor: every `config.window`
+    /// each live broker's [`crate::LinkDetector`] folds in its uplink's
+    /// window counters, and a sustained-degraded verdict re-parents that
+    /// broker's subtree away from the congested link (grandparent first,
+    /// else the lowest-ranked live sibling) — the same epoch-bumping
+    /// heal as death, but the congested rank keeps its children. The
+    /// detector's cooldown provides the hysteresis: one sustained event
+    /// re-parents a link at most once. Stops when the world halts.
+    pub fn schedule_link_monitor(
+        &mut self,
+        eng: &mut FluxEngine,
+        config: LinkHealthConfig,
+    ) -> EventId {
+        self.link_health = config;
+        let window = config.window;
+        eng.schedule_every(eng.now() + window, window, move |world: &mut World, eng| {
+            if world.halted {
+                return ControlFlow::Break(());
+            }
+            world.link_monitor_tick(eng);
+            ControlFlow::Continue(())
+        })
+    }
+
+    /// One monitor window: harvest every link's window counters (always,
+    /// so stale windows never leak into later verdicts) and let each
+    /// live, attached, non-root broker judge its uplink.
+    fn link_monitor_tick(&mut self, eng: &mut FluxEngine) {
+        let cfg = self.link_health;
+        for r in 0..self.size() {
+            let rank = Rank(r);
+            let (crossings, over, max_depth, wire_parent) = {
+                let lq = &mut self.links[r as usize];
+                (
+                    std::mem::take(&mut lq.win_crossings),
+                    std::mem::take(&mut lq.win_over),
+                    std::mem::take(&mut lq.win_max_depth),
+                    lq.parent,
+                )
+            };
+            if wire_parent.is_none()
+                || wire_parent != self.tbon.parent(rank)
+                || !self.tbon.is_attached(rank)
+                || !self.brokers[r as usize].is_up()
+            {
+                continue;
+            }
+            let verdict = self.brokers[r as usize]
+                .uplink
+                .observe(&cfg, crossings, over, max_depth);
+            if verdict == LinkVerdict::Degraded {
+                self.route_around_congestion(eng, rank);
+            }
+        }
+    }
+
+    /// Re-parent `child`'s subtree away from its sustainedly congested
+    /// uplink. Grandparent preferred (one level past the hot link); a
+    /// live sibling otherwise; no-op when the topology offers no
+    /// alternative (the detector will simply keep reporting).
+    fn route_around_congestion(&mut self, eng: &mut FluxEngine, child: Rank) {
+        let cfg = self.link_health;
+        let Some(parent) = self.tbon.parent(child) else {
+            return;
+        };
+        let target = self
+            .tbon
+            .parent(parent)
+            .filter(|gp| self.brokers[gp.index()].is_up())
+            .or_else(|| {
+                self.tbon
+                    .children(parent)
+                    .into_iter()
+                    .find(|&s| s != child && self.brokers[s.index()].is_up())
+            });
+        let Some(new_parent) = target else {
+            return;
+        };
+        if self.tbon.reattach(child, new_parent) {
+            self.congestion_reparents += 1;
+            self.brokers[child.index()].uplink.note_reparent(&cfg);
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Warn,
+                "link",
+                format!(
+                    "congestion: re-parented {child} (subtree) from {parent} to {new_parent} (epoch {})",
+                    self.tbon.epoch()
+                ),
+            );
+        }
     }
 
     /// Whether a rank's broker is up.
@@ -2279,12 +2800,29 @@ mod failure_tests {
         eng.run(&mut w);
         let (timed_out, at) = got.borrow().unwrap();
         assert!(timed_out, "final attempt surfaced the timeout");
-        // Attempts at 0, 100 ms + 10 ms, and 210 ms + 20 ms; the last
-        // deadline expires at 330 ms.
-        assert_eq!(at, SimTime::from_millis(330));
+        // Three 100 ms deadlines plus two jittered backoffs. With a
+        // 10 ms base and factor-2 cap of 40 ms, the first backoff is
+        // uniform in [10, 30] ms and the second in [10, min(40, 3·d1)]
+        // ms, so completion lands in [320, 370] ms.
+        assert!(
+            at >= SimTime::from_millis(320) && at <= SimTime::from_millis(370),
+            "retry schedule out of the decorrelated-jitter envelope: {at:?}"
+        );
         assert_eq!(w.rpc_retry_count(), 2, "two re-sends");
         assert_eq!(w.rpc_timeout_count(), 3, "every attempt timed out");
         assert_eq!(w.pending_rpc_count(), 0);
+        // Same seed ⇒ byte-identical retry schedule on replay.
+        let (mut w2, mut eng2) = world(2);
+        w2.fail_node(&mut eng2, NodeId(1));
+        let got_b = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let got_b2 = std::rc::Rc::clone(&got_b);
+        w2.rpc(Rank(1), "slow.ping", payload(()))
+            .retry(policy)
+            .send(&mut eng2, move |_, eng, resp| {
+                *got_b2.borrow_mut() = Some((resp.is_timeout(), eng.now()));
+            });
+        eng2.run(&mut w2);
+        assert_eq!(got.borrow().unwrap(), got_b.borrow().unwrap());
     }
 
     #[test]
@@ -2750,7 +3288,7 @@ mod failure_tests {
             };
             plan.rng = Xoshiro256pp::seed_from_u64(seed);
             (0..4000)
-                .map(|_| plan.traverse(Rank(0), Rank(1)).0)
+                .map(|_| plan.traverse(Rank(0), Rank(1), 0).0)
                 .collect()
         };
         let longest = |drops: &[bool]| {
@@ -2782,6 +3320,145 @@ mod failure_tests {
         assert!(
             ge_run >= 6 && ge_run > uni_run,
             "burst runs ({ge_run}) must dwarf uniform runs ({uni_run})"
+        );
+    }
+
+    #[test]
+    fn congestion_slows_delivery_and_replays_byte_identically() {
+        let run = || {
+            let (mut w, mut eng) = world(2);
+            load_slow_echo(&mut w, &mut eng, Rank(1), SimDuration::ZERO);
+            // 1 KiB at 10 GB/s serializes sub-µs; at severity 0.999 the
+            // effective 10 MB/s link takes ~102 µs per crossing.
+            w.install_fault_plan(FaultPlan::uniform(0.0, SimDuration::ZERO).with_congestion(
+                Rank(0),
+                Rank(1),
+                SimTime::ZERO..SimTime::from_secs(10),
+                0.999,
+            ));
+            let got = std::rc::Rc::new(std::cell::RefCell::new(None));
+            let got2 = std::rc::Rc::clone(&got);
+            w.rpc(Rank(1), "slow.ping", payload(()))
+                .send(&mut eng, move |_, eng, resp| {
+                    *got2.borrow_mut() = Some((resp.is_ok(), eng.now()));
+                });
+            eng.run(&mut w);
+            let out = got.borrow().unwrap();
+            out
+        };
+        let (ok, at) = run();
+        assert!(ok, "congestion slows traffic, it does not lose it");
+        // Clean round trip is 2 × 20 µs; congested adds ~102 µs/crossing.
+        assert!(
+            at > SimTime::from_micros(200),
+            "congested link must be slow: {at:?}"
+        );
+        assert_eq!(run(), (ok, at), "same seed replays byte-identically");
+    }
+
+    #[test]
+    fn congested_queue_tail_drops_and_surfaces_in_link_stats() {
+        let (mut w, mut eng) = world(2);
+        w.install_fault_plan(
+            FaultPlan::uniform(0.0, SimDuration::ZERO)
+                .with_link(
+                    Rank(0),
+                    Rank(1),
+                    LinkProfile::lossless().with_queue_capacity(2),
+                )
+                .with_congestion(
+                    Rank(0),
+                    Rank(1),
+                    SimTime::ZERO..SimTime::from_secs(1),
+                    0.999,
+                ),
+        );
+        // A same-instant burst of 8: two fit the bounded FIFO, the rest
+        // tail-drop — slow-but-alive, not lossy, until the queue fills.
+        for _ in 0..8 {
+            let m = Message::event(Rank(0), Rank(1), "e.burst", payload(()));
+            w.send(&mut eng, m);
+        }
+        eng.run(&mut w);
+        assert_eq!(w.congestion_drop_count(), 6);
+        let stats = w.link_stats();
+        assert_eq!(stats.len(), 1);
+        let ls = stats[0];
+        assert_eq!((ls.child, ls.parent), (1, 0));
+        assert_eq!(ls.delivered, 2);
+        assert_eq!(ls.congestion_drops, 6);
+        assert!(ls.ewma_delay_us > 0.0, "queueing delay visible in EWMA");
+        assert_eq!(
+            w.dropped_message_count(),
+            6,
+            "congestion drops count as drops"
+        );
+        assert_eq!(w.fault_drops(), 0, "but not as fault-plan losses");
+    }
+
+    #[test]
+    fn link_monitor_reparents_sustained_congestion_exactly_once() {
+        let (mut w, mut eng) = world(7);
+        w.trace = fluxpm_sim::Trace::enabled(TraceLevel::Warn);
+        // Congest rank 3's uplink (the 1–3 edge) hard for 5 s.
+        w.install_fault_plan(FaultPlan::uniform(0.0, SimDuration::ZERO).with_congestion(
+            Rank(1),
+            Rank(3),
+            SimTime::ZERO..SimTime::from_secs(5),
+            0.999,
+        ));
+        let cfg = LinkHealthConfig {
+            window: SimDuration::from_millis(100),
+            hot_delay_us: 50,
+            min_crossings: 2,
+            trigger_windows: 3,
+            cooldown_windows: 5,
+            ..LinkHealthConfig::default()
+        };
+        w.schedule_link_monitor(&mut eng, cfg);
+        // Steady telemetry from rank 3 toward the root for 3 s.
+        eng.schedule_every(
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+            |w: &mut World, eng| {
+                if eng.now() >= SimTime::from_secs(3) {
+                    return ControlFlow::Break(());
+                }
+                let m = Message::event(Rank(3), Rank(0), "e.tick", payload(()));
+                w.send(eng, m);
+                ControlFlow::Continue(())
+            },
+        );
+        eng.schedule(SimTime::from_secs(4), |w: &mut World, _| w.halted = true);
+        eng.run(&mut w);
+        assert_eq!(
+            w.congestion_reparent_count(),
+            1,
+            "one sustained event, one re-parent — no epoch thrash"
+        );
+        assert_eq!(
+            w.tbon.parent(Rank(3)),
+            Some(Rank(0)),
+            "re-parented to the grandparent, past the hot link"
+        );
+        let reparent_lines = w
+            .trace
+            .for_subsystem("link")
+            .filter(|e| e.message.starts_with("congestion: re-parented rank3"))
+            .count();
+        assert_eq!(reparent_lines, 1);
+        // The re-routed uplink carries traffic and reports healthy stats.
+        let uplink = w
+            .link_stats()
+            .into_iter()
+            .find(|l| l.child == 3)
+            .expect("rank 3's uplink saw traffic");
+        assert_eq!(uplink.parent, 0, "stats follow the new wire");
+        assert_eq!(uplink.reparents, 1);
+        assert!(
+            uplink.ewma_delay_us < 50.0,
+            "recovered route is fast again: {}",
+            uplink.ewma_delay_us
         );
     }
 }

@@ -135,8 +135,7 @@ impl MonitorQuery {
         QueryHandle { slot }
     }
 
-    /// The single dispatch path every query (and every deprecated shim)
-    /// funnels through.
+    /// The single dispatch path every query funnels through.
     fn send_with(
         self,
         world: &mut World,
@@ -262,69 +261,6 @@ impl QueryHandle {
     pub fn deltas(&self) -> Option<Result<DeltaBatch, String>> {
         extract!(self.slot, "poll", MonitorReply::Deltas(b) => b)
     }
-}
-
-/// Request a job's telemetry from the root agent.
-///
-/// Returns a slot that yields the reply once available.
-#[deprecated(note = "use MonitorQuery::job_data(job).send(world, eng)")]
-pub fn fetch_job_data(
-    world: &mut World,
-    eng: &mut FluxEngine,
-    job: JobId,
-) -> Rc<RefCell<Option<Result<JobDataReply, String>>>> {
-    let slot: Rc<RefCell<Option<Result<JobDataReply, String>>>> = Rc::new(RefCell::new(None));
-    let out = Rc::clone(&slot);
-    MonitorQuery::job_data(job).send_with(world, eng, move |result| {
-        *out.borrow_mut() = Some(match result {
-            Ok(MonitorReply::JobData(r)) => Ok(r),
-            Ok(_) => Err("malformed job-data reply".to_string()),
-            Err(e) => Err(e),
-        });
-    });
-    slot
-}
-
-/// Request a job's summary statistics.
-///
-/// Returns a slot that yields the reply once available.
-#[deprecated(note = "use MonitorQuery::job_stats(job).send(world, eng)")]
-pub fn fetch_job_stats(
-    world: &mut World,
-    eng: &mut FluxEngine,
-    job: JobId,
-) -> Rc<RefCell<Option<Result<JobStatsReply, String>>>> {
-    let slot: Rc<RefCell<Option<Result<JobStatsReply, String>>>> = Rc::new(RefCell::new(None));
-    let out = Rc::clone(&slot);
-    MonitorQuery::job_stats(job).send_with(world, eng, move |result| {
-        *out.borrow_mut() = Some(match result {
-            Ok(MonitorReply::JobStats(r)) => Ok(r),
-            Ok(_) => Err("malformed job-stats reply".to_string()),
-            Err(e) => Err(e),
-        });
-    });
-    slot
-}
-
-/// Request a job's summary via the in-tree reduction.
-///
-/// Returns a slot that yields the reply once available.
-#[deprecated(note = "use MonitorQuery::job_stats_tree(job).send(world, eng)")]
-pub fn fetch_job_stats_tree(
-    world: &mut World,
-    eng: &mut FluxEngine,
-    job: JobId,
-) -> Rc<RefCell<Option<Result<SubtreeStats, String>>>> {
-    let slot: Rc<RefCell<Option<Result<SubtreeStats, String>>>> = Rc::new(RefCell::new(None));
-    let out = Rc::clone(&slot);
-    MonitorQuery::job_stats_tree(job).send_with(world, eng, move |result| {
-        *out.borrow_mut() = Some(match result {
-            Ok(MonitorReply::SubtreeStats(r)) => Ok(r),
-            Ok(_) => Err("malformed subtree-stats reply".to_string()),
-            Err(e) => Err(e),
-        });
-    });
-    slot
 }
 
 /// One CSV row of job telemetry: a single sample on a single node,
@@ -478,6 +414,71 @@ pub fn rpc_stats_to_csv(world: &World) -> String {
     csv
 }
 
+/// One row of the overlay's per-link health report (see
+/// [`link_stats_rows`]): the `child`–`parent` TBON edge's queueing
+/// telemetry under the bandwidth/bounded-FIFO link model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkRow {
+    /// Child endpoint of the tree edge (the link's key).
+    pub child: u32,
+    /// Parent endpoint under the current topology.
+    pub parent: u32,
+    /// EWMA of per-crossing queueing + serialization delay (µs).
+    pub ewma_delay_us: f64,
+    /// EWMA of queue depth observed at arrival.
+    pub ewma_depth: f64,
+    /// Messages that crossed the link.
+    pub delivered: u64,
+    /// Messages tail-dropped by the link's full FIFO.
+    pub congestion_drops: u64,
+    /// Congestion-triggered re-parents this child's subtree has taken.
+    pub reparents: u64,
+}
+
+/// The overlay's per-link queueing telemetry as typed rows, one per TBON
+/// edge that has carried or dropped traffic, in child-rank order (see
+/// [`fluxpm_flux::World::link_stats`]).
+pub fn link_stats_rows(world: &World) -> Vec<LinkRow> {
+    world
+        .link_stats()
+        .into_iter()
+        .map(|l| LinkRow {
+            child: l.child,
+            parent: l.parent,
+            ewma_delay_us: l.ewma_delay_us,
+            ewma_depth: l.ewma_depth,
+            delivered: l.delivered,
+            congestion_drops: l.congestion_drops,
+            reparents: l.reparents,
+        })
+        .collect()
+}
+
+/// Render the overlay's per-link queueing telemetry as CSV. A thin
+/// serializer over [`link_stats_rows`]. Operators read this next to the
+/// RPC health CSV: a topic timing out *and* its route's links showing
+/// rising EWMA delay or congestion drops is a degraded link, not a dead
+/// service.
+pub fn link_stats_to_csv(world: &World) -> String {
+    let mut csv = String::from(
+        "child,parent,ewma_delay_us,ewma_depth,delivered,congestion_drops,reparents\n",
+    );
+    for row in link_stats_rows(world) {
+        let _ = writeln!(
+            csv,
+            "{},{},{:.1},{:.2},{},{},{}",
+            row.child,
+            row.parent,
+            row.ewma_delay_us,
+            row.ewma_depth,
+            row.delivered,
+            row.congestion_drops,
+            row.reparents
+        );
+    }
+    csv
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,41 +573,6 @@ mod tests {
         assert!(rpc_stats_rows(&w).is_empty());
         let stats_csv = rpc_stats_to_csv(&w);
         assert_eq!(stats_csv, "topic,timeouts,retries,drops\n");
-    }
-
-    /// The deprecated shims still work and produce the same replies as
-    /// the builder they wrap.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_fetch_shims_still_answer() {
-        let mut w = World::new(MachineKind::Lassen, 4, 11);
-        w.autostop_after = Some(1);
-        let mut eng: FluxEngine = Engine::new();
-        w.install_executor(&mut eng);
-        crate::load(&mut w, &mut eng, MonitorConfig::default());
-        let id = w.submit(
-            &mut eng,
-            JobSpec::new("burn", 2),
-            Box::new(Burn {
-                secs: 20.0,
-                done: 0.0,
-            }),
-        );
-        eng.run(&mut w);
-
-        let mut eng2: FluxEngine = Engine::new();
-        let slot = fetch_job_data(&mut w, &mut eng2, id);
-        let handle = MonitorQuery::job_data(id).send(&mut w, &mut eng2);
-        eng2.run(&mut w);
-        let shim_reply = slot.borrow().clone().unwrap().unwrap();
-        let new_reply = handle.job_data().unwrap().unwrap();
-        assert_eq!(shim_reply, new_reply);
-
-        let mut eng3: FluxEngine = Engine::new();
-        let slot = fetch_job_stats(&mut w, &mut eng3, id);
-        eng3.run(&mut w);
-        let stats = slot.borrow().clone().unwrap().unwrap();
-        assert_eq!(stats.nodes.len(), 2);
     }
 
     /// Minimal RFC 4180 row parser for the assertions below: splits a
@@ -724,6 +690,53 @@ mod tests {
         assert_eq!(fields.len(), 4, "row stays 4 columns: {row}");
         assert_eq!(fields[0], hostile);
         assert!(row.split(',').count() > 4, "naive split would corrupt");
+    }
+
+    #[test]
+    fn link_stats_render_per_edge_rows_and_csv() {
+        use fluxpm_flux::{payload, FaultPlan, Rank};
+        use fluxpm_sim::{SimDuration, SimTime};
+        let mut w = World::new(MachineKind::Lassen, 2, 11);
+        w.install_fault_plan(FaultPlan::uniform(0.0, SimDuration::ZERO).with_congestion(
+            Rank(0),
+            Rank(1),
+            SimTime::ZERO..SimTime::from_secs(60),
+            0.999,
+        ));
+        let mut eng: FluxEngine = Engine::new();
+        for _ in 0..4 {
+            w.rpc(Rank(1), "ping", payload(()))
+                .send(&mut eng, |_, _, _| {});
+        }
+        eng.run(&mut w);
+
+        let rows = link_stats_rows(&w);
+        assert_eq!(rows.len(), 1, "one active edge: {rows:?}");
+        let row = &rows[0];
+        assert_eq!((row.child, row.parent), (1, 0));
+        assert!(row.delivered >= 4, "both directions counted: {row:?}");
+        assert!(row.ewma_delay_us > 0.0, "congestion visible: {row:?}");
+        assert_eq!(row.reparents, 0);
+
+        let csv = link_stats_to_csv(&w);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("child,parent,ewma_delay_us,ewma_depth,delivered,congestion_drops,reparents")
+        );
+        let body = lines.next().expect("one edge row");
+        let fields = parse_csv_row(body);
+        assert_eq!(fields.len(), 7, "{body}");
+        assert_eq!(fields[0], "1");
+        assert_eq!(fields[1], "0");
+
+        // A fresh world has no traffic and renders a header-only report.
+        let quiet = World::new(MachineKind::Lassen, 2, 11);
+        assert!(link_stats_rows(&quiet).is_empty());
+        assert_eq!(
+            link_stats_to_csv(&quiet),
+            "child,parent,ewma_delay_us,ewma_depth,delivered,congestion_drops,reparents\n"
+        );
     }
 
     #[test]

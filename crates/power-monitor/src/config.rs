@@ -25,6 +25,11 @@ pub struct MonitorConfig {
     /// [`crate::subscription`]). `None` (the default) disables pushes —
     /// the monitor stays pull-only and its message traffic is unchanged.
     pub push_interval: Option<SimDuration>,
+    /// When set, the root agent publishes every active overlay link's
+    /// queueing health ([`crate::subscription::LinkSample`]) into the
+    /// subscription hub on this cadence. `None` (the default) keeps the
+    /// push stream power-only, exactly as before link telemetry existed.
+    pub link_export_interval: Option<SimDuration>,
     /// Per-subscriber bounded delta-queue capacity; the oldest delta is
     /// shed when a slow consumer overflows it.
     pub subscriber_queue_capacity: usize,
@@ -41,6 +46,7 @@ impl Default for MonitorConfig {
             charge_overhead: true,
             rpc_deadline: SimDuration::from_secs(1),
             push_interval: None,
+            link_export_interval: None,
             subscriber_queue_capacity: 64,
             subscriber_evict_after_drops: 256,
         }
@@ -73,6 +79,13 @@ impl MonitorConfig {
     pub fn with_push_interval(mut self, interval: SimDuration) -> Self {
         assert!(!interval.is_zero());
         self.push_interval = Some(interval);
+        self
+    }
+
+    /// Enable periodic link-health publication into the hub.
+    pub fn with_link_export_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero());
+        self.link_export_interval = Some(interval);
         self
     }
 

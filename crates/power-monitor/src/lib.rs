@@ -29,11 +29,9 @@ pub mod root_agent;
 pub mod subscription;
 pub mod tree_reduce;
 
-#[allow(deprecated)]
-pub use client::{fetch_job_data, fetch_job_stats, fetch_job_stats_tree};
 pub use client::{
-    job_data_rows, job_data_to_csv, rpc_stats_rows, rpc_stats_to_csv, JobRow, MonitorQuery,
-    QueryHandle, QueryKind, TopicRow,
+    job_data_rows, job_data_to_csv, link_stats_rows, link_stats_to_csv, rpc_stats_rows,
+    rpc_stats_to_csv, JobRow, LinkRow, MonitorQuery, QueryHandle, QueryKind, TopicRow,
 };
 pub use config::MonitorConfig;
 pub use node_agent::NodeAgent;
@@ -44,8 +42,8 @@ pub use proto::{
 pub use ring::RingBuffer;
 pub use root_agent::RootAgent;
 pub use subscription::{
-    SubscriberId, SubscriberStats, SubscriptionConfig, SubscriptionFilter, TelemetryDelta,
-    TelemetryHub,
+    LinkSample, SubscriberId, SubscriberStats, SubscriptionConfig, SubscriptionFilter,
+    TelemetryDelta, TelemetryHub,
 };
 pub use tree_reduce::{SubtreeStats, SubtreeStatsRequest};
 
@@ -72,17 +70,21 @@ pub fn load(world: &mut World, eng: &mut FluxEngine, config: MonitorConfig) -> b
         ok &= world.load_module(eng, rank, agent);
     }
     let root = world.root();
-    let root_agent = std::rc::Rc::new(std::cell::RefCell::new(RootAgent::with_subscriptions(
-        config.rpc_deadline,
-        config.subscription_config(),
-    )));
+    let build_root_agent = |config: &MonitorConfig| {
+        let mut agent =
+            RootAgent::with_subscriptions(config.rpc_deadline, config.subscription_config());
+        if let Some(every) = config.link_export_interval {
+            agent = agent.with_link_export(every);
+        }
+        agent
+    };
+    let root_agent = std::rc::Rc::new(std::cell::RefCell::new(build_root_agent(&config)));
     ok &= world.load_module(eng, root, root_agent);
     {
         let config = config.clone();
         world.register_root_service_factory(move || {
-            let m: fluxpm_flux::SharedModule = std::rc::Rc::new(std::cell::RefCell::new(
-                RootAgent::with_subscriptions(config.rpc_deadline, config.subscription_config()),
-            ));
+            let m: fluxpm_flux::SharedModule =
+                std::rc::Rc::new(std::cell::RefCell::new(build_root_agent(&config)));
             m
         });
     }

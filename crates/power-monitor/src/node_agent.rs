@@ -13,7 +13,9 @@ use crate::proto::{
     MonitorReply, MonitorRequest, NodeDataReply, NodeDataRequest, NodeStats, PowerRecord,
 };
 use crate::ring::RingBuffer;
-use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind, Protocol, SharedModule, Topic};
+use fluxpm_flux::{
+    Message, Module, ModuleCtx, MsgKind, Protocol, RetryPolicy, SharedModule, Topic,
+};
 use fluxpm_hw::NodeId;
 use fluxpm_sim::TraceLevel;
 use std::cell::RefCell;
@@ -196,7 +198,9 @@ impl NodeAgent {
     /// Push the newest sample to the root agent (called from the push
     /// timer when [`MonitorConfig::push_interval`] is set). Fire and
     /// forget: a lost push is just a missing delta, and the next tick
-    /// carries a fresher sample anyway.
+    /// carries a fresher sample anyway — but the RPC still carries a
+    /// single-attempt deadline so a push or ack lost to a faulty or
+    /// congested link reaps its matchtag instead of leaking it.
     fn push_newest(&mut self, ctx: &mut ModuleCtx<'_>) {
         let Some(newest) = self.buffer.newest() else {
             return;
@@ -215,9 +219,15 @@ impl NodeAgent {
         let req = MonitorRequest::PushSample(push);
         let root = ctx.world.root();
         let from = ctx.rank;
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            deadline: self.config.rpc_deadline,
+            ..RetryPolicy::default()
+        };
         ctx.world
             .rpc(root, req.topic(), req.encode())
             .from(from)
+            .retry(policy)
             .send(ctx.eng, |_, _, _| {});
     }
 

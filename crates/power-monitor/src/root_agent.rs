@@ -24,7 +24,7 @@ use crate::proto::{
     SubscribeRequest, UnsubscribeRequest,
 };
 use crate::subscription::{
-    SubscriptionConfig, TelemetryHub, TOPIC_POLL, TOPIC_SAMPLE_PUSH, TOPIC_SUBSCRIBE,
+    LinkSample, SubscriptionConfig, TelemetryHub, TOPIC_POLL, TOPIC_SAMPLE_PUSH, TOPIC_SUBSCRIBE,
     TOPIC_UNSUBSCRIBE,
 };
 use fluxpm_flux::{
@@ -44,6 +44,9 @@ pub const ROOT_AGENT: &str = "power-monitor-root-agent";
 pub const TOPIC_GET_JOB_DATA: &str = "power-monitor.get-job-data";
 /// Topic the external client calls for summary statistics.
 pub const TOPIC_GET_JOB_STATS: &str = "power-monitor.get-job-stats";
+
+/// Module-timer tag for the periodic link-health export.
+const TIMER_LINK_EXPORT: u64 = 1;
 
 /// In-flight aggregation for one client request.
 struct Aggregation {
@@ -91,6 +94,13 @@ pub struct RootAgent {
     hub: TelemetryHub,
     /// Samples pushed up by node agents (diagnostics).
     pushes_received: u64,
+    /// When set, publish every active link's queueing health into the
+    /// hub on this cadence (see [`MonitorConfig::link_export_interval`]).
+    ///
+    /// [`MonitorConfig::link_export_interval`]: crate::MonitorConfig
+    link_export_every: Option<SimDuration>,
+    /// Link-health deltas published so far (diagnostics).
+    link_exports: u64,
 }
 
 impl Default for RootAgent {
@@ -113,7 +123,16 @@ impl RootAgent {
             inflight: Rc::new(RefCell::new(BTreeMap::new())),
             hub: TelemetryHub::new(subs),
             pushes_received: 0,
+            link_export_every: None,
+            link_exports: 0,
         }
+    }
+
+    /// Enable periodic link-health export into the hub on this cadence.
+    pub fn with_link_export(mut self, every: SimDuration) -> RootAgent {
+        assert!(!every.is_zero());
+        self.link_export_every = Some(every);
+        self
     }
 
     /// Create as a shared module handle.
@@ -139,6 +158,29 @@ impl RootAgent {
     /// Samples pushed up by node agents so far.
     pub fn pushes_received(&self) -> u64 {
         self.pushes_received
+    }
+
+    /// Link-health deltas published into the hub so far.
+    pub fn link_exports(&self) -> u64 {
+        self.link_exports
+    }
+
+    /// Arm the periodic link-export timer on the hosting rank. Called
+    /// from both [`Module::load`] and [`Module::on_migrate`]: a module
+    /// timer is pinned to its broker incarnation, so the export must be
+    /// re-armed wherever the root service lands.
+    fn arm_link_export(&self, ctx: &mut ModuleCtx<'_>) {
+        if let Some(every) = self.link_export_every {
+            let start = ctx.eng.now() + every;
+            ctx.world.schedule_module_timer(
+                ctx.eng,
+                ctx.rank,
+                ROOT_AGENT,
+                start,
+                every,
+                TIMER_LINK_EXPORT,
+            );
+        }
     }
 
     /// The retry schedule used for node-agent fan-outs.
@@ -433,7 +475,33 @@ impl Module for RootAgent {
         ]
     }
 
-    fn load(&mut self, _ctx: &mut ModuleCtx<'_>) {}
+    fn load(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.arm_link_export(ctx);
+    }
+
+    fn timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
+        if tag != TIMER_LINK_EXPORT {
+            return;
+        }
+        // Snapshot the overlay's per-link queueing telemetry into the
+        // hub: one delta per active edge, keyed by the child endpoint.
+        let now_us = ctx.eng.now().as_micros();
+        for l in ctx.world.link_stats() {
+            self.hub.publish_link(
+                l.child,
+                now_us,
+                LinkSample {
+                    parent: l.parent,
+                    ewma_delay_us: l.ewma_delay_us,
+                    ewma_depth: l.ewma_depth,
+                    delivered: l.delivered,
+                    congestion_drops: l.congestion_drops,
+                    reparents: l.reparents,
+                },
+            );
+            self.link_exports += 1;
+        }
+    }
 
     fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
         if msg.kind != MsgKind::Request {
@@ -485,6 +553,9 @@ impl Module for RootAgent {
             msg.to = ctx.rank;
             self.handle(ctx, &msg);
         }
+        // The old root's link-export timer died with its broker
+        // incarnation; re-arm it here.
+        self.arm_link_export(ctx);
     }
 
     /// The replayable state: the in-flight client aggregations. `served`

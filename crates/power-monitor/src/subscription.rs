@@ -93,19 +93,44 @@ impl SubscriptionFilter {
 }
 
 /// One state update fanned out to subscribers: the latest power sample
-/// of one node, with job attribution resolved at the root.
+/// of one node, with job attribution resolved at the root — or, when
+/// [`link`](TelemetryDelta::link) is set, the latest queueing health of
+/// the overlay link whose child endpoint is `node`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TelemetryDelta {
     /// Hub-global publication sequence number.
     pub seq: u64,
-    /// Originating rank.
+    /// Originating rank (the child endpoint for a link delta).
     pub node: u32,
     /// Sample timestamp, microseconds.
     pub timestamp_us: u64,
-    /// Node power estimate, watts.
+    /// Node power estimate, watts (`0.0` for a link delta).
     pub node_w: f64,
-    /// The job running on the node at publish time, if any.
+    /// The job running on the node at publish time, if any. Always
+    /// `None` for a link delta, so job-filtered subscribers never see
+    /// network telemetry they did not ask for.
     pub job: Option<JobId>,
+    /// Set when this delta carries link health instead of node power.
+    pub link: Option<LinkSample>,
+}
+
+/// Per-link queueing telemetry carried by a link [`TelemetryDelta`]:
+/// one TBON edge's health under the bandwidth/bounded-FIFO link model,
+/// keyed by the child endpoint (the delta's `node`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSample {
+    /// Parent endpoint of the edge under the current topology.
+    pub parent: u32,
+    /// EWMA of per-crossing queueing + serialization delay (µs).
+    pub ewma_delay_us: f64,
+    /// EWMA of queue depth observed at arrival.
+    pub ewma_depth: f64,
+    /// Messages the link has delivered.
+    pub delivered: u64,
+    /// Messages tail-dropped by the link's bounded FIFO.
+    pub congestion_drops: u64,
+    /// Congestion-triggered re-parents this child's subtree has taken.
+    pub reparents: u64,
 }
 
 /// Hub tuning: every subscriber is bounded by these.
@@ -133,8 +158,11 @@ struct Subscriber {
     filter: SubscriptionFilter,
     queue: VecDeque<Rc<TelemetryDelta>>,
     /// Last delivered timestamp per node (cadence floor); allocated only
-    /// when the filter has one.
+    /// when the filter has one. Link deltas have their own budget so a
+    /// link report never starves the same rank's power stream.
     last_us: HashMap<u32, u64>,
+    /// Cadence floor for link deltas, per child rank.
+    last_link_us: HashMap<u32, u64>,
     /// Deltas shed because the queue was full.
     dropped: u64,
     /// Deltas handed out via poll.
@@ -160,6 +188,9 @@ pub struct TelemetryHub {
     /// Latest delta per node — the snapshot a (re-)subscriber resumes
     /// from.
     latest: BTreeMap<u32, Rc<TelemetryDelta>>,
+    /// Latest link delta per child rank, kept apart from `latest` so a
+    /// link report never clobbers the same rank's power snapshot.
+    latest_links: BTreeMap<u32, Rc<TelemetryDelta>>,
     next_seq: u64,
     published: u64,
     fanned_out: u64,
@@ -174,6 +205,7 @@ impl TelemetryHub {
             subs: BTreeMap::new(),
             next_id: 1,
             latest: BTreeMap::new(),
+            latest_links: BTreeMap::new(),
             next_seq: 0,
             published: 0,
             fanned_out: 0,
@@ -192,10 +224,11 @@ impl TelemetryHub {
             filter,
             queue: VecDeque::new(),
             last_us: HashMap::new(),
+            last_link_us: HashMap::new(),
             dropped: 0,
             delivered: 0,
         };
-        for delta in self.latest.values() {
+        for delta in self.latest.values().chain(self.latest_links.values()) {
             if sub.filter.matches(delta) {
                 Self::enqueue(&self.config, &mut sub, delta);
             }
@@ -226,26 +259,58 @@ impl TelemetryHub {
             timestamp_us,
             node_w,
             job,
+            link: None,
         });
         self.next_seq += 1;
         self.published += 1;
         self.latest.insert(node, Rc::clone(&delta));
+        self.dispatch(&delta)
+    }
+
+    /// Publish one link-health report for the TBON edge whose child
+    /// endpoint is `child`. Same fan-out and eviction semantics as
+    /// [`publish`](TelemetryHub::publish); the delta carries
+    /// `job = None`, so job-filtered subscribers never receive it, and
+    /// its snapshot lives apart from the power snapshots so either kind
+    /// of (re-)seed survives the other.
+    pub fn publish_link(&mut self, child: u32, timestamp_us: u64, sample: LinkSample) -> usize {
+        let delta = Rc::new(TelemetryDelta {
+            seq: self.next_seq,
+            node: child,
+            timestamp_us,
+            node_w: 0.0,
+            job: None,
+            link: Some(sample),
+        });
+        self.next_seq += 1;
+        self.published += 1;
+        self.latest_links.insert(child, Rc::clone(&delta));
+        self.dispatch(&delta)
+    }
+
+    /// Fan one freshly published delta out to every matching subscriber,
+    /// applying the per-kind cadence floor and the eviction threshold.
+    fn dispatch(&mut self, delta: &Rc<TelemetryDelta>) -> usize {
         let mut fanout = 0usize;
         let mut evict: Vec<SubscriberId> = Vec::new();
         for (&id, sub) in self.subs.iter_mut() {
-            if !sub.filter.matches(&delta) {
+            if !sub.filter.matches(delta) {
                 continue;
             }
             if sub.filter.min_interval_us > 0 {
-                let last = sub.last_us.get(&node).copied();
-                if let Some(last) = last {
-                    if timestamp_us < last.saturating_add(sub.filter.min_interval_us) {
+                let budget = if delta.link.is_some() {
+                    &mut sub.last_link_us
+                } else {
+                    &mut sub.last_us
+                };
+                if let Some(last) = budget.get(&delta.node).copied() {
+                    if delta.timestamp_us < last.saturating_add(sub.filter.min_interval_us) {
                         continue;
                     }
                 }
-                sub.last_us.insert(node, timestamp_us);
+                budget.insert(delta.node, delta.timestamp_us);
             }
-            Self::enqueue(&self.config, sub, &delta);
+            Self::enqueue(&self.config, sub, delta);
             fanout += 1;
             if sub.dropped > self.config.evict_after_drops {
                 evict.push(id);
@@ -311,6 +376,11 @@ impl TelemetryHub {
     /// The latest known sample for a node, if any.
     pub fn latest(&self, node: u32) -> Option<&Rc<TelemetryDelta>> {
         self.latest.get(&node)
+    }
+
+    /// The latest link-health delta for the edge under `child`, if any.
+    pub fn latest_link(&self, child: u32) -> Option<&Rc<TelemetryDelta>> {
+        self.latest_links.get(&child)
     }
 }
 
@@ -423,6 +493,70 @@ mod tests {
         assert_eq!(rest.len(), 3);
         assert_eq!(h.stats(s).unwrap().delivered, 5);
         assert_eq!(h.fanned_out(), 5);
+    }
+
+    fn link(parent: u32, delay: f64) -> LinkSample {
+        LinkSample {
+            parent,
+            ewma_delay_us: delay,
+            ewma_depth: 0.5,
+            delivered: 10,
+            congestion_drops: 2,
+            reparents: 0,
+        }
+    }
+
+    #[test]
+    fn link_deltas_fan_out_but_skip_job_filtered_subscribers() {
+        let mut h = TelemetryHub::default();
+        let all = h.subscribe(SubscriptionFilter::all());
+        let job1 = h.subscribe(SubscriptionFilter::all().with_job(JobId(1)));
+        let node2 = h.subscribe(SubscriptionFilter::all().with_nodes(vec![2]));
+
+        // A job-scoped dashboard asked for job power, not network
+        // internals — only the unfiltered and node-scoped consumers see
+        // link health.
+        assert_eq!(h.publish_link(2, 1_000, link(0, 140.0)), 2);
+        let (d, _) = h.poll(all, usize::MAX).unwrap();
+        assert_eq!(d[0].link.unwrap().parent, 0);
+        assert_eq!((d[0].node, d[0].job), (2, None));
+        assert_eq!(h.poll(job1, usize::MAX).unwrap().0.len(), 0);
+        assert_eq!(h.poll(node2, usize::MAX).unwrap().0.len(), 1);
+    }
+
+    #[test]
+    fn link_snapshot_lives_apart_from_power_snapshot() {
+        let mut h = TelemetryHub::default();
+        h.publish(1, 1_000, 950.0, Some(JobId(7)));
+        h.publish_link(1, 2_000, link(0, 80.0));
+
+        // Rank 1 now has both a power and a link snapshot; neither
+        // clobbered the other.
+        assert_eq!(h.latest(1).unwrap().node_w, 950.0);
+        assert_eq!(h.latest_link(1).unwrap().link.unwrap().parent, 0);
+
+        // A fresh subscriber is seeded with both kinds.
+        let s = h.subscribe(SubscriptionFilter::all());
+        let (d, _) = h.poll(s, usize::MAX).unwrap();
+        let kinds: Vec<bool> = d.iter().map(|x| x.link.is_some()).collect();
+        assert_eq!(kinds, vec![false, true]);
+    }
+
+    #[test]
+    fn cadence_floor_budgets_power_and_link_streams_separately() {
+        let mut h = TelemetryHub::default();
+        let slow = h.subscribe(SubscriptionFilter::all().with_min_interval_us(10_000));
+        // Interleaved power and link reports for the same rank within
+        // one cadence window: one of each is delivered, because a link
+        // report must not consume the power stream's budget.
+        h.publish(3, 0, 1.0, None);
+        h.publish_link(3, 1_000, link(0, 5.0));
+        h.publish(3, 2_000, 1.0, None);
+        h.publish_link(3, 3_000, link(0, 5.0));
+        let (d, _) = h.poll(slow, usize::MAX).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d[0].link.is_none());
+        assert!(d[1].link.is_some());
     }
 
     #[test]

@@ -427,6 +427,28 @@ fn storm_128_ranks_converges_and_replays() {
     assert_eq!(first, storm(&cfg), "same-seed 128-rank storms must agree");
 }
 
+/// Network-realism acceptance: the 128-rank storm with congestion
+/// layered on — per-link bandwidth squeezes (one sustained, one
+/// Gilbert–Elliott-style flapping window riding the death ticks, one
+/// mid-tree), 1 s push telemetry feeding every interior link, and the
+/// link monitor routing subtrees around sustained congestion. The
+/// harness itself asserts the acceptance invariants (the mid-congestion
+/// reduction completes, exactly one re-parent for the sustained
+/// pre-storm event, per-link re-parents bounded against epoch thrash);
+/// this test pins the replay-equality and re-route guarantees at scale.
+#[test]
+fn congestion_storm_128_ranks_converges_and_replays() {
+    use fluxpm::experiments::chaos::{storm, StormConfig};
+    let cfg = StormConfig::congested(128, 7);
+    let first = storm(&cfg);
+    assert!(first.invariant_checks >= 90);
+    assert!(
+        first.congestion_reparents >= 1,
+        "congestion avoidance engaged: {first:?}"
+    );
+    assert_eq!(first, storm(&cfg), "same-seed congestion storms must agree");
+}
+
 /// Long-horizon soak: ten minutes of simulated churn at 128 ranks.
 /// Too slow for the CI fast matrix — run explicitly with
 /// `cargo test -- --ignored` (nightly soak lane).

@@ -262,6 +262,140 @@ fn slow_subscriber_is_evicted_and_can_resubscribe() {
     );
 }
 
+/// Link-health telemetry rides the same push path as power: with
+/// `link_export_interval` set, the root agent publishes every active
+/// TBON edge's queueing state into the hub. Under a congested link the
+/// exported EWMA delay is visibly nonzero, a consumer too slow to keep
+/// up with the combined power+link stream is still evicted (the hub's
+/// bounded-memory contract is load-independent), and a re-subscriber is
+/// seeded from *both* snapshots — latest power per node and latest
+/// health per link.
+#[test]
+fn congested_link_health_reaches_subscribers_and_sheds_slow_consumers() {
+    use fluxpm::flux::{FaultPlan, Rank};
+
+    let (mut w, mut eng) = pushing_world(
+        MonitorConfig::default()
+            .with_push_interval(SimDuration::from_secs(2))
+            .with_link_export_interval(SimDuration::from_secs(2))
+            .with_subscriber_queue_capacity(8)
+            .with_subscriber_evict_after_drops(8),
+    );
+    // Rank 1's uplink is severely congested for the whole run: slow but
+    // alive, so pushes still land and the EWMA delay shows the queueing.
+    w.install_fault_plan(FaultPlan::uniform(0.0, SimDuration::ZERO).with_congestion(
+        Rank(0),
+        Rank(1),
+        SimTime::ZERO..SimTime::from_secs(60),
+        0.999,
+    ));
+
+    // A subscriber registered at t=1 and never polled: by t=20 the
+    // combined power+link stream has shed far past the threshold.
+    let lazy_id: Slot<SubscriberId> = slot();
+    {
+        let id = Rc::clone(&lazy_id);
+        eng.schedule(SimTime::from_secs(1), move |w: &mut World, eng| {
+            let q = MonitorQuery::subscribe(SubscriptionFilter::all()).send(w, eng);
+            let id = Rc::clone(&id);
+            eng.schedule(SimTime::from_secs(2), move |_w: &mut World, _| {
+                *id.borrow_mut() = Some(q.subscription().unwrap().unwrap());
+            });
+        });
+    }
+
+    let evicted_poll: Slot<Result<DeltaBatch, String>> = slot();
+    {
+        let (id, out) = (Rc::clone(&lazy_id), Rc::clone(&evicted_poll));
+        eng.schedule(SimTime::from_secs(20), move |w: &mut World, eng| {
+            let sub = id.borrow().expect("id resolved");
+            let q = MonitorQuery::poll(sub, 16).send(w, eng);
+            let out = Rc::clone(&out);
+            eng.schedule(
+                SimTime::from_micros(20_500_000),
+                move |_w: &mut World, _| {
+                    *out.borrow_mut() = q.deltas();
+                },
+            );
+        });
+    }
+
+    // A fresh subscriber at t=21 re-seeds from both snapshot kinds
+    // before any new publish round lands.
+    let reseed_poll: Slot<DeltaBatch> = slot();
+    {
+        let out = Rc::clone(&reseed_poll);
+        eng.schedule(
+            SimTime::from_micros(21_100_000),
+            move |w: &mut World, eng| {
+                let q = MonitorQuery::subscribe(SubscriptionFilter::all()).send(w, eng);
+                let out = Rc::clone(&out);
+                eng.schedule(
+                    SimTime::from_micros(21_400_000),
+                    move |w: &mut World, eng| {
+                        let sub = q.subscription().unwrap().unwrap();
+                        let q = MonitorQuery::poll(sub, 64).send(w, eng);
+                        let out = Rc::clone(&out);
+                        eng.schedule(
+                            SimTime::from_micros(21_800_000),
+                            move |_w: &mut World, _| {
+                                *out.borrow_mut() =
+                                    Some(q.deltas().expect("poll answered").expect("poll ok"));
+                            },
+                        );
+                    },
+                );
+            },
+        );
+    }
+
+    eng.run_until(&mut w, SimTime::from_secs(25));
+
+    let err = evicted_poll
+        .borrow()
+        .clone()
+        .expect("evicted poll resolved")
+        .expect_err("slow consumer of the combined stream is evicted");
+    assert!(err.contains("unknown subscriber"), "got: {err}");
+
+    let batch = reseed_poll.borrow().clone().expect("re-seed resolved");
+    let power: Vec<u32> = batch
+        .deltas
+        .iter()
+        .filter(|d| d.link.is_none())
+        .map(|d| d.node)
+        .collect();
+    let links: Vec<(u32, u32)> = batch
+        .deltas
+        .iter()
+        .filter_map(|d| d.link.as_ref().map(|l| (d.node, l.parent)))
+        .collect();
+    assert_eq!(power.len(), 4, "one power snapshot per node: {power:?}");
+    assert_eq!(
+        links,
+        vec![(1, 0), (2, 0), (3, 1)],
+        "one health snapshot per active edge"
+    );
+    let congested = batch
+        .deltas
+        .iter()
+        .find_map(|d| (d.node == 1).then_some(d.link.as_ref()).flatten())
+        .expect("link 1-0 exported");
+    assert!(
+        congested.ewma_delay_us > 10.0,
+        "severity 0.999 must show up in the EWMA: {congested:?}"
+    );
+    assert!(congested.delivered > 0, "slow but alive, not lossy");
+    assert!(
+        batch
+            .deltas
+            .iter()
+            .filter(|d| d.link.is_some())
+            .all(|d| d.job.is_none()),
+        "link deltas carry no job attribution"
+    );
+}
+
 /// Cadence floor: a `min_interval_us` filter thins per-node updates to
 /// the requested rate while a firehose subscriber sees everything.
 #[test]
