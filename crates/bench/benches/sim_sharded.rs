@@ -7,6 +7,10 @@
 //! * `sim_sharded/fleet_10k` — a 10k-rank fleet soak (fanout-16 TBON,
 //!   light ticks) at 8 shards: the coordination-bound end of the
 //!   spectrum.
+//! * `sim_world_sharded/storm_64` — the *full-fidelity* sharded world
+//!   (real monitor + manager stack, replicated control plane,
+//!   deterministic congestion) at shards 1/2/4. The merged canonical
+//!   record stream is identical at every point.
 //!
 //! The committed `BENCH_sim.json` scaling curve is produced by the
 //! `bench_sim` binary; this target is what CI's bench smoke job runs in
@@ -14,6 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fluxpm_bench::workload::{shard_fleet_config, shard_scaling_config};
+use fluxpm_experiments::full_shard::{full_shard_run, FullShardConfig};
 use fluxpm_experiments::sharded::sharded_storm;
 use std::hint::black_box;
 
@@ -37,5 +42,24 @@ fn bench_fleet(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_storm_scaling, bench_fleet);
+fn bench_world_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_world_sharded");
+    g.sample_size(10);
+    for &shards in &[1usize, 2, 4] {
+        let cfg = FullShardConfig::congested(64, shards, 42);
+        g.bench_with_input(
+            BenchmarkId::new("storm_64", format!("{shards}shards")),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(full_shard_run(cfg))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_storm_scaling,
+    bench_fleet,
+    bench_world_scaling
+);
 criterion_main!(benches);

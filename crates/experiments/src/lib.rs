@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 pub mod chaos;
 pub mod experiments;
+pub mod full_shard;
 pub mod report;
 pub mod scenario;
 pub mod sharded;

@@ -34,6 +34,7 @@ pub mod subinstance;
 pub mod tbon;
 pub mod topic;
 pub mod world;
+pub mod world_shard;
 
 pub use broker::{Broker, LinkDetector, LinkHealthConfig, LinkVerdict};
 pub use job::{Job, JobId, JobProgram, JobRegistry, JobSpec, JobState, StepCtx, StepOutcome};
@@ -52,4 +53,7 @@ pub use topic::Topic;
 pub use world::{
     CongestionBurst, CongestionEvent, FaultPlan, FluxEngine, GilbertElliott, LinkProfile,
     LinkStats, RetryPolicy, RpcBuilder, TopicStats, World,
+};
+pub use world_shard::{
+    delivery_key, run_world_sharded, WireEnvelope, WorldRunStats, WorldShard, WorldShardRun,
 };

@@ -196,6 +196,23 @@ pub mod rec {
     pub const UP: u8 = 7;
     /// A down rank dropped a cap wave (b = level).
     pub const CAP_DROP: u8 = 8;
+    /// Full-fidelity world: a node agent's periodic power sample
+    /// (a = buffered record count, b = node draw in milliwatts).
+    pub const POWER_SAMPLE: u8 = 9;
+    /// Full-fidelity world: a node-level manager applied a node power
+    /// limit (a = limit in milliwatts, b = derived per-GPU cap in
+    /// milliwatts).
+    pub const NODE_LIMIT: u8 = 10;
+    /// Full-fidelity world: the cluster manager set a job's limit
+    /// (a = job id, b = limit in milliwatts).
+    pub const JOB_LIMIT: u8 = 11;
+    /// Full-fidelity world: the monitor root folded a subtree
+    /// aggregation (a = reporting nodes, b = subtree power in
+    /// milliwatts).
+    pub const ROOT_AGG: u8 = 12;
+    /// Full-fidelity world: job lifecycle on the root shard
+    /// (a = job id, b = 0 submit / 1 start / 2 complete / 3 failed).
+    pub const JOB_EVENT: u8 = 13;
 }
 
 /// One entry of the sharded storm's event stream. The tuple of all
@@ -227,12 +244,50 @@ impl ShardRecord {
 }
 
 /// Merge per-shard record streams into the canonical global trace:
-/// sorted by the full record key, so the result depends only on the
+/// ordered by the full record key, so the result depends only on the
 /// multiset of records — not on the shard count that produced them.
+///
+/// Each input run must already be sorted by the full [`ShardRecord`]
+/// key (shards sort their own — mostly-ordered — runs in `finish()`,
+/// in parallel); the merge is then a k-way heap merge over the run
+/// heads, O(n log k) instead of re-sorting the concatenation. Run
+/// sortedness is asserted in debug builds.
 pub fn merge_records(streams: Vec<Vec<ShardRecord>>) -> Vec<ShardRecord> {
-    let mut all: Vec<ShardRecord> = streams.into_iter().flatten().collect();
-    all.sort_unstable();
-    all
+    for (shard, s) in streams.iter().enumerate() {
+        debug_assert!(
+            s.windows(2).all(|w| w[0] <= w[1]),
+            "shard {shard}'s record run is not sorted by the full record key"
+        );
+    }
+    let mut runs: Vec<std::vec::IntoIter<ShardRecord>> = streams
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .map(Vec::into_iter)
+        .collect();
+    // Trivial shapes skip the heap entirely (the shards=1 baseline
+    // pays nothing for the merge machinery).
+    match runs.len() {
+        0 => return Vec::new(),
+        1 => return runs.pop().expect("one run").collect(),
+        _ => {}
+    }
+    let total: usize = runs.iter().map(ExactSizeIterator::len).sum();
+    let mut out = Vec::with_capacity(total);
+    // Seed one head per run; ties between runs break toward the lower
+    // run index, which keeps the merge fully deterministic even for
+    // identical records emitted by different shards.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(ShardRecord, usize)>> = runs
+        .iter_mut()
+        .enumerate()
+        .map(|(i, run)| std::cmp::Reverse((run.next().expect("non-empty run"), i)))
+        .collect();
+    while let Some(std::cmp::Reverse((r, i))) = heap.pop() {
+        out.push(r);
+        if let Some(next) = runs[i].next() {
+            heap.push(std::cmp::Reverse((next, i)));
+        }
+    }
+    out
 }
 
 /// FNV-1a over a record stream — the compact fingerprint compared
@@ -699,8 +754,14 @@ impl ShardSim for StormShard {
     }
 
     fn finish(self) -> StormShardOutput {
+        let mut records = self.world.records;
+        // Runs are emitted in execution order (time-sorted, but
+        // same-instant records land in event order); the canonical
+        // merge wants full-key-sorted runs. Each shard pays for its
+        // own — nearly sorted — run here, in parallel.
+        records.sort_unstable();
         StormShardOutput {
-            records: self.world.records,
+            records,
             drops: self.world.drops,
             events: self.eng.executed(),
         }
@@ -838,6 +899,43 @@ mod tests {
             .collect();
         // Every non-root rank applies at least one cap wave.
         assert_eq!(applied.len() as u32, cfg.ranks - 1);
+    }
+
+    #[test]
+    fn merge_records_matches_full_sort_and_keeps_duplicates() {
+        let mk = |at: u64, rank: u32, a: u64| ShardRecord {
+            at_us: at,
+            rank,
+            code: rec::TICK,
+            a,
+            b: 0,
+        };
+        let runs = vec![
+            vec![mk(1, 0, 1), mk(3, 2, 1), mk(3, 2, 1)],
+            vec![],
+            vec![mk(1, 1, 9), mk(2, 0, 4)],
+            vec![mk(3, 2, 1)],
+        ];
+        let mut flat: Vec<ShardRecord> = runs.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        let merged = merge_records(runs);
+        assert_eq!(merged, flat);
+        // Identical records from different shards all survive the merge.
+        assert_eq!(merged.iter().filter(|r| r.at_us == 3).count(), 3);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn merge_records_rejects_unsorted_runs_in_debug() {
+        let mk = |at: u64| ShardRecord {
+            at_us: at,
+            rank: 0,
+            code: rec::TICK,
+            a: 0,
+            b: 0,
+        };
+        let _ = merge_records(vec![vec![mk(5), mk(1)], vec![mk(2)]]);
     }
 
     #[test]

@@ -349,6 +349,51 @@ pub struct FaultPlan {
     burst_congested: HashMap<((u32, u32), u32), bool>,
     rng: Xoshiro256pp,
     dropped: u64,
+    /// When set, the plan runs in *deterministic* (partition-invariant)
+    /// mode: loss, jitter, and burst-chain evolution are pure hash
+    /// functions of `(seed, link, message identity, time)` instead of
+    /// draws from the shared sequential RNG stream. Sharded worlds
+    /// require this — a shared stream's consumption order depends on
+    /// which shard sends first, so it cannot replay identically across
+    /// shard counts.
+    det_seed: Option<u64>,
+    /// Memoized burst-chain states for deterministic mode, keyed by
+    /// `(link, chain index)` where chain 0 is the link's
+    /// [`GilbertElliott`] loss channel and `1 + i` is congestion event
+    /// `i`'s [`CongestionBurst`]. Each entry holds the per-window state
+    /// sequence, extended on demand — a pure function of the window
+    /// index, so every shard that asks sees the same answer.
+    det_chains: HashMap<((u32, u32), u32), Vec<bool>>,
+}
+
+/// Deterministic-mode burst chains advance once per fixed sub-window
+/// instead of once per message crossing (100 ms: long enough that a
+/// congestion flap spans many crossings, short next to the multi-second
+/// windows chaos plans use).
+const DET_BURST_WINDOW_US: u64 = 100_000;
+
+/// SplitMix64 finalizer — the mixing core of the deterministic fault
+/// hash. Public within the crate so retry jitter and the sharded
+/// harness can share one mixer.
+pub(crate) fn det_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fold a word list into one hash with [`det_mix`].
+pub(crate) fn det_hash(words: &[u64]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64;
+    for &w in words {
+        h = det_mix(h ^ w);
+    }
+    h
+}
+
+/// Map a hash to a uniform f64 in `[0, 1)`.
+fn det_unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 impl FaultPlan {
@@ -363,7 +408,24 @@ impl FaultPlan {
             burst_congested: HashMap::new(),
             rng: Xoshiro256pp::seed_from_u64(0),
             dropped: 0,
+            det_seed: None,
+            det_chains: HashMap::new(),
         }
+    }
+
+    /// Switch the plan to deterministic (partition-invariant) mode: all
+    /// stochastic decisions become pure hash functions of `seed`, the
+    /// link, the message identity, and time. Required for sharded
+    /// worlds; also usable single-threaded, where it produces the same
+    /// chaos for any shard count.
+    pub fn deterministic(mut self, seed: u64) -> FaultPlan {
+        self.det_seed = Some(seed);
+        self
+    }
+
+    /// Whether the plan runs in deterministic (partition-invariant) mode.
+    pub fn is_deterministic(&self) -> bool {
+        self.det_seed.is_some()
     }
 
     /// Override the profile of the link between `a` and `b` (undirected).
@@ -509,6 +571,119 @@ impl FaultPlan {
         }
         severity
     }
+
+    // ------------------------------------------------------------------
+    // Deterministic (partition-invariant) mode
+    // ------------------------------------------------------------------
+
+    /// The state of a two-state burst chain at `now_us` in deterministic
+    /// mode. The chain advances once per [`DET_BURST_WINDOW_US`]
+    /// sub-window from `origin_us`; each step draws from a hash chained
+    /// on `(seed, link, chain, window)`, so the state at any time is a
+    /// pure function of time — every shard computes the same answer no
+    /// matter which messages it routes. States are memoized per
+    /// `(link, chain)` and extended on demand.
+    fn det_chain_state(
+        &mut self,
+        key: (u32, u32),
+        chain: u32,
+        origin_us: u64,
+        now_us: u64,
+        p_enter: f64,
+        p_exit: f64,
+    ) -> bool {
+        let seed = self.det_seed.expect("det mode");
+        let window = (now_us.saturating_sub(origin_us) / DET_BURST_WINDOW_US) as usize;
+        let states = self.det_chains.entry((key, chain)).or_default();
+        while states.len() <= window {
+            let prev = states.last().copied().unwrap_or(false);
+            let draw = det_unit(det_hash(&[
+                seed,
+                (key.0 as u64) << 32 | key.1 as u64,
+                chain as u64,
+                states.len() as u64,
+            ]));
+            let next = if prev { draw >= p_exit } else { draw < p_enter };
+            states.push(next);
+        }
+        states[window]
+    }
+
+    /// Deterministic-mode counterpart of [`FaultPlan::traverse`]: one
+    /// message crossing the `a`–`b` link at `now_us`. Loss and jitter
+    /// hash on the message identity `(origin rank, origin seq, hop)`;
+    /// burst and congestion chains are windowed pure functions of time
+    /// ([`FaultPlan::det_chain_state`]). No shared RNG is consumed, so
+    /// the outcome is identical whichever shard computes it.
+    fn det_traverse(
+        &mut self,
+        a: Rank,
+        b: Rank,
+        now_us: u64,
+        origin: u32,
+        origin_seq: u64,
+        hop: u32,
+    ) -> (bool, u64, f64) {
+        let seed = self.det_seed.expect("det mode");
+        let key = Self::link_key(a, b);
+        let link_word = (key.0 as u64) << 32 | key.1 as u64;
+        let profile = self.link_profile(a, b);
+        let drop_prob = match profile.burst {
+            None => profile.drop_prob,
+            Some(ge) => {
+                let bad =
+                    self.det_chain_state(key, 0, 0, now_us, ge.p_good_to_bad, ge.p_bad_to_good);
+                if bad {
+                    ge.bad_drop_prob
+                } else {
+                    ge.good_drop_prob
+                }
+            }
+        };
+        let ident = det_hash(&[seed, link_word, origin as u64, origin_seq, hop as u64]);
+        if det_unit(ident) < drop_prob {
+            self.dropped += 1;
+            return (true, 0, 0.0);
+        }
+        let jitter = det_mix(ident) % (profile.jitter_max_us + 1);
+        (false, jitter, self.det_congestion_severity(key, now_us))
+    }
+
+    /// Deterministic-mode congestion severity on a link at `now_us`:
+    /// the worst severity among active windows, with
+    /// [`CongestionBurst`] flapping resolved through the windowed chain
+    /// (anchored at the event's start, so the flap pattern is a pure
+    /// function of time).
+    fn det_congestion_severity(&mut self, key: (u32, u32), now_us: u64) -> f64 {
+        let n = self.congestion.get(&key).map_or(0, |v| v.len());
+        let mut severity = 0.0f64;
+        for i in 0..n {
+            let ev = self.congestion[&key][i];
+            if now_us < ev.start_us || now_us >= ev.end_us {
+                continue;
+            }
+            let sev = match ev.burst {
+                None => ev.severity,
+                Some(cb) => {
+                    let congested = self.det_chain_state(
+                        key,
+                        1 + i as u32,
+                        ev.start_us,
+                        now_us,
+                        cb.p_calm_to_congested,
+                        cb.p_congested_to_calm,
+                    );
+                    if congested {
+                        cb.congested_severity
+                    } else {
+                        cb.calm_severity
+                    }
+                }
+            };
+            severity = severity.max(sev);
+        }
+        severity
+    }
 }
 
 /// State carried across the attempts of one retried RPC.
@@ -575,11 +750,35 @@ fn retry_attempt(world: &mut World, eng: &mut FluxEngine, st: RetryState) {
                     .max(1)
                     .saturating_pow(policy.max_attempts.saturating_sub(1)),
             );
+            // The draw is additionally capped at the attempt deadline:
+            // a backoff longer than the deadline would schedule the
+            // retry after its own deadline timer fires, spending more
+            // budget waiting than a whole attempt costs.
+            let deadline_us = policy.deadline.as_micros().max(1);
+            let lo = base.min(deadline_us);
             let hi = prev_delay_us
                 .max(base)
                 .saturating_mul(3)
-                .clamp(base, cap.max(base));
-            let delay_us = world.retry_rng.range_inclusive(base, hi);
+                .clamp(base, cap.max(base))
+                .min(deadline_us);
+            // Sharded replicas replace the shared retry-RNG stream with
+            // a pure hash of the retry identity: a shared stream's
+            // consumption order depends on which shard retries first,
+            // so it cannot replay identically across shard counts.
+            let delay_us = match &world.shard_ctx {
+                None => world.retry_rng.range_inclusive(lo, hi),
+                Some(ctx) => {
+                    let h = det_hash(&[
+                        ctx.salt,
+                        0x7E_781,
+                        from.0 as u64,
+                        to.0 as u64,
+                        attempt as u64,
+                        eng.now().as_micros(),
+                    ]);
+                    lo + h % (hi - lo + 1)
+                }
+            };
             let delay = SimDuration::from_micros(delay_us);
             world.trace.emit(
                 eng.now(),
@@ -748,6 +947,12 @@ pub struct World {
     /// End of the last executor slice.
     last_exec: SimTime,
     executor_installed: bool,
+    /// Sharded-replica context, when this world is one shard of a
+    /// full-fidelity sharded run (see [`crate::world_shard`]). `None`
+    /// for classic single-threaded worlds — every sharded branch in the
+    /// hot paths is behind this option, so they cost one predictable
+    /// test when unsharded.
+    pub(crate) shard_ctx: Option<Box<crate::world_shard::ShardCtx>>,
 }
 
 impl World {
@@ -798,6 +1003,79 @@ impl World {
             state: StateLog::new(),
             last_exec: SimTime::ZERO,
             executor_installed: false,
+            shard_ctx: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded replicas
+    // ------------------------------------------------------------------
+
+    /// Turn this world into shard `shard` of a full-fidelity sharded
+    /// run (see [`crate::world_shard`] for the replica model). Every
+    /// shard builds the *same* world from the same seed and scripted
+    /// scenario; after this call, modules only load on owned ranks and
+    /// [`World::send`] suppresses messages whose origin this shard does
+    /// not own, so each rank's side effects happen exactly once across
+    /// the fleet. `salt` seeds the deterministic retry-jitter hash and
+    /// must equal the world seed on every shard.
+    pub fn enable_sharding(
+        &mut self,
+        shard: usize,
+        plan: std::sync::Arc<crate::shard::ShardPlan>,
+        salt: u64,
+    ) {
+        assert!(self.shard_ctx.is_none(), "sharding already enabled");
+        assert!(shard < plan.shards(), "shard index out of range");
+        if let Some(fp) = &self.faults {
+            assert!(
+                fp.is_deterministic(),
+                "sharded worlds require FaultPlan::deterministic"
+            );
+        }
+        let nranks = self.size() as usize;
+        self.shard_ctx = Some(Box::new(crate::world_shard::ShardCtx::new(
+            shard, plan, salt, nranks,
+        )));
+    }
+
+    /// Register a payload type for cross-shard transport. Sharded
+    /// worlds move message payloads between threads, so any payload
+    /// that can cross a shard boundary must be `Send + Clone` and
+    /// registered here — in the *same order* on every shard (the wire
+    /// format carries the registry index). Unregistered payloads
+    /// crossing a boundary panic with the topic name.
+    pub fn register_wire_type<T: std::any::Any + Send + Clone>(&mut self) {
+        self.shard_ctx
+            .as_mut()
+            .expect("register_wire_type requires enable_sharding")
+            .register::<T>();
+    }
+
+    /// Whether this world instance owns `rank`: true for every rank in
+    /// a classic world, and only for the shard's own ranks in a sharded
+    /// replica. Module loads, message origination, and canonical record
+    /// emission are all gated on ownership.
+    pub fn owns(&self, rank: Rank) -> bool {
+        match &self.shard_ctx {
+            None => true,
+            Some(ctx) => ctx.plan.owner(rank) == ctx.shard,
+        }
+    }
+
+    /// Append a canonical record to the shard's record stream (no-op on
+    /// classic worlds). The merged, sorted record stream is the
+    /// byte-comparable output of a sharded run — unlike the trace,
+    /// whose interleaving and matchtags are partition-dependent.
+    pub fn record(&mut self, at: SimTime, rank: u32, code: u8, a: u64, b: u64) {
+        if let Some(ctx) = &mut self.shard_ctx {
+            ctx.records.push(crate::shard::ShardRecord {
+                at_us: at.as_micros(),
+                rank,
+                code,
+                a,
+                b,
+            });
         }
     }
 
@@ -924,7 +1202,16 @@ impl World {
     }
 
     /// Load a module on one rank: register its routes and invoke `load`.
+    ///
+    /// On a sharded replica, loads on ranks this shard does not own are
+    /// silently skipped (returning `false`): the owning shard's replica
+    /// performs the real load. Harness code and module factories can
+    /// therefore address *all* ranks uniformly — the guard keeps each
+    /// module single-homed.
     pub fn load_module(&mut self, eng: &mut FluxEngine, rank: Rank, module: SharedModule) -> bool {
+        if !self.owns(rank) {
+            return false;
+        }
         if !self.brokers[rank.index()].register(std::rc::Rc::clone(&module)) {
             return false;
         }
@@ -1007,6 +1294,9 @@ impl World {
     /// deadline timer — shares the allocation instead of deep-cloning.
     pub fn send(&mut self, eng: &mut FluxEngine, msg: impl Into<Rc<Message>>) {
         let msg: Rc<Message> = msg.into();
+        if self.shard_ctx.is_some() {
+            return self.send_sharded(eng, msg);
+        }
         if !self.brokers[msg.from.index()].is_up() {
             self.dropped_messages += 1;
             self.note_drop(&msg.topic);
@@ -1129,6 +1419,129 @@ impl World {
             );
         }
         eng.schedule_in(delay, move |world, eng| deliver(world, eng, msg, &route));
+    }
+
+    /// The sharded-replica send path. Three differences from the
+    /// classic path, each load-bearing for partition invariance:
+    ///
+    /// 1. **Origin suppression.** A message whose `from` this shard
+    ///    does not own is dropped silently — the owning shard's replica
+    ///    of the same event emits the real one. No counters, no trace,
+    ///    no sequence number: replicas must leave zero observable state
+    ///    behind.
+    /// 2. **Stateless network model.** Per-hop loss/jitter/congestion
+    ///    come from the fault plan's deterministic mode (pure hashes of
+    ///    the message identity), and serialization is charged against
+    ///    the congestion-scaled bandwidth with *no* shared FIFO — link
+    ///    queue state would couple messages routed by different shards.
+    ///    Every hop costs at least `hop_latency`, which is what lets
+    ///    the sharded coordinator use the hop latency as its lookahead.
+    /// 3. **Canonical delivery order.** Deliveries are scheduled with
+    ///    [`Engine::schedule_keyed`] under the `(origin, origin seq)`
+    ///    key, so same-microsecond deliveries execute in one canonical
+    ///    order whether they arrived locally or through the coordinator
+    ///    inbox — and after every key-0 (timer/executor) event at that
+    ///    instant, in every partition.
+    fn send_sharded(&mut self, eng: &mut FluxEngine, msg: Rc<Message>) {
+        let ctx = self.shard_ctx.as_ref().expect("sharded send");
+        if ctx.plan.owner(msg.from) != ctx.shard {
+            return;
+        }
+        if !self.brokers[msg.from.index()].is_up() {
+            self.dropped_messages += 1;
+            self.note_drop(&msg.topic);
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Warn,
+                "tbon",
+                format!(
+                    "drop from downed {}: {:?} -> {} topic {}",
+                    msg.from, msg.kind, msg.to, msg.topic
+                ),
+            );
+            return;
+        }
+        let Some(route) = self.tbon.route(msg.from, msg.to) else {
+            self.dropped_messages += 1;
+            self.note_drop(&msg.topic);
+            self.trace.emit(
+                eng.now(),
+                TraceLevel::Warn,
+                "tbon",
+                format!(
+                    "sever: no route {:?} {} -> {} topic {} (epoch {})",
+                    msg.kind,
+                    msg.from,
+                    msg.to,
+                    msg.topic,
+                    self.tbon.epoch()
+                ),
+            );
+            return;
+        };
+        let origin = msg.from.0;
+        let origin_seq = {
+            let ctx = self.shard_ctx.as_mut().expect("sharded send");
+            let seq = ctx.msg_seq[msg.from.index()];
+            ctx.msg_seq[msg.from.index()] += 1;
+            seq
+        };
+        let now_us = eng.now().as_micros();
+        let hop_latency_us = self.tbon.hop_latency.as_micros();
+        let default_bw = self.link_bandwidth_bps;
+        let mut arrive_us = now_us;
+        for (i, hop) in route.windows(2).enumerate() {
+            let (lost, jitter_us, severity) = match &mut self.faults {
+                Some(fp) => {
+                    fp.det_traverse(hop[0], hop[1], arrive_us, origin, origin_seq, i as u32)
+                }
+                None => (false, 0, 0.0),
+            };
+            if lost {
+                self.dropped_messages += 1;
+                self.note_drop(&msg.topic);
+                self.trace.emit(
+                    eng.now(),
+                    TraceLevel::Warn,
+                    "fault",
+                    format!(
+                        "lost {:?} {} -> {} topic {}",
+                        msg.kind, msg.from, msg.to, msg.topic
+                    ),
+                );
+                return;
+            }
+            let bw = match &self.faults {
+                Some(fp) => fp
+                    .link_profile(hop[0], hop[1])
+                    .bandwidth_bps
+                    .unwrap_or(default_bw),
+                None => default_bw,
+            };
+            let eff_bw = ((bw as f64) * (1.0 - severity.clamp(0.0, 0.999))).max(1.0) as u64;
+            let ser_us = ((msg.size_bytes as u128) * 1_000_000 / (eff_bw as u128)) as u64;
+            arrive_us += hop_latency_us + jitter_us + ser_us;
+        }
+        let at = SimTime::from_micros(arrive_us);
+        let key = crate::world_shard::delivery_key(origin, origin_seq);
+        let ctx = self.shard_ctx.as_ref().expect("sharded send");
+        let dest_shard = ctx.plan.owner(msg.to);
+        if dest_shard == ctx.shard {
+            eng.schedule_keyed(at, key, move |world, eng| deliver(world, eng, msg, &route));
+        } else {
+            let wire = self
+                .shard_ctx
+                .as_mut()
+                .expect("sharded send")
+                .encode(&msg, &route, origin_seq);
+            self.shard_ctx.as_mut().expect("sharded send").outbox.push(
+                fluxpm_sim::sharded::Outbound {
+                    at,
+                    to_shard: dest_shard,
+                    msg: wire,
+                },
+            );
+        }
     }
 
     /// Start building an RPC to `to`. The requester defaults to the
@@ -1260,6 +1673,19 @@ impl World {
             .ranks()
             .filter(|r| self.brokers[r.index()].route(&topic).is_some())
             .collect();
+        // Sharded replicas only see their own subscribers (modules load
+        // owner-only), and sends from unowned publishers are suppressed
+        // — so pub/sub works exactly when every subscriber is co-sharded
+        // with its publisher. The real power stack satisfies this (all
+        // job-event subscribers are root services, sharing the root
+        // shard); a local subscriber to a remote publisher would
+        // silently miss events, so fail loudly instead.
+        if self.shard_ctx.is_some() && !self.owns(from) && !subscribers.is_empty() {
+            panic!(
+                "sharded pub/sub requires subscribers co-sharded with the publisher: \
+                 topic {topic} published from unowned {from} has local subscribers"
+            );
+        }
         for rank in subscribers {
             let msg = Message::event(from, rank, topic.clone(), std::rc::Rc::clone(&p));
             self.send(eng, msg);
@@ -1284,6 +1710,10 @@ impl World {
     /// Arm a [`FaultPlan`], re-seeding its RNG from the world seed so
     /// the chaos replays byte-identically for the same world seed.
     pub fn install_fault_plan(&mut self, mut plan: FaultPlan) {
+        assert!(
+            self.shard_ctx.is_none() || plan.is_deterministic(),
+            "sharded worlds require FaultPlan::deterministic"
+        );
         plan.rng = self.rng.child(0xFA_017);
         // The loss tally is cumulative across plan swaps: lifting chaos
         // at the end of a storm (by installing a lossless plan) must not
@@ -1577,6 +2007,9 @@ impl World {
         self.trace
             .emit(eng.now(), TraceLevel::Info, "job", format!("submit {id:?}"));
         let root = self.root();
+        if self.owns(root) {
+            self.record(eng.now(), root.0, crate::shard::rec::JOB_EVENT, id.0, 0);
+        }
         self.publish(eng, root, EVENT_JOB_SUBMIT, payload(id));
         self.try_schedule(eng);
         id
@@ -1607,6 +2040,9 @@ impl World {
                 format!("start {head:?} on {alloc:?}"),
             );
             let root = self.root();
+            if self.owns(root) {
+                self.record(now, root.0, crate::shard::rec::JOB_EVENT, head.0, 1);
+            }
             self.publish(eng, root, EVENT_JOB_START, payload(head));
         }
     }
@@ -1738,6 +2174,16 @@ impl World {
         self.trace
             .emit(eng.now(), TraceLevel::Info, "job", format!("{word} {id:?}"));
         let root = self.root();
+        if self.owns(root) {
+            let outcome = if state == JobState::Completed { 2 } else { 3 };
+            self.record(
+                eng.now(),
+                root.0,
+                crate::shard::rec::JOB_EVENT,
+                id.0,
+                outcome,
+            );
+        }
         self.publish(eng, root, topic, payload(id));
         self.try_schedule(eng);
     }
@@ -1803,6 +2249,14 @@ impl World {
         }
         let root = self.tbon.root();
         let root_dying = batch.iter().any(|&n| n.0 == root.0) && self.tbon.is_attached(root);
+        // Root failover migrates root-service modules to the lowest
+        // surviving rank — which may belong to another shard's subtree,
+        // where this replica cannot re-home live module state. Sharded
+        // scenarios must keep the root alive (see DESIGN.md §12).
+        assert!(
+            self.shard_ctx.is_none() || !root_dying,
+            "sharded worlds do not support root failover: scenario killed the root rank"
+        );
         // Root services survive the root's death: capture them before
         // the broker's module table is torn down.
         let mut migrants: Vec<SharedModule> = Vec::new();
@@ -2193,7 +2647,7 @@ impl World {
 /// have healed since, but a packet in flight cannot switch wires). The
 /// message arrives behind the `Rc` it was sent with: forwarding never
 /// copies the body.
-fn deliver(world: &mut World, eng: &mut FluxEngine, msg: Rc<Message>, route: &[Rank]) {
+pub(crate) fn deliver(world: &mut World, eng: &mut FluxEngine, msg: Rc<Message>, route: &[Rank]) {
     // A downed rank neither receives nor relays: drop any message whose
     // route transits a dead broker (including the endpoints).
     if let Some(dead) = route

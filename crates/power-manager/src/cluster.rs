@@ -86,6 +86,15 @@ impl ClusterLevelManager {
         // (rank 0 initially; the failover successor after a migration).
         let here = ctx.rank;
         for (job, limit) in limits {
+            // Canonical record for sharded byte-equality checks (no-op
+            // on classic worlds): the cluster-level allocation decision.
+            ctx.world.record(
+                ctx.eng.now(),
+                here.0,
+                fluxpm_flux::shard::rec::JOB_LIMIT,
+                job.0,
+                (limit.get() * 1000.0).round() as u64,
+            );
             // Acked + retried so a lost push cannot leave the job-level
             // manager holding a stale allocation.
             let req = ManagerRequest::JobLimit(JobLimitMsg { job, limit });

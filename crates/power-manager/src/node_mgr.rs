@@ -234,6 +234,15 @@ impl NodeLevelManager {
             return;
         }
         let derived = Self::derive_gpu_cap(&arch, limit);
+        // Canonical record for sharded byte-equality checks (no-op on
+        // classic worlds): node limit + derived per-GPU cap, milliwatts.
+        ctx.world.record(
+            ctx.eng.now(),
+            rank.0,
+            fluxpm_flux::shard::rec::NODE_LIMIT,
+            (limit.get() * 1000.0).round() as u64,
+            (derived.get() * 1000.0).round() as u64,
+        );
 
         match self.policy {
             PolicyKind::Unconstrained => {}

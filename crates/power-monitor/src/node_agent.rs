@@ -150,11 +150,21 @@ impl NodeAgent {
                 .charge_overhead(node_id, cost.cpu_time.as_secs_f64());
         }
         let record = PowerRecord::new(sample);
+        let node_w = record.sample.node_power_estimate();
         self.buffer_bytes += record.stored_bytes();
         if let Some(evicted) = self.buffer.push(record) {
             self.buffer_bytes -= evicted.stored_bytes();
         }
         self.samples_taken += 1;
+        // Canonical record for sharded byte-equality checks (no-op on
+        // classic worlds): buffered count + node draw in milliwatts.
+        ctx.world.record(
+            ctx.eng.now(),
+            rank.0,
+            fluxpm_flux::shard::rec::POWER_SAMPLE,
+            self.buffer.len() as u64,
+            (node_w * 1000.0).round() as u64,
+        );
     }
 
     /// Summary statistics for a window from this agent's buffer (shared

@@ -243,13 +243,13 @@ pub struct SamplePush {
     pub node_w: f64,
 }
 
-/// Root → client reply to a poll: the drained deltas ([`std::rc::Rc`]-shared
+/// Root → client reply to a poll: the drained deltas ([`std::sync::Arc`]-shared
 /// with the hub — fan-out never copies sample payloads) plus the
 /// subscriber's cumulative shed count for backpressure visibility.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeltaBatch {
     /// Drained deltas, oldest first.
-    pub deltas: Vec<std::rc::Rc<crate::subscription::TelemetryDelta>>,
+    pub deltas: Vec<std::sync::Arc<crate::subscription::TelemetryDelta>>,
     /// Deltas this subscriber has lost to its bounded queue so far.
     pub dropped: u64,
 }

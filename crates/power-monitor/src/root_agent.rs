@@ -392,6 +392,24 @@ impl RootAgent {
                     a.remaining -= 1;
                     if a.remaining == 0 {
                         finish_inflight(world, eng, &inflight, a.request.matchtag);
+                        // Canonical record for sharded byte-equality
+                        // checks (no-op on classic worlds): reporting
+                        // nodes + aggregated mean power in milliwatts.
+                        let reporting = a.replies.iter().flatten().count() as u64;
+                        let total_mw: u64 = a
+                            .replies
+                            .iter()
+                            .flatten()
+                            .map(|s| (s.mean_w * 1000.0).round() as u64)
+                            .sum();
+                        let root = world.root();
+                        world.record(
+                            eng.now(),
+                            root.0,
+                            fluxpm_flux::shard::rec::ROOT_AGG,
+                            reporting,
+                            total_mw,
+                        );
                         let reply = JobStatsReply {
                             job: a.job,
                             name: a.name.clone(),

@@ -8,7 +8,7 @@
 //!
 //! * registers subscribers with a [`SubscriptionFilter`] (job, node
 //!   set, per-subscriber sample cadence),
-//! * fans each incoming sample out as an [`Rc`]-shared
+//! * fans each incoming sample out as an [`Arc`]-shared
 //!   [`TelemetryDelta`] (one allocation per event, regardless of the
 //!   subscriber count),
 //! * bounds every subscriber to a fixed-capacity queue — a slow
@@ -26,7 +26,7 @@
 
 use fluxpm_flux::JobId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Overlay topic: register a subscription with the root agent.
 pub const TOPIC_SUBSCRIBE: &str = "power-monitor.subscribe";
@@ -156,7 +156,7 @@ impl Default for SubscriptionConfig {
 /// accounting.
 struct Subscriber {
     filter: SubscriptionFilter,
-    queue: VecDeque<Rc<TelemetryDelta>>,
+    queue: VecDeque<Arc<TelemetryDelta>>,
     /// Last delivered timestamp per node (cadence floor); allocated only
     /// when the filter has one. Link deltas have their own budget so a
     /// link report never starves the same rank's power stream.
@@ -187,10 +187,10 @@ pub struct TelemetryHub {
     next_id: SubscriberId,
     /// Latest delta per node — the snapshot a (re-)subscriber resumes
     /// from.
-    latest: BTreeMap<u32, Rc<TelemetryDelta>>,
+    latest: BTreeMap<u32, Arc<TelemetryDelta>>,
     /// Latest link delta per child rank, kept apart from `latest` so a
     /// link report never clobbers the same rank's power snapshot.
-    latest_links: BTreeMap<u32, Rc<TelemetryDelta>>,
+    latest_links: BTreeMap<u32, Arc<TelemetryDelta>>,
     next_seq: u64,
     published: u64,
     fanned_out: u64,
@@ -253,7 +253,7 @@ impl TelemetryHub {
         node_w: f64,
         job: Option<JobId>,
     ) -> usize {
-        let delta = Rc::new(TelemetryDelta {
+        let delta = Arc::new(TelemetryDelta {
             seq: self.next_seq,
             node,
             timestamp_us,
@@ -263,7 +263,7 @@ impl TelemetryHub {
         });
         self.next_seq += 1;
         self.published += 1;
-        self.latest.insert(node, Rc::clone(&delta));
+        self.latest.insert(node, Arc::clone(&delta));
         self.dispatch(&delta)
     }
 
@@ -274,7 +274,7 @@ impl TelemetryHub {
     /// its snapshot lives apart from the power snapshots so either kind
     /// of (re-)seed survives the other.
     pub fn publish_link(&mut self, child: u32, timestamp_us: u64, sample: LinkSample) -> usize {
-        let delta = Rc::new(TelemetryDelta {
+        let delta = Arc::new(TelemetryDelta {
             seq: self.next_seq,
             node: child,
             timestamp_us,
@@ -284,13 +284,13 @@ impl TelemetryHub {
         });
         self.next_seq += 1;
         self.published += 1;
-        self.latest_links.insert(child, Rc::clone(&delta));
+        self.latest_links.insert(child, Arc::clone(&delta));
         self.dispatch(&delta)
     }
 
     /// Fan one freshly published delta out to every matching subscriber,
     /// applying the per-kind cadence floor and the eviction threshold.
-    fn dispatch(&mut self, delta: &Rc<TelemetryDelta>) -> usize {
+    fn dispatch(&mut self, delta: &Arc<TelemetryDelta>) -> usize {
         let mut fanout = 0usize;
         let mut evict: Vec<SubscriberId> = Vec::new();
         for (&id, sub) in self.subs.iter_mut() {
@@ -324,22 +324,26 @@ impl TelemetryHub {
         fanout
     }
 
-    fn enqueue(config: &SubscriptionConfig, sub: &mut Subscriber, delta: &Rc<TelemetryDelta>) {
+    fn enqueue(config: &SubscriptionConfig, sub: &mut Subscriber, delta: &Arc<TelemetryDelta>) {
         if sub.queue.len() >= config.queue_capacity {
             sub.queue.pop_front();
             sub.dropped += 1;
         }
-        sub.queue.push_back(Rc::clone(delta));
+        sub.queue.push_back(Arc::clone(delta));
     }
 
     /// Drain up to `max` pending deltas for a subscriber, oldest first.
     /// `None` when the subscriber is unknown — never registered, already
     /// unsubscribed, or evicted for slowness (the caller re-subscribes
     /// and resumes from the latest snapshot).
-    pub fn poll(&mut self, id: SubscriberId, max: usize) -> Option<(Vec<Rc<TelemetryDelta>>, u64)> {
+    pub fn poll(
+        &mut self,
+        id: SubscriberId,
+        max: usize,
+    ) -> Option<(Vec<Arc<TelemetryDelta>>, u64)> {
         let sub = self.subs.get_mut(&id)?;
         let n = max.min(sub.queue.len());
-        let deltas: Vec<Rc<TelemetryDelta>> = sub.queue.drain(..n).collect();
+        let deltas: Vec<Arc<TelemetryDelta>> = sub.queue.drain(..n).collect();
         sub.delivered += deltas.len() as u64;
         Some((deltas, sub.dropped))
     }
@@ -374,12 +378,12 @@ impl TelemetryHub {
     }
 
     /// The latest known sample for a node, if any.
-    pub fn latest(&self, node: u32) -> Option<&Rc<TelemetryDelta>> {
+    pub fn latest(&self, node: u32) -> Option<&Arc<TelemetryDelta>> {
         self.latest.get(&node)
     }
 
     /// The latest link-health delta for the edge under `child`, if any.
-    pub fn latest_link(&self, child: u32) -> Option<&Rc<TelemetryDelta>> {
+    pub fn latest_link(&self, child: u32) -> Option<&Arc<TelemetryDelta>> {
         self.latest_links.get(&child)
     }
 }

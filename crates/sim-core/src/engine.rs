@@ -1,11 +1,20 @@
 //! The event engine.
 //!
-//! Total order is `(SimTime, sequence)`: two events scheduled for the
-//! same instant fire in the order they were scheduled, which keeps
-//! broker message handling deterministic. A periodic task keeps its
-//! *original* sequence number across re-arms, so its position among
-//! same-instant events never drifts — both properties are what make
-//! seeded runs replay byte-for-byte.
+//! Total order is `(SimTime, key, sequence)`: two events scheduled for
+//! the same instant fire in ordering-key order, then in the order they
+//! were scheduled, which keeps broker message handling deterministic.
+//! Every plain `schedule`/`schedule_every` call uses key 0, so for
+//! ordinary workloads the order is exactly the classic
+//! `(time, schedule order)`. [`Engine::schedule_keyed`] exists for
+//! partitioned simulations that need a *partition-invariant* order
+//! among same-instant events: a sharded run can tag message deliveries
+//! with a canonical key (e.g. origin rank and per-origin sequence) so
+//! the execution order at any instant is the same no matter which
+//! shard scheduled the event, while key-0 events (timers, periodic
+//! tasks) always run first. A periodic task keeps its *original*
+//! sequence number across re-arms, so its position among same-instant
+//! events never drifts — these properties are what make seeded runs
+//! replay byte-for-byte.
 //!
 //! ## Hot-path layout
 //!
@@ -80,6 +89,9 @@ enum SlotState<W> {
 struct Slot<W> {
     /// Bumped every time the slot is freed; part of the [`EventId`].
     generation: u32,
+    /// Primary same-instant tie-breaker (0 for plain schedules), fixed
+    /// at schedule time for the lifetime of the event.
+    key: u64,
     /// Ordering tie-breaker, fixed at schedule time for the lifetime of
     /// the event (periodic re-arms keep it).
     seq: u64,
@@ -91,14 +103,15 @@ struct Slot<W> {
 #[derive(Clone, Copy)]
 struct HeapEntry {
     at: SimTime,
+    key: u64,
     seq: u64,
     slot: u32,
 }
 
 impl HeapEntry {
     #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
+    fn key(&self) -> (SimTime, u64, u64) {
+        (self.at, self.key, self.seq)
     }
 }
 
@@ -176,11 +189,26 @@ impl<W> Engine<W> {
         at: SimTime,
         f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
     ) -> EventId {
+        self.schedule_keyed(at, 0, f)
+    }
+
+    /// Schedule `f` at `at` with an explicit same-instant ordering key.
+    /// Among events at one instant, lower keys fire first; equal keys
+    /// fall back to schedule order. Plain [`Engine::schedule`] uses
+    /// key 0, so keyed events with nonzero keys run *after* every
+    /// same-instant plain event. Sharded runs use this to impose a
+    /// partition-invariant delivery order (see the module docs).
+    pub fn schedule_keyed(
+        &mut self,
+        at: SimTime,
+        key: u64,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        let idx = self.alloc(seq, SlotState::Once(Box::new(f)));
-        self.heap_push(at, seq, idx);
+        let idx = self.alloc(key, seq, SlotState::Once(Box::new(f)));
+        self.heap_push(at, key, seq, idx);
         EventId::pack(self.slots[idx as usize].generation, idx)
     }
 
@@ -207,13 +235,14 @@ impl<W> Engine<W> {
         let seq = self.seq;
         self.seq += 1;
         let idx = self.alloc(
+            0,
             seq,
             SlotState::Every {
                 interval,
                 f: Box::new(f),
             },
         );
-        self.heap_push(at, seq, idx);
+        self.heap_push(at, 0, seq, idx);
         EventId::pack(self.slots[idx as usize].generation, idx)
     }
 
@@ -272,9 +301,9 @@ impl<W> Engine<W> {
                 if f(world, self).is_continue() {
                     if epoch == self.clear_epoch {
                         let slot = &mut self.slots[idx as usize];
-                        let seq = slot.seq;
+                        let (key, seq) = (slot.key, slot.seq);
                         slot.state = SlotState::Every { interval, f };
-                        self.heap_push(at + interval, seq, idx);
+                        self.heap_push(at + interval, key, seq, idx);
                     }
                     // Else: a nested run hit the horizon and cleared the
                     // slab; the task is over along with everything else.
@@ -306,7 +335,7 @@ impl<W> Engine<W> {
     // --- Slab ------------------------------------------------------
 
     /// Take a slot off the free list (or grow the slab) and fill it.
-    fn alloc(&mut self, seq: u64, state: SlotState<W>) -> u32 {
+    fn alloc(&mut self, key: u64, seq: u64, state: SlotState<W>) -> u32 {
         if self.free_head != NONE {
             let idx = self.free_head;
             let slot = &mut self.slots[idx as usize];
@@ -314,6 +343,7 @@ impl<W> Engine<W> {
                 unreachable!("free list points at a live slot");
             };
             self.free_head = next;
+            slot.key = key;
             slot.seq = seq;
             slot.state = state;
             idx
@@ -321,6 +351,7 @@ impl<W> Engine<W> {
             let idx = u32::try_from(self.slots.len()).expect("slab capacity");
             self.slots.push(Slot {
                 generation: 0,
+                key,
                 seq,
                 heap_pos: NONE,
                 state,
@@ -350,9 +381,9 @@ impl<W> Engine<W> {
 
     // --- Indexed d-ary heap ----------------------------------------
 
-    fn heap_push(&mut self, at: SimTime, seq: u64, slot: u32) {
+    fn heap_push(&mut self, at: SimTime, key: u64, seq: u64, slot: u32) {
         let pos = self.heap.len();
-        self.heap.push(HeapEntry { at, seq, slot });
+        self.heap.push(HeapEntry { at, key, seq, slot });
         self.slots[slot as usize].heap_pos = pos as u32;
         self.sift_up(pos);
     }
@@ -779,6 +810,71 @@ mod slab_tests {
         let mut sorted = w.clone();
         sorted.sort_unstable();
         assert_eq!(w, sorted, "fired in time order");
+    }
+
+    #[test]
+    fn keyed_events_order_by_key_then_seq() {
+        // At one instant: key-0 events first in schedule order, then
+        // keyed events by ascending key — regardless of schedule order.
+        let mut eng: Engine<Vec<&'static str>> = Engine::new();
+        eng.schedule_keyed(t(5), 30, |w, _| w.push("k30"));
+        eng.schedule(t(5), |w, _| w.push("plain-a"));
+        eng.schedule_keyed(t(5), 10, |w, _| w.push("k10"));
+        eng.schedule_keyed(t(5), 20, |w, _| w.push("k20"));
+        eng.schedule(t(5), |w, _| w.push("plain-b"));
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert_eq!(w, vec!["plain-a", "plain-b", "k10", "k20", "k30"]);
+    }
+
+    #[test]
+    fn keyed_order_is_schedule_order_invariant() {
+        // The execution order of same-instant keyed events depends only
+        // on their keys: two engines that schedule the same keyed set
+        // in different orders run them identically. This is the
+        // property sharded Worlds rely on for partition invariance.
+        let run_with = |perm: &[u64]| -> Vec<u64> {
+            let mut eng: Engine<Vec<u64>> = Engine::new();
+            for &k in perm {
+                eng.schedule_keyed(t(1), k, move |w, _| w.push(k));
+            }
+            let mut w = Vec::new();
+            eng.run(&mut w);
+            w
+        };
+        assert_eq!(run_with(&[3, 1, 4, 2]), vec![1, 2, 3, 4]);
+        assert_eq!(run_with(&[4, 3, 2, 1]), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn keyed_ties_fall_back_to_schedule_order() {
+        let mut eng: Engine<Vec<&'static str>> = Engine::new();
+        eng.schedule_keyed(t(1), 7, |w, _| w.push("first"));
+        eng.schedule_keyed(t(1), 7, |w, _| w.push("second"));
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert_eq!(w, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn keyed_events_respect_time_before_key() {
+        let mut eng: Engine<Vec<&'static str>> = Engine::new();
+        eng.schedule_keyed(t(1), u64::MAX, |w, _| w.push("early-big-key"));
+        eng.schedule(t(2), |w, _| w.push("late-plain"));
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert_eq!(w, vec!["early-big-key", "late-plain"]);
+    }
+
+    #[test]
+    fn keyed_events_can_be_cancelled() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let id = eng.schedule_keyed(t(1), 5, |w, _| w.push(5));
+        eng.schedule_keyed(t(1), 6, |w, _| w.push(6));
+        assert!(eng.cancel(id));
+        let mut w = Vec::new();
+        eng.run(&mut w);
+        assert_eq!(w, vec![6]);
     }
 
     #[test]
