@@ -9,13 +9,18 @@
 //!   refill every queue, then drain 1 000 subscribers in 128-delta
 //!   batches,
 //! * `telemetry_fanout/backpressure` — publish into permanently full
-//!   queues (shed-oldest path hot).
+//!   queues (shed-oldest path hot),
+//! * `telemetry_fanout/relay_tree` — a full publish sweep through the
+//!   TBON-distributed relay plane: 64 brokers, fanout 8, 1 000
+//!   leaf subscribers, per-edge batching and per-hub ingest down the
+//!   tree (the [`fluxpm_bench::relay_tree`] workload).
 //!
 //! The committed `BENCH_telemetry.json` trajectory is produced by the
 //! `bench_telemetry` binary, not by this target; this target is what
 //! CI's bench smoke job runs in `--quick` mode.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluxpm_bench::relay_tree::RelayTree;
 use fluxpm_monitor::{SubscriberId, SubscriptionConfig, SubscriptionFilter, TelemetryHub};
 use std::hint::black_box;
 
@@ -120,11 +125,25 @@ fn bench_backpressure(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_relay_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_fanout");
+    // One iteration = 64 published deltas cascaded down every
+    // interested edge into 1 000 leaf subscribers (64 000 deliveries).
+    // Queues are small and eviction is off, so sustained iteration
+    // keeps the shed-oldest path hot — same regime as `backpressure`.
+    let mut tree = RelayTree::new(64, 8, 1_000, 64);
+    g.bench_function("relay_tree_64x1k", |b| {
+        b.iter(|| black_box(tree.publish_sweep()))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_broadcast,
     bench_selective,
     bench_poll_drain,
-    bench_backpressure
+    bench_backpressure,
+    bench_relay_tree
 );
 criterion_main!(benches);

@@ -19,10 +19,23 @@
 //! * backpressure under a permanently slow fleet: publish rate with
 //!   full queues shedding oldest, and the eviction sweep cost.
 //!
+//! It also measures the TBON-distributed relay plane
+//! ([`fluxpm_bench::relay_tree`]): 64- and 256-broker trees with 1 k,
+//! 10 k, and 50 k subscribers parked round-robin at the leaves. The
+//! relay gates assert the tentpole's two structural claims — root
+//! egress stays at most `fanout` wire messages per published delta
+//! regardless of subscriber count, and 10 k subscribers are fanned out
+//! through the tree at better than 4 µs per subscriber-delivery. The
+//! reported latency percentiles are a pure function of tree depth
+//! times the simulated overlay's per-hop latency, anchoring the
+//! O(log n) delivery-latency claim.
+//!
 //! The committed file is a trajectory anchor, not a portable constant —
 //! absolute numbers vary by machine. The gate asserts the *shape*:
 //! thousands of live subscribers at better than 4 µs per delivery.
 
+use fluxpm_bench::relay_tree::RelayTree;
+use fluxpm_flux::Tbon;
 use fluxpm_monitor::{SubscriberId, SubscriptionConfig, SubscriptionFilter, TelemetryHub};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -150,6 +163,58 @@ fn main() {
         hub.evicted()
     };
 
+    // --- Relay topology: per-edge fan-out through a broker tree -------
+    const RELAY_FANOUT: usize = 8;
+    struct RelayRun {
+        subscribers: usize,
+        deliveries: u64,
+        rate: f64,
+        ns_per_delivery: f64,
+    }
+    struct RelayTreeReport {
+        nodes: usize,
+        depth: u32,
+        egress_msgs_per_delta: f64,
+        p50_us: u64,
+        p99_us: u64,
+        runs: Vec<RelayRun>,
+    }
+    let relay_tree_report = |node_count: usize| -> RelayTreeReport {
+        let runs = [(1_000usize, 8u64), (10_000, 4), (50_000, 1)]
+            .iter()
+            .map(|&(subs, rounds)| {
+                let cap = rounds as usize * node_count;
+                let expect = rounds * node_count as u64 * subs as u64;
+                let wall = best_of(3, || {
+                    let mut tree = RelayTree::new(node_count, RELAY_FANOUT, subs, cap);
+                    let mut delivered = 0u64;
+                    for _ in 0..rounds {
+                        delivered += tree.publish_sweep();
+                    }
+                    assert_eq!(delivered, expect, "every subscriber sees every delta");
+                });
+                RelayRun {
+                    subscribers: subs,
+                    deliveries: expect,
+                    rate: expect as f64 / wall,
+                    ns_per_delivery: wall * 1e9 / expect as f64,
+                }
+            })
+            .collect();
+        let mut tree = RelayTree::new(node_count, RELAY_FANOUT, 10_000, node_count);
+        tree.publish_sweep();
+        let (msgs, _, offered) = tree.root_egress();
+        RelayTreeReport {
+            nodes: node_count,
+            depth: tree.depth(),
+            egress_msgs_per_delta: msgs as f64 / offered as f64,
+            p50_us: tree.latency_percentile_us(0.50, Tbon::DEFAULT_HOP_LATENCY_US),
+            p99_us: tree.latency_percentile_us(0.99, Tbon::DEFAULT_HOP_LATENCY_US),
+            runs,
+        }
+    };
+    let relay_trees = [relay_tree_report(64), relay_tree_report(256)];
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"fluxpm-bench-telemetry/v1\",\n");
@@ -198,11 +263,72 @@ fn main() {
     );
     let _ = writeln!(out, "    \"slow_fleet_evicted\": {evicted}");
     out.push_str("  },\n");
+    out.push_str("  \"relay_topology\": {\n");
+    let _ = writeln!(out, "    \"fanout\": {RELAY_FANOUT},");
+    let _ = writeln!(
+        out,
+        "    \"hop_latency_us\": {},",
+        Tbon::DEFAULT_HOP_LATENCY_US
+    );
+    out.push_str("    \"trees\": [\n");
+    for (t, tree) in relay_trees.iter().enumerate() {
+        out.push_str("      {\n");
+        let _ = writeln!(out, "        \"nodes\": {},", tree.nodes);
+        let _ = writeln!(out, "        \"depth\": {},", tree.depth);
+        let _ = writeln!(
+            out,
+            "        \"root_egress_msgs_per_delta\": {:.1},",
+            tree.egress_msgs_per_delta
+        );
+        let _ = writeln!(out, "        \"latency_p50_us\": {},", tree.p50_us);
+        let _ = writeln!(out, "        \"latency_p99_us\": {},", tree.p99_us);
+        out.push_str("        \"fanout_runs\": [\n");
+        for (r, run) in tree.runs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "          {{ \"subscribers\": {}, \"deliveries\": {}, \"deliveries_per_sec\": {:.0}, \"ns_per_subscriber_delivery\": {:.1} }}{}",
+                run.subscribers,
+                run.deliveries,
+                run.rate,
+                run.ns_per_delivery,
+                if r + 1 < tree.runs.len() { "," } else { "" }
+            );
+        }
+        out.push_str("        ]\n");
+        let _ = writeln!(
+            out,
+            "      }}{}",
+            if t + 1 < relay_trees.len() { "," } else { "" }
+        );
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
     out.push_str("  \"gate\": {\n");
-    out.push_str("    \"rule\": \"1k and 5k broadcast fan-out sustained at <= 4000 ns per subscriber-delivery (>= 250k deliveries/sec)\"\n");
+    out.push_str("    \"rule\": \"1k and 5k broadcast fan-out sustained at <= 4000 ns per subscriber-delivery (>= 250k deliveries/sec)\",\n");
+    out.push_str("    \"relay_rule\": \"root egress <= fanout wire messages per published delta at every tree size and subscriber count; 10k-subscriber relay fan-out sustained at <= 4000 ns per subscriber-delivery\"\n");
     out.push_str("  }\n");
     out.push_str("}\n");
     print!("{out}");
+
+    for tree in &relay_trees {
+        assert!(
+            tree.egress_msgs_per_delta <= RELAY_FANOUT as f64,
+            "{}-broker tree: root egress must be per edge, got {:.2} msgs/delta",
+            tree.nodes,
+            tree.egress_msgs_per_delta
+        );
+        let ten_k = tree
+            .runs
+            .iter()
+            .find(|r| r.subscribers == 10_000)
+            .expect("10k-subscriber run present");
+        assert!(
+            ten_k.ns_per_delivery <= 4_000.0,
+            "{}-broker tree: 10k-subscriber relay fan-out regressed: {:.0} ns/delivery",
+            tree.nodes,
+            ten_k.ns_per_delivery
+        );
+    }
 
     // The acceptance gate travels with the generator: a regeneration
     // that cannot hold thousands of subscribers at production rates

@@ -31,8 +31,10 @@ use fluxpm_flux::{
 };
 use fluxpm_hw::{MachineKind, NodeId, PowerDemand, Watts};
 use fluxpm_manager::ManagerConfig;
-use fluxpm_monitor::{MonitorConfig, MonitorQuery};
+use fluxpm_monitor::{MonitorConfig, MonitorQuery, QueryHandle, SubscriptionFilter};
 use fluxpm_sim::{Engine, SimDuration, SimTime, Xoshiro256pp};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Shape of one full-fidelity sharded run. Every knob is part of the
@@ -73,6 +75,15 @@ pub struct FullShardConfig {
         std::ops::Range<SimTime>,
         Option<CongestionBurst>,
     )>,
+    /// Ranks that attach a streaming telemetry subscriber to their
+    /// local [`fluxpm_monitor::TelemetryRelay`] at `t = 6 s` and poll
+    /// it every 5 s from `t = 10 s`. Every delivered delta becomes a
+    /// canonical [`fluxpm_flux::shard::rec::RELAY_DELIVER`] record on
+    /// the draining (root-owner) shard, so the per-subscriber stream
+    /// through the TBON-distributed fan-out plane is part of the
+    /// replica equivalence contract. Empty (the default) keeps the
+    /// subscription plane idle and the wire silent.
+    pub subscribe_ranks: Vec<u32>,
 }
 
 impl FullShardConfig {
@@ -90,6 +101,7 @@ impl FullShardConfig {
             sample_interval: SimDuration::from_secs(2),
             push_interval: Some(SimDuration::from_secs(1)),
             extra_congestion: Vec::new(),
+            subscribe_ranks: Vec::new(),
         }
     }
 
@@ -358,6 +370,72 @@ fn build_shard(cfg: &FullShardConfig, shard: usize) -> WorldShard {
         let _ = MonitorQuery::job_stats_tree(b).send(w, eng);
     });
 
+    // Streaming subscribers attached at their local relays: steady
+    // root -> leaf fan-out traffic through the TBON-distributed
+    // subscription plane, riding out the storm. Subscribe and poll
+    // RPCs originate at the root (the client vantage), so the handles
+    // only resolve on the root-owner shard — exactly where the
+    // delivered-delta records must be emitted. A poll whose serving
+    // broker is down (or whose relay was rebuilt, forgetting the id)
+    // errors deterministically and records nothing.
+    for &sub_rank in &cfg.subscribe_ranks {
+        // The subscribe handshake rides fire-and-forget tree events
+        // (climb + seed), so under the lossy fault plan an attempt can
+        // vanish; like any production client, retry on timeout until
+        // one attempt lands. All attempts and retries are driven by
+        // client-visible state, so the traffic replays identically on
+        // every shard count.
+        let attempts: Rc<RefCell<Vec<QueryHandle>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4u64 {
+            let attempts = Rc::clone(&attempts);
+            let at = SimTime::from_secs(6) + SimDuration::from_millis(1500 * i);
+            eng.schedule(at, move |w: &mut World, eng| {
+                let landed = attempts
+                    .borrow()
+                    .iter()
+                    .any(|q| matches!(q.subscription(), Some(Ok(_))));
+                if landed {
+                    return;
+                }
+                let q = MonitorQuery::subscribe(SubscriptionFilter::all())
+                    .at(Rank(sub_rank))
+                    .send(w, eng);
+                attempts.borrow_mut().push(q);
+            });
+        }
+        for k in 0..8u64 {
+            let attempts = Rc::clone(&attempts);
+            let at = SimTime::from_secs(10 + 5 * k);
+            eng.schedule(at, move |w: &mut World, eng| {
+                let id = attempts
+                    .borrow()
+                    .iter()
+                    .find_map(|q| match q.subscription() {
+                        Some(Ok(id)) => Some(id),
+                        _ => None,
+                    });
+                let Some(id) = id else { return };
+                let q = MonitorQuery::poll(id, 4096).at(Rank(sub_rank)).send(w, eng);
+                eng.schedule(
+                    at + SimDuration::from_millis(900),
+                    move |w: &mut World, _| {
+                        if let Some(Ok(batch)) = q.deltas() {
+                            for d in &batch.deltas {
+                                w.record(
+                                    at,
+                                    sub_rank,
+                                    fluxpm_flux::shard::rec::RELAY_DELIVER,
+                                    d.seq,
+                                    u64::from(d.node),
+                                );
+                            }
+                        }
+                    },
+                );
+            });
+        }
+    }
+
     // --- Scripted storm prefix -------------------------------------
     // t=12: a batch of interior ranks dies at once; t=22: recovery.
     eng.schedule(SimTime::from_secs(12), move |w: &mut World, eng| {
@@ -449,6 +527,43 @@ mod tests {
                 records.iter().any(|r| r.code == code),
                 "no record with code {code}"
             );
+        }
+    }
+
+    #[test]
+    fn relay_streams_agree_across_shard_counts() {
+        // Subscribers at an interior rank and a deep leaf, chosen to
+        // dodge the scripted t=12 batch kill (ranks 1..=2 at 16
+        // nodes) so the streams stay live through the storm prefix.
+        let mut base = FullShardConfig::new(16, 1, 13);
+        base.subscribe_ranks = vec![5, 15];
+        let (records, one) = full_shard_run(&base);
+        let delivered = records
+            .iter()
+            .filter(|r| r.code == fluxpm_flux::shard::rec::RELAY_DELIVER)
+            .count();
+        assert!(
+            delivered > 20,
+            "relay subscribers must stream through the storm, got {delivered}"
+        );
+        // Both subscriber vantages must appear in the record stream.
+        for rank in [5u32, 15] {
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.code == fluxpm_flux::shard::rec::RELAY_DELIVER && r.rank == rank),
+                "no delivered deltas recorded at rank {rank}"
+            );
+        }
+        for shards in [2usize, 4, 8] {
+            let mut cfg = base.clone();
+            cfg.shards = shards;
+            let (_, n) = full_shard_run(&cfg);
+            assert_eq!(
+                one.trace_hash, n.trace_hash,
+                "per-subscriber relay streams diverged: shards=1 vs {shards}"
+            );
+            assert_eq!(one.records, n.records);
         }
     }
 

@@ -55,6 +55,31 @@ pub trait Module: 'static {
         let _ = ctx;
     }
 
+    /// Called on every live broker's modules after the TBON topology
+    /// epoch changes — congestion re-parenting, node death (including
+    /// root failover), broker rejoin, and `rebalance_tbon`. Modules
+    /// that cache tree-shape state (a parent to advertise to, per-child
+    /// routing filters) refresh it here. `ctx.rank` is the rank the
+    /// module runs on; the new topology is already in place. Default:
+    /// no-op.
+    ///
+    /// Notification is gated: the world skips the all-ranks walk until
+    /// some module calls
+    /// [`World::engage_topology_watch`](crate::World::engage_topology_watch)
+    /// — do that the moment the first tree-shape state worth refreshing
+    /// appears, or this hook will never fire.
+    fn on_topology_change(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Downcast support for co-located module collaboration. A module
+    /// that wants same-rank peers to reach its concrete type (e.g. a
+    /// relay handing work to a root service on the same broker) returns
+    /// `Some(self)`; the default opts out.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+
     /// Fold this module's current derived state into one [`StateValue`]
     /// for the instance [state log](crate::StateLog). Root services that
     /// record [`StateEvent`]s implement this so periodic snapshots can

@@ -213,6 +213,9 @@ pub mod rec {
     /// Full-fidelity world: job lifecycle on the root shard
     /// (a = job id, b = 0 submit / 1 start / 2 complete / 3 failed).
     pub const JOB_EVENT: u8 = 13;
+    /// Full-fidelity world: a telemetry relay delivered one delta into
+    /// a local subscriber queue (a = subscriber id, b = delta seq).
+    pub const RELAY_DELIVER: u8 = 14;
 }
 
 /// One entry of the sharded storm's event stream. The tuple of all

@@ -922,6 +922,12 @@ pub struct World {
     congestion_drops: u64,
     /// Congestion-triggered re-parents performed by the link monitor.
     congestion_reparents: u64,
+    /// Whether any module has cached tree-shape state that
+    /// [`Module::on_topology_change`] must refresh (see
+    /// [`World::engage_topology_watch`]). Monotone: stays `false` —
+    /// and topology-change notification stays free — until the first
+    /// module opts in.
+    topology_watch_engaged: bool,
     /// Dedicated RNG stream for retry-backoff jitter, derived from the
     /// world seed — retries stay decorrelated *and* replayable.
     retry_rng: Xoshiro256pp,
@@ -993,6 +999,7 @@ impl World {
             link_health: LinkHealthConfig::default(),
             congestion_drops: 0,
             congestion_reparents: 0,
+            topology_watch_engaged: false,
             retry_rng,
             dropped_messages: 0,
             rpc_timeouts: 0,
@@ -1963,6 +1970,55 @@ impl World {
                     self.tbon.epoch()
                 ),
             );
+            self.notify_topology_change(eng);
+        }
+    }
+
+    /// Opt this world into topology-change notification: from now on,
+    /// every topology-epoch bump invokes
+    /// [`Module::on_topology_change`](crate::Module::on_topology_change)
+    /// on every live broker's modules. Modules call this the moment
+    /// they first cache tree-shape state worth refreshing (a relay
+    /// accepting its first subscription or child advert); until then
+    /// the per-event notification scan is skipped entirely, so worlds
+    /// with no such state pay one branch per membership change instead
+    /// of an all-ranks module walk. Monotone by design — there is no
+    /// disengage, which keeps the flag trivially consistent across
+    /// sharded replicas (a replica that never hosts watcher state
+    /// skips only calls that would have been no-ops on its ranks).
+    pub fn engage_topology_watch(&mut self) {
+        self.topology_watch_engaged = true;
+    }
+
+    /// Invoke [`Module::on_topology_change`] on every live, attached
+    /// broker's modules after a topology-epoch bump. Iteration order is
+    /// deterministic (rank order, then sorted module names) so sharded
+    /// replicas — which only host modules on ranks they own — stay
+    /// byte-identical regardless of partitioning. Free until the first
+    /// [`World::engage_topology_watch`] call.
+    fn notify_topology_change(&mut self, eng: &mut FluxEngine) {
+        if !self.topology_watch_engaged {
+            return;
+        }
+        let mut targets: Vec<(Rank, SharedModule)> = Vec::new();
+        for r in 0..self.size() {
+            let rank = Rank(r);
+            if !self.brokers[r as usize].is_up() || !self.tbon.is_attached(rank) {
+                continue;
+            }
+            for name in self.brokers[r as usize].module_names() {
+                if let Some(m) = self.brokers[r as usize].module(name) {
+                    targets.push((rank, m));
+                }
+            }
+        }
+        for (rank, module) in targets {
+            let mut ctx = ModuleCtx {
+                world: self,
+                eng,
+                rank,
+            };
+            module.borrow_mut().on_topology_change(&mut ctx);
         }
     }
 
@@ -2373,6 +2429,10 @@ impl World {
             // Tear the job down without returning any failed node.
             self.finish_job_withholding(eng, job, eng.now(), JobState::Failed, &batch);
         }
+        // The overlay healed above (detach re-parenting, root
+        // failover): let surviving modules refresh cached tree-shape
+        // state now that the batch's full effect is in place.
+        self.notify_topology_change(eng);
     }
 
     /// Root failover: elect the lowest live rank, promote it in the
@@ -2522,6 +2582,7 @@ impl World {
         if resurrected {
             self.resurrect_root_services(eng, rank);
         }
+        self.notify_topology_change(eng);
         true
     }
 
@@ -2551,6 +2612,7 @@ impl World {
                     self.tbon.epoch()
                 ),
             );
+            self.notify_topology_change(eng);
         }
         changed
     }

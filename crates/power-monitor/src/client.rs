@@ -24,7 +24,7 @@ use crate::proto::{
 };
 use crate::subscription::{SubscriberId, SubscriptionFilter};
 use crate::tree_reduce::SubtreeStats;
-use fluxpm_flux::{FluxEngine, JobId, Protocol, RetryPolicy, World};
+use fluxpm_flux::{FluxEngine, JobId, Protocol, Rank, RetryPolicy, World};
 use fluxpm_sim::SimDuration;
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -54,12 +54,17 @@ pub enum QueryKind {
 }
 
 /// One monitor query under construction: what to ask, plus optional
-/// per-call delivery knobs. Always addressed to the *current* root —
-/// after a failover it reaches the promoted successor.
+/// per-call delivery knobs. By default addressed to the *current* root —
+/// after a failover it reaches the promoted successor. Subscription
+/// verbs can instead attach to any broker with [`MonitorQuery::at`]: the
+/// per-broker relay there serves the subscriber queue, and later polls
+/// and unsubscribes must target the same rank (subscriber ids are local
+/// to the serving relay).
 #[derive(Debug, Clone, PartialEq)]
 #[must_use = "a query does nothing until sent"]
 pub struct MonitorQuery {
     kind: QueryKind,
+    target: Option<Rank>,
     deadline: Option<SimDuration>,
     retry: Option<RetryPolicy>,
 }
@@ -68,6 +73,7 @@ impl MonitorQuery {
     fn new(kind: QueryKind) -> MonitorQuery {
         MonitorQuery {
             kind,
+            target: None,
             deadline: None,
             retry: None,
         }
@@ -106,6 +112,15 @@ impl MonitorQuery {
     /// Drain up to `max` pending deltas from a subscription.
     pub fn poll(sub: SubscriberId, max: usize) -> MonitorQuery {
         MonitorQuery::new(QueryKind::Poll { sub, max })
+    }
+
+    /// Address the query to a specific broker rank instead of the
+    /// current root. The natural home for subscription verbs: a client
+    /// attaches to its nearest broker and the relay there serves it,
+    /// keeping the root out of the per-subscriber path entirely.
+    pub fn at(mut self, rank: Rank) -> MonitorQuery {
+        self.target = Some(rank);
+        self
     }
 
     /// Arm a response deadline: if the root does not answer in time the
@@ -175,8 +190,8 @@ impl MonitorQuery {
             QueryKind::Unsubscribe(sub) => MonitorRequest::Unsubscribe(UnsubscribeRequest { sub }),
             QueryKind::Poll { sub, max } => MonitorRequest::Poll(PollRequest { sub, max }),
         };
-        let root = world.root();
-        let mut rpc = world.rpc(root, req.topic(), req.encode());
+        let to = self.target.unwrap_or_else(|| world.root());
+        let mut rpc = world.rpc(to, req.topic(), req.encode());
         if let Some(deadline) = self.deadline {
             rpc = rpc.deadline(deadline);
         }

@@ -13,6 +13,11 @@
 //! * [`client`] — the external client (a Python script in the paper):
 //!   takes a job id, resolves the job's nodes and time window, requests
 //!   the data, and renders CSV with a completeness flag per node.
+//! * [`TelemetryRelay`] — runs on every rank; distributes the streaming
+//!   subscription plane down the TBON (per-broker subscriber queues,
+//!   upward filter aggregation, downward delta coalescing) so the root
+//!   pays O(fanout), not O(subscribers), per published delta (see
+//!   [`relay`]).
 //!
 //! Every sensor read charges its host-CPU cost to the node via
 //! [`fluxpm_flux::World::charge_overhead`], which the job executor turns
@@ -24,10 +29,14 @@ pub mod client;
 pub mod config;
 pub mod node_agent;
 pub mod proto;
+pub mod relay;
 pub mod ring;
 pub mod root_agent;
 pub mod subscription;
 pub mod tree_reduce;
+
+/// Default per-TBON-edge pending-batch capacity in the relay plane.
+pub const DEFAULT_RELAY_BATCH_CAPACITY: usize = 1024;
 
 pub use client::{
     job_data_rows, job_data_to_csv, link_stats_rows, link_stats_to_csv, rpc_stats_rows,
@@ -37,12 +46,14 @@ pub use config::MonitorConfig;
 pub use node_agent::NodeAgent;
 pub use proto::{
     DeltaBatch, JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply,
-    MonitorRequest, NodeDataReply, NodeDataRequest, NodeStats, PowerRecord, SamplePush,
+    MonitorRequest, NodeDataReply, NodeDataRequest, NodeStats, PowerRecord, RelayAdvert,
+    RelayDeltaBatch, RelaySeedReply, RelaySubscribeRequest, SamplePush,
 };
+pub use relay::{AggregateFilter, RelayPlane, TelemetryRelay, MAX_AGGREGATE_TERMS, RELAY};
 pub use ring::RingBuffer;
-pub use root_agent::RootAgent;
+pub use root_agent::{RootAgent, ROOT_AGENT};
 pub use subscription::{
-    LinkSample, SubscriberId, SubscriberStats, SubscriptionConfig, SubscriptionFilter,
+    FilterError, LinkSample, SubscriberId, SubscriberStats, SubscriptionConfig, SubscriptionFilter,
     TelemetryDelta, TelemetryHub,
 };
 pub use tree_reduce::{SubtreeStats, SubtreeStatsRequest};
@@ -65,14 +76,23 @@ use fluxpm_flux::{FluxEngine, World};
 /// registered root-service factory.
 pub fn load(world: &mut World, eng: &mut FluxEngine, config: MonitorConfig) -> bool {
     let mut ok = true;
+    let build_relay = |config: &MonitorConfig| {
+        std::rc::Rc::new(std::cell::RefCell::new(TelemetryRelay::new(
+            config.subscription_config(),
+            config.relay_batch_capacity,
+            config.relay_flush_interval,
+        )))
+    };
     for rank in world.tbon.ranks().collect::<Vec<_>>() {
         let agent = NodeAgent::shared(config.clone());
         ok &= world.load_module(eng, rank, agent);
+        ok &= world.load_module(eng, rank, build_relay(&config));
     }
     let root = world.root();
     let build_root_agent = |config: &MonitorConfig| {
         let mut agent =
-            RootAgent::with_subscriptions(config.rpc_deadline, config.subscription_config());
+            RootAgent::with_subscriptions(config.rpc_deadline, config.subscription_config())
+                .with_relay_batching(config.relay_batch_capacity, config.relay_flush_interval);
         if let Some(every) = config.link_export_interval {
             agent = agent.with_link_export(every);
         }
@@ -87,6 +107,10 @@ pub fn load(world: &mut World, eng: &mut FluxEngine, config: MonitorConfig) -> b
                 std::rc::Rc::new(std::cell::RefCell::new(build_root_agent(&config)));
             m
         });
+    }
+    {
+        let config = config.clone();
+        world.register_module_factory(move |_rank| build_relay(&config));
     }
     world.register_module_factory(move |_rank| NodeAgent::shared(config.clone()));
     ok

@@ -6,7 +6,10 @@
 //! tracking, no subscriptions, just a timer and a ring buffer. When
 //! [`MonitorConfig::push_interval`] is set it additionally pushes its
 //! newest sample up to the root agent on that cadence (still stateless:
-//! job attribution and subscriber fan-out happen at the root).
+//! job attribution and sequence assignment happen at the root, and
+//! subscriber fan-out is distributed back down the TBON by the
+//! per-broker [`crate::TelemetryRelay`] plane — the node agent never
+//! sees any of it).
 
 use crate::config::MonitorConfig;
 use crate::proto::{

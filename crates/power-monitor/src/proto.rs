@@ -254,6 +254,58 @@ pub struct DeltaBatch {
     pub dropped: u64,
 }
 
+/// Relay → parent relay: a subscription registered somewhere in the
+/// sender's subtree, climbing to the root for its seed snapshot. Every
+/// hop merges `filter` into the child edge's aggregate *before*
+/// forwarding, so by the time the root snapshots, each edge on the
+/// return path already carries matching deltas — the seed plus the
+/// floored stream is gap-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaySubscribeRequest {
+    /// Token minted by the origin relay to match the seed reply.
+    pub token: u64,
+    /// Rank of the relay holding the pending client request.
+    pub origin: u32,
+    /// The new subscriber's filter.
+    pub filter: crate::subscription::SubscriptionFilter,
+}
+
+/// Root relay → origin relay: the seed snapshot for a climbing
+/// subscription, taken at `horizon` — the origin floors the new
+/// subscriber's stream there, so a delta covered by the seed is never
+/// also delivered from the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaySeedReply {
+    /// The matching [`RelaySubscribeRequest::token`].
+    pub token: u64,
+    /// Latest matching delta per node (power, then link kind).
+    pub deltas: Vec<std::sync::Arc<crate::subscription::TelemetryDelta>>,
+    /// The root hub's next sequence number at snapshot time.
+    pub horizon: u64,
+}
+
+/// Relay → parent relay: authoritative replacement of the sender's
+/// aggregate filter (what its whole subtree wants). Sent when the
+/// aggregate narrows (unsubscribe, eviction) and after every topology
+/// change, so a new parent learns the subtree's interest set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayAdvert {
+    /// The sender's merged subtree filter.
+    pub aggregate: crate::relay::AggregateFilter,
+}
+
+/// Parent relay → child relay: one coalesced batch of deltas the
+/// child's subtree subscribed to, in sequence order. The edge sends one
+/// wire message per flush regardless of how many subscribers sit below
+/// it — the O(fanout) root-egress invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayDeltaBatch {
+    /// Deltas matching the edge's aggregate, oldest first.
+    pub deltas: Vec<std::sync::Arc<crate::subscription::TelemetryDelta>>,
+    /// Deltas this edge has coalesced away under backpressure so far.
+    pub shed: u64,
+}
+
 /// Every request the monitor stack serves, one variant per topic.
 ///
 /// * `NodeData` / `NodeStats` — root agent → node agent window queries
@@ -291,6 +343,15 @@ pub enum MonitorRequest {
     /// Node-agent sample push
     /// ([`crate::subscription::TOPIC_SAMPLE_PUSH`]).
     PushSample(SamplePush),
+    /// Relay → parent: climbing subscription
+    /// ([`crate::relay::TOPIC_RELAY_SUBSCRIBE`]).
+    RelaySubscribe(RelaySubscribeRequest),
+    /// Relay → parent: authoritative aggregate replacement
+    /// ([`crate::relay::TOPIC_RELAY_ADVERT`]).
+    RelayAdvert(RelayAdvert),
+    /// Parent → child: coalesced delta batch
+    /// ([`crate::relay::TOPIC_RELAY_DELTAS`]).
+    RelayDeltas(RelayDeltaBatch),
 }
 
 impl Protocol for MonitorRequest {
@@ -305,6 +366,9 @@ impl Protocol for MonitorRequest {
             MonitorRequest::Unsubscribe(_) => crate::subscription::TOPIC_UNSUBSCRIBE,
             MonitorRequest::Poll(_) => crate::subscription::TOPIC_POLL,
             MonitorRequest::PushSample(_) => crate::subscription::TOPIC_SAMPLE_PUSH,
+            MonitorRequest::RelaySubscribe(_) => crate::relay::TOPIC_RELAY_SUBSCRIBE,
+            MonitorRequest::RelayAdvert(_) => crate::relay::TOPIC_RELAY_ADVERT,
+            MonitorRequest::RelayDeltas(_) => crate::relay::TOPIC_RELAY_DELTAS,
         }
     }
 }
@@ -332,6 +396,9 @@ pub enum MonitorReply {
     Deltas(DeltaBatch),
     /// Sample push acknowledged.
     PushAck,
+    /// Root relay → origin relay: seed for a climbing subscription
+    /// ([`crate::relay::TOPIC_RELAY_SEED`]).
+    RelaySeed(RelaySeedReply),
 }
 
 impl Protocol for MonitorReply {
@@ -346,6 +413,7 @@ impl Protocol for MonitorReply {
             MonitorReply::Unsubscribed(_) => crate::subscription::TOPIC_UNSUBSCRIBE,
             MonitorReply::Deltas(_) => crate::subscription::TOPIC_POLL,
             MonitorReply::PushAck => crate::subscription::TOPIC_SAMPLE_PUSH,
+            MonitorReply::RelaySeed(_) => crate::relay::TOPIC_RELAY_SEED,
         }
     }
 }

@@ -1,0 +1,865 @@
+//! TBON-distributed telemetry fan-out: per-broker relays.
+//!
+//! PR 7's [`TelemetryHub`] made the root pay O(subscribers) work *and
+//! egress* per published delta — a scaling wall on the road to millions
+//! of clients. This module distributes the subscription plane down the
+//! TBON, the same way the paper distributes monitoring up it: no single
+//! broker touches every consumer.
+//!
+//! Every broker hosts a [`TelemetryRelay`] that
+//!
+//! * **serves the subscription API locally** — a client subscribes,
+//!   polls, and unsubscribes against the rank it attaches to; the
+//!   subscriber queue (bounded, shed-oldest, slow-consumer eviction —
+//!   the hub's exact semantics) lives on that broker;
+//! * **aggregates filters upward** — the union of its local
+//!   subscribers' filters and its children's aggregates is advertised
+//!   up its TBON edge as one [`AggregateFilter`], so each tree edge
+//!   carries only deltas some descendant actually wants;
+//! * **coalesces deltas downward** — deltas destined for one edge are
+//!   batched into a single wire message per flush ([`RelayPlane`]), and
+//!   under backpressure a full batch collapses to latest-per-node
+//!   (per kind), preserving the hub's shed-oldest, state-update
+//!   semantics.
+//!
+//! The root therefore publishes each delta **once per interested child
+//! edge** — O(TBON fanout) — instead of once per subscriber. The
+//! authoritative hub (sequence assignment, latest-per-node snapshots,
+//! seed source) stays in the [`RootAgent`], which is a root service and
+//! so survives root failover with its state; the relays are per-rank
+//! modules that rebuild the filter lattice after every topology change
+//! via [`Module::on_topology_change`].
+//!
+//! ## Gap-free subscription hand-off
+//!
+//! A subscription registered at a non-root relay climbs to the root as
+//! a [`RelaySubscribeRequest`]: every hop merges the filter into the
+//! child edge's aggregate *before* forwarding, so by the time the root
+//! snapshots its latest maps (at horizon `H` = the hub's next sequence
+//! number), every edge on the path already carries matching deltas.
+//! The origin relay seeds the new subscriber from the returned snapshot
+//! and floors its stream at `H`: a delta covered by the seed is never
+//! also delivered from the stream (no duplicates), and every delta
+//! published after the snapshot flows down the widened edges (no gaps).
+
+use crate::proto::{
+    DeltaBatch, MonitorReply, MonitorRequest, PollRequest, RelayAdvert, RelayDeltaBatch,
+    RelaySeedReply, RelaySubscribeRequest, SubscribeRequest, UnsubscribeRequest,
+};
+use crate::root_agent::{RootAgent, ROOT_AGENT};
+use crate::subscription::{
+    SubscriptionConfig, SubscriptionFilter, TelemetryDelta, TelemetryHub, TOPIC_POLL,
+    TOPIC_SUBSCRIBE, TOPIC_UNSUBSCRIBE,
+};
+use fluxpm_flux::{Message, Module, ModuleCtx, MsgKind, Protocol, Rank, Topic};
+use fluxpm_sim::SimDuration;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Module name of the per-broker relay.
+pub const RELAY: &str = "power-monitor-relay";
+
+/// Overlay topic: relay → parent relay, a climbing subscription.
+pub const TOPIC_RELAY_SUBSCRIBE: &str = "power-monitor.relay-subscribe";
+/// Overlay topic: root relay → origin relay, the seed snapshot.
+pub const TOPIC_RELAY_SEED: &str = "power-monitor.relay-seed";
+/// Overlay topic: relay → parent relay, authoritative aggregate
+/// replacement.
+pub const TOPIC_RELAY_ADVERT: &str = "power-monitor.relay-advert";
+/// Overlay topic: parent relay → child relay, a coalesced delta batch.
+pub const TOPIC_RELAY_DELTAS: &str = "power-monitor.relay-deltas";
+
+/// Module-timer tag for the periodic pending-batch flush (only armed
+/// when [`MonitorConfig::relay_flush_interval`] is set).
+///
+/// [`MonitorConfig::relay_flush_interval`]: crate::MonitorConfig
+const TIMER_RELAY_FLUSH: u64 = 1;
+
+/// Aggregate terms beyond this collapse to match-everything: past a few
+/// dozen distinct subtree interests, evaluating the union per delta
+/// costs more than just forwarding the stream.
+pub const MAX_AGGREGATE_TERMS: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Aggregate filter lattice
+// ---------------------------------------------------------------------------
+
+/// The union of a subtree's subscription filters, advertised up one
+/// TBON edge. Terms are cadence-free [`SubscriptionFilter`]s (cadence
+/// floors are per-subscriber and applied at the serving relay; the
+/// aggregate must stay conservative, i.e. only ever *widen* what a
+/// member filter matches). The lattice is a join-semilattice under
+/// [`union`](AggregateFilter::union), with the empty aggregate as
+/// bottom and match-everything as top; exceeding
+/// [`MAX_AGGREGATE_TERMS`] jumps to top.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AggregateFilter {
+    all: bool,
+    terms: Vec<SubscriptionFilter>,
+}
+
+impl AggregateFilter {
+    /// Bottom: matches nothing (an edge with no interested subtree).
+    pub fn empty() -> AggregateFilter {
+        AggregateFilter::default()
+    }
+
+    /// Top: matches everything.
+    pub fn everything() -> AggregateFilter {
+        AggregateFilter {
+            all: true,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Whether no delta can match (the edge carries nothing).
+    pub fn is_empty(&self) -> bool {
+        !self.all && self.terms.is_empty()
+    }
+
+    /// Whether every delta matches.
+    pub fn is_all(&self) -> bool {
+        self.all
+    }
+
+    /// Number of distinct terms (0 when collapsed to top or bottom).
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Widen by one member filter. The cadence floor is dropped (it
+    /// never narrows *which* deltas match, only how often one consumer
+    /// sees them) and node sets are normalized so equal interests
+    /// dedupe regardless of spelling order.
+    pub fn insert(&mut self, filter: &SubscriptionFilter) {
+        if self.all {
+            return;
+        }
+        let mut term = filter.clone();
+        term.min_interval_us = 0;
+        if let Some(nodes) = &mut term.nodes {
+            nodes.sort_unstable();
+            nodes.dedup();
+        }
+        if term.job.is_none() && term.nodes.is_none() {
+            *self = AggregateFilter::everything();
+            return;
+        }
+        if !self.terms.contains(&term) {
+            self.terms.push(term);
+        }
+        if self.terms.len() > MAX_AGGREGATE_TERMS {
+            *self = AggregateFilter::everything();
+        }
+    }
+
+    /// Widen by another aggregate (lattice join).
+    pub fn union(&mut self, other: &AggregateFilter) {
+        if other.all {
+            *self = AggregateFilter::everything();
+            return;
+        }
+        for term in &other.terms {
+            self.insert(term);
+        }
+    }
+
+    /// Whether some term matches the delta — i.e. some descendant
+    /// subscriber may want it, so the edge must carry it.
+    pub fn matches(&self, delta: &TelemetryDelta) -> bool {
+        self.all || self.terms.iter().any(|t| t.matches(delta))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-edge batching and coalescing
+// ---------------------------------------------------------------------------
+
+/// One edge's pending downstream batch.
+#[derive(Debug, Default)]
+struct EdgeBatch {
+    deltas: Vec<Arc<TelemetryDelta>>,
+    /// Deltas coalesced or shed on this edge so far (cumulative,
+    /// reported in every [`RelayDeltaBatch`]).
+    shed: u64,
+}
+
+/// Collapse a full batch to the latest delta per (node, kind), keeping
+/// sequence order among survivors. Returns how many were coalesced
+/// away. This is the edge-level analogue of the hub's latest-per-node
+/// snapshot: under backpressure, consumers get *state updates*, not a
+/// replayed firehose.
+fn coalesce(deltas: &mut Vec<Arc<TelemetryDelta>>) -> u64 {
+    let before = deltas.len();
+    let mut seen = std::collections::HashSet::with_capacity(before);
+    let mut keep = vec![false; before];
+    for (i, d) in deltas.iter().enumerate().rev() {
+        if seen.insert((d.node, d.link.is_some())) {
+            keep[i] = true;
+        }
+    }
+    let mut idx = 0;
+    deltas.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    (before - deltas.len()) as u64
+}
+
+/// The downstream fan-out half of a relay: per-child aggregate filters
+/// and per-edge pending batches. Pure (no simulation types beyond rank
+/// numbers), so the root core, the broker relays, and `bench_telemetry`
+/// all drive the same code.
+#[derive(Debug, Default)]
+pub struct RelayPlane {
+    children: BTreeMap<u32, AggregateFilter>,
+    pending: BTreeMap<u32, EdgeBatch>,
+    batch_capacity: usize,
+    egress_msgs: u64,
+    egress_deltas: u64,
+    offered: u64,
+}
+
+impl RelayPlane {
+    /// An empty plane; a full pending batch coalesces, then sheds
+    /// oldest, at `batch_capacity`.
+    pub fn new(batch_capacity: usize) -> RelayPlane {
+        RelayPlane {
+            batch_capacity: batch_capacity.max(1),
+            ..RelayPlane::default()
+        }
+    }
+
+    /// Authoritatively replace one child edge's aggregate (an empty
+    /// aggregate removes the edge — and its pending batch — entirely).
+    pub fn set_child(&mut self, child: u32, aggregate: AggregateFilter) {
+        if aggregate.is_empty() {
+            self.children.remove(&child);
+            self.pending.remove(&child);
+        } else {
+            self.children.insert(child, aggregate);
+        }
+    }
+
+    /// Widen one child edge by a climbing subscription's filter.
+    pub fn merge_child(&mut self, child: u32, filter: &SubscriptionFilter) {
+        self.children.entry(child).or_default().insert(filter);
+    }
+
+    /// Drop edges whose child rank no longer satisfies `keep` (after a
+    /// topology change re-parented them elsewhere). Their pending
+    /// batches are dropped too — the child's new parent serves it now.
+    pub fn retain_children(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        self.children.retain(|&c, _| keep(c));
+        let live = &self.children;
+        self.pending.retain(|c, _| live.contains_key(c));
+    }
+
+    /// The current child edges and their aggregates.
+    pub fn children(&self) -> impl Iterator<Item = (u32, &AggregateFilter)> {
+        self.children.iter().map(|(&c, a)| (c, a))
+    }
+
+    /// The union of every child edge's aggregate — what this relay
+    /// contributes upward on behalf of its subtree.
+    pub fn aggregate(&self) -> AggregateFilter {
+        let mut agg = AggregateFilter::empty();
+        for a in self.children.values() {
+            agg.union(a);
+        }
+        agg
+    }
+
+    /// Stage one delta on every interested edge. A full edge batch
+    /// first coalesces to latest-per-(node, kind); if every entry is
+    /// for a distinct key the oldest is shed instead.
+    pub fn offer(&mut self, delta: &Arc<TelemetryDelta>) {
+        self.offered += 1;
+        let cap = self.batch_capacity;
+        for (&child, agg) in &self.children {
+            if !agg.matches(delta) {
+                continue;
+            }
+            let batch = self.pending.entry(child).or_default();
+            if batch.deltas.len() >= cap {
+                batch.shed += coalesce(&mut batch.deltas);
+                if batch.deltas.len() >= cap {
+                    batch.deltas.remove(0);
+                    batch.shed += 1;
+                }
+            }
+            batch.deltas.push(Arc::clone(delta));
+        }
+    }
+
+    /// Drain every non-empty edge batch: one wire message per edge per
+    /// flush, regardless of how many subscribers sit below it.
+    pub fn flush(&mut self) -> Vec<(u32, RelayDeltaBatch)> {
+        let mut out = Vec::new();
+        for (&child, batch) in self.pending.iter_mut() {
+            if batch.deltas.is_empty() {
+                continue;
+            }
+            let deltas = std::mem::take(&mut batch.deltas);
+            self.egress_msgs += 1;
+            self.egress_deltas += deltas.len() as u64;
+            out.push((
+                child,
+                RelayDeltaBatch {
+                    deltas,
+                    shed: batch.shed,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Wire messages sent downstream so far.
+    pub fn egress_msgs(&self) -> u64 {
+        self.egress_msgs
+    }
+
+    /// Deltas carried by those messages.
+    pub fn egress_deltas(&self) -> u64 {
+        self.egress_deltas
+    }
+
+    /// Deltas offered to this plane so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The broker-resident relay module
+// ---------------------------------------------------------------------------
+
+/// The per-broker relay. See the module docs for the architecture; in
+/// short: local subscriber queues in [`TelemetryHub`], downstream
+/// fan-out in [`RelayPlane`], and an upward [`AggregateFilter`] advert
+/// kept current across unsubscribes, evictions, and topology changes.
+pub struct TelemetryRelay {
+    hub: TelemetryHub,
+    plane: RelayPlane,
+    /// Client subscribes parked until the root's seed arrives, by
+    /// climb token.
+    pending_subs: BTreeMap<u64, (Message, SubscriptionFilter)>,
+    next_token: u64,
+    /// The aggregate last advertised upward (`None` forces the next
+    /// advert, e.g. after a re-parent put a new relay above us).
+    advertised: Option<AggregateFilter>,
+    flush_every: Option<SimDuration>,
+    /// Monotonic ingest high-water mark: sequence numbers below this
+    /// were already ingested here. Normal tree flow is strictly
+    /// increasing per edge; the guard only fires when re-parenting
+    /// races an in-flight batch from the *old* parent, where
+    /// latest-state semantics make dropping the stale copy correct
+    /// (and duplicate-free).
+    next_ingest: u64,
+}
+
+impl TelemetryRelay {
+    /// A relay with the given subscriber bounds, edge batch capacity,
+    /// and flush cadence (`None` flushes synchronously per ingest —
+    /// still one wire message per edge per upstream batch).
+    pub fn new(
+        subs: SubscriptionConfig,
+        batch_capacity: usize,
+        flush_every: Option<SimDuration>,
+    ) -> TelemetryRelay {
+        TelemetryRelay {
+            hub: TelemetryHub::new(subs),
+            plane: RelayPlane::new(batch_capacity),
+            pending_subs: BTreeMap::new(),
+            next_token: 1,
+            advertised: None,
+            flush_every,
+            next_ingest: 0,
+        }
+    }
+
+    /// The local subscriber hub (diagnostics and tests).
+    pub fn hub(&self) -> &TelemetryHub {
+        &self.hub
+    }
+
+    /// The downstream fan-out plane (diagnostics and tests).
+    pub fn plane(&self) -> &RelayPlane {
+        &self.plane
+    }
+
+    /// Client subscribes still waiting on their root seed.
+    pub fn pending_subscribes(&self) -> usize {
+        self.pending_subs.len()
+    }
+
+    /// Absorb a delta handed over synchronously by the co-located root
+    /// agent (the root rank's local dispatch path — no wire hop, no
+    /// plane forwarding: the root core owns the downstream edges).
+    pub fn ingest_direct(&mut self, delta: &Arc<TelemetryDelta>) -> usize {
+        if delta.seq < self.next_ingest {
+            return 0;
+        }
+        self.next_ingest = delta.seq + 1;
+        self.hub.ingest(delta)
+    }
+
+    /// Drain this relay's downstream edges into the child map of a
+    /// root core absorbing it (the broker just became the root, so the
+    /// core — which migrated here with its state — takes over the
+    /// edges this relay was serving).
+    pub fn take_children(&mut self) -> Vec<(u32, AggregateFilter)> {
+        self.plane.pending.clear();
+        std::mem::take(&mut self.plane.children)
+            .into_iter()
+            .collect()
+    }
+
+    fn is_root(ctx: &ModuleCtx<'_>) -> bool {
+        ctx.rank == ctx.world.root()
+    }
+
+    /// Run `f` against the co-located root agent's concrete type.
+    /// `None` when this rank does not host the root agent.
+    fn with_root_agent<R>(
+        ctx: &mut ModuleCtx<'_>,
+        f: impl FnOnce(&mut RootAgent) -> R,
+    ) -> Option<R> {
+        let module = ctx.world.brokers[ctx.rank.index()].module(ROOT_AGENT)?;
+        let mut guard = module.borrow_mut();
+        let agent = guard.as_any_mut()?.downcast_mut::<RootAgent>()?;
+        Some(f(agent))
+    }
+
+    fn send_event(
+        ctx: &mut ModuleCtx<'_>,
+        to: Rank,
+        topic: &'static str,
+        payload: fluxpm_flux::Payload,
+    ) {
+        let ev = Message::event(ctx.rank, to, topic, payload);
+        ctx.world.send(ctx.eng, ev);
+    }
+
+    /// Union of everything this relay's subtree wants: local
+    /// subscribers, parked subscribes, and child-edge aggregates.
+    fn subtree_aggregate(&self) -> AggregateFilter {
+        let mut agg = AggregateFilter::empty();
+        for f in self.hub.filters() {
+            agg.insert(f);
+        }
+        for (_, f) in self.pending_subs.values() {
+            agg.insert(f);
+        }
+        agg.union(&self.plane.aggregate());
+        agg
+    }
+
+    /// Advertise the subtree aggregate up the current parent edge when
+    /// it changed (a topology change resets `advertised` to `None`
+    /// first, forcing the comparison). The advert is an authoritative
+    /// replacement, so narrowing converges without tombstones. An empty
+    /// aggregate is only sent when *narrowing* from a previously
+    /// advertised non-empty one — a parent with no edge state for us
+    /// (fresh after a re-parent, or at load) needs no announcement, so
+    /// subscription-free instances stay wire-silent.
+    fn maybe_advertise(&mut self, ctx: &mut ModuleCtx<'_>) {
+        if Self::is_root(ctx) {
+            return;
+        }
+        let Some(parent) = ctx.world.tbon.parent(ctx.rank) else {
+            return;
+        };
+        let agg = self.subtree_aggregate();
+        if self.advertised.as_ref() == Some(&agg) {
+            return;
+        }
+        let narrowing = matches!(&self.advertised, Some(prev) if !prev.is_empty());
+        self.advertised = Some(agg.clone());
+        if agg.is_empty() && !narrowing {
+            return;
+        }
+        let req = MonitorRequest::RelayAdvert(RelayAdvert { aggregate: agg });
+        Self::send_event(ctx, parent, TOPIC_RELAY_ADVERT, req.encode());
+    }
+
+    fn flush_downstream(&mut self, ctx: &mut ModuleCtx<'_>) {
+        for (child, batch) in self.plane.flush() {
+            let req = MonitorRequest::RelayDeltas(batch);
+            Self::send_event(ctx, Rank(child), TOPIC_RELAY_DELTAS, req.encode());
+        }
+    }
+
+    fn on_subscribe(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: SubscribeRequest) {
+        if let Err(e) = req.filter.validate() {
+            ctx.world
+                .respond_error(ctx.eng, msg, format!("invalid filter: {e}"));
+            return;
+        }
+        // First tree-shape state in this world: start receiving
+        // topology-change notifications (free until now).
+        ctx.world.engage_topology_watch();
+        if Self::is_root(ctx) {
+            // Synchronous path: the authoritative hub is co-located.
+            let seeded = Self::with_root_agent(ctx, |agent| agent.seed_for(&req.filter));
+            let Some((seed, horizon)) = seeded else {
+                ctx.world
+                    .respond_error(ctx.eng, msg, "monitor root agent not loaded");
+                return;
+            };
+            self.next_ingest = self.next_ingest.max(horizon);
+            let id = self.hub.subscribe_seeded(req.filter, &seed, horizon);
+            ctx.world
+                .respond(ctx.eng, msg, MonitorReply::Subscribed(id).encode());
+            return;
+        }
+        let Some(parent) = ctx.world.tbon.parent(ctx.rank) else {
+            ctx.world
+                .respond_error(ctx.eng, msg, "relay is detached from the overlay");
+            return;
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending_subs
+            .insert(token, (msg.clone(), req.filter.clone()));
+        let climb = MonitorRequest::RelaySubscribe(RelaySubscribeRequest {
+            token,
+            origin: ctx.rank.0,
+            filter: req.filter,
+        });
+        Self::send_event(ctx, parent, TOPIC_RELAY_SUBSCRIBE, climb.encode());
+    }
+
+    fn on_relay_subscribe(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        msg: &Message,
+        req: RelaySubscribeRequest,
+    ) {
+        let child = msg.from.0;
+        ctx.world.engage_topology_watch();
+        if Self::is_root(ctx) {
+            // Widen the child edge in the *core's* plane (it owns the
+            // root's downstream edges), snapshot, and answer the origin.
+            let reply = Self::with_root_agent(ctx, |agent| {
+                agent.merge_child(child, &req.filter);
+                agent.seed_for(&req.filter)
+            });
+            let Some((deltas, horizon)) = reply else {
+                return;
+            };
+            let seed = MonitorReply::RelaySeed(RelaySeedReply {
+                token: req.token,
+                deltas,
+                horizon,
+            });
+            Self::send_event(ctx, Rank(req.origin), TOPIC_RELAY_SEED, seed.encode());
+            return;
+        }
+        // Widen our edge to the child *before* forwarding, so deltas
+        // the root publishes after snapshotting already flow through
+        // here on their way to the origin.
+        self.plane.merge_child(child, &req.filter);
+        if let Some(parent) = ctx.world.tbon.parent(ctx.rank) {
+            let climb = MonitorRequest::RelaySubscribe(req);
+            Self::send_event(ctx, parent, TOPIC_RELAY_SUBSCRIBE, climb.encode());
+        }
+    }
+
+    fn on_relay_seed(&mut self, ctx: &mut ModuleCtx<'_>, reply: RelaySeedReply) {
+        let Some((request, filter)) = self.pending_subs.remove(&reply.token) else {
+            // A duplicate seed (re-issued climb after a topology
+            // change) — the first one registered the subscriber.
+            return;
+        };
+        self.next_ingest = self.next_ingest.max(reply.horizon);
+        let id = self
+            .hub
+            .subscribe_seeded(filter, &reply.deltas, reply.horizon);
+        ctx.world
+            .respond(ctx.eng, &request, MonitorReply::Subscribed(id).encode());
+    }
+
+    fn on_unsubscribe(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: UnsubscribeRequest) {
+        let existed = self.hub.unsubscribe(req.sub);
+        ctx.world
+            .respond(ctx.eng, msg, MonitorReply::Unsubscribed(existed).encode());
+        if existed {
+            self.maybe_advertise(ctx);
+        }
+    }
+
+    fn on_poll(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: PollRequest) {
+        match self.hub.poll(req.sub, req.max) {
+            Some((deltas, dropped)) => {
+                let batch = DeltaBatch { deltas, dropped };
+                ctx.world
+                    .respond(ctx.eng, msg, MonitorReply::Deltas(batch).encode());
+            }
+            None => {
+                ctx.world
+                    .respond_error(ctx.eng, msg, format!("unknown subscriber {}", req.sub))
+            }
+        }
+    }
+
+    fn on_relay_advert(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, advert: RelayAdvert) {
+        let child = msg.from.0;
+        // Ignore adverts from ranks that are no longer our children —
+        // a late message crossing a re-parent must not resurrect a
+        // pruned edge.
+        if !ctx.world.tbon.children(ctx.rank).contains(&msg.from) {
+            return;
+        }
+        ctx.world.engage_topology_watch();
+        if Self::is_root(ctx) {
+            Self::with_root_agent(ctx, |agent| agent.set_child(child, advert.aggregate));
+            return;
+        }
+        self.plane.set_child(child, advert.aggregate);
+        self.maybe_advertise(ctx);
+    }
+
+    fn on_relay_deltas(&mut self, ctx: &mut ModuleCtx<'_>, batch: RelayDeltaBatch) {
+        let evicted_before = self.hub.evicted();
+        for delta in &batch.deltas {
+            if delta.seq < self.next_ingest {
+                continue;
+            }
+            self.next_ingest = delta.seq + 1;
+            self.hub.ingest(delta);
+            self.plane.offer(delta);
+        }
+        if self.flush_every.is_none() {
+            self.flush_downstream(ctx);
+        }
+        if self.hub.evicted() != evicted_before {
+            // Evictions may have narrowed what this subtree wants.
+            self.maybe_advertise(ctx);
+        }
+    }
+}
+
+impl Module for TelemetryRelay {
+    fn name(&self) -> &'static str {
+        RELAY
+    }
+
+    fn topics(&self) -> Vec<Topic> {
+        vec![
+            TOPIC_SUBSCRIBE.into(),
+            TOPIC_UNSUBSCRIBE.into(),
+            TOPIC_POLL.into(),
+            TOPIC_RELAY_SUBSCRIBE.into(),
+            TOPIC_RELAY_SEED.into(),
+            TOPIC_RELAY_ADVERT.into(),
+            TOPIC_RELAY_DELTAS.into(),
+        ]
+    }
+
+    fn load(&mut self, ctx: &mut ModuleCtx<'_>) {
+        if let Some(every) = self.flush_every {
+            let start = ctx.eng.now() + every;
+            ctx.world.schedule_module_timer(
+                ctx.eng,
+                ctx.rank,
+                RELAY,
+                start,
+                every,
+                TIMER_RELAY_FLUSH,
+            );
+        }
+    }
+
+    fn timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
+        if tag == TIMER_RELAY_FLUSH {
+            self.flush_downstream(ctx);
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        match msg.kind {
+            MsgKind::Request => match MonitorRequest::decode(msg) {
+                Ok(MonitorRequest::Subscribe(req)) => self.on_subscribe(ctx, msg, req),
+                Ok(MonitorRequest::Unsubscribe(req)) => self.on_unsubscribe(ctx, msg, req),
+                Ok(MonitorRequest::Poll(req)) => self.on_poll(ctx, msg, req),
+                Ok(_) => {}
+                Err(e) => ctx.world.respond_error(ctx.eng, msg, e.reason),
+            },
+            MsgKind::Event => {
+                if msg.topic.as_str() == TOPIC_RELAY_SEED {
+                    if let Ok(MonitorReply::RelaySeed(seed)) = MonitorReply::decode(msg) {
+                        self.on_relay_seed(ctx, seed);
+                    }
+                    return;
+                }
+                match MonitorRequest::decode(msg) {
+                    Ok(MonitorRequest::RelaySubscribe(req)) => {
+                        self.on_relay_subscribe(ctx, msg, req)
+                    }
+                    Ok(MonitorRequest::RelayAdvert(advert)) => {
+                        self.on_relay_advert(ctx, msg, advert)
+                    }
+                    Ok(MonitorRequest::RelayDeltas(batch)) => self.on_relay_deltas(ctx, batch),
+                    _ => {}
+                }
+            }
+            MsgKind::Response => {}
+        }
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // Idle fast path: with no local subscribers, no child edges, no
+        // parked climbs, and nothing (non-empty) ever advertised, the
+        // repair below is a semantic no-op — and every membership
+        // change notifies every broker's relay, so subscription-free
+        // worlds hit this on all ranks on every storm event.
+        if self.pending_subs.is_empty()
+            && self.hub.subscriber_count() == 0
+            && self.plane.children().next().is_none()
+            && self.advertised.as_ref().is_none_or(|a| a.is_empty())
+        {
+            return;
+        }
+        // Edges to ranks that re-parented elsewhere are dropped — their
+        // new parent serves them once their (forced) advert lands.
+        let children = ctx.world.tbon.children(ctx.rank);
+        self.plane.retain_children(|c| children.contains(&Rank(c)));
+        // The parent may be new: re-advertise unconditionally so it
+        // learns this subtree's interests, and re-issue parked climbs
+        // whose original may have died with the old path.
+        self.advertised = None;
+        self.maybe_advertise(ctx);
+        if !Self::is_root(ctx) {
+            if let Some(parent) = ctx.world.tbon.parent(ctx.rank) {
+                let parked: Vec<(u64, SubscriptionFilter)> = self
+                    .pending_subs
+                    .iter()
+                    .map(|(&t, (_, f))| (t, f.clone()))
+                    .collect();
+                for (token, filter) in parked {
+                    let climb = MonitorRequest::RelaySubscribe(RelaySubscribeRequest {
+                        token,
+                        origin: ctx.rank.0,
+                        filter,
+                    });
+                    Self::send_event(ctx, parent, TOPIC_RELAY_SUBSCRIBE, climb.encode());
+                }
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxpm_flux::JobId;
+
+    fn delta(seq: u64, node: u32, ts: u64, job: Option<JobId>) -> Arc<TelemetryDelta> {
+        Arc::new(TelemetryDelta {
+            seq,
+            node,
+            timestamp_us: ts,
+            node_w: 1.0,
+            job,
+            link: None,
+        })
+    }
+
+    #[test]
+    fn aggregate_unions_and_dedupes_terms() {
+        let mut agg = AggregateFilter::empty();
+        assert!(agg.is_empty());
+        agg.insert(&SubscriptionFilter::all().with_nodes(vec![3, 1]));
+        agg.insert(&SubscriptionFilter::all().with_nodes(vec![1, 3, 3]));
+        assert_eq!(agg.term_count(), 1, "normalized node sets dedupe");
+        agg.insert(&SubscriptionFilter::all().with_job(JobId(7)));
+        assert_eq!(agg.term_count(), 2);
+
+        assert!(agg.matches(&delta(0, 1, 0, None)));
+        assert!(agg.matches(&delta(0, 9, 0, Some(JobId(7)))));
+        assert!(!agg.matches(&delta(0, 9, 0, Some(JobId(8)))));
+
+        // Cadence floors never narrow the aggregate.
+        let mut slow = AggregateFilter::empty();
+        slow.insert(&SubscriptionFilter::all().with_min_interval_us(1_000_000));
+        assert!(slow.is_all(), "cadence-only filter widens to everything");
+    }
+
+    #[test]
+    fn aggregate_collapses_to_everything_past_term_cap() {
+        let mut agg = AggregateFilter::empty();
+        for n in 0..(MAX_AGGREGATE_TERMS as u32 + 1) {
+            agg.insert(&SubscriptionFilter::all().with_nodes(vec![n]));
+        }
+        assert!(agg.is_all());
+        assert!(agg.matches(&delta(0, 10_000, 0, None)));
+    }
+
+    #[test]
+    fn plane_routes_by_edge_aggregate_and_batches_per_flush() {
+        let mut plane = RelayPlane::new(64);
+        let mut left = AggregateFilter::empty();
+        left.insert(&SubscriptionFilter::all().with_nodes(vec![1]));
+        plane.set_child(1, left);
+        plane.set_child(2, AggregateFilter::everything());
+
+        plane.offer(&delta(0, 1, 0, None));
+        plane.offer(&delta(1, 5, 0, None));
+        let flushed = plane.flush();
+        // Edge 1 wanted only node 1; edge 2 wanted both — yet each edge
+        // got exactly one wire message.
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed[0].0, 1);
+        assert_eq!(flushed[0].1.deltas.len(), 1);
+        assert_eq!(flushed[1].1.deltas.len(), 2);
+        assert_eq!(plane.egress_msgs(), 2);
+        assert_eq!(plane.egress_deltas(), 3);
+        assert!(plane.flush().is_empty(), "drained");
+    }
+
+    #[test]
+    fn full_edge_batch_coalesces_to_latest_per_node_then_sheds_oldest() {
+        let mut plane = RelayPlane::new(4);
+        plane.set_child(1, AggregateFilter::everything());
+        // 8 deltas over 2 nodes: the batch fills at 4, coalesces to the
+        // latest per node, and keeps absorbing.
+        for i in 0..8u64 {
+            plane.offer(&delta(i, (i % 2) as u32, i, None));
+        }
+        let flushed = plane.flush();
+        let seqs: Vec<u64> = flushed[0].1.deltas.iter().map(|d| d.seq).collect();
+        // Survivors stay in sequence order and end with the newest of
+        // each node.
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "in order: {seqs:?}");
+        assert!(seqs.contains(&6) && seqs.contains(&7), "{seqs:?}");
+        assert!(flushed[0].1.shed > 0, "coalescing was reported");
+
+        // All-distinct keys: coalescing cannot help, so the oldest is
+        // shed instead (shed-oldest semantics preserved).
+        let mut plane = RelayPlane::new(2);
+        plane.set_child(1, AggregateFilter::everything());
+        for i in 0..3u64 {
+            plane.offer(&delta(i, i as u32, i, None));
+        }
+        let flushed = plane.flush();
+        let seqs: Vec<u64> = flushed[0].1.deltas.iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(flushed[0].1.shed, 1);
+    }
+
+    #[test]
+    fn empty_advert_removes_edge() {
+        let mut plane = RelayPlane::new(8);
+        plane.set_child(1, AggregateFilter::everything());
+        plane.offer(&delta(0, 0, 0, None));
+        plane.set_child(1, AggregateFilter::empty());
+        assert!(plane.flush().is_empty(), "edge and pending batch gone");
+        assert_eq!(plane.children().count(), 0);
+    }
+}

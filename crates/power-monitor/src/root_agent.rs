@@ -12,20 +12,25 @@
 //! the instance [state log](fluxpm_flux::StateLog), so even *full*
 //! instance death replays the in-flight set exactly on resurrection.
 //!
-//! It also hosts the [`TelemetryHub`]: node agents push samples up
-//! ([`crate::subscription::TOPIC_SAMPLE_PUSH`]) and the agent fans them
-//! out to registered subscribers with bounded queues and slow-consumer
-//! eviction (see [`crate::subscription`]).
+//! It also hosts the *authoritative* [`TelemetryHub`]: node agents push
+//! samples up ([`crate::subscription::TOPIC_SAMPLE_PUSH`]), the agent
+//! assigns each resulting delta its global sequence number and keeps the
+//! latest-per-node snapshot, then distributes the delta down the TBON —
+//! once per interested child edge via its [`RelayPlane`] — where the
+//! per-broker [`TelemetryRelay`]s fan it out to the subscribers attached
+//! in their subtrees (see [`crate::relay`]). Subscribers attached at the
+//! root rank itself are served by the root rank's co-located relay,
+//! which receives every delta synchronously.
 
 use crate::node_agent::{TOPIC_NODE_DATA, TOPIC_NODE_STATS};
 use crate::proto::{
-    DeltaBatch, JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply,
-    MonitorRequest, NodeDataReply, NodeDataRequest, NodeStats, PollRequest, SamplePush,
-    SubscribeRequest, UnsubscribeRequest,
+    JobDataReply, JobDataRequest, JobStatsReply, JobStatsRequest, MonitorReply, MonitorRequest,
+    NodeDataReply, NodeDataRequest, NodeStats, SamplePush,
 };
+use crate::relay::{AggregateFilter, RelayPlane, TelemetryRelay, RELAY, TOPIC_RELAY_DELTAS};
 use crate::subscription::{
-    LinkSample, SubscriptionConfig, TelemetryHub, TOPIC_POLL, TOPIC_SAMPLE_PUSH, TOPIC_SUBSCRIBE,
-    TOPIC_UNSUBSCRIBE,
+    LinkSample, SubscriptionConfig, SubscriptionFilter, TelemetryDelta, TelemetryHub,
+    TOPIC_SAMPLE_PUSH,
 };
 use fluxpm_flux::{
     FluxEngine, JobState, Message, Module, ModuleCtx, MsgKind, Protocol, Rank, RetryPolicy,
@@ -36,6 +41,7 @@ use fluxpm_sim::{SimDuration, TraceLevel};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Module name, also the key under which state events are logged.
 pub const ROOT_AGENT: &str = "power-monitor-root-agent";
@@ -47,6 +53,11 @@ pub const TOPIC_GET_JOB_STATS: &str = "power-monitor.get-job-stats";
 
 /// Module-timer tag for the periodic link-health export.
 const TIMER_LINK_EXPORT: u64 = 1;
+/// Module-timer tag for the periodic downstream-batch flush (only armed
+/// when [`MonitorConfig::relay_flush_interval`] is set).
+///
+/// [`MonitorConfig::relay_flush_interval`]: crate::MonitorConfig
+const TIMER_RELAY_FLUSH: u64 = 2;
 
 /// In-flight aggregation for one client request.
 struct Aggregation {
@@ -90,8 +101,16 @@ pub struct RootAgent {
     /// reply instead of stalling the aggregation forever.
     deadline: SimDuration,
     inflight: InflightMap,
-    /// The subscription fan-out core.
+    /// The authoritative subscription core: sequence assignment,
+    /// latest-per-node snapshots, and the root rank's own cadence
+    /// bookkeeping. Subscriber queues live in the per-broker relays.
     hub: TelemetryHub,
+    /// Downstream fan-out: per-child-edge aggregate filters and pending
+    /// coalesced batches. Migrates live with the root service.
+    plane: RelayPlane,
+    /// Timer-driven flush cadence (`None` flushes synchronously after
+    /// every publish — one wire message per interested edge per push).
+    flush_every: Option<SimDuration>,
     /// Samples pushed up by node agents (diagnostics).
     pushes_received: u64,
     /// When set, publish every active link's queueing health into the
@@ -122,6 +141,8 @@ impl RootAgent {
             deadline,
             inflight: Rc::new(RefCell::new(BTreeMap::new())),
             hub: TelemetryHub::new(subs),
+            plane: RelayPlane::new(crate::DEFAULT_RELAY_BATCH_CAPACITY),
+            flush_every: None,
             pushes_received: 0,
             link_export_every: None,
             link_exports: 0,
@@ -132,6 +153,18 @@ impl RootAgent {
     pub fn with_link_export(mut self, every: SimDuration) -> RootAgent {
         assert!(!every.is_zero());
         self.link_export_every = Some(every);
+        self
+    }
+
+    /// Tune the downstream fan-out: edge batch capacity and an optional
+    /// timer-driven flush cadence (`None` flushes per publish).
+    pub fn with_relay_batching(
+        mut self,
+        capacity: usize,
+        flush_every: Option<SimDuration>,
+    ) -> RootAgent {
+        self.plane = RelayPlane::new(capacity);
+        self.flush_every = flush_every;
         self
     }
 
@@ -163,6 +196,78 @@ impl RootAgent {
     /// Link-health deltas published into the hub so far.
     pub fn link_exports(&self) -> u64 {
         self.link_exports
+    }
+
+    /// The downstream fan-out plane (diagnostics and tests).
+    pub fn plane(&self) -> &RelayPlane {
+        &self.plane
+    }
+
+    /// Widen one child edge by a climbing subscription's filter
+    /// (called by the co-located relay when a `RelaySubscribe` lands).
+    pub fn merge_child(&mut self, child: u32, filter: &SubscriptionFilter) {
+        self.plane.merge_child(child, filter);
+    }
+
+    /// Authoritatively replace one child edge's aggregate (called by
+    /// the co-located relay when a `RelayAdvert` lands; an empty
+    /// aggregate removes the edge).
+    pub fn set_child(&mut self, child: u32, aggregate: AggregateFilter) {
+        self.plane.set_child(child, aggregate);
+    }
+
+    /// Seed snapshot for a new subscriber: every matching
+    /// latest-per-node delta, plus the horizon sequence number the
+    /// subscriber's live stream is floored at. Deltas below the horizon
+    /// are covered by the seed; deltas at or above it flow down the
+    /// (already-widened) edges. That pairing is what makes relay
+    /// hand-off gap-free and duplicate-free.
+    pub fn seed_for(&self, filter: &SubscriptionFilter) -> (Vec<Arc<TelemetryDelta>>, u64) {
+        (self.hub.snapshot_for(filter), self.hub.next_seq())
+    }
+
+    /// Distribute one freshly published delta: once per interested
+    /// child edge (coalesced per edge), plus a synchronous hand-off to
+    /// the co-located relay for subscribers attached at the root rank.
+    fn distribute(&mut self, ctx: &mut ModuleCtx<'_>, delta: &Arc<TelemetryDelta>) {
+        self.plane.offer(delta);
+        if let Some(module) = ctx.world.brokers[ctx.rank.index()].module(RELAY) {
+            let mut guard = module.borrow_mut();
+            if let Some(relay) = guard
+                .as_any_mut()
+                .and_then(|a| a.downcast_mut::<TelemetryRelay>())
+            {
+                relay.ingest_direct(delta);
+            }
+        }
+        if self.flush_every.is_none() {
+            self.flush_downstream(ctx);
+        }
+    }
+
+    fn flush_downstream(&mut self, ctx: &mut ModuleCtx<'_>) {
+        for (child, batch) in self.plane.flush() {
+            let req = MonitorRequest::RelayDeltas(batch);
+            let ev = Message::event(ctx.rank, Rank(child), TOPIC_RELAY_DELTAS, req.encode());
+            ctx.world.send(ctx.eng, ev);
+        }
+    }
+
+    /// Arm the periodic downstream flush on the hosting rank (same
+    /// re-arm discipline as the link export: timers are pinned to a
+    /// broker incarnation).
+    fn arm_relay_flush(&self, ctx: &mut ModuleCtx<'_>) {
+        if let Some(every) = self.flush_every {
+            let start = ctx.eng.now() + every;
+            ctx.world.schedule_module_timer(
+                ctx.eng,
+                ctx.rank,
+                ROOT_AGENT,
+                start,
+                every,
+                TIMER_RELAY_FLUSH,
+            );
+        }
     }
 
     /// Arm the periodic link-export timer on the hosting rank. Called
@@ -436,42 +541,15 @@ impl RootAgent {
         }
     }
 
-    fn on_subscribe(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: SubscribeRequest) {
-        let id = self.hub.subscribe(req.filter);
-        ctx.world
-            .respond(ctx.eng, msg, MonitorReply::Subscribed(id).encode());
-    }
-
-    fn on_unsubscribe(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: UnsubscribeRequest) {
-        let existed = self.hub.unsubscribe(req.sub);
-        ctx.world
-            .respond(ctx.eng, msg, MonitorReply::Unsubscribed(existed).encode());
-    }
-
-    fn on_poll(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, req: PollRequest) {
-        match self.hub.poll(req.sub, req.max) {
-            Some((deltas, dropped)) => {
-                let batch = DeltaBatch { deltas, dropped };
-                ctx.world
-                    .respond(ctx.eng, msg, MonitorReply::Deltas(batch).encode());
-            }
-            // Never registered, unsubscribed, or evicted for slowness:
-            // the client re-subscribes and resumes from the latest
-            // snapshot.
-            None => {
-                ctx.world
-                    .respond_error(ctx.eng, msg, format!("unknown subscriber {}", req.sub))
-            }
-        }
-    }
-
     fn on_push(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, push: SamplePush) {
         self.pushes_received += 1;
         // Job attribution happens here: the node agent stays stateless,
         // and the instance's job registry is authoritative at the root.
         let job = ctx.world.jobs.job_on_node(NodeId(push.node));
-        self.hub
-            .publish(push.node, push.timestamp_us, push.node_w, job);
+        let (delta, _) = self
+            .hub
+            .publish_delta(push.node, push.timestamp_us, push.node_w, job);
+        self.distribute(ctx, &delta);
         ctx.world
             .respond(ctx.eng, msg, MonitorReply::PushAck.encode());
     }
@@ -483,29 +561,34 @@ impl Module for RootAgent {
     }
 
     fn topics(&self) -> Vec<Topic> {
+        // Subscribe/unsubscribe/poll are served by the per-broker
+        // relays (uniformly, including on the root rank).
         vec![
             TOPIC_GET_JOB_DATA.into(),
             TOPIC_GET_JOB_STATS.into(),
-            TOPIC_SUBSCRIBE.into(),
-            TOPIC_UNSUBSCRIBE.into(),
-            TOPIC_POLL.into(),
             TOPIC_SAMPLE_PUSH.into(),
         ]
     }
 
     fn load(&mut self, ctx: &mut ModuleCtx<'_>) {
         self.arm_link_export(ctx);
+        self.arm_relay_flush(ctx);
     }
 
     fn timer(&mut self, ctx: &mut ModuleCtx<'_>, tag: u64) {
+        if tag == TIMER_RELAY_FLUSH {
+            self.flush_downstream(ctx);
+            return;
+        }
         if tag != TIMER_LINK_EXPORT {
             return;
         }
         // Snapshot the overlay's per-link queueing telemetry into the
         // hub: one delta per active edge, keyed by the child endpoint.
         let now_us = ctx.eng.now().as_micros();
-        for l in ctx.world.link_stats() {
-            self.hub.publish_link(
+        let links: Vec<_> = ctx.world.link_stats();
+        for l in links {
+            let (delta, _) = self.hub.publish_link_delta(
                 l.child,
                 now_us,
                 LinkSample {
@@ -517,6 +600,7 @@ impl Module for RootAgent {
                     reparents: l.reparents,
                 },
             );
+            self.distribute(ctx, &delta);
             self.link_exports += 1;
         }
     }
@@ -528,11 +612,8 @@ impl Module for RootAgent {
         match MonitorRequest::decode(msg) {
             Ok(MonitorRequest::JobData(req)) => self.start_aggregation(ctx, msg, req),
             Ok(MonitorRequest::JobStats(req)) => self.start_stats_aggregation(ctx, msg, req),
-            Ok(MonitorRequest::Subscribe(req)) => self.on_subscribe(ctx, msg, req),
-            Ok(MonitorRequest::Unsubscribe(req)) => self.on_unsubscribe(ctx, msg, req),
-            Ok(MonitorRequest::Poll(req)) => self.on_poll(ctx, msg, req),
             Ok(MonitorRequest::PushSample(push)) => self.on_push(ctx, msg, push),
-            Ok(_) => {} // node-agent topics; not served here
+            Ok(_) => {} // node-agent and relay topics; not served here
             Err(e) => ctx.world.respond_error(ctx.eng, msg, e.reason),
         }
     }
@@ -571,9 +652,44 @@ impl Module for RootAgent {
             msg.to = ctx.rank;
             self.handle(ctx, &msg);
         }
-        // The old root's link-export timer died with its broker
-        // incarnation; re-arm it here.
+        // This rank's relay was serving its subtree's downstream edges;
+        // now that the root core landed here, the core owns them.
+        // Absorb them (they are exactly the new root's child edges),
+        // then drop any edge the promotion re-parented elsewhere —
+        // those children re-advertise to their new parents.
+        if let Some(module) = ctx.world.brokers[ctx.rank.index()].module(RELAY) {
+            let mut guard = module.borrow_mut();
+            if let Some(relay) = guard
+                .as_any_mut()
+                .and_then(|a| a.downcast_mut::<TelemetryRelay>())
+            {
+                for (child, agg) in relay.take_children() {
+                    self.plane.set_child(child, agg);
+                }
+            }
+        }
+        let children = ctx.world.tbon.children(ctx.rank);
+        self.plane.retain_children(|c| children.contains(&Rank(c)));
+        // The old root's timers died with its broker incarnation;
+        // re-arm them here.
         self.arm_link_export(ctx);
+        self.arm_relay_flush(ctx);
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // A re-parent may have moved a child subtree elsewhere: stop
+        // feeding its old edge. New or re-parented children re-advertise
+        // their aggregates (their relays force an advert on the same
+        // epoch bump). No edges → nothing to repair.
+        if self.plane.children().next().is_none() {
+            return;
+        }
+        let children = ctx.world.tbon.children(ctx.rank);
+        self.plane.retain_children(|c| children.contains(&Rank(c)));
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 
     /// The replayable state: the in-flight client aggregations. `served`

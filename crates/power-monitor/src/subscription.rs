@@ -37,8 +37,34 @@ pub const TOPIC_POLL: &str = "power-monitor.poll";
 /// Overlay topic: node agent → root agent periodic sample push.
 pub const TOPIC_SAMPLE_PUSH: &str = "power-monitor.sample-push";
 
-/// Opaque subscriber handle.
+/// Opaque subscriber handle. Ids are unique per serving hub (every
+/// relay runs its own hub), so a client polls the rank it subscribed
+/// at.
 pub type SubscriberId = u64;
+
+/// Typed rejection for a [`SubscriptionFilter`] that could never match
+/// anything — callers get an error instead of a silently dead stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterError {
+    /// `nodes` was an empty rank set: no delta can ever match.
+    EmptyNodeSet,
+    /// A cadence floor must be a positive interval (`0` means "no
+    /// floor" and is spelled by *omitting* the floor, not passing it).
+    NonPositiveCadence,
+}
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterError::EmptyNodeSet => write!(f, "empty node set matches nothing"),
+            FilterError::NonPositiveCadence => {
+                write!(f, "cadence floor must be a positive interval")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
 
 /// What a subscriber wants to see.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -71,13 +97,44 @@ impl SubscriptionFilter {
         self
     }
 
+    /// Restrict to an explicit rank set, rejecting an empty one —
+    /// the validated form of [`with_nodes`](Self::with_nodes).
+    pub fn try_with_nodes(self, nodes: Vec<u32>) -> Result<Self, FilterError> {
+        if nodes.is_empty() {
+            return Err(FilterError::EmptyNodeSet);
+        }
+        Ok(self.with_nodes(nodes))
+    }
+
     /// Set the per-node cadence floor.
     pub fn with_min_interval_us(mut self, us: u64) -> Self {
         self.min_interval_us = us;
         self
     }
 
-    fn matches(&self, delta: &TelemetryDelta) -> bool {
+    /// Set the per-node cadence floor, rejecting zero or negative
+    /// intervals — the validated form of
+    /// [`with_min_interval_us`](Self::with_min_interval_us). Full-rate
+    /// delivery is spelled by omitting the floor entirely.
+    pub fn try_with_min_interval_us(self, us: i64) -> Result<Self, FilterError> {
+        if us <= 0 {
+            return Err(FilterError::NonPositiveCadence);
+        }
+        Ok(self.with_min_interval_us(us as u64))
+    }
+
+    /// Check that this filter can match at least some delta. The
+    /// subscription service boundary rejects invalid filters with a
+    /// typed error instead of registering a stream that stays silent
+    /// forever.
+    pub fn validate(&self) -> Result<(), FilterError> {
+        if matches!(&self.nodes, Some(nodes) if nodes.is_empty()) {
+            return Err(FilterError::EmptyNodeSet);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn matches(&self, delta: &TelemetryDelta) -> bool {
         if let Some(job) = self.job {
             if delta.job != Some(job) {
                 return false;
@@ -167,6 +224,11 @@ struct Subscriber {
     dropped: u64,
     /// Deltas handed out via poll.
     delivered: u64,
+    /// Dispatch ignores deltas below this sequence number: a relay
+    /// subscriber seeded from the root snapshot at horizon `H` must not
+    /// see a stream copy of a delta its seed already covers (a delta in
+    /// flight on the tree edge when the subscription widened it).
+    floor_seq: u64,
 }
 
 /// Per-subscriber counters returned by [`TelemetryHub::stats`].
@@ -218,6 +280,36 @@ impl TelemetryHub {
     /// from current state — and a consumer evicted for slowness loses
     /// nothing permanent by re-subscribing.
     pub fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriberId {
+        let seed: Vec<Arc<TelemetryDelta>> = self
+            .latest
+            .values()
+            .chain(self.latest_links.values())
+            .filter(|d| filter.matches(d))
+            .cloned()
+            .collect();
+        self.register(filter, &seed, 0)
+    }
+
+    /// Register a subscriber seeded from an *externally supplied*
+    /// snapshot (a relay seeding from the root's authoritative latest
+    /// maps) instead of this hub's own, with dispatch floored at
+    /// `floor_seq`: stream deltas below the floor are skipped because
+    /// the seed already covers them.
+    pub fn subscribe_seeded(
+        &mut self,
+        filter: SubscriptionFilter,
+        seed: &[Arc<TelemetryDelta>],
+        floor_seq: u64,
+    ) -> SubscriberId {
+        self.register(filter, seed, floor_seq)
+    }
+
+    fn register(
+        &mut self,
+        filter: SubscriptionFilter,
+        seed: &[Arc<TelemetryDelta>],
+        floor_seq: u64,
+    ) -> SubscriberId {
         let id = self.next_id;
         self.next_id += 1;
         let mut sub = Subscriber {
@@ -227,14 +319,36 @@ impl TelemetryHub {
             last_link_us: HashMap::new(),
             dropped: 0,
             delivered: 0,
+            floor_seq,
         };
-        for delta in self.latest.values().chain(self.latest_links.values()) {
+        for delta in seed {
             if sub.filter.matches(delta) {
-                Self::enqueue(&self.config, &mut sub, delta);
+                // Seed sheds do not count toward eviction: a consumer
+                // whose queue is smaller than the snapshot would
+                // otherwise start life with a drop balance and be
+                // evicted on its first slow stretch — or instantly,
+                // for small queues — making re-subscribe useless.
+                if sub.queue.len() >= self.config.queue_capacity {
+                    sub.queue.pop_front();
+                }
+                sub.queue.push_back(Arc::clone(delta));
             }
         }
         self.subs.insert(id, sub);
         id
+    }
+
+    /// The snapshot a subscriber with `filter` would be seeded from:
+    /// the latest power sample per node, then the latest link sample
+    /// per edge (both in node order). A relay serving a remote
+    /// subscriber fetches this from the root.
+    pub fn snapshot_for(&self, filter: &SubscriptionFilter) -> Vec<Arc<TelemetryDelta>> {
+        self.latest
+            .values()
+            .chain(self.latest_links.values())
+            .filter(|d| filter.matches(d))
+            .cloned()
+            .collect()
     }
 
     /// Remove a subscriber. Returns whether it existed.
@@ -253,6 +367,19 @@ impl TelemetryHub {
         node_w: f64,
         job: Option<JobId>,
     ) -> usize {
+        self.publish_delta(node, timestamp_us, node_w, job).1
+    }
+
+    /// [`publish`](TelemetryHub::publish), also returning the shared
+    /// delta so a relay plane can forward the same allocation down the
+    /// tree.
+    pub fn publish_delta(
+        &mut self,
+        node: u32,
+        timestamp_us: u64,
+        node_w: f64,
+        job: Option<JobId>,
+    ) -> (Arc<TelemetryDelta>, usize) {
         let delta = Arc::new(TelemetryDelta {
             seq: self.next_seq,
             node,
@@ -264,7 +391,21 @@ impl TelemetryHub {
         self.next_seq += 1;
         self.published += 1;
         self.latest.insert(node, Arc::clone(&delta));
-        self.dispatch(&delta)
+        let fanout = self.dispatch(&delta);
+        (delta, fanout)
+    }
+
+    /// Absorb a delta published (and sequence-stamped) elsewhere — the
+    /// ingest half of a relay: update the latest-per-node snapshot of
+    /// the right kind and fan out to local subscribers. Returns the
+    /// fan-out count.
+    pub fn ingest(&mut self, delta: &Arc<TelemetryDelta>) -> usize {
+        if delta.link.is_some() {
+            self.latest_links.insert(delta.node, Arc::clone(delta));
+        } else {
+            self.latest.insert(delta.node, Arc::clone(delta));
+        }
+        self.dispatch(delta)
     }
 
     /// Publish one link-health report for the TBON edge whose child
@@ -274,6 +415,17 @@ impl TelemetryHub {
     /// its snapshot lives apart from the power snapshots so either kind
     /// of (re-)seed survives the other.
     pub fn publish_link(&mut self, child: u32, timestamp_us: u64, sample: LinkSample) -> usize {
+        self.publish_link_delta(child, timestamp_us, sample).1
+    }
+
+    /// [`publish_link`](TelemetryHub::publish_link), also returning the
+    /// shared delta for relay forwarding.
+    pub fn publish_link_delta(
+        &mut self,
+        child: u32,
+        timestamp_us: u64,
+        sample: LinkSample,
+    ) -> (Arc<TelemetryDelta>, usize) {
         let delta = Arc::new(TelemetryDelta {
             seq: self.next_seq,
             node: child,
@@ -285,7 +437,8 @@ impl TelemetryHub {
         self.next_seq += 1;
         self.published += 1;
         self.latest_links.insert(child, Arc::clone(&delta));
-        self.dispatch(&delta)
+        let fanout = self.dispatch(&delta);
+        (delta, fanout)
     }
 
     /// Fan one freshly published delta out to every matching subscriber,
@@ -294,7 +447,7 @@ impl TelemetryHub {
         let mut fanout = 0usize;
         let mut evict: Vec<SubscriberId> = Vec::new();
         for (&id, sub) in self.subs.iter_mut() {
-            if !sub.filter.matches(delta) {
+            if delta.seq < sub.floor_seq || !sub.filter.matches(delta) {
                 continue;
             }
             if sub.filter.min_interval_us > 0 {
@@ -351,6 +504,19 @@ impl TelemetryHub {
     /// Live subscriber count.
     pub fn subscriber_count(&self) -> usize {
         self.subs.len()
+    }
+
+    /// The next sequence number this hub will assign: the horizon a
+    /// relay subscription is floored at — every existing delta is
+    /// strictly below it, every future one at or above it.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The live subscribers' filters — what a relay unions (with child
+    /// aggregates) into the filter it advertises up its TBON edge.
+    pub fn filters(&self) -> impl Iterator<Item = &SubscriptionFilter> {
+        self.subs.values().map(|s| &s.filter)
     }
 
     /// Counters for one subscriber.
@@ -570,5 +736,85 @@ mod tests {
         assert!(h.unsubscribe(s));
         assert!(!h.unsubscribe(s));
         assert_eq!(h.publish(0, 1, 1.0, None), 0);
+    }
+
+    #[test]
+    fn empty_node_set_is_rejected_with_typed_error() {
+        assert_eq!(
+            SubscriptionFilter::all().try_with_nodes(vec![]),
+            Err(FilterError::EmptyNodeSet)
+        );
+        assert_eq!(
+            SubscriptionFilter::all().with_nodes(vec![]).validate(),
+            Err(FilterError::EmptyNodeSet)
+        );
+        assert!(SubscriptionFilter::all()
+            .try_with_nodes(vec![3])
+            .unwrap()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn non_positive_cadence_is_rejected_with_typed_error() {
+        assert_eq!(
+            SubscriptionFilter::all().try_with_min_interval_us(0),
+            Err(FilterError::NonPositiveCadence)
+        );
+        assert_eq!(
+            SubscriptionFilter::all().try_with_min_interval_us(-5),
+            Err(FilterError::NonPositiveCadence)
+        );
+        let f = SubscriptionFilter::all()
+            .try_with_min_interval_us(10)
+            .unwrap();
+        assert_eq!(f.min_interval_us, 10);
+    }
+
+    #[test]
+    fn seeding_sheds_do_not_count_toward_eviction() {
+        // Queue capacity 1, eviction after 2 cumulative drops, and 4
+        // nodes of snapshot state: seeding sheds 3 entries. Those sheds
+        // must not pre-charge the drop balance, or the re-subscriber
+        // would be evicted after its first two slow publishes.
+        let mut h = hub(1, 2);
+        for node in 0..4u32 {
+            h.publish(node, 1_000 + node as u64, 1.0, None);
+        }
+        let s = h.subscribe(SubscriptionFilter::all());
+        assert_eq!(h.stats(s).unwrap().dropped, 0, "seed sheds are free");
+        // Two unpolled publishes shed two queued deltas — at the
+        // threshold but not over it; the subscriber survives.
+        h.publish(0, 2_000, 1.0, None);
+        h.publish(1, 2_001, 1.0, None);
+        assert_eq!(h.stats(s).unwrap().dropped, 2);
+        assert_eq!(h.subscriber_count(), 1);
+        // The next shed crosses the threshold for real slowness.
+        h.publish(2, 2_002, 1.0, None);
+        assert_eq!(h.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn ingest_updates_snapshots_and_respects_floor_seq() {
+        let mut root = TelemetryHub::default();
+        let mut relay = hub(8, 64);
+        // Root publishes two deltas; a relay subscriber seeded at the
+        // horizon skips stream copies below it but sees later ones.
+        let (d0, _) = root.publish_delta(0, 1_000, 10.0, None);
+        let (d1, _) = root.publish_delta(1, 1_001, 11.0, None);
+        let horizon = root.next_seq();
+        let seed = root.snapshot_for(&SubscriptionFilter::all());
+        assert_eq!(seed.len(), 2);
+        let s = relay.subscribe_seeded(SubscriptionFilter::all(), &seed, horizon);
+        // In-flight duplicates of the seeded deltas arrive late.
+        relay.ingest(&d0);
+        relay.ingest(&d1);
+        let (d2, _) = root.publish_delta(0, 2_000, 12.0, None);
+        relay.ingest(&d2);
+        let (got, _) = relay.poll(s, usize::MAX).unwrap();
+        let seqs: Vec<u64> = got.iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "seed, then only post-horizon stream");
+        // The relay's own latest maps were maintained by ingest.
+        assert_eq!(relay.latest(0).unwrap().seq, 2);
     }
 }
